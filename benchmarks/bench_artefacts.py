@@ -1,0 +1,77 @@
+"""Artefact rendering benchmarks (paper §3.5: Figs 14/15/16).
+
+One benchmark per renderer on the r=4 commit machine, each verifying the
+figure-defining property of its artefact: the Fig 14 textual description,
+the Fig 15 diagram documents (XML + DOT), the Fig 16 source code (Python,
+executable; Java, figure-faithful), and the documentation artefact.
+"""
+
+from __future__ import annotations
+
+from repro.render.dot import DotRenderer
+from repro.render.markdown import MarkdownRenderer
+from repro.render.source import JavaSourceRenderer, PythonSourceRenderer
+from repro.render.text import TextRenderer
+from repro.render.xml import XmlRenderer, parse_machine_xml
+from benchmarks.conftest import commit_machine
+
+
+def test_render_text_fig14(benchmark):
+    machine = commit_machine(4)
+    text = benchmark(lambda: TextRenderer().render(machine))
+    assert "state: T/2/F/0/F/F/F" in text
+    assert "Waiting for 2 further external commits to finish." in text
+    benchmark.extra_info["artefact_bytes"] = len(text)
+
+
+def test_render_dot_fig15(benchmark):
+    machine = commit_machine(4)
+    dot = benchmark(lambda: DotRenderer().render(machine))
+    assert dot.startswith("digraph")
+    assert dot.count("style=bold") == machine.phase_transition_count()
+    benchmark.extra_info["artefact_bytes"] = len(dot)
+
+
+def test_render_xml_fig15(benchmark):
+    machine = commit_machine(4)
+    xml = benchmark(lambda: XmlRenderer().render(machine))
+    assert "<stateMachine" in xml
+    benchmark.extra_info["artefact_bytes"] = len(xml)
+
+
+def test_xml_roundtrip(benchmark):
+    machine = commit_machine(4)
+    xml = XmlRenderer().render(machine)
+    parsed = benchmark(lambda: parse_machine_xml(xml))
+    assert len(parsed) == 33
+
+
+def test_render_python_source_fig16(benchmark):
+    machine = commit_machine(4)
+    source = benchmark(lambda: PythonSourceRenderer().render(machine))
+    assert "def receive_vote(self):" in source
+    compile(source, "<bench>", "exec")
+    benchmark.extra_info["artefact_bytes"] = len(source)
+
+
+def test_render_java_source_fig16(benchmark):
+    machine = commit_machine(4)
+    source = benchmark(lambda: JavaSourceRenderer().render(machine))
+    assert "void receiveVote()" in source
+    assert "case (F-0-F-0-F-F-F) :" in source
+    benchmark.extra_info["artefact_bytes"] = len(source)
+
+
+def test_render_markdown_docs(benchmark):
+    machine = commit_machine(4)
+    text = benchmark(lambda: MarkdownRenderer().render(machine))
+    assert "| States | 33 |" in text
+    benchmark.extra_info["artefact_bytes"] = len(text)
+
+
+def test_render_large_machine_text(benchmark):
+    """Rendering stays practical on a large family member (r=13)."""
+    machine = commit_machine(13)
+    text = benchmark(lambda: TextRenderer().render(machine))
+    blocks = [line for line in text.splitlines() if line.startswith("state: ")]
+    assert len(blocks) == 261

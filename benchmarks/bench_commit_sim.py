@@ -1,0 +1,155 @@
+"""End-to-end commit protocol behaviour in the simulated deployment (§2.2).
+
+These benchmarks run the *deployed generated FSMs* inside the discrete-
+event cluster and measure the protocol claims of the paper's §2.2:
+
+* a clean peer set commits a version with f+1 confirmations;
+* the protocol tolerates a Byzantine member and a silent member;
+* concurrent clients contend, may deadlock, and the timeout/retry scheme
+  resolves the contention (attempt counts are reported);
+* correct members' histories remain prefix-consistent throughout.
+
+pytest-benchmark measures wall-clock cost of the simulation run; the
+protocol-level quantities (virtual-time latency, attempts, consistency)
+are attached as extra_info and asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import DataBlock, FaultPlan, GUID, StorageCluster
+
+
+def peer_set(guid: GUID, seed=1, node_count=12, r=4):
+    probe = StorageCluster(node_count=node_count, replication_factor=r, seed=seed)
+    return probe.add_endpoint("probe").locate_peers(guid.key)
+
+
+def test_append_clean_cluster(benchmark):
+    """One version append on a healthy peer set."""
+    guid = GUID.for_name("bench-clean")
+
+    def run():
+        cluster = StorageCluster(node_count=12, replication_factor=4, seed=7)
+        endpoint = cluster.add_endpoint("client")
+        operation = endpoint.append_version(guid, DataBlock(b"v1").pid)
+        assert cluster.run_until(lambda: operation.done, timeout=2000)
+        return cluster.sim.now, operation
+
+    virtual_time, operation = benchmark(run)
+    assert operation.success
+    assert operation.attempts == 1
+    benchmark.extra_info["virtual_commit_latency"] = round(virtual_time, 2)
+
+
+@pytest.mark.parametrize(
+    "fault",
+    ["promiscuous", "silent", "crash"],
+    ids=["byzantine-voter", "silent-member", "failstop-member"],
+)
+def test_append_with_faulty_member(benchmark, fault):
+    """Appends succeed with one faulty member of the four (f=1)."""
+    guid = GUID.for_name("bench-faulty")
+    victim = peer_set(guid, seed=3)[0]
+    plan = {
+        "promiscuous": FaultPlan.promiscuous(),
+        "silent": FaultPlan.silent(),
+        "crash": FaultPlan(crash_at=0.5),
+    }[fault]
+
+    def run():
+        cluster = StorageCluster(
+            node_count=12, replication_factor=4, seed=3, fault_plans={victim: plan}
+        )
+        endpoint = cluster.add_endpoint("client")
+        operation = endpoint.append_version(guid, DataBlock(b"v1").pid)
+        assert cluster.run_until(lambda: operation.done, timeout=5000)
+        cluster.run(100)
+        return cluster, operation
+
+    cluster, operation = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert operation.success
+    assert cluster.histories_prefix_consistent(guid.hex)
+
+
+def test_contention_two_clients(benchmark, report_lines):
+    """Concurrent updates: the timeout/retry scheme resolves contention.
+
+    The paper: "Since there is no guarantee that any one of a set of
+    concurrent updates will gain enough votes ... the algorithm may
+    deadlock.  It is thus necessary for the service endpoint to operate a
+    timeout/retry scheme."  Measured across seeds: attempts needed and
+    final consistency.
+    """
+    guid = GUID.for_name("bench-race")
+
+    def run():
+        attempts = []
+        consistent = 0
+        seeds = range(6)
+        for seed in seeds:
+            cluster = StorageCluster(
+                node_count=12, replication_factor=4, seed=seed, abandon_timeout=20.0
+            )
+            alice = cluster.add_endpoint("alice")
+            bob = cluster.add_endpoint("bob")
+            op_a = alice.append_version(guid, DataBlock(b"a").pid)
+            op_b = bob.append_version(guid, DataBlock(b"b").pid)
+            assert cluster.run_until(
+                lambda: op_a.done and op_b.done, timeout=10_000
+            )
+            assert op_a.success and op_b.success
+            cluster.run(300)
+            attempts.append(op_a.attempts + op_b.attempts)
+            consistent += cluster.histories_prefix_consistent(guid.hex)
+        return attempts, consistent, len(list(seeds))
+
+    attempts, consistent, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert consistent == total
+    benchmark.extra_info["attempts_per_seed"] = attempts
+    benchmark.extra_info["retry_rate"] = sum(1 for a in attempts if a > 2) / total
+    report_lines.append(
+        f"contention: attempts per seed {attempts}; "
+        f"{consistent}/{total} seeds prefix-consistent"
+    )
+
+
+def test_sequential_appends_throughput(benchmark):
+    """Five sequential versions to one GUID: agreed global order."""
+    guid = GUID.for_name("bench-sequence")
+
+    def run():
+        cluster = StorageCluster(node_count=12, replication_factor=4, seed=7)
+        endpoint = cluster.add_endpoint("client")
+        for index in range(5):
+            operation = endpoint.append_version(
+                guid, DataBlock(f"v{index}".encode()).pid
+            )
+            assert cluster.run_until(lambda: operation.done, timeout=2000)
+            assert operation.success
+        cluster.run(200)
+        return cluster
+
+    cluster = benchmark.pedantic(run, rounds=3, iterations=1)
+    histories = cluster.histories(guid.hex)
+    assert cluster.histories_prefix_consistent(guid.hex)
+    assert max(len(h) for h in histories.values()) == 5
+
+
+@pytest.mark.parametrize("r", [4, 7])
+def test_append_vs_replication_factor(benchmark, r):
+    """Commit latency as the peer set grows (more FSM family members)."""
+    guid = GUID.for_name("bench-scale")
+
+    def run():
+        cluster = StorageCluster(node_count=3 * r, replication_factor=r, seed=7)
+        endpoint = cluster.add_endpoint("client")
+        operation = endpoint.append_version(guid, DataBlock(b"v").pid)
+        assert cluster.run_until(lambda: operation.done, timeout=5000)
+        return operation, cluster.network.stats.sent
+
+    operation, messages = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert operation.success
+    benchmark.extra_info["replication_factor"] = r
+    benchmark.extra_info["protocol_messages"] = messages

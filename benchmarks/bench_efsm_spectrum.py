@@ -1,0 +1,84 @@
+"""The FSM/EFSM spectrum (paper §3.2 and §5.3).
+
+§5.3's claims, measured:
+
+* the commit EFSM has 9 states regardless of the replication factor,
+  while the FSM family grows as ``12 f^2 + 16 f + 5`` (Table 1);
+* the EFSM is generic in ``r`` — one construction serves every factor —
+  so its "generation" cost is constant while FSM generation grows with
+  the state space;
+* the EFSM's phase structure is derivable from the generated FSM (the
+  quotient benchmark), which is the §5.3 suggestion that "it may still be
+  beneficial to use a similar approach ... generating an EFSM from it".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.spectrum import (
+    commit_spectrum,
+    efsm_phase_transitions,
+    phase_quotient,
+)
+from repro.models.commit import CommitModel
+from repro.models.commit_efsm import build_commit_efsm, commit_efsm_executor
+from benchmarks.conftest import commit_machine
+
+
+def test_efsm_construction(benchmark):
+    """Building the 9-state EFSM (constant, r-independent)."""
+    efsm = benchmark(build_commit_efsm)
+    assert len(efsm) == 9
+
+
+@pytest.mark.parametrize("r", [4, 13, 46])
+def test_fsm_generation_grows_with_r(benchmark, r):
+    """FSM generation cost grows with the family parameter; contrast with
+    the constant EFSM construction above."""
+
+    def run():
+        return CommitModel(r).generate_state_machine()
+
+    machine = benchmark.pedantic(run, rounds=3 if r < 46 else 2, iterations=1)
+    benchmark.extra_info["fsm_states"] = len(machine)
+    benchmark.extra_info["efsm_states"] = 9
+
+
+def test_phase_quotient_derivation(benchmark):
+    """Deriving the EFSM phase structure from the generated FSM (r=4)."""
+    pruned = commit_machine(4, merge=False)
+    quotient = benchmark(lambda: phase_quotient(pruned))
+    assert quotient == efsm_phase_transitions(build_commit_efsm())
+
+
+def test_spectrum_summary(benchmark, report_lines):
+    """The §3.2 spectrum table for each published replication factor."""
+
+    def run():
+        return {r: commit_spectrum(r) for r in (4, 7, 13, 25, 46)}
+
+    spectra = benchmark(run)
+    report_lines.append("Spectrum (states/variables): generic vs EFSM vs FSM")
+    for r, points in spectra.items():
+        fsm = next(p for p in points if p.formulation == "FSM")
+        report_lines.append(
+            f"  r={r:<3d} generic=1s/7v  efsm=9s/2v  fsm={fsm.states}s/0v"
+        )
+    assert all(points[1].states == 9 for points in spectra.values())
+
+
+@pytest.mark.parametrize("r", [4, 13, 46])
+def test_efsm_execution_is_r_independent(benchmark, r):
+    """One EFSM drives any replication factor: execution cost stays flat."""
+    f = (r - 1) // 3
+    trace = ["free", "update"] + ["vote"] * (2 * f) + ["commit"] * (f + 1)
+
+    def run():
+        executor = commit_efsm_executor(r)
+        executor.run(trace)
+        return executor
+
+    executor = benchmark(run)
+    assert executor.is_finished()
+    benchmark.extra_info["messages"] = len(trace)

@@ -1,0 +1,90 @@
+"""Generation policy costs (paper §4.2).
+
+"There are several options as to when such generation could be performed:
+once, during the initial development ...; every time the algorithm needs
+to be executed; whenever a new value of the parameter is encountered."
+
+These benchmarks quantify the trade-off on a mixed workload (mostly r=4
+with occasional other factors): ONCE pays one generation, PER_USE pays one
+per deployment, ON_DEMAND pays one per distinct parameter value, with the
+cache absorbing the rest.  A separate benchmark isolates the compile+load
+step (the §4.3 dynamic deployment cost).
+"""
+
+from __future__ import annotations
+
+from repro.models.commit import CommitModel
+from repro.runtime.compile import compile_machine
+from repro.runtime.policy import GenerationPolicy, MachineFactory
+from benchmarks.conftest import commit_machine
+
+WORKLOAD = [4, 4, 4, 7, 4, 4, 7, 4, 4, 4]
+
+
+def make_factory(policy: GenerationPolicy) -> MachineFactory:
+    return MachineFactory(
+        lambda replication_factor: CommitModel(replication_factor), policy=policy
+    )
+
+
+def run_workload(factory: MachineFactory, workload) -> int:
+    finished = 0
+    for r in workload:
+        instance = factory.new_instance(replication_factor=r)
+        f = (r - 1) // 3
+        for message in ["free", "update"] + ["vote"] * (2 * f) + ["commit"] * (f + 1):
+            instance.receive(message)
+        finished += instance.is_finished()
+    return finished
+
+
+def test_policy_once_single_parameter(benchmark):
+    """ONCE: the paper's deployment choice (single parameter value)."""
+
+    def run():
+        factory = make_factory(GenerationPolicy.ONCE)
+        return run_workload(factory, [4] * len(WORKLOAD)), factory.generations
+
+    finished, generations = benchmark(run)
+    assert finished == len(WORKLOAD)
+    assert generations == 1
+
+
+def test_policy_per_use(benchmark):
+    """PER_USE: regenerate for every deployment."""
+
+    def run():
+        factory = make_factory(GenerationPolicy.PER_USE)
+        return run_workload(factory, WORKLOAD), factory.generations
+
+    finished, generations = benchmark(run)
+    assert finished == len(WORKLOAD)
+    assert generations == len(WORKLOAD)
+
+
+def test_policy_on_demand_cached(benchmark):
+    """ON_DEMAND: generate per new parameter value, cache the rest."""
+
+    def run():
+        factory = make_factory(GenerationPolicy.ON_DEMAND)
+        finished = run_workload(factory, WORKLOAD)
+        return finished, factory.generations, factory.cache.stats.hit_rate
+
+    finished, generations, hit_rate = benchmark(run)
+    assert finished == len(WORKLOAD)
+    assert generations == 2  # distinct parameter values in the workload
+    assert hit_rate == 0.8
+    benchmark.extra_info["cache_hit_rate"] = hit_rate
+
+
+def test_compile_and_load_cost(benchmark):
+    """§4.3: render + compile + load of the generated implementation."""
+    machine = commit_machine(4)
+    compiled = benchmark(lambda: compile_machine(machine))
+    assert compiled.cls().get_state() == "F/0/F/0/F/F/F"
+
+
+def test_generation_only_cost(benchmark):
+    """Abstract-model execution alone (no rendering/compilation)."""
+    machine = benchmark(lambda: CommitModel(4).generate_state_machine())
+    assert len(machine) == 33

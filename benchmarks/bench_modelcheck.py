@@ -1,0 +1,99 @@
+"""Model-checking benchmarks: system-level verification of the family.
+
+Quantifies the paper's §1 correctness claim over whole peer sets of
+generated machines:
+
+* single update, clean peer set: exhaustive exploration (≈10^5 system
+  states at r=4), every interleaving commits;
+* single update with f silent members: still always commits; with f+1
+  the deadlock witness appears;
+* contention 2/2 split: the complete interleaving space deadlocks — the
+  checked form of §2.2's "the algorithm may deadlock";
+* the per-machine path-property suite across the family.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.peerset_check import (
+    check_contending_updates,
+    check_single_update,
+)
+from repro.analysis.properties import commit_protocol_properties
+from benchmarks.conftest import commit_machine
+
+
+def test_modelcheck_single_update_clean(benchmark, report_lines):
+    result = benchmark.pedantic(
+        lambda: check_single_update(4, silent_members=0), rounds=1, iterations=1
+    )
+    assert result.always_terminates
+    assert result.safe
+    benchmark.extra_info["system_states"] = result.states_explored
+    report_lines.append(
+        f"modelcheck r=4 clean: {result.states_explored} system states, "
+        f"all interleavings commit"
+    )
+
+
+@pytest.mark.parametrize("silent", [1, 2])
+def test_modelcheck_single_update_silent(benchmark, silent):
+    result = benchmark.pedantic(
+        lambda: check_single_update(4, silent_members=silent),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.safe
+    if silent == 1:
+        assert result.always_terminates  # f tolerated
+    else:
+        assert result.deadlock_possible  # f+1 is too many
+    benchmark.extra_info["system_states"] = result.states_explored
+
+
+def test_modelcheck_contention_even_split(benchmark, report_lines):
+    """The §2.2 deadlock: every interleaving of the 2/2 split stalls."""
+    result = benchmark.pedantic(
+        lambda: check_contending_updates(4, first_half=2), rounds=1, iterations=1
+    )
+    assert not result.truncated
+    assert result.safe
+    assert result.outcome_counts == {("none", "none"): result.quiescent_states}
+    benchmark.extra_info["system_states"] = result.states_explored
+    report_lines.append(
+        f"modelcheck contention 2/2: {result.states_explored} states, "
+        f"every interleaving deadlocks (retry necessary)"
+    )
+
+
+def test_modelcheck_contention_majority_split(benchmark, report_lines):
+    """3/1 split: updates serialise — A commits, freed members then commit B.
+
+    Every quiescent outcome observed is ``('all', 'all')``: the majority
+    update reaches its 2f+1 threshold, finishing frees each member's local
+    vote, and the minority update (already received) is voted through
+    next.  No partial commit appears anywhere.
+    """
+    result = benchmark.pedantic(
+        lambda: check_contending_updates(4, first_half=3, max_states=600_000),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.safe
+    assert all(outcome == ("all", "all") for outcome in result.outcome_counts)
+    benchmark.extra_info["system_states"] = result.states_explored
+    benchmark.extra_info["truncated"] = result.truncated
+    report_lines.append(
+        f"modelcheck contention 3/1: {result.states_explored} states, "
+        f"outcomes {dict(result.outcome_counts)}"
+    )
+
+
+@pytest.mark.parametrize("r", [4, 7, 13])
+def test_path_property_suite(benchmark, r):
+    """Graph-level protocol properties across the family."""
+    machine = commit_machine(r)
+    reports = benchmark(lambda: commit_protocol_properties(machine))
+    assert all(report.ok for report in reports)
+    benchmark.extra_info["machine_states"] = len(machine)

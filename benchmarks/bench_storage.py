@@ -1,0 +1,128 @@
+"""Data storage service and routing-layer benchmarks (paper §2.1).
+
+* store completes at the ``r - f`` quorum and replicates to the peer set;
+* retrieval verifies against the PID hash and falls back across replicas
+  under corruption;
+* key lookups through the Chord-style overlay take O(log n) hops — the
+  scaling claim the paper inherits from [6].
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.storage import DataBlock, FaultPlan, StorageCluster
+from repro.storage.endpoint import ServerOrder
+from repro.storage.p2p.keys import KEY_SPACE
+from repro.storage.p2p.ring import ChordRing
+from repro.storage.p2p.routing import Router
+
+
+def test_store_block_quorum(benchmark):
+    def run():
+        cluster = StorageCluster(node_count=12, replication_factor=4, seed=7)
+        endpoint = cluster.add_endpoint("client")
+        operation = endpoint.store_block(DataBlock(b"x" * 256))
+        assert cluster.run_until(lambda: operation.done, timeout=500)
+        return operation
+
+    operation = benchmark(run)
+    assert operation.success
+    assert len(operation.acked) >= 3
+
+
+def test_retrieve_block_verified(benchmark):
+    cluster = StorageCluster(node_count=12, replication_factor=4, seed=7)
+    endpoint = cluster.add_endpoint("client")
+    block = DataBlock(b"y" * 256)
+    store = endpoint.store_block(block)
+    cluster.run_until(lambda: store.done, timeout=500)
+
+    def run():
+        operation = endpoint.retrieve_block(block.pid)
+        assert cluster.run_until(lambda: operation.done, timeout=500)
+        return operation
+
+    operation = benchmark(run)
+    assert operation.success
+    assert operation.block.verify(block.pid)
+
+
+def test_retrieve_with_corrupt_replica(benchmark):
+    """Hash verification rejects the corrupt copy; fallback succeeds."""
+    block = DataBlock(b"precious")
+    probe = StorageCluster(node_count=12, replication_factor=4, seed=13)
+    replicas = probe.add_endpoint("probe").locate_peers(block.pid.key)
+
+    def run():
+        cluster = StorageCluster(
+            node_count=12,
+            replication_factor=4,
+            seed=13,
+            fault_plans={replicas[0]: FaultPlan.corrupt()},
+        )
+        endpoint = cluster.add_endpoint("client", server_order=ServerOrder.FIXED)
+        store = endpoint.store_block(block)
+        cluster.run_until(lambda: store.done, timeout=500)
+        operation = endpoint.retrieve_block(block.pid)
+        assert cluster.run_until(lambda: operation.done, timeout=500)
+        return operation
+
+    operation = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert operation.success
+    assert replicas[0] in operation.rejected
+
+
+@pytest.mark.parametrize("nodes", [16, 64, 256])
+def test_routing_hops_scale_logarithmically(benchmark, nodes):
+    """Average lookup hop count grows like log2(n) (Chord [6])."""
+    ring = ChordRing()
+    for index in range(nodes):
+        ring.join(f"node-{index:04d}")
+    router = Router(ring)
+    # Probes spread evenly across the whole key space.
+    probes = [(i * KEY_SPACE) // 100 + i for i in range(100)]
+
+    def run():
+        return [router.lookup("node-0000", key).hop_count for key in probes]
+
+    hops = benchmark(run)
+    average = sum(hops) / len(hops)
+    assert average <= 2 * math.log2(nodes)
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["avg_hops"] = round(average, 2)
+    benchmark.extra_info["log2_n"] = round(math.log2(nodes), 2)
+
+
+def test_stabilise_cost(benchmark):
+    """Rebuilding all finger tables after churn (128 nodes)."""
+    ring = ChordRing()
+    for index in range(128):
+        ring.join(f"node-{index:04d}")
+    router = Router(ring)
+    benchmark(router.stabilise)
+
+
+def test_maintenance_repair_cycle(benchmark):
+    """Detect and repair a missing replica (paper §2.2 background repair)."""
+    block = DataBlock(b"maintained")
+    probe = StorageCluster(node_count=12, replication_factor=4, seed=17)
+    replicas = probe.add_endpoint("probe").locate_peers(block.pid.key)
+
+    def run():
+        cluster = StorageCluster(node_count=12, replication_factor=4, seed=17)
+        endpoint = cluster.add_endpoint("client")
+        maintainer = cluster.add_maintainer(probe_interval=40.0, probe_timeout=10.0)
+        store = endpoint.store_block(block)
+        cluster.run_until(lambda: store.done, timeout=500)
+        maintainer.track(block.pid.hex)
+        victim = cluster.nodes[replicas[0]]
+        victim.blocks.clear()  # replica silently lost
+        cluster.run(150)  # probe round + repair
+        return maintainer, victim
+
+    maintainer, victim = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert maintainer.stats.repairs_requested > 0
+    assert block.pid.hex in victim.blocks

@@ -1,0 +1,82 @@
+"""Regenerates the paper's Table 1: state counts and generation times.
+
+Paper Table 1 (Apple MacBook Pro, 2.33 GHz Core 2 Duo, Java, 2007):
+
+    f   r   initial states   final states   generation time (s)
+    1   4   512              33             0.10
+    2   7   1568             85             0.12
+    4   13  5408             261            0.38
+    8   25  20000            901            2.2
+    15  46  67712            2945           19.1
+
+The state counts are machine-independent and must match **exactly**; the
+times are hardware- and language-bound, so the comparison is of *shape*:
+generation time grows with the initial state-space size but remains
+practical at the largest published point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import PAPER_TABLE1
+from repro.models.commit import CommitModel, fault_tolerance
+
+PAPER_ROWS = {row["r"]: row for row in PAPER_TABLE1}
+REPLICATION_FACTORS = [4, 7, 13, 25, 46]
+
+
+@pytest.mark.parametrize("r", REPLICATION_FACTORS)
+def test_table1_generation(benchmark, r):
+    """One benchmark per Table 1 row: full four-step generation."""
+
+    def generate():
+        return CommitModel(r).generate_with_report()
+
+    machine, report = benchmark.pedantic(
+        generate, rounds=3 if r >= 25 else 5, iterations=1, warmup_rounds=1
+    )
+
+    paper = PAPER_ROWS[r]
+    assert fault_tolerance(r) == paper["f"]
+    assert report.initial_states == paper["initial_states"]
+    assert report.merged_states == paper["final_states"]
+    assert len(machine) == paper["final_states"]
+
+    benchmark.extra_info["f"] = paper["f"]
+    benchmark.extra_info["initial_states"] = report.initial_states
+    benchmark.extra_info["pruned_states"] = report.reachable_states
+    benchmark.extra_info["final_states"] = report.merged_states
+    benchmark.extra_info["paper_time_s"] = paper["generation_time_s"]
+
+
+def test_table1_shape(benchmark, report_lines):
+    """Whole-table run: checks monotone growth of time with space size."""
+
+    def full_table():
+        rows = []
+        for r in REPLICATION_FACTORS:
+            _, report = CommitModel(r).generate_with_report()
+            rows.append(report)
+        return rows
+
+    rows = benchmark.pedantic(full_table, rounds=1, iterations=1)
+
+    times = [row.total_time for row in rows]
+    sizes = [row.initial_states for row in rows]
+    assert sizes == sorted(sizes)
+    # Shape check: the largest space costs more than the smallest by a
+    # factor comparable to the paper's 19.1 / 0.10 ~ 191x (we accept > 20x).
+    assert times[-1] > times[0] * 20
+
+    report_lines.append("Table 1 (regenerated):")
+    report_lines.append(
+        "f   r   initial states   final states   generation time (s)  [paper time]"
+    )
+    for r, row in zip(REPLICATION_FACTORS, rows):
+        paper = PAPER_ROWS[r]
+        report_lines.append(
+            f"{paper['f']:<3d} {r:<3d} {row.initial_states:<16d} "
+            f"{row.merged_states:<14d} {row.total_time:<20.3f} "
+            f"[{paper['generation_time_s']}]"
+        )

@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures and reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.commit import CommitModel
+
+_CACHE: dict = {}
+
+
+def commit_machine(replication_factor: int, merge: bool = True):
+    """Session-cached generated machine (generation itself is benchmarked
+    separately; consumers should not pay for it repeatedly)."""
+    key = (replication_factor, merge)
+    if key not in _CACHE:
+        _CACHE[key] = CommitModel(replication_factor).generate_state_machine(
+            merge=merge
+        )
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def report_lines():
+    """Collects human-readable result lines, printed at session end."""
+    lines: list[str] = []
+    yield lines
+    if lines:
+        print("\n" + "\n".join(lines))

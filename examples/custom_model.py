@@ -1,0 +1,123 @@
+"""Applying the methodology to a new algorithm (paper §5.1–5.2).
+
+"The source code renderer is now completely generic with respect to the
+algorithm being modelled, so it is possible to apply the methodology to new
+algorithms without writing any new generative code."
+
+This example defines a brand-new abstract model *in this file* — a quorum
+read repair protocol — and gets the whole toolchain for free: generation
+with pruning and merging, textual/diagram/source artefacts, and an
+executable compiled implementation.  It then does the same for the two
+§5.2 applicability models shipped with the library (threshold signatures
+and termination detection).
+
+Run with::
+
+    python examples/custom_model.py
+"""
+
+from __future__ import annotations
+
+from repro.core import BooleanComponent, IntComponent
+from repro.core.model import AbstractModel, StateView, TransitionBuilder
+from repro.models.termination import TerminationModel
+from repro.models.threshold_sig import ThresholdSignatureModel
+from repro.render.text import TextRenderer
+from repro.runtime.compile import compile_machine
+
+
+class ReadRepairModel(AbstractModel):
+    """A reader collecting ``q`` matching replies from ``n`` replicas.
+
+    The reader broadcasts a read, counts matching and stale replies, and
+    once a quorum of matching replies arrives returns the value — issuing
+    a repair write if any stale reply was seen.  A fresh abstract model in
+    ~40 lines: everything else (pipeline, renderers, compilation) is the
+    generic toolchain.
+    """
+
+    def __init__(self, replicas: int, quorum: int):
+        super().__init__(replicas=replicas, quorum=quorum)
+        self._n = replicas
+        self._q = quorum
+
+    def configure(self, *, replicas: int, quorum: int):
+        components = [
+            BooleanComponent("read_issued"),
+            IntComponent("matching_replies", replicas),
+            IntComponent("stale_replies", replicas),
+            BooleanComponent("returned"),
+        ]
+        return components, ("read", "reply_match", "reply_stale")
+
+    def machine_name(self) -> str:
+        return f"read-repair[n={self._n},q={self._q}]"
+
+    def is_final(self, view: StateView) -> bool:
+        return view["returned"]
+
+    def generate_transition(self, message: str, b: TransitionBuilder) -> None:
+        if message == "read":
+            if not b["read_issued"]:
+                b.set("read_issued", True, because="Client read accepted.")
+                b.send("read", because="Broadcast the read to all replicas.")
+        elif message == "reply_match":
+            if not b["read_issued"]:
+                b.invalid("reply before a read was issued")
+            b.increment("matching_replies", because="A replica agreed.")
+            self._maybe_return(b)
+        elif message == "reply_stale":
+            if not b["read_issued"]:
+                b.invalid("reply before a read was issued")
+            b.increment("stale_replies", because="A replica returned stale data.")
+
+    def _maybe_return(self, b: TransitionBuilder) -> None:
+        if b["matching_replies"] >= self._q:
+            if b["stale_replies"] > 0:
+                b.send("repair", because="Write back the fresh value to stale replicas.")
+            b.send("return", because="Quorum of matching replies: return to client.")
+            b.set("returned", True)
+
+
+def show(model: AbstractModel, sample_trace: list[str]) -> None:
+    """Generate, report, render one state and run the compiled machine."""
+    machine, report = model.generate_with_report()
+    print(f"--- {machine.name} ---")
+    print(
+        f"  pipeline: {report.initial_states} -> {report.reachable_states} "
+        f"-> {report.merged_states} states ({report.total_time * 1000:.1f} ms)"
+    )
+    compiled = compile_machine(machine)
+    instance = compiled.new_instance()
+    for message in sample_trace:
+        instance.receive(message)
+    print(f"  after {sample_trace}: state={instance.get_state()} "
+          f"sent={instance.sent} finished={instance.is_finished()}")
+    print()
+
+
+def main() -> None:
+    # A brand-new model defined above — no new generative code needed.
+    show(
+        ReadRepairModel(replicas=5, quorum=3),
+        ["read", "reply_stale", "reply_match", "reply_match", "reply_match"],
+    )
+
+    # The two §5.2 applicability models shipped with the library.
+    show(
+        ThresholdSignatureModel(signers=5, threshold=3),
+        ["request", "share", "share"],
+    )
+    show(
+        TerminationModel(max_tasks=3),
+        ["task", "task", "probe", "done", "done"],
+    )
+
+    # Every artefact renderer works on any model, unchanged: print the
+    # textual description of the read-repair machine's start state.
+    machine = ReadRepairModel(replicas=3, quorum=2).generate_state_machine()
+    print(TextRenderer(include_header=False).render_state(machine.start_state))
+
+
+if __name__ == "__main__":
+    main()

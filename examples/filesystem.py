@@ -1,0 +1,69 @@
+"""The full Fig 1 stack: a versioned file system on the storage layer.
+
+Exercises every layer of the paper's architecture in one scenario —
+file system adapter -> distributed abstract file system -> generic
+storage layer (data storage + version history with generated commit FSMs)
+-> key-based routing -> simulated network:
+
+* writes a multi-chunk file and reads it back verified;
+* appends new versions and reads the historical record (the ASA goal of
+  "provision of an historical record of data");
+* demonstrates content-addressed deduplication across files;
+* keeps reading correctly while a replica node serves corrupted blocks.
+
+Run with::
+
+    python examples/filesystem.py
+"""
+
+from __future__ import annotations
+
+from repro.storage import FaultPlan, StorageCluster
+from repro.storage.filesystem import DistributedFileSystem
+
+
+def main() -> None:
+    cluster = StorageCluster(
+        node_count=16,
+        replication_factor=4,
+        seed=5,
+        fault_plans={"node-07": FaultPlan.corrupt()},  # one lying replica
+    )
+    endpoint = cluster.add_endpoint("fs-adapter")
+    fs = DistributedFileSystem(cluster, endpoint, chunk_size=1024)
+
+    print("== writing a multi-chunk file ==")
+    draft = ("All happy families are alike; " * 200).encode()  # ~6 KiB
+    version = fs.write_file("/novels/anna.txt", draft)
+    print(f"v{version.index}: {version.size} bytes in {version.chunk_count} chunks")
+
+    print("\n== revising it (appends, never destroys) ==")
+    final = draft + b"\n-- revised ending --\n"
+    version = fs.write_file("/novels/anna.txt", final)
+    print(f"v{version.index}: {version.size} bytes in {version.chunk_count} chunks")
+
+    print("\n== the historical record ==")
+    for record in fs.list_versions("/novels/anna.txt"):
+        print(f"  v{record.index}: {record.size} bytes, manifest {record.manifest_pid}")
+    assert fs.read_file("/novels/anna.txt", version=0) == draft
+    assert fs.read_file("/novels/anna.txt") == final
+    print("  old and new versions both read back verified")
+
+    print("\n== content-addressed deduplication ==")
+    copy_version = fs.write_file("/novels/anna-copy.txt", final)
+    print(
+        "  same bytes, same manifest: "
+        f"{copy_version.manifest_pid == version.manifest_pid}"
+    )
+
+    print("\n== reading through a corrupting replica ==")
+    data = fs.read_file("/novels/anna.txt")
+    print(f"  read {len(data)} bytes, intact: {data == final}")
+    print(f"  (node-07 serves corrupted blocks; hash verification rejects them)")
+
+    stats = cluster.network.stats
+    print(f"\nnetwork totals: {stats.sent} messages sent, {stats.delivered} delivered")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The project metadata lives in pyproject.toml; this file exists only so that
+``pip install -e .`` works in offline environments whose setuptools cannot
+perform PEP 660 editable installs (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

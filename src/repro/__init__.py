@@ -1,0 +1,52 @@
+"""repro — generative state-machine toolchain.
+
+A reproduction of *"Design, Implementation and Deployment of State Machines
+Using a Generative Approach"* (Kirby, Dearle & Norcross, DSN 2007): a
+framework for designing a distributed algorithm as a family of finite state
+machines generated from a single abstract model, together with renderers
+(text, diagrams, source code), a deployment runtime, and a simulated
+distributed storage substrate exercising the paper's Byzantine-fault-
+tolerant commit protocol.
+
+Quickstart::
+
+    from repro.models.commit import CommitModel
+    from repro.render.text import TextRenderer
+
+    machine = CommitModel(replication_factor=4).generate_state_machine()
+    print(len(machine))                      # 33 states (paper Table 1)
+    print(TextRenderer().render(machine))    # Fig 14-style description
+"""
+
+from repro.core import (
+    AbstractModel,
+    BooleanComponent,
+    EnumComponent,
+    GenerationReport,
+    IntComponent,
+    InvalidStateError,
+    State,
+    StateMachine,
+    StateSpace,
+    Transition,
+    TransitionBuilder,
+    generate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractModel",
+    "BooleanComponent",
+    "EnumComponent",
+    "GenerationReport",
+    "IntComponent",
+    "InvalidStateError",
+    "State",
+    "StateMachine",
+    "StateSpace",
+    "Transition",
+    "TransitionBuilder",
+    "__version__",
+    "generate",
+]

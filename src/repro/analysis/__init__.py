@@ -1,0 +1,80 @@
+"""Analysis utilities: state-space statistics, machine diffing, spectrum.
+
+* :mod:`repro.analysis.stats` — structural statistics and the regenerated
+  Table 1 (including the merged-size closed form ``12 f^2 + 16 f + 5``);
+* :mod:`repro.analysis.diff` — isomorphism checking between machines;
+* :mod:`repro.analysis.spectrum` — the FSM/EFSM/algorithm spectrum and the
+  phase-quotient derivation that cross-validates the 9-state commit EFSM.
+"""
+
+from repro.analysis.diff import MachineDiff, diff_machines, machines_isomorphic
+from repro.analysis.peerset_check import (
+    ExplorationResult,
+    PeerSetExplorer,
+    check_contending_updates,
+    check_single_update,
+)
+from repro.analysis.properties import (
+    PropertyReport,
+    action_at_most_once,
+    action_exactly_once,
+    action_required,
+    commit_protocol_properties,
+    finish_always_reachable,
+)
+from repro.analysis.spectrum import (
+    COMMIT_PHASE_FLAGS,
+    FINISHED_PHASE,
+    PhaseTransition,
+    commit_spectrum,
+    efsm_phase_transitions,
+    fsm_vs_efsm_table,
+    phase_names,
+    phase_quotient,
+)
+from repro.analysis.stats import (
+    PAPER_TABLE1,
+    MachineStats,
+    Table1Row,
+    format_table1,
+    initial_state_count,
+    machine_stats,
+    merged_state_count,
+    merged_state_formula,
+    table1,
+    table1_row,
+)
+
+__all__ = [
+    "COMMIT_PHASE_FLAGS",
+    "ExplorationResult",
+    "PeerSetExplorer",
+    "PropertyReport",
+    "action_at_most_once",
+    "action_exactly_once",
+    "action_required",
+    "check_contending_updates",
+    "check_single_update",
+    "commit_protocol_properties",
+    "finish_always_reachable",
+    "FINISHED_PHASE",
+    "MachineDiff",
+    "MachineStats",
+    "PAPER_TABLE1",
+    "PhaseTransition",
+    "Table1Row",
+    "commit_spectrum",
+    "diff_machines",
+    "efsm_phase_transitions",
+    "format_table1",
+    "fsm_vs_efsm_table",
+    "initial_state_count",
+    "machine_stats",
+    "machines_isomorphic",
+    "merged_state_count",
+    "merged_state_formula",
+    "phase_names",
+    "phase_quotient",
+    "table1",
+    "table1_row",
+]

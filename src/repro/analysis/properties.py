@@ -1,0 +1,161 @@
+"""Path properties of generated machines: protocol-level verification.
+
+The paper's motivation for the FSM formulation is "increased confidence in
+correctness" (§1, §7).  This module makes that concrete with graph-level
+property checks over a generated machine:
+
+* :func:`action_at_most_once` — no execution performs an action twice
+  (e.g. a member never votes twice for the same update);
+* :func:`action_required` — no complete execution (start to finish)
+  avoids the action (every finishing member has voted and committed);
+* :func:`action_exactly_once` — both of the above;
+* :func:`finish_always_reachable` — from every reachable state the finish
+  state remains reachable (the protocol can never paint itself into a
+  corner, even though external message loss may stall it).
+
+All checks are exact graph analyses (no sampling): they quantify over
+*every* path of the machine, including the infinitely many that loop
+through ``free``/``not free`` toggles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.machine import StateMachine
+
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of one property check."""
+
+    property_name: str
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the property holds."""
+        return not self.violations
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"{self.property_name}: holds"
+        detail = "; ".join(self.violations[:5])
+        return f"{self.property_name}: {len(self.violations)} violation(s): {detail}"
+
+
+def _edges_with_action(machine: StateMachine, action: str):
+    for state in machine.states:
+        for transition in state.transitions:
+            if action in transition.actions:
+                yield state.name, transition
+
+
+def _can_reach_action(machine: StateMachine, action: str) -> set[str]:
+    """States from which some path eventually traverses an ``action`` edge."""
+    predecessors: dict[str, list[str]] = {name: [] for name in machine.state_names()}
+    for state in machine.states:
+        for transition in state.transitions:
+            predecessors[transition.target_name].append(state.name)
+
+    frontier = deque(source for source, _ in _edges_with_action(machine, action))
+    can_reach = set(frontier)
+    while frontier:
+        current = frontier.popleft()
+        for predecessor in predecessors[current]:
+            if predecessor not in can_reach:
+                can_reach.add(predecessor)
+                frontier.append(predecessor)
+    return can_reach
+
+
+def action_at_most_once(machine: StateMachine, action: str) -> PropertyReport:
+    """No path performs ``action`` more than once.
+
+    Violated exactly when some ``action`` edge leads to a state from which
+    another ``action`` edge is reachable.
+    """
+    report = PropertyReport(f"at-most-once({action})")
+    can_reach = _can_reach_action(machine, action)
+    for source, transition in _edges_with_action(machine, action):
+        if transition.target_name in can_reach:
+            report.violations.append(
+                f"{source} --{transition.message}--> {transition.target_name} "
+                f"can perform {action} again"
+            )
+    return report
+
+
+def action_required(machine: StateMachine, action: str) -> PropertyReport:
+    """Every complete (start-to-final) path performs ``action``.
+
+    Violated exactly when a final state is reachable from the start using
+    only edges that do not carry the action.
+    """
+    report = PropertyReport(f"required({action})")
+    start = machine.start_state.name
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        state = machine.get_state(frontier.popleft())
+        if state.final:
+            report.violations.append(
+                f"final state {state.name} reachable without performing {action}"
+            )
+            continue
+        for transition in state.transitions:
+            if action in transition.actions:
+                continue
+            if transition.target_name not in seen:
+                seen.add(transition.target_name)
+                frontier.append(transition.target_name)
+    return report
+
+
+def action_exactly_once(machine: StateMachine, action: str) -> PropertyReport:
+    """Every complete path performs ``action`` exactly once."""
+    report = PropertyReport(f"exactly-once({action})")
+    report.violations.extend(action_at_most_once(machine, action).violations)
+    report.violations.extend(action_required(machine, action).violations)
+    return report
+
+
+def finish_always_reachable(machine: StateMachine) -> PropertyReport:
+    """From every state, some final state remains reachable."""
+    report = PropertyReport("finish-always-reachable")
+    predecessors: dict[str, list[str]] = {name: [] for name in machine.state_names()}
+    for state in machine.states:
+        for transition in state.transitions:
+            predecessors[transition.target_name].append(state.name)
+
+    frontier = deque(state.name for state in machine.final_states())
+    can_finish = set(frontier)
+    while frontier:
+        current = frontier.popleft()
+        for predecessor in predecessors[current]:
+            if predecessor not in can_finish:
+                can_finish.add(predecessor)
+                frontier.append(predecessor)
+
+    for name in machine.state_names():
+        if name not in can_finish:
+            report.violations.append(f"state {name} cannot reach any final state")
+    return report
+
+
+def commit_protocol_properties(machine: StateMachine) -> list[PropertyReport]:
+    """The protocol-level property suite for a commit machine.
+
+    A member votes exactly once and commits exactly once per finished
+    update, claims the local vote at most once, releases it at most once,
+    and can always still finish.
+    """
+    return [
+        action_exactly_once(machine, "->vote"),
+        action_exactly_once(machine, "->commit"),
+        action_at_most_once(machine, "->not_free"),
+        action_at_most_once(machine, "->free"),
+        finish_always_reachable(machine),
+    ]

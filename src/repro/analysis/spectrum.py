@@ -1,0 +1,152 @@
+"""The FSM <-> EFSM spectrum (paper §3.2, §5.3).
+
+A formulation of an algorithm picks a point on a spectrum trading states
+against variables: the original algorithm has one state and many variables,
+the FSM family has many states and none, and EFSMs sit in between.  This
+module quantifies that spectrum for the commit protocol and *derives* the
+EFSM phase structure from a generated FSM, cross-validating the hand-built
+9-state EFSM of :mod:`repro.models.commit_efsm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.efsm import Efsm
+from repro.core.machine import StateMachine
+from repro.models.commit import CommitModel, fault_tolerance
+from repro.analysis.stats import initial_state_count, merged_state_formula
+
+#: The flag components that define the commit protocol's phases; the two
+#: counters (votes_received / commits_received) become EFSM variables.
+COMMIT_PHASE_FLAGS = (
+    "update_received",
+    "vote_sent",
+    "commit_sent",
+    "could_choose",
+    "has_chosen",
+)
+
+#: Name used for the terminal phase (all final states project here).
+FINISHED_PHASE = "FINISHED"
+
+
+@dataclass(frozen=True)
+class PhaseTransition:
+    """One abstract transition of the phase quotient."""
+
+    source: str
+    message: str
+    actions: tuple[str, ...]
+    target: str
+
+
+def phase_name(machine_space, vector, flags=COMMIT_PHASE_FLAGS) -> str:
+    """Project a state vector onto the flag components: ``T/T/F/T/T``."""
+    values = []
+    for flag in flags:
+        component = machine_space.component(flag)
+        values.append(component.encode(machine_space.get(vector, flag)))
+    return "/".join(values)
+
+
+def phase_quotient(
+    machine: StateMachine, flags=COMMIT_PHASE_FLAGS
+) -> set[PhaseTransition]:
+    """Quotient a generated FSM by its phase flags.
+
+    Returns the set of abstract transitions between phases, *excluding*
+    pure counting self-loops (transitions that stay in the same phase with
+    no actions) — those are exactly the transitions that an EFSM absorbs
+    into variable updates.  Final states all project to
+    :data:`FINISHED_PHASE`.
+    """
+    space = machine.space
+    if space is None:
+        raise ValueError("phase quotient needs a machine with a state space")
+
+    def project(state) -> str:
+        if state.final:
+            return FINISHED_PHASE
+        return phase_name(space, state.vector, flags)
+
+    quotient: set[PhaseTransition] = set()
+    for state in machine.states:
+        source = project(state)
+        for transition in state.transitions:
+            target = project(machine.get_state(transition.target_name))
+            if source == target and not transition.actions:
+                continue  # below-threshold counting: an EFSM variable update
+            quotient.add(
+                PhaseTransition(source, transition.message, transition.actions, target)
+            )
+    return quotient
+
+
+def efsm_phase_transitions(efsm: Efsm) -> set[PhaseTransition]:
+    """The comparable abstract-transition set of an EFSM definition."""
+    transitions: set[PhaseTransition] = set()
+    for state in efsm.states:
+        for transition in state.transitions:
+            if transition.target == state.name and not transition.actions:
+                continue  # variable-update self-loop
+            transitions.add(
+                PhaseTransition(
+                    state.name, transition.message, transition.actions, transition.target
+                )
+            )
+    return transitions
+
+
+def phase_names(machine: StateMachine, flags=COMMIT_PHASE_FLAGS) -> set[str]:
+    """All phase names occurring in the machine (finals collapse to one)."""
+    space = machine.space
+    names: set[str] = set()
+    for state in machine.states:
+        if state.final:
+            names.add(FINISHED_PHASE)
+        else:
+            names.add(phase_name(space, state.vector, flags))
+    return names
+
+
+@dataclass
+class SpectrumPoint:
+    """One formulation of the commit algorithm on the paper's spectrum."""
+
+    formulation: str
+    states: int
+    variables: int
+    generic_in_r: bool
+
+
+def commit_spectrum(replication_factor: int) -> list[SpectrumPoint]:
+    """The three formulations of §3.2/§5.3 for a given replication factor.
+
+    The generic algorithm keeps all 7 variables in 1 state; the EFSM keeps
+    the 2 counters in 9 states (independent of ``r``); the FSM encodes
+    everything in states (``12 f^2 + 16 f + 5`` after merging).
+    """
+    f = fault_tolerance(replication_factor)
+    return [
+        SpectrumPoint("generic algorithm", 1, 7, True),
+        SpectrumPoint("EFSM", 9, 2, True),
+        SpectrumPoint("FSM", merged_state_formula(f), 0, False),
+    ]
+
+
+def fsm_vs_efsm_table(replication_factors) -> list[dict]:
+    """State counts across the family: FSM grows with f, EFSM stays at 9."""
+    rows = []
+    for r in replication_factors:
+        machine = CommitModel(r).generate_state_machine()
+        rows.append(
+            {
+                "r": r,
+                "f": fault_tolerance(r),
+                "fsm_initial_states": initial_state_count(r),
+                "fsm_merged_states": len(machine),
+                "efsm_states": 9,
+            }
+        )
+    return rows

@@ -1,0 +1,5 @@
+"""Baseline implementations the generated machines are compared against."""
+
+from repro.baselines.generic_commit import FINISHED_NAME, GenericCommitAlgorithm
+
+__all__ = ["FINISHED_NAME", "GenericCommitAlgorithm"]

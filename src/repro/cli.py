@@ -1,0 +1,172 @@
+"""Command-line interface: generate machines and render artefacts.
+
+Mirrors the paper's Fig 6 usage from a shell::
+
+    repro-fsm generate -r 4                  # Table 1 row for r=4
+    repro-fsm table1                         # the whole Table 1
+    repro-fsm render -r 4 --format text      # Fig 14 artefact
+    repro-fsm render -r 4 --format source    # generated Python (Fig 16)
+    repro-fsm render -r 4 --format dot -o commit.dot
+    repro-fsm describe -r 4 --state T/2/F/0/F/F/F
+    repro-fsm export -r 4 -o commit_r4.py    # §4.3 copy-into-codebase
+    repro-fsm modelcheck -r 4 --silent 1     # exhaustive peer-set check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.peerset_check import check_contending_updates, check_single_update
+from repro.analysis.stats import format_table1, table1, table1_row
+from repro.models.commit import CommitModel
+from repro.render.dot import DotRenderer
+from repro.render.html import HtmlRenderer
+from repro.render.markdown import MarkdownRenderer
+from repro.render.scxml import ScxmlRenderer
+from repro.render.source import JavaSourceRenderer, PythonSourceRenderer
+from repro.render.text import TextRenderer
+from repro.render.xml import XmlRenderer
+from repro.runtime.export import export_machine_module
+
+_RENDERERS = {
+    "text": TextRenderer,
+    "source": PythonSourceRenderer,
+    "java": JavaSourceRenderer,
+    "dot": DotRenderer,
+    "xml": XmlRenderer,
+    "scxml": ScxmlRenderer,
+    "html": HtmlRenderer,
+    "markdown": MarkdownRenderer,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fsm",
+        description="Generate and render commit-protocol state machines "
+        "(Kirby/Dearle/Norcross, DSN 2007).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a machine and print its pipeline counts"
+    )
+    generate.add_argument("-r", "--replication-factor", type=int, default=4)
+
+    commands.add_parser("table1", help="regenerate the paper's Table 1")
+
+    render = commands.add_parser("render", help="render a machine artefact")
+    render.add_argument("-r", "--replication-factor", type=int, default=4)
+    render.add_argument(
+        "--format", choices=sorted(_RENDERERS), default="text", dest="fmt"
+    )
+    render.add_argument("-o", "--output", help="write to a file instead of stdout")
+
+    describe = commands.add_parser(
+        "describe", help="print the Fig 14 description of one state"
+    )
+    describe.add_argument("-r", "--replication-factor", type=int, default=4)
+    describe.add_argument("--state", required=True, help="state name, e.g. T/2/F/0/F/F/F")
+
+    export = commands.add_parser(
+        "export", help="export a standalone generated module (paper §4.3)"
+    )
+    export.add_argument("-r", "--replication-factor", type=int, default=4)
+    export.add_argument("-o", "--output", required=True, help="target .py file")
+
+    modelcheck = commands.add_parser(
+        "modelcheck", help="exhaustively check a peer set of generated FSMs"
+    )
+    modelcheck.add_argument("-r", "--replication-factor", type=int, default=4)
+    modelcheck.add_argument(
+        "--silent", type=int, default=0, help="members that are Byzantine-silent"
+    )
+    modelcheck.add_argument(
+        "--contention",
+        type=int,
+        metavar="FIRST_HALF",
+        help="check two contending updates with this many first-voters for A",
+    )
+    modelcheck.add_argument("--max-states", type=int, default=500_000)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "generate":
+        row = table1_row(args.replication_factor)
+        print(
+            f"f={row.f} r={row.r}: {row.initial_states} initial states, "
+            f"{row.pruned_states} reachable, {row.final_states} after merging "
+            f"({row.generation_time_s:.3f}s)"
+        )
+        return 0
+
+    if args.command == "table1":
+        print(format_table1(table1()))
+        return 0
+
+    if args.command == "render":
+        machine = CommitModel(args.replication_factor).generate_state_machine()
+        renderer = _RENDERERS[args.fmt]()
+        text = renderer.render(machine)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
+
+    if args.command == "describe":
+        machine = CommitModel(args.replication_factor).generate_state_machine()
+        if args.state not in machine:
+            print(f"unknown state {args.state!r}", file=sys.stderr)
+            return 1
+        print(TextRenderer(include_header=False).render_state(machine.get_state(args.state)))
+        return 0
+
+    if args.command == "export":
+        machine = CommitModel(args.replication_factor).generate_state_machine()
+        path = export_machine_module(machine, args.output)
+        print(f"exported {machine.name} to {path}")
+        return 0
+
+    if args.command == "modelcheck":
+        if args.contention is not None:
+            result = check_contending_updates(
+                args.replication_factor,
+                first_half=args.contention,
+                max_states=args.max_states,
+            )
+        else:
+            result = check_single_update(
+                args.replication_factor,
+                silent_members=args.silent,
+                max_states=args.max_states,
+            )
+        print(
+            f"explored {result.states_explored} system states"
+            f"{' (truncated)' if result.truncated else ''}"
+        )
+        print(
+            f"quiescent outcomes: {result.quiescent_states} "
+            f"(finished={result.all_finished_quiescent}, "
+            f"deadlocked={result.deadlocked_quiescent}, "
+            f"partial={result.partial_outcomes})"
+        )
+        for outcome, count in sorted(result.outcome_counts.items()):
+            print(f"  outcome {outcome}: {count}")
+        print(f"safe={result.safe} always-terminates={result.always_terminates}")
+        return 0 if result.safe else 1
+
+    return 1  # pragma: no cover - argparse enforces the command set
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

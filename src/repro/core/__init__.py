@@ -1,0 +1,84 @@
+"""Core generative state-machine framework (paper §3, §5.1).
+
+Public surface:
+
+* :class:`~repro.core.components.StateSpace` and the component classes
+  (``BooleanComponent``, ``IntComponent``, ``EnumComponent``) declare an
+  abstract state space;
+* :class:`~repro.core.model.AbstractModel` is subclassed per algorithm and
+  executed to generate machines;
+* :class:`~repro.core.machine.StateMachine`, :class:`~repro.core.state.State`
+  and :class:`~repro.core.state.Transition` form the generated
+  representation handed to renderers and the runtime;
+* :func:`~repro.core.pipeline.generate` runs the four-step pipeline and
+  reports per-step counts and timings;
+* :mod:`~repro.core.efsm` provides the extended-FSM representation of §5.3.
+"""
+
+from repro.core.components import (
+    BooleanComponent,
+    EnumComponent,
+    IntComponent,
+    StateComponent,
+    StateSpace,
+)
+from repro.core.errors import (
+    ComponentError,
+    DeploymentError,
+    InvalidStateError,
+    MachineStructureError,
+    ModelDefinitionError,
+    RenderError,
+    ReproError,
+    SimulationError,
+)
+from repro.core.machine import StateMachine
+from repro.core.minimize import (
+    FINISH_NAME,
+    equivalence_classes,
+    merge_equivalent,
+    one_shot_merge,
+)
+from repro.core.model import AbstractModel, StateView, TransitionBuilder
+from repro.core.pipeline import GenerationReport, generate
+from repro.core.state import State, Transition
+from repro.core.trace import (
+    Trace,
+    TraceRecorder,
+    TraceStep,
+    enumerate_traces,
+    replay,
+)
+
+__all__ = [
+    "AbstractModel",
+    "BooleanComponent",
+    "ComponentError",
+    "DeploymentError",
+    "EnumComponent",
+    "FINISH_NAME",
+    "GenerationReport",
+    "IntComponent",
+    "InvalidStateError",
+    "MachineStructureError",
+    "ModelDefinitionError",
+    "RenderError",
+    "ReproError",
+    "SimulationError",
+    "State",
+    "StateComponent",
+    "StateMachine",
+    "StateSpace",
+    "StateView",
+    "Trace",
+    "TraceRecorder",
+    "TraceStep",
+    "Transition",
+    "TransitionBuilder",
+    "equivalence_classes",
+    "enumerate_traces",
+    "generate",
+    "replay",
+    "merge_equivalent",
+    "one_shot_merge",
+]

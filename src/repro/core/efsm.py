@@ -1,0 +1,410 @@
+"""Extended finite state machines (paper §3.2, §5.3).
+
+An EFSM sits between the original algorithm (one state, many variables) and
+the FSM family (many states, no variables) on the paper's spectrum:
+transitions and actions may depend on internal variables as well as states.
+For the commit protocol, mapping the two message counters to EFSM variables
+coalesces every below-threshold counting state, leaving 9 states whose
+transitions all correspond to phase transitions of the FSM family — and the
+EFSM is *generic* in the replication factor, which enters only through
+guard thresholds evaluated at run time.
+
+This module provides the EFSM representation (:class:`Efsm`,
+:class:`EfsmState`, :class:`EfsmTransition`, :class:`EfsmVariable`) and an
+executor (:class:`EfsmExecutor`) that runs an EFSM for concrete parameter
+values.  Guards and updates are callables over the variable environment
+plus parameters, each paired with a textual form used by renderers and
+documentation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from typing import Optional
+
+from repro.core.errors import MachineStructureError
+
+#: Guard signature: (variables, parameters) -> bool.
+GuardFn = Callable[[Mapping[str, int], Mapping[str, int]], bool]
+#: Update signature: (mutable variables, parameters) -> None.
+UpdateFn = Callable[[dict[str, int], Mapping[str, int]], None]
+
+
+#: Builtins available to guard/update code strings (kept minimal: the code
+#: is authored by model definitions, not end users, but hygiene is cheap).
+_CODE_BUILTINS = {"bool": bool, "min": min, "max": max, "abs": abs, "len": len}
+
+
+def _compile_guard(code: str) -> GuardFn:
+    """Compile a guard expression string into a callable."""
+    try:
+        return eval(  # noqa: S307 - code authored by model definitions
+            f"lambda v, p: bool({code})", {"__builtins__": _CODE_BUILTINS}, {}
+        )
+    except SyntaxError as exc:
+        raise MachineStructureError(f"bad guard code {code!r}: {exc}") from exc
+
+
+def _compile_update(code: str) -> UpdateFn:
+    """Compile an update statement string into a callable."""
+    try:
+        compiled = compile(code, "<efsm update>", "exec")
+    except SyntaxError as exc:
+        raise MachineStructureError(f"bad update code {code!r}: {exc}") from exc
+
+    def update(v: dict[str, int], p: Mapping[str, int]) -> None:
+        exec(compiled, {"__builtins__": _CODE_BUILTINS}, {"v": v, "p": p})  # noqa: S102
+
+    return update
+
+
+class EfsmVariable:
+    """An internal EFSM variable (e.g. ``votes_received``)."""
+
+    __slots__ = ("_name", "_initial")
+
+    def __init__(self, name: str, initial: int = 0):
+        self._name = name
+        self._initial = initial
+
+    @property
+    def name(self) -> str:
+        """Variable name."""
+        return self._name
+
+    @property
+    def initial(self) -> int:
+        """Initial value on machine creation."""
+        return self._initial
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EfsmVariable({self._name!r}, initial={self._initial})"
+
+
+class EfsmTransition:
+    """A guarded transition: message + guard -> updates, actions, target.
+
+    Guards and updates may be supplied as Python callables, as *code
+    strings*, or both.  Code strings are expressions/statements over the
+    names ``v`` (the variable dict) and ``p`` (the parameter dict) — e.g.
+    ``guard_code="v['votes_received'] + 1 >= 2*((p['replication_factor']-1)//3)+1"``
+    and ``update_code="v['votes_received'] += 1"``.  When only code is
+    given, the transition compiles it on demand; code strings are also
+    what the EFSM source renderer embeds into generated modules, making
+    EFSMs first-class generation artefacts (paper abstract, §5.3).
+    """
+
+    __slots__ = (
+        "_message",
+        "_target",
+        "_guard",
+        "_guard_text",
+        "_guard_code",
+        "_update",
+        "_update_text",
+        "_update_code",
+        "_actions",
+    )
+
+    def __init__(
+        self,
+        message: str,
+        target: str,
+        guard: Optional[GuardFn] = None,
+        guard_text: str = "",
+        guard_code: Optional[str] = None,
+        update: Optional[UpdateFn] = None,
+        update_text: str = "",
+        update_code: Optional[str] = None,
+        actions: Sequence[str] = (),
+    ):
+        self._message = message
+        self._target = target
+        self._guard = guard
+        self._guard_code = guard_code
+        if guard is None and guard_code is not None:
+            self._guard = _compile_guard(guard_code)
+        self._guard_text = guard_text or guard_code or (
+            "always" if self._guard is None else "?"
+        )
+        self._update = update
+        self._update_code = update_code
+        if update is None and update_code is not None:
+            self._update = _compile_update(update_code)
+        self._update_text = update_text or update_code or ""
+        self._actions = tuple(actions)
+
+    @property
+    def message(self) -> str:
+        """Triggering message."""
+        return self._message
+
+    @property
+    def target(self) -> str:
+        """Name of the resultant state."""
+        return self._target
+
+    @property
+    def guard_text(self) -> str:
+        """Human-readable guard condition."""
+        return self._guard_text
+
+    @property
+    def guard_code(self) -> Optional[str]:
+        """Executable guard expression over ``v``/``p``, if declared."""
+        return self._guard_code
+
+    @property
+    def update_text(self) -> str:
+        """Human-readable variable update."""
+        return self._update_text
+
+    @property
+    def update_code(self) -> Optional[str]:
+        """Executable update statement over ``v``/``p``, if declared."""
+        return self._update_code
+
+    @property
+    def has_guard(self) -> bool:
+        """Whether this transition is guarded at all."""
+        return self._guard is not None
+
+    @property
+    def has_update(self) -> bool:
+        """Whether this transition updates variables."""
+        return self._update is not None
+
+    @property
+    def actions(self) -> tuple[str, ...]:
+        """Actions performed when the transition fires."""
+        return self._actions
+
+    def enabled(self, variables: Mapping[str, int], parameters: Mapping[str, int]) -> bool:
+        """Whether the guard holds in the given environment."""
+        if self._guard is None:
+            return True
+        return bool(self._guard(variables, parameters))
+
+    def apply(self, variables: dict[str, int], parameters: Mapping[str, int]) -> None:
+        """Apply the variable update in place."""
+        if self._update is not None:
+            self._update(variables, parameters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EfsmTransition({self._message} [{self._guard_text}] -> {self._target})"
+        )
+
+
+class EfsmState:
+    """An EFSM state holding an ordered list of guarded transitions.
+
+    Transition order matters: on a message, the executor fires the first
+    transition whose guard is satisfied (guards for one message should be
+    mutually exclusive; order resolves any overlap deterministically).
+    """
+
+    __slots__ = ("_name", "_transitions", "_final", "_annotations")
+
+    def __init__(self, name: str, final: bool = False, annotations: Sequence[str] = ()):
+        self._name = name
+        self._transitions: list[EfsmTransition] = []
+        self._final = final
+        self._annotations = tuple(annotations)
+
+    @property
+    def name(self) -> str:
+        """State name (for the commit EFSM, the flag combination)."""
+        return self._name
+
+    @property
+    def final(self) -> bool:
+        """Whether this is a terminal state."""
+        return self._final
+
+    @property
+    def annotations(self) -> tuple[str, ...]:
+        """Documentation lines."""
+        return self._annotations
+
+    @property
+    def transitions(self) -> tuple[EfsmTransition, ...]:
+        """Guarded transitions in declaration (priority) order."""
+        return tuple(self._transitions)
+
+    def add(self, transition: EfsmTransition) -> "EfsmState":
+        """Append a guarded transition."""
+        if self._final:
+            raise MachineStructureError(
+                f"final EFSM state {self._name!r} cannot have transitions"
+            )
+        self._transitions.append(transition)
+        return self
+
+    def transitions_for(self, message: str) -> list[EfsmTransition]:
+        """Transitions triggered by ``message``, in priority order."""
+        return [t for t in self._transitions if t.message == message]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EfsmState({self._name!r}, {len(self._transitions)} transitions)"
+
+
+class Efsm:
+    """An extended finite state machine definition."""
+
+    def __init__(
+        self,
+        name: str,
+        messages: Sequence[str],
+        variables: Sequence[EfsmVariable],
+        parameters: Sequence[str] = (),
+    ):
+        self._name = name
+        self._messages = tuple(messages)
+        self._variables = tuple(variables)
+        self._parameters = tuple(parameters)
+        self._states: dict[str, EfsmState] = {}
+        self._start: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        """Machine name."""
+        return self._name
+
+    @property
+    def messages(self) -> tuple[str, ...]:
+        """Message alphabet."""
+        return self._messages
+
+    @property
+    def variables(self) -> tuple[EfsmVariable, ...]:
+        """Declared internal variables."""
+        return self._variables
+
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        """Names of runtime parameters guards may reference."""
+        return self._parameters
+
+    @property
+    def states(self) -> tuple[EfsmState, ...]:
+        """All states in insertion order."""
+        return tuple(self._states.values())
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def add_state(self, state: EfsmState) -> EfsmState:
+        """Register a state; names must be unique."""
+        if state.name in self._states:
+            raise MachineStructureError(f"duplicate EFSM state {state.name!r}")
+        self._states[state.name] = state
+        return state
+
+    def get_state(self, name: str) -> EfsmState:
+        """Look up a state by name."""
+        try:
+            return self._states[name]
+        except KeyError:
+            raise MachineStructureError(f"unknown EFSM state {name!r}") from None
+
+    @property
+    def start_state(self) -> EfsmState:
+        """The designated start state."""
+        if self._start is None:
+            raise MachineStructureError("EFSM start state has not been set")
+        return self._states[self._start]
+
+    def set_start(self, name: str) -> None:
+        """Designate the start state."""
+        if name not in self._states:
+            raise MachineStructureError(f"cannot start at unknown EFSM state {name!r}")
+        self._start = name
+
+    def check_integrity(self) -> None:
+        """Raise if any transition targets an unknown state or message."""
+        for state in self._states.values():
+            for transition in state.transitions:
+                if transition.target not in self._states:
+                    raise MachineStructureError(
+                        f"EFSM transition from {state.name!r} targets unknown "
+                        f"state {transition.target!r}"
+                    )
+                if transition.message not in self._messages:
+                    raise MachineStructureError(
+                        f"EFSM transition on undeclared message {transition.message!r}"
+                    )
+        if self._start is None:
+            raise MachineStructureError("EFSM has no start state")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Efsm({self._name!r}, {len(self._states)} states)"
+
+
+class EfsmExecutor:
+    """Run an EFSM with concrete parameter values.
+
+    Exposes the same driving protocol as the generated FSM classes and
+    :class:`~repro.runtime.interp.MachineInterpreter` — ``receive``,
+    ``get_state``, ``is_finished``, ``sent`` — so the two formulations can
+    be differentially tested on identical message traces (§5.3).
+    """
+
+    def __init__(
+        self,
+        efsm: Efsm,
+        parameters: Mapping[str, int],
+        sink: Optional[Callable[[str], None]] = None,
+    ):
+        efsm.check_integrity()
+        missing = [p for p in efsm.parameter_names if p not in parameters]
+        if missing:
+            raise MachineStructureError(f"missing EFSM parameters: {missing}")
+        self._efsm = efsm
+        self._parameters = dict(parameters)
+        self._state = efsm.start_state
+        self._variables = {v.name: v.initial for v in efsm.variables}
+        self._sink = sink
+        self.sent: list[str] = []
+
+    @property
+    def variables(self) -> dict[str, int]:
+        """Current variable values (copy)."""
+        return dict(self._variables)
+
+    @property
+    def parameters(self) -> dict[str, int]:
+        """Runtime parameters (copy)."""
+        return dict(self._parameters)
+
+    def get_state(self) -> str:
+        """Current state name."""
+        return self._state.name
+
+    def is_finished(self) -> bool:
+        """Whether a final state has been reached."""
+        return self._state.final
+
+    def receive(self, message: str) -> bool:
+        """Process a message; returns ``True`` if a transition fired."""
+        if message not in self._efsm.messages:
+            raise MachineStructureError(f"unknown message {message!r}")
+        for transition in self._state.transitions_for(message):
+            if not transition.enabled(self._variables, self._parameters):
+                continue
+            transition.apply(self._variables, self._parameters)
+            for action in transition.actions:
+                name = action[2:] if action.startswith("->") else action
+                self.sent.append(name)
+                if self._sink is not None:
+                    self._sink(name)
+            self._state = self._efsm.get_state(transition.target)
+            return True
+        return False
+
+    def run(self, messages: Sequence[str]) -> list[str]:
+        """Feed a message sequence; returns the actions performed by it."""
+        before = len(self.sent)
+        for message in messages:
+            self.receive(message)
+        return self.sent[before:]

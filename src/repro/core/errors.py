@@ -1,0 +1,48 @@
+"""Exception hierarchy for the generative state-machine toolchain.
+
+The paper's Java implementation uses a single ``InvalidStateException`` to
+signal that a message is not applicable in a given state (Fig 10).  We keep
+that exception and add a small hierarchy so that callers can distinguish
+configuration errors from generation-time and rendering-time failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidStateError(ReproError):
+    """A message is not applicable in the current state.
+
+    Raised by abstract-model transition builders when applying a message
+    would push a state component outside its legal range (for example,
+    receiving a vote when ``votes_received`` is already at its maximum).
+    The generation pipeline catches this and simply records no transition,
+    mirroring the ``catch (InvalidStateException)`` in the paper's Fig 10.
+    """
+
+
+class ComponentError(ReproError):
+    """A state component was declared or used inconsistently."""
+
+
+class ModelDefinitionError(ReproError):
+    """An abstract model is mis-configured (no components, bad parameter)."""
+
+
+class MachineStructureError(ReproError):
+    """A generated state machine violates a structural requirement."""
+
+
+class RenderError(ReproError):
+    """An artefact renderer could not produce output."""
+
+
+class DeploymentError(ReproError):
+    """Generated source could not be compiled, loaded or bound."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation substrate detected an inconsistency."""

@@ -1,0 +1,209 @@
+"""The ``StateMachine`` container: the output of abstract-model execution.
+
+Mirrors the paper's Fig 5::
+
+    class StateMachine {
+        String[] messages;
+        State[] states;
+        State start_state;
+        State finish_state;
+    }
+
+A machine knows its message alphabet, holds states by name, and designates a
+start state and (optionally) a finish state.  It is the single currency
+between the abstract model (producer) and the renderers / runtime
+(consumers).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Optional
+
+from repro.core.components import StateSpace
+from repro.core.errors import MachineStructureError
+from repro.core.state import State, Transition
+
+
+class StateMachine:
+    """A concrete finite state machine generated from an abstract model."""
+
+    def __init__(
+        self,
+        messages: Sequence[str],
+        space: Optional[StateSpace] = None,
+        name: str = "machine",
+        parameters: Optional[dict] = None,
+    ):
+        if not messages:
+            raise MachineStructureError("a state machine needs at least one message")
+        if len(set(messages)) != len(messages):
+            raise MachineStructureError(f"duplicate messages: {list(messages)}")
+        self._name = name
+        self._messages = tuple(messages)
+        self._space = space
+        self._parameters = dict(parameters or {})
+        self._states: dict[str, State] = {}
+        self._start_name: Optional[str] = None
+        self._finish_name: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # identity / metadata
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Human-readable machine name (e.g. ``commit[r=4]``)."""
+        return self._name
+
+    @property
+    def messages(self) -> tuple[str, ...]:
+        """The message alphabet, in declaration order."""
+        return self._messages
+
+    @property
+    def space(self) -> Optional[StateSpace]:
+        """The state space this machine was generated from, if any."""
+        return self._space
+
+    @property
+    def parameters(self) -> dict:
+        """Generation parameters (e.g. ``{"replication_factor": 4}``)."""
+        return dict(self._parameters)
+
+    # ------------------------------------------------------------------
+    # states
+    # ------------------------------------------------------------------
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        """All states, in insertion order."""
+        return tuple(self._states.values())
+
+    def state_names(self) -> tuple[str, ...]:
+        """All state names, in insertion order."""
+        return tuple(self._states.keys())
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._states
+
+    def add_state(self, state: State) -> State:
+        """Register a state; names must be unique."""
+        if state.name in self._states:
+            raise MachineStructureError(f"duplicate state name {state.name!r}")
+        self._states[state.name] = state
+        return state
+
+    def get_state(self, name: str) -> State:
+        """Look up a state by name."""
+        try:
+            return self._states[name]
+        except KeyError:
+            raise MachineStructureError(f"unknown state {name!r}") from None
+
+    def remove_states(self, names: Iterable[str]) -> None:
+        """Drop states (used by the pruning step)."""
+        for name in names:
+            self._states.pop(name, None)
+        if self._start_name is not None and self._start_name not in self._states:
+            raise MachineStructureError("pruning removed the start state")
+        if self._finish_name is not None and self._finish_name not in self._states:
+            self._finish_name = None
+
+    # ------------------------------------------------------------------
+    # start / finish
+    # ------------------------------------------------------------------
+
+    @property
+    def start_state(self) -> State:
+        """The designated start state."""
+        if self._start_name is None:
+            raise MachineStructureError("start state has not been set")
+        return self._states[self._start_name]
+
+    def set_start(self, name: str) -> None:
+        """Designate the start state by name."""
+        if name not in self._states:
+            raise MachineStructureError(f"cannot start at unknown state {name!r}")
+        self._start_name = name
+
+    @property
+    def finish_state(self) -> Optional[State]:
+        """The designated finish state, or ``None`` if the machine has none."""
+        if self._finish_name is None:
+            return None
+        return self._states[self._finish_name]
+
+    def set_finish(self, name: Optional[str]) -> None:
+        """Designate (or clear) the finish state by name."""
+        if name is not None and name not in self._states:
+            raise MachineStructureError(f"cannot finish at unknown state {name!r}")
+        self._finish_name = name
+
+    def final_states(self) -> tuple[State, ...]:
+        """All terminal states (no outgoing transitions allowed)."""
+        return tuple(s for s in self._states.values() if s.final)
+
+    # ------------------------------------------------------------------
+    # structural queries
+    # ------------------------------------------------------------------
+
+    def transitions(self) -> Iterable[tuple[State, Transition]]:
+        """Yield every (source state, transition) pair."""
+        for state in self._states.values():
+            for transition in state.transitions:
+                yield state, transition
+
+    def transition_count(self) -> int:
+        """Total number of transitions in the machine."""
+        return sum(len(s.transitions) for s in self._states.values())
+
+    def phase_transition_count(self) -> int:
+        """Number of transitions that perform actions (paper §3.3)."""
+        return sum(
+            1 for _, t in self.transitions() if t.is_phase_transition()
+        )
+
+    def reachable_names(self, start: Optional[str] = None) -> set[str]:
+        """Names of states reachable from ``start`` (default: start state)."""
+        if start is None:
+            start = self.start_state.name
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            state = self._states[frontier.pop()]
+            for transition in state.transitions:
+                target = transition.target_name
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return seen
+
+    def check_integrity(self) -> None:
+        """Raise if any transition dangles or a final state has outgoing edges."""
+        for state in self._states.values():
+            for transition in state.transitions:
+                if transition.target_name not in self._states:
+                    raise MachineStructureError(
+                        f"transition {transition!r} from {state.name!r} targets "
+                        f"unknown state {transition.target_name!r}"
+                    )
+                if transition.message not in self._messages:
+                    raise MachineStructureError(
+                        f"transition on undeclared message {transition.message!r}"
+                    )
+            if state.final and state.transitions:
+                raise MachineStructureError(
+                    f"final state {state.name!r} has outgoing transitions"
+                )
+        if self._start_name is None:
+            raise MachineStructureError("machine has no start state")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StateMachine({self._name!r}, {len(self._states)} states, "
+            f"{self.transition_count()} transitions)"
+        )

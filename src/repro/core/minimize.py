@@ -1,0 +1,167 @@
+"""Step 4 of the generation process: combining equivalent states.
+
+The paper (§3.4, Fig 13) merges sets of states that are equivalent "in the
+sense that the outgoing transitions from each perform the same actions and
+lead to the same destination state".  Applied once, that collapses only
+states with literally identical successors; applied to a fixpoint it
+computes the bisimulation quotient of the machine.  We implement both:
+
+* :func:`one_shot_merge` — the literal single pass, kept for ablation;
+* :func:`equivalence_classes` / :func:`merge_equivalent` — Moore-style
+  partition refinement, which is the fixpoint of the single pass and is the
+  variant whose output matches the paper's published Table 1 counts.
+
+Merged states keep the name of a canonical representative (the first member
+in the original machine's insertion order); all reachable final states merge
+into a single state named :data:`FINISH_NAME`, which becomes the machine's
+``finish_state`` (paper Fig 5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.machine import StateMachine
+from repro.core.state import State, Transition
+
+#: Name given to the merged terminal state (the machine's finish state).
+FINISH_NAME = "FINISHED"
+
+
+def equivalence_classes(machine: StateMachine) -> list[list[State]]:
+    """Partition the machine's states into behavioural equivalence classes.
+
+    Two states are equivalent iff they agree on finality and, for every
+    message, either both lack a transition or both have transitions with
+    identical action sequences leading to equivalent states.  Computed by
+    iterated partition refinement (Moore's algorithm).
+    """
+    states = list(machine.states)
+    cls: dict[str, int] = {s.name: (1 if s.final else 0) for s in states}
+
+    while True:
+        signatures: dict[str, tuple] = {}
+        for state in states:
+            outgoing = tuple(
+                (message, t.actions, cls[t.target_name])
+                for message in machine.messages
+                if (t := state.get_transition(message)) is not None
+            )
+            signatures[state.name] = (cls[state.name], outgoing)
+
+        renumber: dict[tuple, int] = {}
+        refined: dict[str, int] = {}
+        for state in states:
+            signature = signatures[state.name]
+            if signature not in renumber:
+                renumber[signature] = len(renumber)
+            refined[state.name] = renumber[signature]
+
+        if refined == cls:
+            break
+        cls = refined
+
+    groups: dict[int, list[State]] = {}
+    for state in states:
+        groups.setdefault(cls[state.name], []).append(state)
+    return list(groups.values())
+
+
+def merge_equivalent(machine: StateMachine) -> StateMachine:
+    """Return a new machine with each equivalence class collapsed to one state."""
+    classes = equivalence_classes(machine)
+    return _quotient(machine, classes)
+
+
+def one_shot_merge(machine: StateMachine) -> StateMachine:
+    """A single merging pass, as the paper's prose literally describes.
+
+    States are combined only when their outgoing transitions have identical
+    (message, actions, destination *name*) signatures.  One pass may leave
+    further merges possible; iterating this operation until it stabilises
+    yields the same machine as :func:`merge_equivalent`.
+    """
+    groups: dict[tuple, list[State]] = {}
+    for state in machine.states:
+        key = (state.final, state.transition_signature())
+        groups.setdefault(key, []).append(state)
+    return _quotient(machine, list(groups.values()))
+
+
+def _quotient(machine: StateMachine, classes: Iterable[list[State]]) -> StateMachine:
+    """Build the quotient machine for a given partition of states."""
+    class_list = [list(group) for group in classes]
+
+    representative: dict[str, str] = {}
+    for group in class_list:
+        name = _class_name(group)
+        for member in group:
+            representative[member.name] = name
+
+    merged = StateMachine(
+        machine.messages,
+        space=machine.space,
+        name=machine.name,
+        parameters=machine.parameters,
+    )
+
+    # Preserve the original insertion order of representatives.
+    seen: set[str] = set()
+    ordered_groups: list[list[State]] = []
+    rep_of_group = {id(group): _class_name(group) for group in class_list}
+    by_rep = {rep_of_group[id(group)]: group for group in class_list}
+    for state in machine.states:
+        rep = representative[state.name]
+        if rep not in seen:
+            seen.add(rep)
+            ordered_groups.append(by_rep[rep])
+
+    finish_name: str | None = None
+    for group in ordered_groups:
+        leader = group[0]
+        name = representative[leader.name]
+        new_state = State(
+            name,
+            vector=leader.vector,
+            annotations=leader.annotations,
+            final=leader.final,
+        )
+        new_state.set_merged_names(sorted(member.name for member in group))
+        if len(group) > 1:
+            new_state.annotate(
+                f"Represents {len(group)} equivalent states: "
+                + ", ".join(sorted(member.name for member in group))
+            )
+        merged.add_state(new_state)
+        if leader.final and finish_name is None:
+            finish_name = name
+
+    for group in ordered_groups:
+        leader = group[0]
+        target_state = merged.get_state(representative[leader.name])
+        if leader.final:
+            continue
+        rewritten = []
+        for transition in leader.transitions:
+            rewritten.append(
+                Transition(
+                    transition.message,
+                    representative[transition.target_name],
+                    transition.actions,
+                    transition.annotations,
+                )
+            )
+        target_state.replace_transitions(rewritten)
+
+    merged.set_start(representative[machine.start_state.name])
+    if finish_name is not None:
+        merged.set_finish(finish_name)
+    merged.check_integrity()
+    return merged
+
+
+def _class_name(group: list[State]) -> str:
+    """Name for a merged class: FINISHED for final classes, else the leader."""
+    if len(group) > 1 and all(member.final for member in group):
+        return FINISH_NAME
+    return group[0].name

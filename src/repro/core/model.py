@@ -1,0 +1,288 @@
+"""The generic abstract model: the heart of the generative approach.
+
+An :class:`AbstractModel` captures the structure common to a whole family of
+finite state machines (paper §3.3–3.4).  Executing it with concrete
+parameter values generates one family member as a
+:class:`~repro.core.machine.StateMachine`:
+
+1. generate all possible states from the component ranges,
+2. for each state, generate the transitions resulting from each message,
+3. prune states unreachable from the start state,
+4. combine equivalent states.
+
+Subclasses supply the problem-specific parts: the component/message
+declaration (:meth:`AbstractModel.configure`, mirroring the paper's
+Fig 20 ``initAbstractModel``) and the per-message transition logic
+(:meth:`AbstractModel.generate_transition`, mirroring Fig 10's
+``generateTransitionOnVote``).  Everything else — enumeration, pruning,
+merging, rendering — is inherited, so "it is possible to apply the
+methodology to new algorithms without writing any new generative code"
+(paper §5.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any, Optional
+
+from repro.core.components import StateComponent, StateSpace
+from repro.core.errors import InvalidStateError, ModelDefinitionError
+from repro.core.machine import StateMachine
+
+
+class StateView:
+    """Read-only view of a state vector with access by component name.
+
+    Passed to model hooks (:meth:`AbstractModel.is_final`,
+    :meth:`AbstractModel.describe_state`) so they can inspect component
+    values without knowing vector positions.
+    """
+
+    __slots__ = ("_space", "_vector")
+
+    def __init__(self, space: StateSpace, vector: tuple):
+        self._space = space
+        self._vector = vector
+
+    @property
+    def space(self) -> StateSpace:
+        """The state space the vector belongs to."""
+        return self._space
+
+    @property
+    def vector(self) -> tuple:
+        """The underlying immutable state vector."""
+        return self._vector
+
+    @property
+    def name(self) -> str:
+        """Encoded state name (``T/2/F/0/F/F/F`` style)."""
+        return self._space.vector_name(self._vector)
+
+    def get(self, component: str) -> Any:
+        """Value of the named component."""
+        return self._space.get(self._vector, component)
+
+    def __getitem__(self, component: str) -> Any:
+        return self.get(component)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StateView({self.name})"
+
+
+class TransitionBuilder(StateView):
+    """Mutable elaboration of one transition's consequences (paper Fig 10).
+
+    The paper's abstract model applies a series of ``targetOnX()`` utility
+    methods to a state variable ``s1``, accumulating outgoing messages in an
+    ``actions`` list and commentary in annotations.  This class plays the
+    role of ``s1 + actions``: handlers call :meth:`set`, :meth:`increment`
+    and :meth:`send` and the builder tracks the resulting state vector, the
+    ordered action list, and the recorded annotations.
+
+    Any attempt to move a component outside its legal range raises
+    :class:`~repro.core.errors.InvalidStateError`, which the pipeline treats
+    as "message not applicable in this state".
+    """
+
+    __slots__ = ("_source", "_actions", "_annotations")
+
+    def __init__(self, space: StateSpace, vector: tuple):
+        super().__init__(space, vector)
+        self._source = vector
+        self._actions: list[str] = []
+        self._annotations: list[str] = []
+
+    # ------------------------------------------------------------------
+    # state updates
+    # ------------------------------------------------------------------
+
+    def set(self, component: str, value: Any, because: Optional[str] = None) -> None:
+        """Assign ``value`` to a component; optionally record the rationale."""
+        try:
+            self._vector = self._space.replace(self._vector, component, value)
+        except Exception as exc:
+            raise InvalidStateError(
+                f"cannot set {component}={value!r} in state "
+                f"{self._space.vector_name(self._source)}: {exc}"
+            ) from exc
+        if because:
+            self._annotations.append(because)
+
+    def increment(self, component: str, because: Optional[str] = None) -> None:
+        """Add one to a counter component.
+
+        Raises :class:`InvalidStateError` when the counter is already at its
+        maximum — e.g. a vote arriving when ``votes_received`` is ``r-1``.
+        """
+        self.set(component, self.get(component) + 1, because=because)
+
+    def send(self, message: str, because: Optional[str] = None) -> None:
+        """Record an outgoing message as a transition action (``->message``)."""
+        self._actions.append(f"->{message}")
+        if because:
+            self._annotations.append(because)
+
+    def act(self, action: str, because: Optional[str] = None) -> None:
+        """Record an arbitrary non-message action string."""
+        self._actions.append(action)
+        if because:
+            self._annotations.append(because)
+
+    def annotate(self, *lines: str) -> None:
+        """Record documentation lines without changing state or actions."""
+        self._annotations.extend(lines)
+
+    def invalid(self, reason: str) -> None:
+        """Declare the message inapplicable in the source state."""
+        raise InvalidStateError(reason)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    @property
+    def source_vector(self) -> tuple:
+        """The state vector the transition starts from."""
+        return self._source
+
+    @property
+    def actions(self) -> tuple[str, ...]:
+        """Ordered actions accumulated so far."""
+        return tuple(self._actions)
+
+    @property
+    def recorded_annotations(self) -> tuple[str, ...]:
+        """Annotation lines accumulated so far."""
+        return tuple(self._annotations)
+
+    @property
+    def changed(self) -> bool:
+        """Whether the state vector differs from the source vector."""
+        return self._vector != self._source
+
+    def is_effective(self) -> bool:
+        """Whether this elaboration produced any observable effect.
+
+        Transitions that neither change state nor perform actions are not
+        recorded in the generated machine (the paper's Fig 14 lists no
+        UPDATE row for a state that has already received its update).
+        """
+        return self.changed or bool(self._actions)
+
+
+class AbstractModel:
+    """Base class for problem-specific abstract models.
+
+    Parameters are supplied at construction (e.g.
+    ``CommitModel(replication_factor=4)``); :meth:`configure` maps them to
+    the component and message declarations.  The paper's
+    ``generateStateMachine(int replication_factor)`` corresponds to
+    constructing a model and calling :meth:`generate_state_machine`.
+    """
+
+    def __init__(self, **parameters: Any):
+        self._parameters = dict(parameters)
+        declared = self.configure(**parameters)
+        try:
+            components, messages = declared
+        except (TypeError, ValueError):
+            raise ModelDefinitionError(
+                "configure() must return (components, messages)"
+            ) from None
+        if not messages:
+            raise ModelDefinitionError("a model must declare at least one message")
+        self._space = StateSpace(list(components))
+        self._messages = tuple(messages)
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+
+    def configure(
+        self, **parameters: Any
+    ) -> tuple[Sequence[StateComponent], Sequence[str]]:
+        """Declare state components and messages for the given parameters.
+
+        Mirrors the paper's Fig 20 initialisation of the generic abstract
+        model.  Must be overridden.
+        """
+        raise NotImplementedError
+
+    def generate_transition(self, message: str, builder: TransitionBuilder) -> None:
+        """Elaborate the effect of receiving ``message`` (paper Fig 10).
+
+        Implementations mutate ``builder``; raising
+        :class:`InvalidStateError` (or calling ``builder.invalid``) means
+        the message is not applicable in the source state.  Must be
+        overridden.
+        """
+        raise NotImplementedError
+
+    def is_final(self, view: StateView) -> bool:
+        """Whether ``view`` is a terminal state (no outgoing transitions).
+
+        Final states are where the algorithm has completed; the generation
+        pipeline produces no transitions from them and step 4 merges all
+        reachable final states into the machine's single finish state.
+        """
+        return False
+
+    def start_vector(self) -> tuple:
+        """The state vector of the start state (default: all initial values)."""
+        return self._space.initial_vector()
+
+    def describe_state(self, view: StateView) -> list[str]:
+        """Documentation lines for a state (Fig 14 commentary).
+
+        The default lists each component value; models override this to
+        produce algorithm-level commentary.
+        """
+        return self._space.describe_vector(view.vector)
+
+    def machine_name(self) -> str:
+        """Name given to generated machines."""
+        args = ",".join(f"{k}={v}" for k, v in sorted(self._parameters.items()))
+        base = type(self).__name__
+        return f"{base}[{args}]" if args else base
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def space(self) -> StateSpace:
+        """The declared state space."""
+        return self._space
+
+    @property
+    def messages(self) -> tuple[str, ...]:
+        """The declared message alphabet."""
+        return self._messages
+
+    @property
+    def parameters(self) -> dict:
+        """Constructor parameters."""
+        return dict(self._parameters)
+
+    # ------------------------------------------------------------------
+    # generation (delegates to the pipeline; imported lazily to avoid a
+    # circular dependency between model and pipeline modules)
+    # ------------------------------------------------------------------
+
+    def generate_state_machine(
+        self, *, prune: bool = True, merge: bool = True
+    ) -> StateMachine:
+        """Run the four-step generation process and return the machine."""
+        from repro.core.pipeline import generate
+
+        machine, _ = generate(self, prune=prune, merge=merge)
+        return machine
+
+    def generate_with_report(
+        self, *, prune: bool = True, merge: bool = True
+    ):
+        """As :meth:`generate_state_machine`, also returning the step report."""
+        from repro.core.pipeline import generate
+
+        return generate(self, prune=prune, merge=merge)

@@ -1,0 +1,179 @@
+"""Execution traces: recording, replay and exhaustive enumeration.
+
+Complements the runtime with tooling for *conformance work*:
+
+* :class:`TraceRecorder` wraps any machine-driving object and records the
+  (message, fired, actions, state) tuple per step, yielding a replayable
+  :class:`Trace`;
+* :func:`replay` drives another implementation with a recorded trace and
+  verifies it behaves identically — the mechanism behind the differential
+  tests between the generic algorithm, interpreted FSM, compiled FSM and
+  EFSM;
+* :func:`enumerate_traces` walks the machine graph itself, producing every
+  distinguishable message sequence up to a depth bound.  Unlike random
+  testing this is *exhaustive*: two implementations that agree on all
+  enumerated traces of length ``k`` agree on every message sequence of
+  length ``k`` (the machine is deterministic, so traces cover all
+  behaviours).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.machine import StateMachine
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One step of a recorded execution."""
+
+    message: str
+    fired: bool
+    actions: tuple[str, ...]
+    state_after: str
+
+
+@dataclass
+class Trace:
+    """A replayable execution record."""
+
+    steps: list[TraceStep] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def messages(self) -> list[str]:
+        """The message sequence of this trace."""
+        return [step.message for step in self.steps]
+
+    @property
+    def actions(self) -> list[str]:
+        """All actions performed, in order."""
+        out: list[str] = []
+        for step in self.steps:
+            out.extend(step.actions)
+        return out
+
+    def final_state(self) -> str | None:
+        """State name after the last step (None for the empty trace)."""
+        return self.steps[-1].state_after if self.steps else None
+
+
+class TraceRecorder:
+    """Wrap a machine-driving object and record each receive call.
+
+    The wrapped object must expose ``receive(message) -> bool``,
+    ``get_state() -> str`` and a ``sent`` list (all implementations in
+    this library do).
+    """
+
+    def __init__(self, target: Any):
+        self._target = target
+        self.trace = Trace()
+
+    def receive(self, message: str) -> bool:
+        before = len(self._target.sent)
+        fired = self._target.receive(message)
+        actions = tuple(self._target.sent[before:])
+        self.trace.steps.append(
+            TraceStep(
+                message=message,
+                fired=fired,
+                actions=actions,
+                state_after=self._target.get_state(),
+            )
+        )
+        return fired
+
+    def run(self, messages: Sequence[str]) -> Trace:
+        """Record a whole message sequence; returns the trace so far."""
+        for message in messages:
+            self.receive(message)
+        return self.trace
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._target, name)
+
+
+@dataclass
+class ReplayMismatch:
+    """A divergence found while replaying a trace."""
+
+    step_index: int
+    field_name: str
+    expected: Any
+    actual: Any
+
+    def __str__(self) -> str:
+        return (
+            f"step {self.step_index}: {self.field_name} expected "
+            f"{self.expected!r}, got {self.actual!r}"
+        )
+
+
+def replay(trace: Trace, target: Any, compare_states: bool = True) -> list[ReplayMismatch]:
+    """Drive ``target`` with a recorded trace; return all divergences.
+
+    ``compare_states`` is disabled when replaying against an
+    implementation with a different state naming (e.g. an EFSM whose
+    states are phases, not full vectors) — actions and firing still must
+    match.
+    """
+    mismatches: list[ReplayMismatch] = []
+    for index, step in enumerate(trace.steps):
+        before = len(target.sent)
+        fired = target.receive(step.message)
+        actions = tuple(target.sent[before:])
+        if fired != step.fired:
+            mismatches.append(ReplayMismatch(index, "fired", step.fired, fired))
+        if actions != step.actions:
+            mismatches.append(ReplayMismatch(index, "actions", step.actions, actions))
+        if compare_states and target.get_state() != step.state_after:
+            mismatches.append(
+                ReplayMismatch(index, "state", step.state_after, target.get_state())
+            )
+    return mismatches
+
+
+def enumerate_traces(
+    machine: StateMachine,
+    max_depth: int,
+    include_inapplicable: bool = False,
+) -> Iterator[list[str]]:
+    """Yield every distinguishable message sequence up to ``max_depth``.
+
+    Walks the machine graph depth-first from the start state.  By default
+    only *applicable* messages are explored at each state (an inapplicable
+    message never changes behaviour, so appending it to a trace cannot
+    distinguish implementations); ``include_inapplicable=True`` adds one
+    no-op probe per state for implementations whose ignore-behaviour is
+    itself under test.
+    """
+    machine.check_integrity()
+
+    def walk(state_name: str, prefix: list[str], depth: int) -> Iterator[list[str]]:
+        if prefix:
+            yield list(prefix)
+        if depth == max_depth:
+            return
+        state = machine.get_state(state_name)
+        probed_noop = False
+        for message in machine.messages:
+            transition = state.get_transition(message)
+            if transition is None:
+                if include_inapplicable and not probed_noop:
+                    probed_noop = True
+                    yield from walk(state_name, prefix + [message], max_depth)
+                continue
+            yield from walk(transition.target_name, prefix + [message], depth + 1)
+
+    yield from walk(machine.start_state.name, [], 0)
+
+
+def count_reachable_traces(machine: StateMachine, max_depth: int) -> int:
+    """Number of distinguishable traces up to a depth (for reporting)."""
+    return sum(1 for _ in enumerate_traces(machine, max_depth))

@@ -1,0 +1,76 @@
+"""Structural validation of generated machines.
+
+The generation pipeline guarantees basic integrity; this module adds deeper
+checks used by tests and by users developing new abstract models:
+reachability of every state, coverage of the message alphabet, absence of
+dead non-final states, and action consistency.  :func:`validate_machine`
+returns a list of human-readable issues (empty when the machine is clean)
+so callers can choose between asserting and reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.machine import StateMachine
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_machine`."""
+
+    issues: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether no issues were found."""
+        return not self.issues
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "machine valid"
+        return "machine issues:\n" + "\n".join(f"- {issue}" for issue in self.issues)
+
+
+def validate_machine(machine: StateMachine) -> ValidationReport:
+    """Run all structural checks on ``machine``."""
+    report = ValidationReport()
+    machine.check_integrity()
+
+    reachable = machine.reachable_names()
+    for state in machine.states:
+        if state.name not in reachable:
+            report.issues.append(f"state {state.name!r} unreachable from start")
+
+    used_messages = {t.message for _, t in machine.transitions()}
+    for message in machine.messages:
+        if message not in used_messages:
+            report.issues.append(f"message {message!r} triggers no transition")
+
+    for state in machine.states:
+        if not state.final and not state.transitions:
+            report.issues.append(
+                f"non-final state {state.name!r} has no outgoing transitions (dead end)"
+            )
+
+    for state in machine.states:
+        for transition in state.transitions:
+            for action in transition.actions:
+                if not action:
+                    report.issues.append(
+                        f"empty action on {state.name!r} --{transition.message}-->"
+                    )
+
+    finals = machine.final_states()
+    if finals and machine.finish_state is None and len(finals) > 1:
+        report.issues.append(
+            f"{len(finals)} final states but no designated finish state "
+            "(run equivalence merging)"
+        )
+    return report
+
+
+def assert_valid(machine: StateMachine) -> None:
+    """Raise ``AssertionError`` with the full issue list if checks fail."""
+    report = validate_machine(machine)
+    assert report.ok, str(report)

@@ -1,0 +1,40 @@
+"""Problem-specific abstract models.
+
+* :mod:`repro.models.commit` — the paper's BFT commit protocol (§2.2, §3);
+* :mod:`repro.models.commit_efsm` — its 9-state EFSM formulation (§5.3);
+* :mod:`repro.models.chandra_toueg` — a Chandra–Toueg-style coordinator
+  round (§5.2);
+* :mod:`repro.models.termination` — message-counting termination detection
+  (§5.2);
+* :mod:`repro.models.threshold_sig` — threshold-signature share collection
+  (§5.2).
+"""
+
+from repro.models.chandra_toueg import CoordinatorRoundModel, majority
+from repro.models.commit import (
+    MESSAGES,
+    MIN_REPLICATION_FACTOR,
+    CommitModel,
+    fault_tolerance,
+    generate_commit_machine,
+)
+from repro.models.commit_efsm import (
+    build_commit_efsm,
+    commit_efsm_executor,
+)
+from repro.models.termination import TerminationModel
+from repro.models.threshold_sig import ThresholdSignatureModel
+
+__all__ = [
+    "CommitModel",
+    "CoordinatorRoundModel",
+    "MESSAGES",
+    "MIN_REPLICATION_FACTOR",
+    "TerminationModel",
+    "ThresholdSignatureModel",
+    "build_commit_efsm",
+    "commit_efsm_executor",
+    "fault_tolerance",
+    "generate_commit_machine",
+    "majority",
+]

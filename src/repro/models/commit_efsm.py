@@ -1,0 +1,277 @@
+"""The commit protocol as a 9-state EFSM (paper §5.3).
+
+Mapping the message-counting variables (``votes_received``,
+``commits_received``) to EFSM variables coalesces all FSM states within a
+phase: "all of the FSM states that differ only in the number of vote
+messages below the threshold become a single EFSM state.  The resulting
+EFSM contains 9 states" — and its state space is independent of the
+replication factor, which enters only through the guard thresholds.
+
+The nine states are the reachable combinations of the five flags
+(update_received / vote_sent / commit_sent / could_choose / has_chosen)
+plus the terminal state:
+
+====================  =====================================================
+``F/F/F/F/F``         start: nothing received, may not choose
+``F/F/F/T/F``         free to choose, no update yet
+``T/F/F/F/F``         update received while another update is in progress
+``T/T/F/T/T``         voted voluntarily, below the vote threshold
+``F/T/T/F/F``         vote forced at threshold (not chosen), no update yet
+``F/T/T/T/T``         vote at threshold while free to choose, no update yet
+``T/T/T/F/F``         voted and committed, not chosen locally
+``T/T/T/T/T``         voted and committed, chosen locally
+``FINISHED``          external commit threshold reached
+====================  =====================================================
+
+Guards and updates are declared as *code strings* over the variable dict
+``v`` and parameter dict ``p`` (``f = (r-1)//3``, vote threshold ``2f+1``
+on total votes counting the local vote encoded in the state flags, finish
+threshold ``f+1`` on commits received).  The strings are compiled for
+execution and embedded verbatim by the EFSM source renderer
+(:mod:`repro.render.efsm_source`), making the EFSM itself a generation
+artefact as the paper's abstract proposes.  The structure is
+cross-validated against the phase quotient of generated FSMs in
+:mod:`repro.analysis.spectrum`.
+"""
+
+from __future__ import annotations
+
+from repro.core.efsm import Efsm, EfsmExecutor, EfsmState, EfsmTransition, EfsmVariable
+from repro.models.commit import MESSAGES
+
+#: EFSM state names: update_received/vote_sent/commit_sent/could_choose/has_chosen.
+START = "F/F/F/F/F"
+FREE_NO_UPDATE = "F/F/F/T/F"
+UPDATE_BLOCKED = "T/F/F/F/F"
+VOTED_BELOW_THRESHOLD = "T/T/F/T/T"
+FORCED_VOTE_NO_UPDATE = "F/T/T/F/F"
+CHOSEN_VOTE_NO_UPDATE = "F/T/T/T/T"
+COMMITTED_NOT_CHOSEN = "T/T/T/F/F"
+COMMITTED_CHOSEN = "T/T/T/T/T"
+FINISHED = "FINISHED"
+
+#: All nine states in canonical order.
+STATE_NAMES = (
+    START,
+    FREE_NO_UPDATE,
+    UPDATE_BLOCKED,
+    VOTED_BELOW_THRESHOLD,
+    FORCED_VOTE_NO_UPDATE,
+    CHOSEN_VOTE_NO_UPDATE,
+    COMMITTED_NOT_CHOSEN,
+    COMMITTED_CHOSEN,
+    FINISHED,
+)
+
+# Threshold fragments used inside guard code strings.
+_F = "((p['replication_factor'] - 1) // 3)"
+_VT = f"(2 * {_F} + 1)"
+_CT = f"({_F} + 1)"
+_MAX = "(p['replication_factor'] - 1)"
+
+_INC_VOTES = "v['votes_received'] += 1"
+_INC_COMMITS = "v['commits_received'] += 1"
+
+
+def _votes_reach(local_vote: int) -> str:
+    """Guard: total votes after this increment reach the vote threshold."""
+    return f"v['votes_received'] + 1 + {local_vote} >= {_VT}"
+
+
+def _votes_below(local_vote: int) -> str:
+    return (
+        f"v['votes_received'] + 1 + {local_vote} < {_VT} "
+        f"and v['votes_received'] < {_MAX}"
+    )
+
+
+_VOTE_IN_RANGE = f"v['votes_received'] < {_MAX}"
+_COMMITS_FINISH = f"v['commits_received'] + 1 >= {_CT}"
+_COMMITS_BELOW = f"v['commits_received'] + 1 < {_CT}"
+
+
+def build_commit_efsm() -> Efsm:
+    """Construct the 9-state commit EFSM (generic in the replication factor)."""
+    efsm = Efsm(
+        "commit-efsm",
+        messages=MESSAGES,
+        variables=[EfsmVariable("votes_received"), EfsmVariable("commits_received")],
+        parameters=["replication_factor"],
+    )
+    states = {
+        name: efsm.add_state(EfsmState(name, final=(name == FINISHED)))
+        for name in STATE_NAMES
+    }
+    efsm.set_start(START)
+
+    def add(source: str, message: str, target: str, *, guard_code=None,
+            guard_text="", update_code=None, actions=()) -> None:
+        states[source].add(
+            EfsmTransition(
+                message,
+                target,
+                guard_code=guard_code,
+                guard_text=guard_text,
+                update_code=update_code,
+                actions=actions,
+            )
+        )
+
+    # ---------------------------------------------------------------- START
+    add(START, "update", UPDATE_BLOCKED)
+    add(
+        START, "vote", FORCED_VOTE_NO_UPDATE,
+        guard_code=_votes_reach(0), guard_text="votes_received + 1 >= 2f+1",
+        update_code=_INC_VOTES,
+        actions=("->vote", "->commit"),
+    )
+    add(
+        START, "vote", START,
+        guard_code=_votes_below(0), guard_text="votes_received + 1 < 2f+1",
+        update_code=_INC_VOTES,
+    )
+    add(
+        START, "commit", FINISHED,
+        guard_code=_COMMITS_FINISH, guard_text="commits_received + 1 >= f+1",
+        update_code=_INC_COMMITS,
+        actions=("->vote", "->commit"),
+    )
+    add(
+        START, "commit", START,
+        guard_code=_COMMITS_BELOW, guard_text="commits_received + 1 < f+1",
+        update_code=_INC_COMMITS,
+    )
+    add(START, "free", FREE_NO_UPDATE)
+
+    # -------------------------------------------------------- FREE_NO_UPDATE
+    add(
+        FREE_NO_UPDATE, "update", COMMITTED_CHOSEN,
+        guard_code=_votes_reach(0),  # the local vote is sent in this transition
+        guard_text="votes_received + 1 >= 2f+1 (counting the local vote)",
+        actions=("->vote", "->commit", "->not_free"),
+    )
+    add(
+        FREE_NO_UPDATE, "update", VOTED_BELOW_THRESHOLD,
+        guard_text="votes_received + 1 < 2f+1 (counting the local vote)",
+        actions=("->vote", "->not_free"),
+    )
+    add(
+        FREE_NO_UPDATE, "vote", CHOSEN_VOTE_NO_UPDATE,
+        guard_code=_votes_reach(0), guard_text="votes_received + 1 >= 2f+1",
+        update_code=_INC_VOTES,
+        actions=("->not_free", "->vote", "->commit"),
+    )
+    add(
+        FREE_NO_UPDATE, "vote", FREE_NO_UPDATE,
+        guard_code=_votes_below(0), guard_text="votes_received + 1 < 2f+1",
+        update_code=_INC_VOTES,
+    )
+    add(
+        FREE_NO_UPDATE, "commit", FINISHED,
+        guard_code=_COMMITS_FINISH, guard_text="commits_received + 1 >= f+1",
+        update_code=_INC_COMMITS,
+        actions=("->vote", "->commit"),
+    )
+    add(
+        FREE_NO_UPDATE, "commit", FREE_NO_UPDATE,
+        guard_code=_COMMITS_BELOW, guard_text="commits_received + 1 < f+1",
+        update_code=_INC_COMMITS,
+    )
+    add(FREE_NO_UPDATE, "not_free", START)
+
+    # -------------------------------------------------------- UPDATE_BLOCKED
+    add(
+        UPDATE_BLOCKED, "vote", COMMITTED_NOT_CHOSEN,
+        guard_code=_votes_reach(0), guard_text="votes_received + 1 >= 2f+1",
+        update_code=_INC_VOTES,
+        actions=("->vote", "->commit"),
+    )
+    add(
+        UPDATE_BLOCKED, "vote", UPDATE_BLOCKED,
+        guard_code=_votes_below(0), guard_text="votes_received + 1 < 2f+1",
+        update_code=_INC_VOTES,
+    )
+    add(
+        UPDATE_BLOCKED, "commit", FINISHED,
+        guard_code=_COMMITS_FINISH, guard_text="commits_received + 1 >= f+1",
+        update_code=_INC_COMMITS,
+        actions=("->vote", "->commit"),
+    )
+    add(
+        UPDATE_BLOCKED, "commit", UPDATE_BLOCKED,
+        guard_code=_COMMITS_BELOW, guard_text="commits_received + 1 < f+1",
+        update_code=_INC_COMMITS,
+    )
+    add(
+        UPDATE_BLOCKED, "free", COMMITTED_CHOSEN,
+        guard_code=_votes_reach(0),
+        guard_text="votes_received + 1 >= 2f+1 (counting the local vote)",
+        actions=("->vote", "->commit", "->not_free"),
+    )
+    add(
+        UPDATE_BLOCKED, "free", VOTED_BELOW_THRESHOLD,
+        guard_text="votes_received + 1 < 2f+1 (counting the local vote)",
+        actions=("->vote", "->not_free"),
+    )
+
+    # ------------------------------------------------- VOTED_BELOW_THRESHOLD
+    add(
+        VOTED_BELOW_THRESHOLD, "vote", COMMITTED_CHOSEN,
+        guard_code=_votes_reach(1), guard_text="votes_received + 2 >= 2f+1",
+        update_code=_INC_VOTES,
+        actions=("->commit",),
+    )
+    add(
+        VOTED_BELOW_THRESHOLD, "vote", VOTED_BELOW_THRESHOLD,
+        guard_code=_votes_below(1), guard_text="votes_received + 2 < 2f+1",
+        update_code=_INC_VOTES,
+    )
+    add(
+        VOTED_BELOW_THRESHOLD, "commit", FINISHED,
+        guard_code=_COMMITS_FINISH, guard_text="commits_received + 1 >= f+1",
+        update_code=_INC_COMMITS,
+        actions=("->commit", "->free"),
+    )
+    add(
+        VOTED_BELOW_THRESHOLD, "commit", VOTED_BELOW_THRESHOLD,
+        guard_code=_COMMITS_BELOW, guard_text="commits_received + 1 < f+1",
+        update_code=_INC_COMMITS,
+    )
+
+    # ------------------------------------------- the four voted+committed states
+    for source, after_update, finish_actions in (
+        (FORCED_VOTE_NO_UPDATE, COMMITTED_NOT_CHOSEN, ()),
+        (CHOSEN_VOTE_NO_UPDATE, COMMITTED_CHOSEN, ("->free",)),
+        (COMMITTED_NOT_CHOSEN, None, ()),
+        (COMMITTED_CHOSEN, None, ("->free",)),
+    ):
+        if after_update is not None:
+            add(source, "update", after_update)
+        add(
+            source, "vote", source,
+            guard_code=_VOTE_IN_RANGE, guard_text="votes_received < r-1",
+            update_code=_INC_VOTES,
+        )
+        add(
+            source, "commit", FINISHED,
+            guard_code=_COMMITS_FINISH, guard_text="commits_received + 1 >= f+1",
+            update_code=_INC_COMMITS,
+            actions=finish_actions,
+        )
+        add(
+            source, "commit", source,
+            guard_code=_COMMITS_BELOW, guard_text="commits_received + 1 < f+1",
+            update_code=_INC_COMMITS,
+        )
+
+    efsm.check_integrity()
+    return efsm
+
+
+def commit_efsm_executor(replication_factor: int, sink=None) -> EfsmExecutor:
+    """An executor for the commit EFSM at a concrete replication factor."""
+    return EfsmExecutor(
+        build_commit_efsm(),
+        {"replication_factor": replication_factor},
+        sink=sink,
+    )

@@ -1,0 +1,100 @@
+"""Distributed termination detection as a generated FSM family.
+
+Paper §5.2: "most distributed termination algorithms are based upon message
+counting", citing Mattern's observation that a computation has terminated
+when every process is passive and the number of messages sent equals the
+number received.  This model generates the per-process FSM of an
+echo-style detector: the process counts outstanding local tasks, remembers
+whether a termination probe is pending, and emits its echo once it is
+passive — exactly the message-counting shape the methodology targets.
+
+State components (parameter ``max_tasks`` bounds the task counter):
+
+* ``pending_tasks`` — tasks accepted but not yet completed (0..max_tasks);
+* ``probe_received`` — a probe from the detector is awaiting an echo;
+* ``echoed`` — the echo has been sent (terminal).
+
+Messages: ``task`` (new local work), ``done`` (a task completed),
+``probe`` (the detector asks whether this process is passive).
+"""
+
+from __future__ import annotations
+
+from repro.core.components import BooleanComponent, IntComponent
+from repro.core.errors import ModelDefinitionError
+from repro.core.model import AbstractModel, StateView, TransitionBuilder
+
+MESSAGES = ("task", "done", "probe")
+
+
+class TerminationModel(AbstractModel):
+    """Per-process FSM family for echo-style termination detection."""
+
+    def __init__(self, max_tasks: int):
+        if max_tasks < 1:
+            raise ModelDefinitionError(f"max_tasks must be >= 1, got {max_tasks}")
+        super().__init__(max_tasks=max_tasks)
+        self._max_tasks = max_tasks
+
+    def configure(self, *, max_tasks: int):
+        components = [
+            IntComponent("pending_tasks", max_tasks),
+            BooleanComponent("probe_received"),
+            BooleanComponent("echoed"),
+        ]
+        return components, MESSAGES
+
+    @property
+    def max_tasks(self) -> int:
+        """Upper bound on concurrently pending tasks."""
+        return self._max_tasks
+
+    def machine_name(self) -> str:
+        return f"termination[max_tasks={self._max_tasks}]"
+
+    def is_final(self, view: StateView) -> bool:
+        return view["echoed"]
+
+    def is_passive(self, view: StateView) -> bool:
+        """Whether the process has no pending work."""
+        return view["pending_tasks"] == 0
+
+    def generate_transition(self, message: str, b: TransitionBuilder) -> None:
+        if message == "task":
+            self._on_task(b)
+        elif message == "done":
+            self._on_done(b)
+        elif message == "probe":
+            self._on_probe(b)
+
+    def _on_task(self, b: TransitionBuilder) -> None:
+        """New local work arrives; the process becomes (or stays) active."""
+        b.increment("pending_tasks", because="Accepted a new local task.")
+
+    def _on_done(self, b: TransitionBuilder) -> None:
+        """A task completes; echo a pending probe if now passive."""
+        if b["pending_tasks"] == 0:
+            b.invalid("no pending task to complete")
+        b.set(
+            "pending_tasks",
+            b["pending_tasks"] - 1,
+            because="A local task completed.",
+        )
+        if b["pending_tasks"] == 0 and b["probe_received"]:
+            b.send("echo", because="Now passive with a probe pending: echo.")
+            b.set("echoed", True)
+
+    def _on_probe(self, b: TransitionBuilder) -> None:
+        """The detector probes this process."""
+        if b["probe_received"]:
+            return  # duplicate probe: no effect
+        if b["pending_tasks"] == 0:
+            b.send("echo", because="Passive when probed: echo immediately.")
+            b.set("probe_received", True)
+            b.set("echoed", True)
+        else:
+            b.set(
+                "probe_received",
+                True,
+                because="Active when probed: defer the echo until passive.",
+            )

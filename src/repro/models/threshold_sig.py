@@ -1,0 +1,107 @@
+"""Threshold-signature share collection as a generated FSM family.
+
+Paper §5.2 lists threshold signature algorithms among the message-counting
+algorithms the methodology applies to.  This model captures a collector
+assembling a ``k``-of-``n`` threshold signature: it requests shares, counts
+share messages from the ``n`` signers, contributes its own share, and
+assembles the signature once ``k`` shares are available.
+
+State components (parameters ``n`` = signers, ``k`` = threshold):
+
+* ``request_received`` — the application asked for a signature;
+* ``shares_received`` — counter of shares from other signers (0..n-1);
+* ``share_sent`` — whether the local share has been contributed;
+* ``assembled`` — whether the signature has been assembled (terminal).
+
+Messages: ``request`` (application trigger), ``share`` (a signer's share),
+``revoke`` (a signer withdraws; only meaningful before assembly).
+"""
+
+from __future__ import annotations
+
+from repro.core.components import BooleanComponent, IntComponent
+from repro.core.errors import ModelDefinitionError
+from repro.core.model import AbstractModel, StateView, TransitionBuilder
+
+MESSAGES = ("request", "share", "revoke")
+
+
+class ThresholdSignatureModel(AbstractModel):
+    """Collector FSM family for ``k``-of-``n`` threshold signatures."""
+
+    def __init__(self, signers: int, threshold: int):
+        if signers < 1:
+            raise ModelDefinitionError(f"need at least one signer, got {signers}")
+        if not 1 <= threshold <= signers:
+            raise ModelDefinitionError(
+                f"threshold must be in 1..{signers}, got {threshold}"
+            )
+        super().__init__(signers=signers, threshold=threshold)
+        self._n = signers
+        self._k = threshold
+
+    def configure(self, *, signers: int, threshold: int):
+        components = [
+            BooleanComponent("request_received"),
+            IntComponent("shares_received", signers - 1),
+            BooleanComponent("share_sent"),
+            BooleanComponent("assembled"),
+        ]
+        return components, MESSAGES
+
+    @property
+    def signers(self) -> int:
+        """Total number of signers (``n``)."""
+        return self._n
+
+    @property
+    def threshold(self) -> int:
+        """Shares needed to assemble the signature (``k``)."""
+        return self._k
+
+    def total_shares(self, view: StateView) -> int:
+        """Shares received plus the local share, if contributed."""
+        return view["shares_received"] + (1 if view["share_sent"] else 0)
+
+    def machine_name(self) -> str:
+        return f"threshold-sig[n={self._n},k={self._k}]"
+
+    def is_final(self, view: StateView) -> bool:
+        return view["assembled"]
+
+    def generate_transition(self, message: str, b: TransitionBuilder) -> None:
+        if message == "request":
+            self._on_request(b)
+        elif message == "share":
+            self._on_share(b)
+        elif message == "revoke":
+            self._on_revoke(b)
+
+    def _on_request(self, b: TransitionBuilder) -> None:
+        """The application requests a signature: contribute the local share."""
+        if not b["request_received"]:
+            b.set("request_received", True, because="Signature requested.")
+        if not b["share_sent"]:
+            b.send("share", because="Contribute the local signature share.")
+            b.set("share_sent", True)
+            self._assemble_if_ready(b)
+
+    def _on_share(self, b: TransitionBuilder) -> None:
+        """A signer's share arrives."""
+        b.increment("shares_received", because="Received a signature share.")
+        self._assemble_if_ready(b)
+
+    def _on_revoke(self, b: TransitionBuilder) -> None:
+        """A signer withdraws a previously supplied share."""
+        if b["shares_received"] == 0:
+            b.invalid("no shares to revoke")
+        b.set(
+            "shares_received",
+            b["shares_received"] - 1,
+            because="A signer revoked its share.",
+        )
+
+    def _assemble_if_ready(self, b: TransitionBuilder) -> None:
+        if b["request_received"] and self.total_shares(b) >= self._k:
+            b.send("assemble", because=f"Threshold of {self._k} shares reached.")
+            b.set("assembled", True)

@@ -1,0 +1,60 @@
+"""Artefact renderers for generated state machines (paper §3.5, §4.1).
+
+* :class:`~repro.render.text.TextRenderer` — Fig 14 textual descriptions;
+* :class:`~repro.render.source.PythonSourceRenderer` — executable protocol
+  implementations (the paper's Fig 16/17/19, retargeted to Python);
+* :class:`~repro.render.source.JavaSourceRenderer` — Fig 16-faithful Java;
+* :class:`~repro.render.dot.DotRenderer` — Graphviz diagrams (Fig 15);
+* :class:`~repro.render.xml.XmlRenderer` — XML diagram interchange (Fig 15)
+  with :func:`~repro.render.xml.parse_machine_xml` for round-trips;
+* :class:`~repro.render.markdown.MarkdownRenderer` — documentation;
+* :class:`~repro.render.codebuffer.CodeBuffer` — the Fig 18 generation
+  utilities all source renderers are built on.
+"""
+
+from repro.render.base import (
+    Renderer,
+    camel_case,
+    display_action,
+    display_message,
+    python_identifier,
+)
+from repro.render.codebuffer import CodeBuffer
+from repro.render.dot import DotRenderer
+from repro.render.efsm_source import PythonEfsmRenderer, efsm_class_name
+from repro.render.efsm_text import EfsmTextRenderer
+from repro.render.html import HtmlRenderer
+from repro.render.markdown import MarkdownRenderer
+from repro.render.source import (
+    JavaSourceRenderer,
+    PythonSourceRenderer,
+    action_method_name,
+    machine_class_name,
+)
+from repro.render.scxml import SCXML_NS, ScxmlRenderer
+from repro.render.text import TextRenderer
+from repro.render.xml import XmlRenderer, parse_machine_xml
+
+__all__ = [
+    "CodeBuffer",
+    "DotRenderer",
+    "EfsmTextRenderer",
+    "HtmlRenderer",
+    "JavaSourceRenderer",
+    "MarkdownRenderer",
+    "PythonEfsmRenderer",
+    "PythonSourceRenderer",
+    "Renderer",
+    "SCXML_NS",
+    "ScxmlRenderer",
+    "TextRenderer",
+    "XmlRenderer",
+    "action_method_name",
+    "camel_case",
+    "display_action",
+    "display_message",
+    "efsm_class_name",
+    "machine_class_name",
+    "parse_machine_xml",
+    "python_identifier",
+]

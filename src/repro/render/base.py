@@ -1,0 +1,52 @@
+"""Shared renderer infrastructure.
+
+A renderer turns the abstract FSM representation produced by the generation
+pipeline into a concrete artefact (paper §3.5): text, diagram, source code
+or documentation.  All renderers implement :class:`Renderer`; shared display
+conventions (message names in upper case with spaces, action names with the
+``->`` prefix of Fig 14) live here so artefacts stay consistent.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import StateMachine
+
+
+class Renderer:
+    """Base class: render a :class:`StateMachine` to a string artefact."""
+
+    def render(self, machine: StateMachine) -> str:
+        """Produce the artefact text for ``machine``."""
+        raise NotImplementedError
+
+    def render_to_file(self, machine: StateMachine, path: str) -> str:
+        """Render and write to ``path``; returns the path for chaining."""
+        text = self.render(machine)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return path
+
+
+def display_message(message: str) -> str:
+    """Message name as shown in artefacts: ``not_free`` -> ``NOT FREE``."""
+    return message.replace("_", " ").upper()
+
+
+def display_action(action: str) -> str:
+    """Action name as shown in artefacts: ``->not_free`` -> ``->not free``."""
+    if action.startswith("->"):
+        return "->" + action[2:].replace("_", " ")
+    return action.replace("_", " ")
+
+
+def python_identifier(name: str) -> str:
+    """A lowercase identifier fragment for a message or action name."""
+    cleaned = "".join(ch if ch.isalnum() else "_" for ch in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned.lower()
+
+
+def camel_case(name: str) -> str:
+    """CamelCase fragment for Java-style method names: ``not_free`` -> ``NotFree``."""
+    return "".join(part.capitalize() for part in name.split("_") if part)

@@ -1,0 +1,68 @@
+"""Graphviz DOT renderer: state transition diagrams (paper Fig 15).
+
+The paper renders diagrams by exporting XML for a commercial diagramming
+tool; the equivalent open artefact is a DOT graph.  Phase transitions
+(transitions with actions, the thick arrows of Fig 8) are drawn bold, simple
+transitions thin; the start state is marked with an entry arrow and final
+states are drawn as double circles.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import StateMachine
+from repro.render.base import Renderer, display_action, display_message
+
+
+class DotRenderer(Renderer):
+    """Render a machine as a Graphviz ``digraph``."""
+
+    def __init__(self, include_actions: bool = True, rankdir: str = "TB"):
+        self._include_actions = include_actions
+        self._rankdir = rankdir
+
+    def render(self, machine: StateMachine) -> str:
+        machine.check_integrity()
+        lines: list[str] = []
+        lines.append(f"digraph {_quote(machine.name)} {{")
+        lines.append(f'    rankdir={self._rankdir};')
+        lines.append('    node [shape=ellipse, fontsize=10];')
+        lines.append('    edge [fontsize=9];')
+        lines.append('    __start [shape=point, label=""];')
+
+        for state in machine.states:
+            attributes = []
+            if state.final:
+                attributes.append("shape=doublecircle")
+            label = state.name
+            attributes.append(f"label={_quote(label)}")
+            lines.append(f"    {_quote(state.name)} [{', '.join(attributes)}];")
+
+        lines.append(f"    __start -> {_quote(machine.start_state.name)};")
+
+        for state in machine.states:
+            for transition in state.transitions:
+                label = display_message(transition.message)
+                if self._include_actions and transition.actions:
+                    actions = "\\n".join(
+                        display_action(action) for action in transition.actions
+                    )
+                    label = f"{label}\\n{actions}"
+                style = "bold" if transition.is_phase_transition() else "solid"
+                lines.append(
+                    f"    {_quote(state.name)} -> {_quote(transition.target_name)} "
+                    f"[label={_quote(label)}, style={style}];"
+                )
+
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def _quote(text: str) -> str:
+    """DOT double-quoted string with escaping.
+
+    Literal ``\\n`` sequences inserted by the renderer for multi-line labels
+    are preserved (DOT interprets them as line breaks).
+    """
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    escaped = escaped.replace("\\\\n", "\\n")
+    return f'"{escaped}"'

@@ -1,0 +1,64 @@
+"""Textual EFSM description: the Fig 14 analogue for extended machines.
+
+Renders an :class:`~repro.core.efsm.Efsm` as readable text — states,
+guarded transitions with their conditions and variable updates — so the
+9-state commit EFSM can be reviewed the way Fig 14's FSM text is::
+
+    state: F/F/F/T/F
+    ----------------
+     message: VOTE
+      guard: votes_received + 1 >= 2f+1
+      update: votes_received += 1
+      action: ->not free
+      action: ->vote
+      action: ->commit
+      transition to: F/T/T/T/T
+"""
+
+from __future__ import annotations
+
+from repro.core.efsm import Efsm
+from repro.render.base import Renderer, display_action, display_message
+
+
+class EfsmTextRenderer(Renderer):
+    """Render an EFSM in the textual format."""
+
+    def render(self, machine: Efsm) -> str:
+        machine.check_integrity()
+        sections: list[str] = []
+        header = [
+            f"extended state machine: {machine.name}",
+            f"messages: {', '.join(display_message(m) for m in machine.messages)}",
+            "variables: "
+            + ", ".join(f"{v.name} (initial {v.initial})" for v in machine.variables),
+            f"parameters: {', '.join(machine.parameter_names) or '(none)'}",
+            f"states: {len(machine)}",
+            f"start state: {machine.start_state.name}",
+        ]
+        header.append("=" * max(len(line) for line in header))
+        header.append("")
+        sections.append("\n".join(header))
+
+        for state in machine.states:
+            lines = [f"state: {state.name}"]
+            lines.append("-" * len(lines[0]))
+            if state.final:
+                lines.append("This is a finish state: the operation has completed.")
+            for annotation in state.annotations:
+                lines.append(annotation)
+            if not state.transitions:
+                lines.append(" (no transitions)")
+            for transition in state.transitions:
+                lines.append(f" message: {display_message(transition.message)}")
+                if transition.guard_text != "always":
+                    lines.append(f"  guard: {transition.guard_text}")
+                if transition.update_text:
+                    lines.append(f"  update: {transition.update_text}")
+                for action in transition.actions:
+                    lines.append(f"  action: {display_action(action)}")
+                lines.append(f"  transition to: {transition.target}")
+                lines.append("")
+            lines.append("")
+            sections.append("\n".join(lines))
+        return "\n".join(sections)

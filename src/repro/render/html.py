@@ -1,0 +1,96 @@
+"""Self-contained HTML state browser.
+
+A modern counterpart to the paper's diagram artefact (Fig 15): a single
+HTML file with no external dependencies that lists every state with its
+generated commentary and clickable transitions, so a reviewer can walk the
+machine in a browser the way the paper's readers walk Fig 14's text.
+"""
+
+from __future__ import annotations
+
+import html
+
+from repro.core.machine import StateMachine
+from repro.render.base import Renderer, display_action, display_message
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #1a1a1a; }
+h1 { font-size: 1.4rem; }
+.meta { color: #555; margin-bottom: 1.5rem; }
+.state { border: 1px solid #ccc; border-radius: 6px; padding: .8rem 1rem;
+         margin-bottom: .8rem; }
+.state.final { border-color: #2a7; background: #f2fbf7; }
+.state.start { border-color: #27c; background: #f2f7fd; }
+.state h2 { font-size: 1.05rem; font-family: ui-monospace, monospace; margin: 0 0 .4rem; }
+.badge { font-size: .7rem; padding: .1rem .4rem; border-radius: 4px;
+         margin-left: .5rem; vertical-align: middle; color: white; }
+.badge.start { background: #27c; } .badge.final { background: #2a7; }
+.annotations { color: #444; font-size: .9rem; margin: 0 0 .5rem 1rem; }
+.transition { font-family: ui-monospace, monospace; font-size: .85rem;
+              margin-left: 1rem; }
+.message { color: #a40; font-weight: 600; }
+.action { color: #046; }
+a { color: inherit; }
+"""
+
+
+class HtmlRenderer(Renderer):
+    """Render a machine as a standalone HTML document."""
+
+    def render(self, machine: StateMachine) -> str:
+        machine.check_integrity()
+        start_name = machine.start_state.name
+        parts: list[str] = []
+        parts.append("<!DOCTYPE html>")
+        parts.append("<html><head><meta charset='utf-8'>")
+        parts.append(f"<title>{html.escape(machine.name)}</title>")
+        parts.append(f"<style>{_STYLE}</style></head><body>")
+        parts.append(f"<h1>State machine <code>{html.escape(machine.name)}</code></h1>")
+        finish = machine.finish_state
+        parts.append(
+            "<p class='meta'>"
+            f"{len(machine)} states &middot; {machine.transition_count()} transitions "
+            f"({machine.phase_transition_count()} phase) &middot; messages: "
+            + ", ".join(html.escape(display_message(m)) for m in machine.messages)
+            + (f" &middot; finish: <code>{html.escape(finish.name)}</code>" if finish else "")
+            + "</p>"
+        )
+
+        for state in machine.states:
+            classes = ["state"]
+            badges = []
+            if state.name == start_name:
+                classes.append("start")
+                badges.append("<span class='badge start'>start</span>")
+            if state.final:
+                classes.append("final")
+                badges.append("<span class='badge final'>finish</span>")
+            parts.append(
+                f"<div class='{' '.join(classes)}' id='{_anchor(state.name)}'>"
+            )
+            parts.append(f"<h2>{html.escape(state.name)}{''.join(badges)}</h2>")
+            if state.annotations:
+                parts.append("<ul class='annotations'>")
+                for annotation in state.annotations:
+                    parts.append(f"<li>{html.escape(annotation)}</li>")
+                parts.append("</ul>")
+            for transition in state.transitions:
+                actions = " ".join(
+                    f"<span class='action'>{html.escape(display_action(a))}</span>"
+                    for a in transition.actions
+                )
+                parts.append(
+                    "<div class='transition'>"
+                    f"<span class='message'>{html.escape(display_message(transition.message))}</span> "
+                    f"{actions} &rarr; "
+                    f"<a href='#{_anchor(transition.target_name)}'>"
+                    f"{html.escape(transition.target_name)}</a></div>"
+                )
+            parts.append("</div>")
+
+        parts.append("</body></html>")
+        return "\n".join(parts) + "\n"
+
+
+def _anchor(name: str) -> str:
+    return "s-" + name.replace("/", "_")

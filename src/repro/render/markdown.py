@@ -1,0 +1,87 @@
+"""Markdown documentation renderer.
+
+The paper generates documentation artefacts alongside diagrams and source
+(§3.5, footnote 3).  This renderer produces a browsable Markdown catalogue:
+machine overview, per-state sections with the generated commentary, and a
+transition table distinguishing simple from phase transitions.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import StateMachine
+from repro.render.base import Renderer, display_action, display_message
+
+
+class MarkdownRenderer(Renderer):
+    """Render a machine as a Markdown document."""
+
+    def __init__(self, title: str | None = None):
+        self._title = title
+
+    def render(self, machine: StateMachine) -> str:
+        machine.check_integrity()
+        lines: list[str] = []
+        title = self._title or f"State machine `{machine.name}`"
+        lines.append(f"# {title}")
+        lines.append("")
+        lines.append(self._overview(machine))
+
+        lines.append("## Transition summary")
+        lines.append("")
+        lines.append("| From | Message | Actions | To | Kind |")
+        lines.append("|------|---------|---------|----|------|")
+        for state in machine.states:
+            for transition in state.transitions:
+                actions = (
+                    ", ".join(display_action(a) for a in transition.actions) or "—"
+                )
+                kind = "phase" if transition.is_phase_transition() else "simple"
+                lines.append(
+                    f"| `{state.name}` | {display_message(transition.message)} "
+                    f"| {actions} | `{transition.target_name}` | {kind} |"
+                )
+        lines.append("")
+
+        lines.append("## States")
+        lines.append("")
+        for state in machine.states:
+            lines.append(f"### `{state.name}`")
+            lines.append("")
+            badges = []
+            if state.name == machine.start_state.name:
+                badges.append("**start**")
+            if state.final:
+                badges.append("**finish**")
+            if badges:
+                lines.append(" ".join(badges))
+                lines.append("")
+            for annotation in state.annotations:
+                lines.append(f"- {annotation}")
+            if state.merged_names and len(state.merged_names) > 1:
+                lines.append(
+                    f"- Merged from {len(state.merged_names)} equivalent states."
+                )
+            lines.append("")
+        return "\n".join(lines)
+
+    def _overview(self, machine: StateMachine) -> str:
+        finish = machine.finish_state
+        phase = machine.phase_transition_count()
+        total = machine.transition_count()
+        rows = [
+            ("States", str(len(machine))),
+            ("Transitions", f"{total} ({phase} phase, {total - phase} simple)"),
+            ("Messages", ", ".join(display_message(m) for m in machine.messages)),
+            ("Start state", f"`{machine.start_state.name}`"),
+            ("Finish state", f"`{finish.name}`" if finish else "—"),
+        ]
+        parameters = machine.parameters
+        if parameters:
+            rows.append(
+                ("Parameters", ", ".join(f"{k}={v}" for k, v in sorted(parameters.items())))
+            )
+        lines = ["| Property | Value |", "|----------|-------|"]
+        for key, value in rows:
+            lines.append(f"| {key} | {value} |")
+        lines.append("")
+        return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""Source-code renderer: generates an executable protocol implementation.
+
+This is the paper's most important artefact (§3.5, Figs 16/17/19): the FSM
+is rendered as a source module containing one ``receive_<message>`` handler
+per message, each dispatching on the current state, performing the
+transition's actions and moving to the resultant state.
+
+The renderer is *completely generic* with respect to the algorithm being
+modelled (paper §5.1): action strings such as ``->vote`` become calls to
+action methods (``self.send_vote()``) supplied by a separate class.  Two
+deployment styles are supported:
+
+* **inheritance mode** (the paper's): ``action_base`` names a class the
+  generated machine class inherits from; the surrounding application binds
+  the name when compiling the module
+  (:func:`repro.runtime.compile.compile_machine` does this);
+* **standalone mode** (``action_base=None``): the generated class defines
+  overridable no-op action methods, so the module runs on its own.
+
+Commentary recorded by the abstract model is embedded as comments, as the
+paper notes for its generated Java (§3.5).
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import StateMachine
+from repro.core.state import State, Transition
+from repro.render.base import Renderer, python_identifier
+from repro.render.codebuffer import CodeBuffer
+
+#: Actions are rendered as calls to methods with this prefix.
+ACTION_METHOD_PREFIX = "send_"
+
+
+def action_method_name(action: str) -> str:
+    """Method called for an action string: ``->not_free`` -> ``send_not_free``."""
+    name = action[2:] if action.startswith("->") else action
+    return ACTION_METHOD_PREFIX + python_identifier(name)
+
+
+def machine_class_name(machine: StateMachine) -> str:
+    """Default class name derived from the machine name: ``CommitR4Machine``."""
+    cleaned = "".join(ch if ch.isalnum() else " " for ch in machine.name)
+    parts = [part.capitalize() for part in cleaned.split()]
+    return "".join(parts) + "Machine"
+
+
+class PythonSourceRenderer(Renderer):
+    """Render a machine as a Python module implementing the protocol."""
+
+    def __init__(
+        self,
+        class_name: str | None = None,
+        action_base: str | None = "ActionsBase",
+        include_commentary: bool = True,
+    ):
+        self._class_name = class_name
+        self._action_base = action_base
+        self._include_commentary = include_commentary
+
+    def render(self, machine: StateMachine) -> str:
+        machine.check_integrity()
+        class_name = self._class_name or machine_class_name(machine)
+        buffer = CodeBuffer()
+
+        self._module_header(buffer, machine)
+        self._module_constants(buffer, machine)
+        self._class_header(buffer, machine, class_name)
+        self._lifecycle_methods(buffer)
+        self._dispatch_method(buffer, machine)
+        for message in machine.messages:
+            self._handler_method(buffer, machine, message)
+        if self._action_base is None:
+            self._default_action_methods(buffer, machine)
+        buffer.exit_block()
+        return buffer.text()
+
+    # ------------------------------------------------------------------
+    # module-level sections
+    # ------------------------------------------------------------------
+
+    def _module_header(self, buffer: CodeBuffer, machine: StateMachine) -> None:
+        buffer.add_line('"""Generated implementation of state machine: ', machine.name, ".")
+        buffer.blank()
+        buffer.add_line("Produced by repro.render.source.PythonSourceRenderer.")
+        buffer.add_line("DO NOT EDIT: regenerate from the abstract model instead.")
+        parameters = machine.parameters
+        if parameters:
+            rendered = ", ".join(f"{key}={value!r}" for key, value in sorted(parameters.items()))
+            buffer.add_line("Generation parameters: ", rendered, ".")
+        buffer.add_line('"""')
+        buffer.blank()
+
+    def _module_constants(self, buffer: CodeBuffer, machine: StateMachine) -> None:
+        buffer.add_line("START_STATE = ", repr(machine.start_state.name))
+        finals = sorted(state.name for state in machine.final_states())
+        buffer.add_line("FINAL_STATES = frozenset(", repr(finals), ")")
+        buffer.add_line("MESSAGES = ", repr(tuple(machine.messages)))
+        buffer.add_line("STATE_NAMES = (")
+        buffer.increase_indent()
+        for state in machine.states:
+            buffer.add_line(repr(state.name), ",")
+        buffer.decrease_indent()
+        buffer.add_line(")")
+        buffer.blank()
+
+    def _class_header(
+        self, buffer: CodeBuffer, machine: StateMachine, class_name: str
+    ) -> None:
+        base = self._action_base if self._action_base is not None else "object"
+        buffer.enter_block(f"class {class_name}({base}):")
+        buffer.add_line('"""Generated protocol implementation for ', machine.name, ".")
+        buffer.blank()
+        buffer.add_line("Call receive_<message>() (or receive(message)) whenever the")
+        buffer.add_line("corresponding protocol message arrives; action methods named")
+        buffer.add_line("send_<action>() are invoked for the transition's actions.")
+        buffer.add_line('"""')
+        buffer.blank()
+        buffer.add_line("START_STATE = START_STATE")
+        buffer.add_line("FINAL_STATES = FINAL_STATES")
+        buffer.add_line("MESSAGES = MESSAGES")
+        buffer.blank()
+
+    # ------------------------------------------------------------------
+    # lifecycle and dispatch
+    # ------------------------------------------------------------------
+
+    def _lifecycle_methods(self, buffer: CodeBuffer) -> None:
+        buffer.enter_block("def __init__(self, *args, **kwargs):")
+        buffer.add_line("super().__init__(*args, **kwargs)")
+        buffer.add_line("self._state = START_STATE")
+        buffer.exit_block()
+        buffer.blank()
+        buffer.enter_block("def get_state(self):")
+        buffer.add_line('"""Current state name."""')
+        buffer.add_line("return self._state")
+        buffer.exit_block()
+        buffer.blank()
+        buffer.enter_block("def set_state(self, state):")
+        buffer.add_line('"""Move to a new state (generated transitions call this)."""')
+        buffer.add_line("self._state = state")
+        buffer.exit_block()
+        buffer.blank()
+        buffer.enter_block("def is_finished(self):")
+        buffer.add_line('"""Whether the machine has reached a finish state."""')
+        buffer.add_line("return self._state in FINAL_STATES")
+        buffer.exit_block()
+        buffer.blank()
+
+    def _dispatch_method(self, buffer: CodeBuffer, machine: StateMachine) -> None:
+        buffer.enter_block("def receive(self, message):")
+        buffer.add_line('"""Dispatch a message by name; returns True if a transition fired."""')
+        for message in machine.messages:
+            buffer.enter_block(f"if message == {message!r}:")
+            buffer.add_line(f"return self.receive_{python_identifier(message)}()")
+            buffer.exit_block()
+        buffer.add_line("raise ValueError('unknown message: %r' % (message,))")
+        buffer.exit_block()
+        buffer.blank()
+
+    # ------------------------------------------------------------------
+    # per-message handlers (the paper's Fig 16 switch)
+    # ------------------------------------------------------------------
+
+    def _handler_method(
+        self, buffer: CodeBuffer, machine: StateMachine, message: str
+    ) -> None:
+        buffer.enter_block(f"def receive_{python_identifier(message)}(self):")
+        buffer.add_line(f'"""Handle an incoming {message!r} message."""')
+        buffer.add_line("state = self._state")
+        for state in machine.states:
+            transition = state.get_transition(message)
+            if transition is None:
+                continue
+            buffer.enter_block(f"if state == {state.name!r}:")
+            self._commentary(buffer, transition)
+            for action in transition.actions:
+                buffer.add_line(f"self.{action_method_name(action)}()")
+            buffer.add_line(f"self.set_state({transition.target_name!r})")
+            buffer.add_line("return True")
+            buffer.exit_block()
+        buffer.add_line("# Message not applicable in the current state: ignored.")
+        buffer.add_line("return False")
+        buffer.exit_block()
+        buffer.blank()
+
+    def _commentary(self, buffer: CodeBuffer, transition: Transition) -> None:
+        if not self._include_commentary:
+            return
+        for annotation in transition.annotations:
+            buffer.add_line("# ", annotation)
+
+    # ------------------------------------------------------------------
+    # standalone mode
+    # ------------------------------------------------------------------
+
+    def _default_action_methods(self, buffer: CodeBuffer, machine: StateMachine) -> None:
+        for action in _distinct_actions(machine):
+            buffer.enter_block(f"def {action_method_name(action)}(self):")
+            buffer.add_line(f'"""Perform the {action!r} action (override to implement)."""')
+            buffer.exit_block()
+            buffer.blank()
+
+
+class JavaSourceRenderer(Renderer):
+    """Render the machine as Java source matching the paper's Fig 16.
+
+    Kept for artefact fidelity (the paper's implementation was Java): the
+    output uses the same ``receiveVote()`` / ``switch (getState())`` shape,
+    with state names encoded using dashes as in the figure.  The output is
+    illustrative; the executable deployment path in this library is the
+    Python renderer plus :mod:`repro.runtime.compile`.
+    """
+
+    def __init__(self, class_name: str | None = None, include_commentary: bool = False):
+        self._class_name = class_name
+        self._include_commentary = include_commentary
+
+    def render(self, machine: StateMachine) -> str:
+        machine.check_integrity()
+        class_name = self._class_name or machine_class_name(machine)
+        buffer = CodeBuffer(brace_blocks=True)
+        buffer.add_line("// Generated implementation of state machine: ", machine.name)
+        buffer.add_line("// DO NOT EDIT: regenerate from the abstract model instead.")
+        buffer.enter_block(f"class {class_name}")
+        for message in machine.messages:
+            self._handler(buffer, machine, message)
+        buffer.exit_block()
+        return buffer.text()
+
+    def _handler(self, buffer: CodeBuffer, machine: StateMachine, message: str) -> None:
+        from repro.render.base import camel_case
+
+        buffer.enter_block(f"void receive{camel_case(message)}()")
+        buffer.enter_block("switch (getState())")
+        for state in machine.states:
+            transition = state.get_transition(message)
+            if transition is None:
+                continue
+            buffer.enter_block(f"case ({_java_state_name(state)}) :")
+            if self._include_commentary:
+                for annotation in transition.annotations:
+                    buffer.add_line("// ", annotation)
+            for action in transition.actions:
+                buffer.add_line(f"{_java_action_call(action)};")
+            target = machine.get_state(transition.target_name)
+            buffer.add_line(f"setState({_java_state_name(target)});")
+            buffer.add_line("break;")
+            buffer.exit_block()
+        buffer.exit_block()
+        buffer.exit_block()
+        buffer.blank()
+
+
+def _java_state_name(state: State) -> str:
+    """Fig 16 encodes state variables with dashes: ``T-1-T-1-F-T-T``."""
+    return state.name.replace("/", "-")
+
+
+def _java_action_call(action: str) -> str:
+    from repro.render.base import camel_case
+
+    name = action[2:] if action.startswith("->") else action
+    return f"send{camel_case(name)}()"
+
+
+def _distinct_actions(machine: StateMachine) -> list[str]:
+    """All distinct action strings, in first-use order."""
+    seen: dict[str, None] = {}
+    for _, transition in machine.transitions():
+        for action in transition.actions:
+            seen.setdefault(action, None)
+    return list(seen)

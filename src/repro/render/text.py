@@ -1,0 +1,82 @@
+"""Textual FSM representation (paper Fig 14).
+
+For each state the renderer emits the encoded state name, the automatically
+generated commentary (derived from the annotations the abstract model
+recorded), and the outgoing transitions with their actions::
+
+    state: T/2/F/0/F/F/F
+    --------------------
+    Description:
+
+    Have received initial update from client.
+    ...
+
+    Transitions:
+
+     message: VOTE
+      action: ->vote
+      action: ->commit
+      transition to: T/3/T/0/T/F/F
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import StateMachine
+from repro.core.state import State
+from repro.render.base import Renderer, display_action, display_message
+
+
+class TextRenderer(Renderer):
+    """Render a machine (or a single state) in the paper's textual format."""
+
+    def __init__(self, include_header: bool = True):
+        self._include_header = include_header
+
+    def render(self, machine: StateMachine) -> str:
+        sections: list[str] = []
+        if self._include_header:
+            sections.append(self._header(machine))
+        for state in machine.states:
+            sections.append(self.render_state(state))
+        return "\n".join(sections)
+
+    def render_state(self, state: State) -> str:
+        """One Fig 14 block for a single state."""
+        lines: list[str] = []
+        title = f"state: {state.name}"
+        lines.append(title)
+        lines.append("-" * len(title))
+        lines.append("Description:")
+        lines.append("")
+        for annotation in state.annotations:
+            lines.append(annotation)
+        if state.final:
+            lines.append("")
+            lines.append("This is a finish state: the operation has completed.")
+        lines.append("")
+        lines.append("")
+        lines.append("Transitions:")
+        lines.append("")
+        if not state.transitions:
+            lines.append(" (none)")
+        for transition in state.transitions:
+            lines.append(f" message: {display_message(transition.message)}")
+            for action in transition.actions:
+                lines.append(f"  action: {display_action(action)}")
+            lines.append(f"  transition to: {transition.target_name}")
+            lines.append("")
+        return "\n".join(lines)
+
+    def _header(self, machine: StateMachine) -> str:
+        lines = [
+            f"state machine: {machine.name}",
+            f"messages: {', '.join(display_message(m) for m in machine.messages)}",
+            f"states: {len(machine)}",
+            f"start state: {machine.start_state.name}",
+        ]
+        finish = machine.finish_state
+        if finish is not None:
+            lines.append(f"finish state: {finish.name}")
+        lines.append("=" * max(len(line) for line in lines))
+        lines.append("")
+        return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""XML diagram-interchange renderer (paper Fig 15).
+
+The paper generates "an XML diagram representation that can be imported
+into a diagramming tool" (Borland Together).  We emit a self-contained,
+schema-documented XML document carrying the same information — states with
+annotations, transitions with actions, start/finish designations — which
+any structured diagram consumer (or this library's own parser,
+:func:`parse_machine_xml`) can read back.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.core.errors import RenderError
+from repro.core.machine import StateMachine
+from repro.core.state import State, Transition
+from repro.render.base import Renderer
+
+
+class XmlRenderer(Renderer):
+    """Render a machine as an XML diagram-interchange document."""
+
+    def render(self, machine: StateMachine) -> str:
+        machine.check_integrity()
+        root = ET.Element(
+            "stateMachine",
+            {
+                "name": machine.name,
+                "states": str(len(machine)),
+                "startState": machine.start_state.name,
+            },
+        )
+        finish = machine.finish_state
+        if finish is not None:
+            root.set("finishState", finish.name)
+
+        messages = ET.SubElement(root, "messages")
+        for message in machine.messages:
+            ET.SubElement(messages, "message", {"name": message})
+
+        states = ET.SubElement(root, "states")
+        for state in machine.states:
+            element = ET.SubElement(
+                states,
+                "state",
+                {"name": state.name, "final": "true" if state.final else "false"},
+            )
+            for annotation in state.annotations:
+                ET.SubElement(element, "annotation").text = annotation
+            for transition in state.transitions:
+                t_element = ET.SubElement(
+                    element,
+                    "transition",
+                    {"message": transition.message, "target": transition.target_name},
+                )
+                for action in transition.actions:
+                    ET.SubElement(t_element, "action", {"name": action})
+                for annotation in transition.annotations:
+                    ET.SubElement(t_element, "annotation").text = annotation
+
+        ET.indent(root)
+        return ET.tostring(root, encoding="unicode", xml_declaration=True) + "\n"
+
+
+def parse_machine_xml(text: str) -> StateMachine:
+    """Reconstruct a :class:`StateMachine` from :class:`XmlRenderer` output.
+
+    The round-trip loses the component vectors (the XML carries only names),
+    so the result is suitable for rendering and runtime interpretation but
+    not for further component-level analysis.
+    """
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise RenderError(f"malformed machine XML: {exc}") from exc
+    if root.tag != "stateMachine":
+        raise RenderError(f"expected <stateMachine> root, got <{root.tag}>")
+
+    messages = [m.get("name") for m in root.findall("./messages/message")]
+    machine = StateMachine(messages, name=root.get("name", "machine"))
+
+    state_elements = root.findall("./states/state")
+    for element in state_elements:
+        state = State(
+            element.get("name"),
+            annotations=[a.text or "" for a in element.findall("annotation")],
+            final=element.get("final") == "true",
+        )
+        machine.add_state(state)
+
+    for element in state_elements:
+        state = machine.get_state(element.get("name"))
+        for t_element in element.findall("transition"):
+            state.record_transition(
+                Transition(
+                    t_element.get("message"),
+                    t_element.get("target"),
+                    [a.get("name") for a in t_element.findall("action")],
+                    [a.text or "" for a in t_element.findall("annotation")],
+                )
+            )
+
+    machine.set_start(root.get("startState"))
+    finish = root.get("finishState")
+    if finish is not None:
+        machine.set_finish(finish)
+    machine.check_integrity()
+    return machine

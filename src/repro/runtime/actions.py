@@ -1,0 +1,79 @@
+"""Action bindings for generated machine classes.
+
+The source renderer emits calls to ``send_<action>()`` methods and leaves
+their implementation to a separate class the generated class inherits from
+(paper §5.1: "The rendering code is parameterised with a class defining
+appropriate action methods").  This module provides generic, algorithm-
+independent bases:
+
+* :class:`RecordingActions` — records performed actions in order (used by
+  tests, the interpreter-vs-compiled differential harness and benchmarks);
+* :class:`CallbackActions` — forwards each action to a callable (used by
+  the storage substrate to turn actions into simulated network sends).
+
+Both synthesise any ``send_*`` method on demand, so they work for every
+abstract model without per-algorithm code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Optional
+
+#: Prefix of generated action methods (mirrors repro.render.source).
+_ACTION_PREFIX = "send_"
+
+
+class RecordingActions:
+    """Base class recording every performed action name, in order.
+
+    The generated machine calls ``self.send_vote()``; this base records
+    ``"vote"`` into :attr:`sent` and optionally forwards to a sink callable.
+    """
+
+    def __init__(self, sink: Optional[Callable[[str], None]] = None):
+        self.sent: list[str] = []
+        self._sink = sink
+
+    def __getattr__(self, name: str):
+        if name.startswith(_ACTION_PREFIX):
+            action = name[len(_ACTION_PREFIX):]
+
+            def perform() -> None:
+                self.sent.append(action)
+                if self._sink is not None:
+                    self._sink(action)
+
+            return perform
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def clear_sent(self) -> None:
+        """Forget recorded actions (keeps the machine state untouched)."""
+        self.sent.clear()
+
+
+class CallbackActions:
+    """Base class forwarding every action to a single callback.
+
+    Unlike :class:`RecordingActions` it keeps no history, making it suitable
+    for long-running deployments where the surrounding system (e.g. the
+    simulated peer-set member in :mod:`repro.storage.peer`) reacts to each
+    action as it happens.
+    """
+
+    def __init__(self, callback: Callable[[str], None]):
+        self._callback = callback
+
+    def __getattr__(self, name: str):
+        if name.startswith(_ACTION_PREFIX):
+            action = name[len(_ACTION_PREFIX):]
+
+            def perform() -> None:
+                self._callback(action)
+
+            return perform
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )

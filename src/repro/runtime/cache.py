@@ -1,0 +1,75 @@
+"""Cache of generated implementations, keyed by generation parameters.
+
+Paper §4.2: "Other variants on generation policy include ... caching
+generated implementations to avoid the need for regeneration of versions
+that have been encountered previously."  :class:`GeneratedCodeCache` is a
+small LRU keyed by hashable parameter tuples, with hit/miss statistics so
+benchmarks can report amortisation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for a :class:`GeneratedCodeCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class GeneratedCodeCache:
+    """LRU cache mapping parameter keys to generated artefacts."""
+
+    def __init__(self, max_entries: int = 32):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._max_entries = max_entries
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get_or_generate(self, key: Hashable, producer: Callable[[], Any]) -> Any:
+        """Return the cached artefact for ``key``, generating it on miss."""
+        if key in self._entries:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.stats.misses += 1
+        artefact = producer()
+        self._entries[key] = artefact
+        if len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return artefact
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it was present."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are preserved)."""
+        self._entries.clear()

@@ -1,0 +1,100 @@
+"""Exporting generated source to disk and importing it back (paper §4.3).
+
+The ASA project's deployment choice was one-off generation "copied into
+the code-base", after which "the generated code is treated in exactly the
+same way as previously existing code during the build process".  This
+module implements that workflow:
+
+* :func:`export_machine_module` renders a machine to a Python module file
+  (standalone mode: the generated class carries overridable no-op action
+  methods, so the file has no import-time dependency on this library);
+* :func:`import_machine_module` loads such a file back as a module and
+  returns the machine class, the way an application build would.
+
+A content fingerprint in the header lets :func:`is_stale` detect when the
+checked-in artefact no longer matches what the abstract model generates —
+the practical hazard of the copy-into-codebase policy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import itertools
+import pathlib
+
+from repro.core.errors import DeploymentError
+from repro.core.machine import StateMachine
+from repro.render.source import PythonSourceRenderer, machine_class_name
+
+_FINGERPRINT_PREFIX = "# machine-fingerprint: "
+_import_counter = itertools.count(1)
+
+
+def machine_fingerprint(machine: StateMachine) -> str:
+    """Stable digest of the machine's observable structure."""
+    hasher = hashlib.sha1()
+    hasher.update(",".join(machine.messages).encode())
+    hasher.update(machine.start_state.name.encode())
+    for state in sorted(machine.states, key=lambda s: s.name):
+        hasher.update(state.name.encode())
+        hasher.update(b"1" if state.final else b"0")
+        for transition in sorted(state.transitions, key=lambda t: t.message):
+            hasher.update(transition.message.encode())
+            hasher.update("|".join(transition.actions).encode())
+            hasher.update(transition.target_name.encode())
+    return hasher.hexdigest()
+
+
+def export_machine_module(
+    machine: StateMachine,
+    path: str | pathlib.Path,
+    class_name: str | None = None,
+) -> pathlib.Path:
+    """Write a standalone generated module for ``machine`` to ``path``."""
+    target = pathlib.Path(path)
+    renderer = PythonSourceRenderer(
+        class_name=class_name or machine_class_name(machine),
+        action_base=None,  # standalone: no import-time dependencies
+    )
+    source = renderer.render(machine)
+    header = f"{_FINGERPRINT_PREFIX}{machine_fingerprint(machine)}\n"
+    target.write_text(header + source, encoding="utf-8")
+    return target
+
+
+def read_fingerprint(path: str | pathlib.Path) -> str:
+    """The fingerprint recorded in an exported module."""
+    first_line = pathlib.Path(path).read_text(encoding="utf-8").splitlines()[0]
+    if not first_line.startswith(_FINGERPRINT_PREFIX):
+        raise DeploymentError(f"{path} does not carry a machine fingerprint")
+    return first_line[len(_FINGERPRINT_PREFIX):].strip()
+
+
+def is_stale(machine: StateMachine, path: str | pathlib.Path) -> bool:
+    """Whether the exported artefact no longer matches ``machine``."""
+    try:
+        return read_fingerprint(path) != machine_fingerprint(machine)
+    except FileNotFoundError:
+        return True
+
+
+def import_machine_module(
+    path: str | pathlib.Path, class_name: str
+) -> type:
+    """Load an exported module from disk and return the machine class."""
+    target = pathlib.Path(path)
+    if not target.exists():
+        raise DeploymentError(f"no exported module at {target}")
+    module_name = f"repro_exported_{next(_import_counter)}"
+    spec = importlib.util.spec_from_file_location(module_name, target)
+    if spec is None or spec.loader is None:
+        raise DeploymentError(f"cannot load module from {target}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    try:
+        return getattr(module, class_name)
+    except AttributeError:
+        raise DeploymentError(
+            f"{target} does not define expected class {class_name!r}"
+        ) from None

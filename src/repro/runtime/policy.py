@@ -1,0 +1,104 @@
+"""Generation policies: when to run the generator (paper §4.2).
+
+The paper identifies a spectrum of choices for when to generate an
+implementation of a FSM solution:
+
+* once, during initial development (``ONCE`` — the ASA deployment choice,
+  since the replication factor rarely changes);
+* every time the algorithm needs to be executed (``PER_USE``);
+* whenever a new parameter value is encountered (``ON_DEMAND`` — dynamic
+  generation with caching).
+
+:class:`MachineFactory` wraps an abstract-model constructor with one of
+these policies and hands out ready-to-instantiate generated classes.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from typing import Any
+
+from repro.core.errors import DeploymentError
+from repro.core.model import AbstractModel
+from repro.runtime.actions import RecordingActions
+from repro.runtime.cache import GeneratedCodeCache
+from repro.runtime.compile import CompiledMachine, compile_machine
+
+
+class GenerationPolicy(enum.Enum):
+    """When generation happens relative to use."""
+
+    ONCE = "once"
+    PER_USE = "per_use"
+    ON_DEMAND = "on_demand"
+
+
+class MachineFactory:
+    """Produces compiled machine classes for parameter values under a policy.
+
+    ``model_factory`` maps keyword parameters to an
+    :class:`~repro.core.model.AbstractModel`
+    (e.g. ``lambda replication_factor: CommitModel(replication_factor)``).
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[..., AbstractModel],
+        policy: GenerationPolicy = GenerationPolicy.ON_DEMAND,
+        action_base: type = RecordingActions,
+        cache_size: int = 32,
+    ):
+        self._model_factory = model_factory
+        self._policy = policy
+        self._action_base = action_base
+        self._cache = GeneratedCodeCache(max_entries=cache_size)
+        self._pinned: CompiledMachine | None = None
+        self._pinned_key: tuple | None = None
+        self.generations = 0
+
+    @property
+    def policy(self) -> GenerationPolicy:
+        """The active generation policy."""
+        return self._policy
+
+    @property
+    def cache(self) -> GeneratedCodeCache:
+        """The underlying cache (meaningful for ``ON_DEMAND``)."""
+        return self._cache
+
+    def compiled(self, **parameters: Any) -> CompiledMachine:
+        """A compiled implementation for the given parameter values."""
+        key = tuple(sorted(parameters.items()))
+        if self._policy is GenerationPolicy.PER_USE:
+            self.generations += 1
+            return self._generate(parameters)
+        if self._policy is GenerationPolicy.ONCE:
+            if self._pinned is None:
+                self._pinned = self._generate(parameters)
+                self._pinned_key = key
+                self.generations += 1
+            elif key != self._pinned_key:
+                raise DeploymentError(
+                    f"policy ONCE: already generated for {dict(self._pinned_key)}; "
+                    f"cannot regenerate for {parameters}"
+                )
+            return self._pinned
+        # ON_DEMAND: generate on first encounter of each parameter value.
+        return self._cache.get_or_generate(key, lambda: self._count(parameters))
+
+    def new_instance(self, *args: Any, **parameters: Any):
+        """Instantiate a generated machine for the given parameters.
+
+        Positional arguments are forwarded to the action base constructor.
+        """
+        return self.compiled(**parameters).new_instance(*args)
+
+    def _count(self, parameters: dict) -> CompiledMachine:
+        self.generations += 1
+        return self._generate(parameters)
+
+    def _generate(self, parameters: dict) -> CompiledMachine:
+        model = self._model_factory(**parameters)
+        machine = model.generate_state_machine()
+        return compile_machine(machine, action_base=self._action_base)

@@ -1,0 +1,81 @@
+"""Logical entities of the generic storage layer (paper §2, Fig 2).
+
+* a **data block** contains unstructured, immutable data of arbitrary size;
+* a **PID** (persistent identifier) denotes a particular data block — it is
+  the block's secure hash, so any retrieved block can be verified against
+  the PID that requested it;
+* a **GUID** (globally unique identifier) denotes something with identity,
+  such as a file; the version-history service maps a GUID to the growing
+  sequence of PIDs of its versions (updates are appended, never
+  destructive, to support the historical record).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.storage.p2p.keys import format_key, key_for_bytes, key_for_string
+
+
+@dataclass(frozen=True)
+class PID:
+    """Persistent identifier of an immutable data block (its SHA-1)."""
+
+    key: int
+
+    @property
+    def hex(self) -> str:
+        """40-hex-digit rendering."""
+        return format_key(self.key)
+
+    def __str__(self) -> str:
+        return self.hex[:12]
+
+
+@dataclass(frozen=True)
+class GUID:
+    """Globally unique identifier of an entity with identity (e.g. a file)."""
+
+    key: int
+    label: str = ""
+
+    @classmethod
+    def for_name(cls, name: str) -> "GUID":
+        """Derive a GUID from a human-readable name."""
+        return cls(key=key_for_string(name), label=name)
+
+    @property
+    def hex(self) -> str:
+        """40-hex-digit rendering."""
+        return format_key(self.key)
+
+    def __str__(self) -> str:
+        return self.label or self.hex[:12]
+
+
+@dataclass(frozen=True)
+class DataBlock:
+    """An immutable block of unstructured data."""
+
+    data: bytes
+
+    @property
+    def pid(self) -> PID:
+        """The block's persistent identifier: SHA-1 of its contents."""
+        return PID(key_for_bytes(self.data))
+
+    def verify(self, pid: PID) -> bool:
+        """Whether this block's contents hash to ``pid``.
+
+        This is the intrinsic verifiability of the data storage service
+        (paper §2.1): a replica cannot forge a block for a requested PID.
+        """
+        return self.pid == pid
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def digest(self) -> str:
+        """Full SHA-1 hex digest of the contents."""
+        return hashlib.sha1(self.data).hexdigest()

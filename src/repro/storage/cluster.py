@@ -1,0 +1,237 @@
+"""Cluster assembly: everything from Fig 1 wired together.
+
+:class:`StorageCluster` builds the full simulated ASA stack — event kernel,
+network, Chord ring with routing, storage nodes (with per-node fault
+plans), service endpoints and the replica maintainer — so examples, tests
+and benchmarks can write scenarios in a few lines::
+
+    cluster = StorageCluster(node_count=12, replication_factor=4, seed=7)
+    endpoint = cluster.add_endpoint("client-0")
+    op = endpoint.store_block(DataBlock(b"hello"))
+    cluster.run_until(lambda: op.done)
+    assert op.success
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Optional
+
+from repro.core.errors import SimulationError
+from repro.storage.endpoint import RetryPolicy, ServerOrder, ServiceEndpoint
+from repro.storage.faults import FaultPlan
+from repro.storage.maintenance import ReplicaMaintainer
+from repro.storage.node import StorageNode
+from repro.storage.p2p.ring import ChordRing
+from repro.storage.p2p.routing import Router
+from repro.storage.sim.kernel import Simulator
+from repro.storage.sim.network import LatencyModel, Network, UniformLatency
+
+
+class StorageCluster:
+    """A complete simulated deployment of the storage system."""
+
+    def __init__(
+        self,
+        node_count: int,
+        replication_factor: int,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        drop_probability: float = 0.0,
+        fault_plans: Optional[Mapping[str, FaultPlan]] = None,
+        abandon_timeout: float = 30.0,
+    ):
+        if node_count < replication_factor:
+            raise SimulationError(
+                f"need at least {replication_factor} nodes for replication "
+                f"factor {replication_factor}, got {node_count}"
+            )
+        self.sim = Simulator(seed=seed)
+        self.network = Network(
+            self.sim,
+            latency=latency or UniformLatency(0.5, 1.5),
+            drop_probability=drop_probability,
+        )
+        self.ring = ChordRing()
+        self.replication_factor = replication_factor
+        self.nodes: dict[str, StorageNode] = {}
+        self.endpoints: dict[str, ServiceEndpoint] = {}
+        self.maintainer: Optional[ReplicaMaintainer] = None
+
+        plans = dict(fault_plans or {})
+        for index in range(node_count):
+            node_id = f"node-{index:02d}"
+            node = StorageNode(
+                node_id,
+                self.network,
+                replication_factor,
+                fault_plan=plans.get(node_id),
+                abandon_timeout=abandon_timeout,
+            )
+            self.nodes[node_id] = node
+            self.ring.join(node_id)
+        self.router = Router(self.ring)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def add_endpoint(
+        self,
+        node_id: str,
+        retry_policy: Optional[RetryPolicy] = None,
+        server_order: ServerOrder = ServerOrder.RANDOM,
+        request_timeout: float = 15.0,
+        max_attempts: int = 8,
+    ) -> ServiceEndpoint:
+        """Attach a client endpoint to the cluster."""
+        endpoint = ServiceEndpoint(
+            node_id,
+            self.network,
+            self.ring,
+            self.router,
+            self.replication_factor,
+            retry_policy=retry_policy,
+            server_order=server_order,
+            request_timeout=request_timeout,
+            max_attempts=max_attempts,
+        )
+        self.endpoints[node_id] = endpoint
+        return endpoint
+
+    def add_maintainer(
+        self, probe_interval: float = 50.0, probe_timeout: float = 10.0
+    ) -> ReplicaMaintainer:
+        """Attach the background replica maintenance process."""
+        self.maintainer = ReplicaMaintainer(
+            "maintainer",
+            self.network,
+            self.ring,
+            self.replication_factor,
+            probe_interval=probe_interval,
+            probe_timeout=probe_timeout,
+        )
+        return self.maintainer
+
+    # ------------------------------------------------------------------
+    # churn (paper §2: nodes join and leave at arbitrary times)
+    # ------------------------------------------------------------------
+
+    def add_node(
+        self, node_id: str, fault_plan: Optional[FaultPlan] = None
+    ) -> StorageNode:
+        """Join a new storage node to the ring and refresh routing state."""
+        node = StorageNode(
+            node_id, self.network, self.replication_factor, fault_plan=fault_plan
+        )
+        self.nodes[node_id] = node
+        self.ring.join(node_id)
+        self.router.stabilise()
+        return node
+
+    def remove_node(self, node_id: str) -> None:
+        """Gracefully remove a node from the ring (its data stays local)."""
+        self.ring.leave(node_id)
+        self.router.stabilise()
+
+    def rebalance(self) -> int:
+        """Push replicas to the nodes now responsible for them.
+
+        After churn the replica key set of a PID may resolve to different
+        nodes; holders push copies to responsible nodes that lack them
+        (the immediate form of the §2.2 background regeneration, which the
+        :class:`~repro.storage.maintenance.ReplicaMaintainer` performs
+        continuously).  Returns the number of transfers initiated; run the
+        simulation afterwards to let them deliver.
+        """
+        from repro.storage.p2p.keys import parse_key, replica_keys
+
+        transfers = 0
+        for node in list(self.nodes.values()):
+            if not node.alive:
+                continue
+            for pid_hex in list(node.blocks):
+                owners = self.ring.responsible_nodes(
+                    replica_keys(parse_key(pid_hex), self.replication_factor)
+                )
+                for owner in owners:
+                    other = self.nodes.get(owner)
+                    if other is None or owner == node.node_id:
+                        continue
+                    if pid_hex not in other.blocks:
+                        node.send(
+                            owner,
+                            "store_block",
+                            data=node.blocks[pid_hex].data,
+                            request_id=f"rebalance:{pid_hex}",
+                        )
+                        transfers += 1
+        return transfers
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def crash_node(self, node_id: str, remove_from_ring: bool = False) -> None:
+        """Fail-stop a node; optionally remove it from the routing ring."""
+        node = self.nodes[node_id]
+        node.crash()
+        if remove_from_ring:
+            self.ring.leave(node_id)
+            self.router.stabilise()
+
+    def byzantine_nodes(self) -> list[str]:
+        """Ids of nodes configured with Byzantine behaviour."""
+        return [n.node_id for n in self.nodes.values() if n.is_byzantine]
+
+    def correct_nodes(self) -> list[str]:
+        """Ids of live, well-behaved nodes."""
+        return [
+            n.node_id
+            for n in self.nodes.values()
+            if n.alive and not n.is_byzantine
+        ]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, duration: float) -> None:
+        """Advance virtual time by ``duration``."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def run_until(
+        self, predicate: Callable[[], bool], timeout: float = 1_000.0
+    ) -> bool:
+        """Run until ``predicate()`` holds; returns whether it did."""
+        return self.sim.run_until(predicate, timeout)
+
+    # ------------------------------------------------------------------
+    # cross-node assertions used by tests and benchmarks
+    # ------------------------------------------------------------------
+
+    def histories(self, guid_hex: str, correct_only: bool = True) -> dict[str, list]:
+        """Committed histories per node for a GUID."""
+        picked = self.correct_nodes() if correct_only else list(self.nodes)
+        result = {}
+        for node_id in picked:
+            node = self.nodes[node_id]
+            engine = node.engine(guid_hex)
+            if engine is not None:
+                result[node_id] = engine.history_tuples()
+        return result
+
+    def histories_prefix_consistent(self, guid_hex: str) -> bool:
+        """Whether correct members' histories are pairwise prefix-ordered.
+
+        This is the agreement property the commit protocol provides: all
+        correct peer-set members record committed updates in one global
+        order, differing only in how far each has advanced.
+        """
+        histories = list(self.histories(guid_hex).values())
+        for i, left in enumerate(histories):
+            for right in histories[i + 1:]:
+                shorter, longer = sorted((left, right), key=len)
+                if longer[: len(shorter)] != shorter:
+                    return False
+        return True

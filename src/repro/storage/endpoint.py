@@ -1,0 +1,465 @@
+"""The service endpoint: the client side of both storage services.
+
+Implements the paper's client behaviours (§2.1–2.2):
+
+* **store**: hash the block to its PID, locate the replica nodes for the
+  PID's key set, send each a copy, and complete once ``r - f`` have
+  acknowledged (so at least ``f + 1`` correct nodes hold the data);
+* **retrieve**: try a single replica (fixed or random order), verify the
+  returned block against the PID's hash, and fall back to another replica
+  on corruption, absence or timeout;
+* **append version**: send the update to every member of the GUID's peer
+  set and wait for ``f + 1`` commit confirmations; because concurrent
+  updates can deadlock the voting, the endpoint runs the paper's
+  timeout/retry scheme with pluggable back-off policies (fixed, random or
+  exponential — §2.2 names these options);
+* **get history**: query all peer-set members and accept the longest
+  prefix on which at least ``f + 1`` members agree, which defeats up to
+  ``f`` fabricated histories.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.models.commit import fault_tolerance
+from repro.storage.blocks import DataBlock, GUID, PID
+from repro.storage.p2p.keys import replica_keys
+from repro.storage.p2p.ring import ChordRing
+from repro.storage.p2p.routing import Router
+from repro.storage.sim.network import Message, Network
+from repro.storage.sim.node import SimNode
+
+
+# ----------------------------------------------------------------------
+# retry policies (paper §2.2: "random or exponential back-off, or fixed
+# or random server ordering")
+# ----------------------------------------------------------------------
+
+
+class RetryPolicy:
+    """Delay before retry ``attempt`` (1-based)."""
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedBackoff(RetryPolicy):
+    """Constant delay between attempts."""
+
+    interval: float = 10.0
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        return self.interval
+
+
+@dataclass(frozen=True)
+class RandomBackoff(RetryPolicy):
+    """Uniformly random delay — decorrelates competing clients."""
+
+    low: float = 5.0
+    high: float = 20.0
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class ExponentialBackoff(RetryPolicy):
+    """Exponentially growing delay with jitter."""
+
+    base: float = 5.0
+    factor: float = 2.0
+    cap: float = 120.0
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        raw = min(self.cap, self.base * self.factor ** (attempt - 1))
+        return raw * (1.0 + rng.uniform(0.0, self.jitter))
+
+
+class ServerOrder(enum.Enum):
+    """Order in which retrieval tries replicas."""
+
+    FIXED = "fixed"
+    RANDOM = "random"
+
+
+# ----------------------------------------------------------------------
+# operation handles
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StoreOperation:
+    """In-flight block store."""
+
+    pid_hex: str
+    data: bytes
+    replicas: list[str]
+    required_acks: int
+    request_id: str
+    acked: set[str] = field(default_factory=set)
+    attempts: int = 1
+    done: bool = False
+    success: bool = False
+
+
+@dataclass
+class RetrieveOperation:
+    """In-flight block retrieval."""
+
+    pid_hex: str
+    order: list[str]
+    request_id: str
+    next_index: int = 0
+    attempts: int = 0
+    rejected: list[str] = field(default_factory=list)
+    block: Optional[DataBlock] = None
+    done: bool = False
+    success: bool = False
+
+
+@dataclass
+class AppendOperation:
+    """In-flight version append (one logical write, possibly many attempts)."""
+
+    guid_hex: str
+    pid_hex: str
+    peers: list[str]
+    required_confirmations: int
+    update_id: str = ""
+    attempts: int = 0
+    update_ids: list[str] = field(default_factory=list)
+    confirmations: set[str] = field(default_factory=set)
+    done: bool = False
+    success: bool = False
+
+
+@dataclass
+class HistoryOperation:
+    """In-flight history retrieval with Byzantine-tolerant agreement."""
+
+    guid_hex: str
+    peers: list[str]
+    request_id: str
+    quorum: int
+    responses: dict[str, list[tuple[str, str]]] = field(default_factory=dict)
+    agreed: list[tuple[str, str]] = field(default_factory=list)
+    done: bool = False
+    success: bool = False
+
+
+# ----------------------------------------------------------------------
+# the endpoint
+# ----------------------------------------------------------------------
+
+
+class ServiceEndpoint(SimNode):
+    """Client node for the data storage and version history services."""
+
+    def __init__(
+        self,
+        node_id: str,
+        network: Network,
+        ring: ChordRing,
+        router: Router,
+        replication_factor: int,
+        retry_policy: RetryPolicy | None = None,
+        server_order: ServerOrder = ServerOrder.RANDOM,
+        request_timeout: float = 15.0,
+        max_attempts: int = 8,
+    ):
+        super().__init__(node_id, network)
+        self._ring = ring
+        self._router = router
+        self._r = replication_factor
+        self._f = fault_tolerance(replication_factor)
+        self._retry_policy = retry_policy or ExponentialBackoff()
+        self._server_order = server_order
+        self._request_timeout = request_timeout
+        self._max_attempts = max_attempts
+        self._rng = self.sim.new_rng(f"endpoint:{node_id}")
+        self._sequence = itertools.count(1)
+
+        self._stores: dict[str, StoreOperation] = {}
+        self._retrieves: dict[str, RetrieveOperation] = {}
+        self._appends: dict[tuple[str, str], AppendOperation] = {}
+        self._histories: dict[str, HistoryOperation] = {}
+        self.lookup_hops: list[int] = []
+
+    # ------------------------------------------------------------------
+    # peer location (shared by both services, paper §2.1)
+    # ------------------------------------------------------------------
+
+    def locate_peers(self, key: int) -> list[str]:
+        """The peer set for a key: successors of its replica key set.
+
+        The endpoint is a client, not a ring member, so each replica key is
+        resolved through the routing layer starting from a *gateway* node
+        (a known ring member, chosen at random per lookup).  Hop counts are
+        recorded for routing statistics.
+        """
+        members = self._ring.node_ids()
+        peers = []
+        for replica_key in replica_keys(key, self._r):
+            gateway = self._rng.choice(members)
+            route = self._router.lookup(gateway, replica_key)
+            self.lookup_hops.append(route.hop_count)
+            if route.owner not in peers:
+                peers.append(route.owner)
+        return peers
+
+    def _next_id(self, prefix: str) -> str:
+        return f"{prefix}:{self.node_id}:{next(self._sequence)}"
+
+    # ------------------------------------------------------------------
+    # data storage service
+    # ------------------------------------------------------------------
+
+    def store_block(self, block: DataBlock) -> StoreOperation:
+        """Store a block; completes at ``r - f`` acknowledgements."""
+        pid = block.pid
+        peers = self.locate_peers(pid.key)
+        required = max(1, len(peers) - self._f)
+        operation = StoreOperation(
+            pid_hex=pid.hex,
+            data=block.data,
+            replicas=peers,
+            required_acks=required,
+            request_id=self._next_id("store"),
+        )
+        self._stores[operation.request_id] = operation
+        for peer in peers:
+            self.send(peer, "store_block", data=block.data, request_id=operation.request_id)
+        self._arm_store_timeout(operation)
+        return operation
+
+    def _arm_store_timeout(self, operation: StoreOperation) -> None:
+        def on_timeout() -> None:
+            if operation.done:
+                return
+            if operation.attempts >= self._max_attempts:
+                operation.done = True
+                return
+            operation.attempts += 1
+            for peer in operation.replicas:
+                if peer not in operation.acked:
+                    self.send(
+                        peer,
+                        "store_block",
+                        data=operation.data,
+                        request_id=operation.request_id,
+                    )
+            self._arm_store_timeout(operation)
+
+        self.set_timer(self._request_timeout, on_timeout)
+
+    def retrieve_block(self, pid: PID) -> RetrieveOperation:
+        """Retrieve and verify a block, falling back across replicas."""
+        peers = self.locate_peers(pid.key)
+        order = list(peers)
+        if self._server_order is ServerOrder.RANDOM:
+            self._rng.shuffle(order)
+        operation = RetrieveOperation(
+            pid_hex=pid.hex, order=order, request_id=self._next_id("get")
+        )
+        self._retrieves[operation.request_id] = operation
+        self._try_next_replica(operation)
+        return operation
+
+    def _try_next_replica(self, operation: RetrieveOperation) -> None:
+        if operation.done:
+            return
+        if operation.next_index >= len(operation.order):
+            operation.done = True
+            operation.success = False
+            return
+        peer = operation.order[operation.next_index]
+        operation.next_index += 1
+        operation.attempts += 1
+        self.send(peer, "get_block", pid=operation.pid_hex, request_id=operation.request_id)
+
+        expected_attempt = operation.attempts
+
+        def on_timeout() -> None:
+            if operation.done or operation.attempts != expected_attempt:
+                return
+            operation.rejected.append(peer)
+            self._try_next_replica(operation)
+
+        self.set_timer(self._request_timeout, on_timeout)
+
+    # ------------------------------------------------------------------
+    # version history service
+    # ------------------------------------------------------------------
+
+    def append_version(self, guid: GUID, pid: PID) -> AppendOperation:
+        """Append a GUID→PID mapping via the BFT commit protocol."""
+        peers = self.locate_peers(guid.key)
+        operation = AppendOperation(
+            guid_hex=guid.hex,
+            pid_hex=pid.hex,
+            peers=peers,
+            required_confirmations=self._f + 1,
+        )
+        self._start_append_attempt(operation)
+        return operation
+
+    def _start_append_attempt(self, operation: AppendOperation) -> None:
+        operation.attempts += 1
+        operation.confirmations = set()
+        operation.update_id = self._next_id("update")
+        operation.update_ids.append(operation.update_id)
+        self._appends[(operation.guid_hex, operation.update_id)] = operation
+        for peer in operation.peers:
+            self.send(
+                peer,
+                "update",
+                guid=operation.guid_hex,
+                update_id=operation.update_id,
+                pid=operation.pid_hex,
+                peers=operation.peers,
+            )
+        self._arm_append_timeout(operation, operation.update_id)
+
+    def _arm_append_timeout(self, operation: AppendOperation, update_id: str) -> None:
+        def on_timeout() -> None:
+            if operation.done or operation.update_id != update_id:
+                return
+            if operation.attempts >= self._max_attempts:
+                operation.done = True
+                operation.success = False
+                return
+            delay = self._retry_policy.delay(operation.attempts, self._rng)
+            self.set_timer(delay, lambda: self._retry_append(operation, update_id))
+
+        self.set_timer(self._request_timeout, on_timeout)
+
+    def _retry_append(self, operation: AppendOperation, update_id: str) -> None:
+        if operation.done or operation.update_id != update_id:
+            return
+        self._start_append_attempt(operation)
+
+    def get_history(self, guid: GUID) -> HistoryOperation:
+        """Fetch the version history with ``f + 1`` agreement."""
+        peers = self.locate_peers(guid.key)
+        operation = HistoryOperation(
+            guid_hex=guid.hex,
+            peers=peers,
+            request_id=self._next_id("history"),
+            quorum=self._f + 1,
+        )
+        self._histories[operation.request_id] = operation
+        for peer in peers:
+            self.send(peer, "get_history", guid=guid.hex, request_id=operation.request_id)
+
+        def on_timeout() -> None:
+            if not operation.done:
+                self._finish_history(operation)
+
+        self.set_timer(self._request_timeout, on_timeout)
+        return operation
+
+    def _finish_history(self, operation: HistoryOperation) -> None:
+        operation.agreed = agree_on_history(
+            list(operation.responses.values()), operation.quorum
+        )
+        operation.success = len(operation.responses) >= operation.quorum
+        operation.done = True
+
+    # ------------------------------------------------------------------
+    # replies
+    # ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        kind = message.kind
+        if kind == "store_ack":
+            self._on_store_ack(message)
+        elif kind == "block_data":
+            self._on_block_data(message)
+        elif kind == "committed":
+            self._on_committed(message)
+        elif kind == "history":
+            self._on_history(message)
+
+    def _on_store_ack(self, message: Message) -> None:
+        operation = self._stores.get(message.payload["request_id"])
+        if operation is None or operation.done:
+            return
+        operation.acked.add(message.source)
+        if len(operation.acked) >= operation.required_acks:
+            operation.done = True
+            operation.success = True
+
+    def _on_block_data(self, message: Message) -> None:
+        operation = self._retrieves.get(message.payload["request_id"])
+        if operation is None or operation.done:
+            return
+        data: Optional[bytes] = message.payload["data"]
+        if data is not None:
+            block = DataBlock(data)
+            if block.pid.hex == operation.pid_hex:
+                operation.block = block
+                operation.done = True
+                operation.success = True
+                return
+        # Missing or corrupt: the hash check failed, try another replica.
+        operation.rejected.append(message.source)
+        self._try_next_replica(operation)
+
+    def _on_committed(self, message: Message) -> None:
+        key = (message.payload["guid"], message.payload["update_id"])
+        operation = self._appends.get(key)
+        if operation is None or operation.done:
+            return
+        if message.payload["update_id"] != operation.update_id:
+            return  # confirmation for an abandoned earlier attempt
+        operation.confirmations.add(message.source)
+        if len(operation.confirmations) >= operation.required_confirmations:
+            operation.done = True
+            operation.success = True
+
+    def _on_history(self, message: Message) -> None:
+        operation = self._histories.get(message.payload["request_id"])
+        if operation is None or operation.done:
+            return
+        history = [tuple(entry) for entry in message.payload["history"]]
+        operation.responses[message.source] = history
+        if len(operation.responses) == len(operation.peers):
+            self._finish_history(operation)
+
+
+def agree_on_history(
+    responses: list[list[tuple[str, str]]], quorum: int
+) -> list[tuple[str, str]]:
+    """Longest prefix on which at least ``quorum`` responses agree.
+
+    Position by position, the entry reported by ≥ ``quorum`` members is
+    accepted; the first position without such agreement ends the history.
+    With at most ``f`` Byzantine members and ``quorum = f + 1``, a
+    fabricated entry can never reach quorum unless a correct member also
+    reports it.
+    """
+    agreed: list[tuple[str, str]] = []
+    index = 0
+    while True:
+        counts: dict[tuple[str, str], int] = {}
+        for response in responses:
+            if index < len(response):
+                entry = response[index]
+                counts[entry] = counts.get(entry, 0) + 1
+        winner = None
+        for entry, count in counts.items():
+            if count >= quorum:
+                winner = entry
+                break
+        if winner is None:
+            return agreed
+        agreed.append(winner)
+        index += 1

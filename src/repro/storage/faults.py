@@ -1,0 +1,72 @@
+"""Fault models for storage nodes (paper §2).
+
+The ASA setting assumes non-trusted platforms: nodes may fail-stop (which
+timeouts detect) or behave Byzantine — returning corrupt data, voting for
+everything, staying silent, or sending spurious protocol messages.  The
+commit protocol tolerates ``f = floor((r-1)/3)`` Byzantine peer-set members
+per execution; these classes configure what each simulated node actually
+does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ByzantineBehaviour(enum.Enum):
+    """How a faulty node misbehaves."""
+
+    #: Behaves correctly (the default).
+    NONE = "none"
+    #: Stops responding to protocol messages without crashing.
+    SILENT = "silent"
+    #: Returns corrupted data blocks on retrieval.
+    CORRUPT_DATA = "corrupt_data"
+    #: Votes immediately for every update it hears about, and echoes
+    #: commits without justification (tries to split the peer set).
+    PROMISCUOUS_VOTER = "promiscuous_voter"
+    #: Reports a fabricated version history on retrieval.
+    LIE_HISTORY = "lie_history"
+
+
+@dataclass
+class FaultPlan:
+    """Per-node fault configuration.
+
+    ``crash_at`` schedules a fail-stop at the given virtual time;
+    ``behaviour`` selects a Byzantine behaviour active from the start.
+    """
+
+    behaviour: ByzantineBehaviour = ByzantineBehaviour.NONE
+    crash_at: float | None = None
+
+    @property
+    def is_byzantine(self) -> bool:
+        """Whether the node deviates from the protocol while alive."""
+        return self.behaviour is not ByzantineBehaviour.NONE
+
+    @classmethod
+    def correct(cls) -> "FaultPlan":
+        """A well-behaved node."""
+        return cls()
+
+    @classmethod
+    def silent(cls) -> "FaultPlan":
+        """A node that ignores protocol traffic."""
+        return cls(behaviour=ByzantineBehaviour.SILENT)
+
+    @classmethod
+    def corrupt(cls) -> "FaultPlan":
+        """A node that serves corrupted blocks."""
+        return cls(behaviour=ByzantineBehaviour.CORRUPT_DATA)
+
+    @classmethod
+    def promiscuous(cls) -> "FaultPlan":
+        """A node that votes for everything."""
+        return cls(behaviour=ByzantineBehaviour.PROMISCUOUS_VOTER)
+
+    @classmethod
+    def liar(cls) -> "FaultPlan":
+        """A node that fabricates version histories."""
+        return cls(behaviour=ByzantineBehaviour.LIE_HISTORY)

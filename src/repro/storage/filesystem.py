@@ -1,0 +1,188 @@
+"""The distributed abstract file system (paper Fig 1, top layer).
+
+"File system adapters connect individual user operating systems to a
+single distributed abstract file system, which is in turn built on a
+generic distributed storage layer."  This module is that abstract file
+system: files are entities with identity (GUIDs), file contents are
+chunked into immutable data blocks (PIDs), and each version of a file is a
+*manifest* block listing its chunk PIDs, appended to the file's version
+history through the BFT commit protocol.
+
+Because updates are appended rather than destructive, every previous
+version of a file remains readable — the paper's "historical record".
+
+The API is synchronous over the simulation: each call drives the cluster's
+event loop until its operations complete, which is how a file system
+adapter would block a user process on I/O.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.core.errors import SimulationError
+from repro.storage.blocks import DataBlock, GUID, PID
+from repro.storage.cluster import StorageCluster
+from repro.storage.endpoint import ServiceEndpoint
+from repro.storage.p2p.keys import parse_key
+
+#: Default chunk size; small so tests exercise multi-chunk files cheaply.
+DEFAULT_CHUNK_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class FileVersion:
+    """One version of a file: its manifest PID and decoded metadata."""
+
+    index: int
+    manifest_pid: PID
+    size: int
+    chunk_count: int
+
+
+class FileSystemError(SimulationError):
+    """A file-system operation failed (timeout, quorum loss, corruption)."""
+
+
+class DistributedFileSystem:
+    """A file-system adapter over the generic storage layer."""
+
+    def __init__(
+        self,
+        cluster: StorageCluster,
+        endpoint: ServiceEndpoint,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        timeout: float = 3000.0,
+    ):
+        if chunk_size < 1:
+            raise SimulationError(f"chunk size must be positive, got {chunk_size}")
+        self._cluster = cluster
+        self._endpoint = endpoint
+        self._chunk_size = chunk_size
+        self._timeout = timeout
+
+    # ------------------------------------------------------------------
+    # paths and manifests
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def guid_for_path(path: str) -> GUID:
+        """The GUID denoting a file path."""
+        return GUID.for_name(f"fs:{path}")
+
+    def _encode_manifest(self, chunks: list[PID], size: int) -> DataBlock:
+        payload = {
+            "size": size,
+            "chunks": [pid.hex for pid in chunks],
+        }
+        return DataBlock(json.dumps(payload, sort_keys=True).encode("utf-8"))
+
+    @staticmethod
+    def _decode_manifest(block: DataBlock) -> tuple[int, list[PID]]:
+        try:
+            payload = json.loads(block.data.decode("utf-8"))
+            chunks = [PID(parse_key(hex_key)) for hex_key in payload["chunks"]]
+            return int(payload["size"]), chunks
+        except (ValueError, KeyError, TypeError) as exc:
+            raise FileSystemError(f"malformed manifest block: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def write_file(self, path: str, data: bytes) -> FileVersion:
+        """Write a new version of ``path``; returns its version record.
+
+        Chunks are stored first (each at its ``r - f`` quorum), then the
+        manifest block, then the manifest's PID is committed to the file's
+        version history.  A failure at any stage raises — partially stored
+        chunks are harmless orphans (immutable, content-addressed).
+        """
+        chunks: list[PID] = []
+        for offset in range(0, max(len(data), 1), self._chunk_size):
+            block = DataBlock(data[offset : offset + self._chunk_size])
+            self._store_block(block)
+            chunks.append(block.pid)
+
+        manifest = self._encode_manifest(chunks, len(data))
+        self._store_block(manifest)
+
+        guid = self.guid_for_path(path)
+        operation = self._endpoint.append_version(guid, manifest.pid)
+        if not self._cluster.run_until(lambda: operation.done, timeout=self._timeout):
+            raise FileSystemError(f"commit of {path!r} did not complete in time")
+        if not operation.success:
+            raise FileSystemError(f"commit of {path!r} failed after retries")
+        versions = self.list_versions(path)
+        return versions[-1]
+
+    def _store_block(self, block: DataBlock) -> None:
+        operation = self._endpoint.store_block(block)
+        if not self._cluster.run_until(lambda: operation.done, timeout=self._timeout):
+            raise FileSystemError("block store timed out")
+        if not operation.success:
+            raise FileSystemError("block store failed to reach quorum")
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def list_versions(self, path: str) -> list[FileVersion]:
+        """All committed versions of ``path``, oldest first."""
+        guid = self.guid_for_path(path)
+        operation = self._endpoint.get_history(guid)
+        if not self._cluster.run_until(lambda: operation.done, timeout=self._timeout):
+            raise FileSystemError(f"history retrieval for {path!r} timed out")
+        versions: list[FileVersion] = []
+        for index, (_, pid_hex) in enumerate(operation.agreed):
+            if not pid_hex:
+                continue
+            manifest = self._fetch_block(PID(parse_key(pid_hex)))
+            size, chunks = self._decode_manifest(manifest)
+            versions.append(
+                FileVersion(
+                    index=index,
+                    manifest_pid=manifest.pid,
+                    size=size,
+                    chunk_count=len(chunks),
+                )
+            )
+        return versions
+
+    def read_file(self, path: str, version: int | None = None) -> bytes:
+        """Read a version of ``path`` (default: the latest).
+
+        Every block fetched — manifest and chunks — is verified against
+        its PID by the retrieval path, so corrupt replicas cannot affect
+        the result.
+        """
+        versions = self.list_versions(path)
+        if not versions:
+            raise FileSystemError(f"no such file: {path!r}")
+        try:
+            record = versions[version if version is not None else -1]
+        except IndexError:
+            raise FileSystemError(
+                f"{path!r} has {len(versions)} version(s); no index {version}"
+            ) from None
+        manifest = self._fetch_block(record.manifest_pid)
+        size, chunks = self._decode_manifest(manifest)
+        data = b"".join(self._fetch_block(pid).data for pid in chunks)
+        if len(data) != size:
+            raise FileSystemError(
+                f"assembled {len(data)} bytes for {path!r}, manifest says {size}"
+            )
+        return data
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` has at least one committed version."""
+        return bool(self.list_versions(path))
+
+    def _fetch_block(self, pid: PID) -> DataBlock:
+        operation = self._endpoint.retrieve_block(pid)
+        if not self._cluster.run_until(lambda: operation.done, timeout=self._timeout):
+            raise FileSystemError(f"retrieval of {pid} timed out")
+        if not operation.success or operation.block is None:
+            raise FileSystemError(f"block {pid} unavailable or corrupt everywhere")
+        return operation.block

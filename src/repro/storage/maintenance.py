@@ -1,0 +1,139 @@
+"""Replica maintenance: the background repair processes of paper §2.2.
+
+"Background processes regenerate missing replicas and replace faulty
+nodes ... Additional replicas need to be generated whenever the set of
+nodes storing replicas of a given data item is temporarily reduced.  This
+may occur due to fail-stop faults, which are straightforwardly detected
+through timeouts, or due to the detection of malicious nodes ... using
+periodic cross-checks between replica nodes."
+
+:class:`ReplicaMaintainer` periodically probes the replica set of every
+tracked PID: replicas that fail to answer (fail-stop) or answer with a
+digest that does not match the PID (malicious corruption) are marked
+suspect, and a healthy replica is asked to push a fresh copy to the
+responsible node.  The ``f``-failure limit of the commit protocol applies
+per protocol execution precisely because this process restores redundancy
+between executions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.models.commit import fault_tolerance
+from repro.storage.p2p.keys import parse_key, replica_keys
+from repro.storage.p2p.ring import ChordRing
+from repro.storage.sim.network import Message, Network
+from repro.storage.sim.node import SimNode
+
+
+@dataclass
+class ProbeRound:
+    """One sweep over a PID's replica set."""
+
+    pid_hex: str
+    request_id: str
+    expected: list[str]
+    responses: dict[str, str | None] = field(default_factory=dict)
+    finished: bool = False
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters of maintenance activity."""
+
+    probes_sent: int = 0
+    missing_detected: int = 0
+    corrupt_detected: int = 0
+    repairs_requested: int = 0
+
+
+class ReplicaMaintainer(SimNode):
+    """Periodic cross-checking and re-replication process."""
+
+    def __init__(
+        self,
+        node_id: str,
+        network: Network,
+        ring: ChordRing,
+        replication_factor: int,
+        probe_interval: float = 50.0,
+        probe_timeout: float = 10.0,
+    ):
+        super().__init__(node_id, network)
+        self._ring = ring
+        self._r = replication_factor
+        self._f = fault_tolerance(replication_factor)
+        self._probe_interval = probe_interval
+        self._probe_timeout = probe_timeout
+        self._tracked: set[str] = set()
+        self._rounds: dict[str, ProbeRound] = {}
+        self._sequence = itertools.count(1)
+        self.stats = MaintenanceStats()
+        self.suspected: set[str] = set()
+        self.set_timer(self._probe_interval, self._sweep)
+
+    def track(self, pid_hex: str) -> None:
+        """Start maintaining the replica set of a PID."""
+        self._tracked.add(pid_hex)
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+
+    def _replicas_for(self, pid_hex: str) -> list[str]:
+        return self._ring.responsible_nodes(replica_keys(parse_key(pid_hex), self._r))
+
+    def _sweep(self) -> None:
+        for pid_hex in sorted(self._tracked):
+            self._probe(pid_hex)
+        self.set_timer(self._probe_interval, self._sweep)
+
+    def _probe(self, pid_hex: str) -> None:
+        request_id = f"probe:{self.node_id}:{next(self._sequence)}"
+        replicas = self._replicas_for(pid_hex)
+        probe = ProbeRound(pid_hex=pid_hex, request_id=request_id, expected=replicas)
+        self._rounds[request_id] = probe
+        for replica in replicas:
+            self.stats.probes_sent += 1
+            self.send(replica, "replica_probe", pid=pid_hex, request_id=request_id)
+        self.set_timer(self._probe_timeout, lambda: self._evaluate(probe))
+
+    def on_message(self, message: Message) -> None:
+        if message.kind != "replica_probe_ack":
+            return
+        probe = self._rounds.get(message.payload["request_id"])
+        if probe is None or probe.finished:
+            return
+        probe.responses[message.source] = message.payload["digest"]
+        if len(probe.responses) == len(probe.expected):
+            self._evaluate(probe)
+
+    # ------------------------------------------------------------------
+    # evaluation and repair
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, probe: ProbeRound) -> None:
+        if probe.finished:
+            return
+        probe.finished = True
+        healthy: list[str] = []
+        broken: list[str] = []
+        for replica in probe.expected:
+            digest = probe.responses.get(replica)
+            if digest == probe.pid_hex:
+                healthy.append(replica)
+                continue
+            broken.append(replica)
+            if replica not in probe.responses or digest is None:
+                self.stats.missing_detected += 1
+            else:
+                self.stats.corrupt_detected += 1
+                self.suspected.add(replica)
+        if not healthy:
+            return  # nothing to repair from; the data is lost
+        for replica in broken:
+            source = healthy[0]
+            self.stats.repairs_requested += 1
+            self.send(source, "replicate_to", pid=probe.pid_hex, target=replica)

@@ -1,0 +1,31 @@
+"""Chord-style peer-to-peer key-based routing layer (paper §2, [5,6])."""
+
+from repro.storage.p2p.keys import (
+    KEY_BITS,
+    KEY_SPACE,
+    distance,
+    format_key,
+    in_interval,
+    key_for_bytes,
+    key_for_string,
+    parse_key,
+    replica_keys,
+)
+from repro.storage.p2p.ring import ChordRing
+from repro.storage.p2p.routing import FingerTable, RouteResult, Router
+
+__all__ = [
+    "KEY_BITS",
+    "KEY_SPACE",
+    "ChordRing",
+    "FingerTable",
+    "RouteResult",
+    "Router",
+    "distance",
+    "format_key",
+    "in_interval",
+    "key_for_bytes",
+    "key_for_string",
+    "parse_key",
+    "replica_keys",
+]

@@ -1,0 +1,78 @@
+"""Key space and key derivation (paper §2.1).
+
+The storage layer addresses everything through a 160-bit key space (SHA-1,
+as the paper's prototype).  A data block's PID is the secure hash of its
+contents — which is what makes block retrieval *intrinsically verifiable* —
+and the set of replica locations for a key is produced by "a globally known
+function that deterministically generates a set of keys from a single PID",
+here the paper's stated choice of keys evenly distributed in key space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Width of the identifier space in bits (SHA-1).
+KEY_BITS = 160
+#: Size of the identifier space.
+KEY_SPACE = 1 << KEY_BITS
+
+
+def key_for_bytes(data: bytes) -> int:
+    """SHA-1 of ``data`` as an integer key (a block's PID)."""
+    return int.from_bytes(hashlib.sha1(data).digest(), "big")
+
+
+def key_for_string(text: str) -> int:
+    """SHA-1 of a UTF-8 string (node ids, GUID names)."""
+    return key_for_bytes(text.encode("utf-8"))
+
+
+def format_key(key: int) -> str:
+    """Canonical 40-hex-digit rendering of a key."""
+    return f"{key:040x}"
+
+
+def parse_key(text: str) -> int:
+    """Inverse of :func:`format_key`."""
+    value = int(text, 16)
+    if not 0 <= value < KEY_SPACE:
+        raise ValueError(f"key out of range: {text!r}")
+    return value
+
+
+def replica_keys(key: int, replication_factor: int) -> list[int]:
+    """Deterministic replica key set: evenly spaced around the key circle.
+
+    The paper's prototype "returns a set of keys that are evenly
+    distributed in key space"; the number of keys is the replication
+    factor.  The first key is the input itself, so a block's primary
+    location is its own hash.
+    """
+    if replication_factor < 1:
+        raise ValueError(f"replication factor must be >= 1, got {replication_factor}")
+    stride = KEY_SPACE // replication_factor
+    return [(key + i * stride) % KEY_SPACE for i in range(replication_factor)]
+
+
+def distance(a: int, b: int) -> int:
+    """Clockwise distance from ``a`` to ``b`` on the identifier circle."""
+    return (b - a) % KEY_SPACE
+
+
+def in_interval(key: int, start: int, end: int, inclusive_end: bool = True) -> bool:
+    """Whether ``key`` lies in the circular interval ``(start, end]``.
+
+    With ``inclusive_end=False`` the interval is ``(start, end)``.  The
+    interval wraps when ``end <= start``.  Following the Chord convention,
+    the degenerate interval with ``start == end`` denotes the whole circle
+    (for a one-node ring, every key belongs to that node), minus the
+    endpoint itself in the exclusive case.
+    """
+    if start == end:
+        return True if inclusive_end else key != start
+    if inclusive_end and key == end:
+        return True
+    if start < end:
+        return start < key < end
+    return key > start or key < end

@@ -1,0 +1,117 @@
+"""The Chord-style identifier ring (paper §2, [6]).
+
+"All participating nodes are organised into a logical circle, and messages
+routed around the circle ... 'short-cut' links maintained by each node
+yield routing performance that scales logarithmically with the size of the
+network."
+
+:class:`ChordRing` maintains the membership of the circle — node
+identifiers hashed into the key space — and answers the fundamental
+question of key-based routing: which live node is responsible for a key
+(its *successor*).  Per-node finger tables and the hop-by-hop lookup walk
+live in :mod:`repro.storage.p2p.routing`; the ring provides the ground
+truth those structures approximate, which is also what tests verify
+against.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.core.errors import SimulationError
+from repro.storage.p2p.keys import KEY_SPACE, key_for_string
+
+
+class ChordRing:
+    """Membership and successor resolution on the identifier circle."""
+
+    def __init__(self):
+        self._key_to_node: dict[int, str] = {}
+        self._sorted_keys: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._sorted_keys)
+
+    def __contains__(self, node_id: str) -> bool:
+        return self.node_key(node_id) in self._key_to_node
+
+    @staticmethod
+    def node_key(node_id: str) -> int:
+        """A node's position on the circle: the hash of its identifier."""
+        return key_for_string(node_id)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def join(self, node_id: str) -> int:
+        """Add a node; returns its ring position."""
+        key = self.node_key(node_id)
+        if key in self._key_to_node:
+            if self._key_to_node[key] != node_id:
+                raise SimulationError(
+                    f"hash collision between {node_id!r} and {self._key_to_node[key]!r}"
+                )
+            raise SimulationError(f"node {node_id!r} already joined")
+        self._key_to_node[key] = node_id
+        bisect.insort(self._sorted_keys, key)
+        return key
+
+    def leave(self, node_id: str) -> None:
+        """Remove a node (graceful departure or detected failure)."""
+        key = self.node_key(node_id)
+        if key not in self._key_to_node:
+            raise SimulationError(f"node {node_id!r} is not on the ring")
+        del self._key_to_node[key]
+        index = bisect.bisect_left(self._sorted_keys, key)
+        self._sorted_keys.pop(index)
+
+    def node_ids(self) -> list[str]:
+        """All member node ids in ring order."""
+        return [self._key_to_node[key] for key in self._sorted_keys]
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+
+    def successor(self, key: int) -> str:
+        """The live node responsible for ``key`` (first node at/after it)."""
+        if not self._sorted_keys:
+            raise SimulationError("ring is empty")
+        index = bisect.bisect_left(self._sorted_keys, key % KEY_SPACE)
+        if index == len(self._sorted_keys):
+            index = 0
+        return self._key_to_node[self._sorted_keys[index]]
+
+    def successor_list(self, key: int, count: int) -> list[str]:
+        """The ``count`` nodes following ``key``, clockwise, without repeats."""
+        if not self._sorted_keys:
+            raise SimulationError("ring is empty")
+        count = min(count, len(self._sorted_keys))
+        index = bisect.bisect_left(self._sorted_keys, key % KEY_SPACE)
+        result = []
+        for offset in range(count):
+            position = (index + offset) % len(self._sorted_keys)
+            result.append(self._key_to_node[self._sorted_keys[position]])
+        return result
+
+    def predecessor(self, key: int) -> str:
+        """The node immediately before ``key`` on the circle."""
+        if not self._sorted_keys:
+            raise SimulationError("ring is empty")
+        index = bisect.bisect_left(self._sorted_keys, key % KEY_SPACE) - 1
+        return self._key_to_node[self._sorted_keys[index]]
+
+    def responsible_nodes(self, keys: list[int]) -> list[str]:
+        """Successor of each key, deduplicated preserving order.
+
+        This maps a replica key set (from
+        :func:`repro.storage.p2p.keys.replica_keys`) to the *peer set* for
+        the data item (paper §2.1).  With fewer live nodes than keys, the
+        same node may be responsible for several keys; deduplication means
+        the effective replication factor degrades gracefully.
+        """
+        seen: dict[str, None] = {}
+        for key in keys:
+            seen.setdefault(self.successor(key), None)
+        return list(seen)

@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate for the storage system."""
+
+from repro.storage.sim.kernel import Simulator, Timer
+from repro.storage.sim.network import (
+    ExponentialLatency,
+    FixedLatency,
+    LatencyModel,
+    Message,
+    Network,
+    NetworkStats,
+    UniformLatency,
+)
+from repro.storage.sim.node import SimNode
+
+__all__ = [
+    "ExponentialLatency",
+    "FixedLatency",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "SimNode",
+    "Simulator",
+    "Timer",
+]

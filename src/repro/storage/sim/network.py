@@ -1,0 +1,210 @@
+"""Simulated message-passing network.
+
+Connects :class:`~repro.storage.sim.node.SimNode` instances through the
+event kernel with configurable latency, loss and partitions.  All faults
+the paper's setting implies — slow links, lost messages, partitioned or
+crashed nodes — are injected here or at the node layer, never by mutating
+protocol state directly.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import SimulationError
+from repro.storage.sim.kernel import Simulator
+
+
+class LatencyModel:
+    """Distribution of one-way message delays."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedLatency(LatencyModel):
+    """Constant delay."""
+
+    delay: float = 1.0
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Uniform delay in ``[low, high]``."""
+
+    low: float = 0.5
+    high: float = 1.5
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class ExponentialLatency(LatencyModel):
+    """Exponential delay with the given mean, plus a small floor."""
+
+    mean: float = 1.0
+    floor: float = 0.05
+
+    def sample(self, rng: random.Random) -> float:
+        return self.floor + rng.expovariate(1.0 / self.mean)
+
+
+@dataclass
+class Message:
+    """An addressed protocol message."""
+
+    source: str
+    destination: str
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Message({self.source}->{self.destination} {self.kind} {self.payload})"
+
+
+@dataclass
+class NetworkStats:
+    """Counters of network activity."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    blocked_by_partition: int = 0
+    to_dead_node: int = 0
+
+
+class Network:
+    """Delivers messages between registered nodes via the simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        drop_probability: float = 0.0,
+    ):
+        if not 0.0 <= drop_probability < 1.0:
+            raise SimulationError(
+                f"drop probability must be in [0, 1), got {drop_probability}"
+            )
+        self._sim = sim
+        self._latency = latency or FixedLatency(1.0)
+        self._drop_probability = drop_probability
+        self._rng = sim.new_rng("network")
+        self._nodes: dict[str, "SimNodeLike"] = {}
+        self._partitions: list[set[str]] = []
+        self.stats = NetworkStats()
+        self._taps: list[Callable[[Message], None]] = []
+
+    @property
+    def sim(self) -> Simulator:
+        """The underlying simulator."""
+        return self._sim
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def register(self, node: "SimNodeLike") -> None:
+        """Attach a node; its ``node_id`` must be unique."""
+        if node.node_id in self._nodes:
+            raise SimulationError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: str) -> "SimNodeLike":
+        """Look up a registered node."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise SimulationError(f"unknown node {node_id!r}") from None
+
+    def node_ids(self) -> list[str]:
+        """All registered node ids (insertion order)."""
+        return list(self._nodes)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def set_drop_probability(self, probability: float) -> None:
+        """Change the message loss rate."""
+        if not 0.0 <= probability < 1.0:
+            raise SimulationError(f"drop probability must be in [0, 1), got {probability}")
+        self._drop_probability = probability
+
+    def partition(self, *groups: set[str]) -> None:
+        """Split the network: messages may only flow within a group."""
+        self._partitions = [set(group) for group in groups]
+
+    def heal_partition(self) -> None:
+        """Remove all partitions."""
+        self._partitions = []
+
+    def _partitioned(self, a: str, b: str) -> bool:
+        if not self._partitions:
+            return False
+        for group in self._partitions:
+            if a in group and b in group:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def tap(self, observer: Callable[[Message], None]) -> None:
+        """Observe every message at send time (for tests and metrics)."""
+        self._taps.append(observer)
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Send ``message``; delivery is scheduled per the latency model."""
+        self.stats.sent += 1
+        for observer in self._taps:
+            observer(message)
+        destination = self._nodes.get(message.destination)
+        if destination is None:
+            raise SimulationError(f"send to unknown node {message.destination!r}")
+        if self._partitioned(message.source, message.destination):
+            self.stats.blocked_by_partition += 1
+            return
+        if self._drop_probability and self._rng.random() < self._drop_probability:
+            self.stats.dropped += 1
+            return
+        delay = self._latency.sample(self._rng)
+
+        def deliver() -> None:
+            if not destination.alive:
+                self.stats.to_dead_node += 1
+                return
+            self.stats.delivered += 1
+            destination.handle_message(message)
+
+        self._sim.schedule(delay, deliver)
+
+    def broadcast(self, source: str, destinations: list[str], kind: str, **payload: Any) -> None:
+        """Send one message per destination (excluding ``source`` itself)."""
+        for destination in destinations:
+            if destination == source:
+                continue
+            self.send(Message(source, destination, kind, dict(payload)))
+
+
+class SimNodeLike:
+    """Protocol for objects registrable on a :class:`Network`."""
+
+    node_id: str
+    alive: bool
+
+    def handle_message(self, message: Message) -> None:
+        raise NotImplementedError

@@ -1,0 +1,96 @@
+"""Base class for simulated nodes.
+
+A :class:`SimNode` owns an identifier, liveness state and a connection to
+the network; subclasses implement :meth:`on_message`.  Crash (fail-stop)
+faults flip :attr:`alive` — a dead node silently loses inbound messages
+(the network counts them) and its timers stop firing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.storage.sim.kernel import Simulator, Timer
+from repro.storage.sim.network import Message, Network
+
+
+class SimNode:
+    """A network-attached simulated node."""
+
+    def __init__(self, node_id: str, network: Network):
+        self.node_id = node_id
+        self.alive = True
+        self._network = network
+        self._timers: list[Timer] = []
+        network.register(self)
+
+    @property
+    def network(self) -> Network:
+        """The network this node is attached to."""
+        return self._network
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulation kernel."""
+        return self._network.sim
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+
+    def send(self, destination: str, kind: str, **payload: Any) -> None:
+        """Send a message to another node."""
+        if not self.alive:
+            return
+        self._network.send(Message(self.node_id, destination, kind, dict(payload)))
+
+    def broadcast(self, destinations: list[str], kind: str, **payload: Any) -> None:
+        """Send to every destination except self."""
+        if not self.alive:
+            return
+        self._network.broadcast(self.node_id, destinations, kind, **payload)
+
+    def handle_message(self, message: Message) -> None:
+        """Network entry point; drops messages when dead."""
+        if not self.alive:
+            return
+        self.on_message(message)
+
+    def on_message(self, message: Message) -> None:
+        """Subclass hook: react to a delivered message."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule a callback that is suppressed if the node dies first."""
+
+        def guarded() -> None:
+            if self.alive:
+                callback()
+
+        timer = self.sim.schedule(delay, guarded)
+        self._timers.append(timer)
+        return timer
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: stop processing messages and timers."""
+        self.alive = False
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+
+    def recover(self) -> None:
+        """Return to life (state is whatever survived the crash)."""
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "up" if self.alive else "down"
+        return f"{type(self).__name__}({self.node_id!r}, {status})"

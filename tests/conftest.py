@@ -1,0 +1,54 @@
+"""Shared fixtures: memoized generated machines.
+
+Generation is fast (7 ms at r=4) but used by hundreds of tests, so
+machines, reports and compiled classes are cached per replication factor
+for the whole session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.commit import CommitModel
+from repro.runtime.compile import compile_machine
+
+_MACHINES: dict = {}
+
+
+def commit_machine(replication_factor: int, merge: bool = True):
+    """Session-cached generated commit machine."""
+    key = ("machine", replication_factor, merge)
+    if key not in _MACHINES:
+        _MACHINES[key] = CommitModel(replication_factor).generate_state_machine(
+            merge=merge
+        )
+    return _MACHINES[key]
+
+
+def commit_report(replication_factor: int):
+    """Session-cached generation report."""
+    key = ("report", replication_factor)
+    if key not in _MACHINES:
+        _, report = CommitModel(replication_factor).generate_with_report()
+        _MACHINES[key] = report
+    return _MACHINES[key]
+
+
+def compiled_commit(replication_factor: int):
+    """Session-cached compiled commit machine class."""
+    key = ("compiled", replication_factor)
+    if key not in _MACHINES:
+        _MACHINES[key] = compile_machine(commit_machine(replication_factor))
+    return _MACHINES[key]
+
+
+@pytest.fixture
+def machine_r4():
+    """The merged commit machine for r=4 (33 states)."""
+    return commit_machine(4)
+
+
+@pytest.fixture
+def pruned_r4():
+    """The pruned-but-unmerged commit machine for r=4 (48 states)."""
+    return commit_machine(4, merge=False)

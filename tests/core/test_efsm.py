@@ -1,0 +1,149 @@
+"""Tests for the EFSM representation and executor (paper §5.3)."""
+
+import pytest
+
+from repro.core.efsm import (
+    Efsm,
+    EfsmExecutor,
+    EfsmState,
+    EfsmTransition,
+    EfsmVariable,
+)
+from repro.core.errors import MachineStructureError
+
+
+def traffic_efsm() -> Efsm:
+    """A toy EFSM: a gate opens after `limit` pushes."""
+    efsm = Efsm(
+        "gate",
+        messages=["push", "reset"],
+        variables=[EfsmVariable("pushes")],
+        parameters=["limit"],
+    )
+    closed = efsm.add_state(EfsmState("CLOSED"))
+    efsm.add_state(EfsmState("OPEN", final=True))
+    closed.add(
+        EfsmTransition(
+            "push",
+            "OPEN",
+            guard=lambda v, p: v["pushes"] + 1 >= p["limit"],
+            guard_text="pushes + 1 >= limit",
+            update=lambda v, p: v.__setitem__("pushes", v["pushes"] + 1),
+            actions=("->open",),
+        )
+    )
+    closed.add(
+        EfsmTransition(
+            "push",
+            "CLOSED",
+            guard=lambda v, p: v["pushes"] + 1 < p["limit"],
+            guard_text="pushes + 1 < limit",
+            update=lambda v, p: v.__setitem__("pushes", v["pushes"] + 1),
+        )
+    )
+    closed.add(
+        EfsmTransition(
+            "reset",
+            "CLOSED",
+            guard=lambda v, p: v["pushes"] > 0,
+            guard_text="pushes > 0",
+            update=lambda v, p: v.__setitem__("pushes", 0),
+        )
+    )
+    efsm.set_start("CLOSED")
+    return efsm
+
+
+class TestEfsmStructure:
+    def test_states_and_variables(self):
+        efsm = traffic_efsm()
+        assert len(efsm) == 2
+        assert [v.name for v in efsm.variables] == ["pushes"]
+
+    def test_duplicate_state_rejected(self):
+        efsm = traffic_efsm()
+        with pytest.raises(MachineStructureError):
+            efsm.add_state(EfsmState("CLOSED"))
+
+    def test_final_state_rejects_transitions(self):
+        with pytest.raises(MachineStructureError):
+            EfsmState("DONE", final=True).add(EfsmTransition("push", "DONE"))
+
+    def test_integrity_checks_targets(self):
+        efsm = Efsm("bad", ["m"], [], [])
+        state = efsm.add_state(EfsmState("A"))
+        state.add(EfsmTransition("m", "MISSING"))
+        efsm.set_start("A")
+        with pytest.raises(MachineStructureError):
+            efsm.check_integrity()
+
+    def test_integrity_checks_messages(self):
+        efsm = Efsm("bad", ["m"], [], [])
+        state = efsm.add_state(EfsmState("A"))
+        efsm.add_state(EfsmState("B"))
+        state.add(EfsmTransition("other", "B"))
+        efsm.set_start("A")
+        with pytest.raises(MachineStructureError):
+            efsm.check_integrity()
+
+    def test_transitions_for_preserves_order(self):
+        closed = traffic_efsm().get_state("CLOSED")
+        transitions = closed.transitions_for("push")
+        assert len(transitions) == 2
+        assert transitions[0].actions == ("->open",)
+
+    def test_guard_text_default(self):
+        transition = EfsmTransition("m", "X")
+        assert transition.guard_text == "always"
+
+
+class TestEfsmExecutor:
+    def test_missing_parameters_rejected(self):
+        with pytest.raises(MachineStructureError):
+            EfsmExecutor(traffic_efsm(), {})
+
+    def test_counts_to_limit(self):
+        executor = EfsmExecutor(traffic_efsm(), {"limit": 3})
+        assert executor.receive("push")
+        assert executor.receive("push")
+        assert executor.get_state() == "CLOSED"
+        assert executor.receive("push")
+        assert executor.get_state() == "OPEN"
+        assert executor.is_finished()
+        assert executor.sent == ["open"]
+
+    def test_parameter_changes_behaviour(self):
+        executor = EfsmExecutor(traffic_efsm(), {"limit": 1})
+        executor.receive("push")
+        assert executor.is_finished()
+
+    def test_no_enabled_guard_is_noop(self):
+        executor = EfsmExecutor(traffic_efsm(), {"limit": 3})
+        assert not executor.receive("reset")  # pushes == 0: guard fails
+        assert executor.get_state() == "CLOSED"
+
+    def test_update_applied(self):
+        executor = EfsmExecutor(traffic_efsm(), {"limit": 5})
+        executor.run(["push", "push"])
+        assert executor.variables == {"pushes": 2}
+
+    def test_reset_updates_variable(self):
+        executor = EfsmExecutor(traffic_efsm(), {"limit": 5})
+        executor.run(["push", "push", "reset"])
+        assert executor.variables == {"pushes": 0}
+
+    def test_unknown_message_rejected(self):
+        executor = EfsmExecutor(traffic_efsm(), {"limit": 3})
+        with pytest.raises(MachineStructureError):
+            executor.receive("bogus")
+
+    def test_final_state_ignores_messages(self):
+        executor = EfsmExecutor(traffic_efsm(), {"limit": 1})
+        executor.receive("push")
+        assert not executor.receive("push")
+
+    def test_sink_receives_actions(self):
+        seen = []
+        executor = EfsmExecutor(traffic_efsm(), {"limit": 1}, sink=seen.append)
+        executor.receive("push")
+        assert seen == ["open"]

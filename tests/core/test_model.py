@@ -1,0 +1,154 @@
+"""Unit tests for AbstractModel and TransitionBuilder."""
+
+import pytest
+
+from repro.core.components import BooleanComponent, IntComponent, StateSpace
+from repro.core.errors import InvalidStateError, ModelDefinitionError
+from repro.core.model import AbstractModel, StateView, TransitionBuilder
+
+
+class CounterModel(AbstractModel):
+    """Toy model: count ticks to a limit, then finish."""
+
+    def __init__(self, limit: int):
+        super().__init__(limit=limit)
+        self._limit = limit
+
+    def configure(self, *, limit: int):
+        return [IntComponent("ticks", limit), BooleanComponent("done")], ("tick", "reset")
+
+    def is_final(self, view: StateView) -> bool:
+        return view["done"]
+
+    def generate_transition(self, message: str, b: TransitionBuilder) -> None:
+        if message == "tick":
+            b.increment("ticks", because="Another tick arrived.")
+            if b["ticks"] == self._limit:
+                b.send("alarm", because="Limit reached.")
+                b.set("done", True)
+        elif message == "reset":
+            if b["ticks"] == 0:
+                b.invalid("nothing to reset")
+            b.set("ticks", 0, because="Reset to zero.")
+
+
+def space() -> StateSpace:
+    return StateSpace([BooleanComponent("flag"), IntComponent("count", 2)])
+
+
+class TestStateView:
+    def test_get_by_name(self):
+        view = StateView(space(), (True, 1))
+        assert view["flag"] is True
+        assert view.get("count") == 1
+
+    def test_name(self):
+        assert StateView(space(), (True, 2)).name == "T/2"
+
+
+class TestTransitionBuilder:
+    def test_set_changes_vector(self):
+        builder = TransitionBuilder(space(), (False, 0))
+        builder.set("flag", True)
+        assert builder.vector == (True, 0)
+        assert builder.changed
+
+    def test_source_preserved(self):
+        builder = TransitionBuilder(space(), (False, 0))
+        builder.set("count", 2)
+        assert builder.source_vector == (False, 0)
+
+    def test_increment(self):
+        builder = TransitionBuilder(space(), (False, 1))
+        builder.increment("count")
+        assert builder["count"] == 2
+
+    def test_increment_beyond_maximum_raises_invalid(self):
+        builder = TransitionBuilder(space(), (False, 2))
+        with pytest.raises(InvalidStateError):
+            builder.increment("count")
+
+    def test_set_out_of_range_raises_invalid(self):
+        builder = TransitionBuilder(space(), (False, 0))
+        with pytest.raises(InvalidStateError):
+            builder.set("count", 5)
+
+    def test_send_records_arrow_action(self):
+        builder = TransitionBuilder(space(), (False, 0))
+        builder.send("vote")
+        assert builder.actions == ("->vote",)
+
+    def test_act_records_raw_action(self):
+        builder = TransitionBuilder(space(), (False, 0))
+        builder.act("log")
+        assert builder.actions == ("log",)
+
+    def test_annotations_recorded(self):
+        builder = TransitionBuilder(space(), (False, 0))
+        builder.set("flag", True, because="why not")
+        builder.annotate("extra")
+        assert builder.recorded_annotations == ("why not", "extra")
+
+    def test_is_effective_detects_noops(self):
+        builder = TransitionBuilder(space(), (False, 0))
+        assert not builder.is_effective()
+        builder.send("ping")
+        assert builder.is_effective()
+
+    def test_set_same_value_is_not_a_change(self):
+        builder = TransitionBuilder(space(), (False, 0))
+        builder.set("flag", False)
+        assert not builder.changed
+
+    def test_invalid_helper(self):
+        builder = TransitionBuilder(space(), (False, 0))
+        with pytest.raises(InvalidStateError):
+            builder.invalid("not applicable")
+
+
+class TestAbstractModel:
+    def test_configure_must_be_overridden(self):
+        with pytest.raises(NotImplementedError):
+            AbstractModel()
+
+    def test_bad_configure_shape_rejected(self):
+        class Broken(AbstractModel):
+            def configure(self, **kw):
+                return [BooleanComponent("x")]  # missing messages
+
+        with pytest.raises(ModelDefinitionError):
+            Broken()
+
+    def test_empty_messages_rejected(self):
+        class NoMessages(AbstractModel):
+            def configure(self, **kw):
+                return [BooleanComponent("x")], []
+
+        with pytest.raises(ModelDefinitionError):
+            NoMessages()
+
+    def test_machine_name_includes_parameters(self):
+        assert CounterModel(limit=2).machine_name() == "CounterModel[limit=2]"
+
+    def test_generation_end_to_end(self):
+        machine = CounterModel(limit=2).generate_state_machine()
+        # Reachable: ticks 0,1 (done=F) plus the merged final state.
+        assert len(machine) == 3
+        assert machine.start_state.name == "0/F"
+        assert machine.finish_state is not None
+
+    def test_generated_transition_actions(self):
+        machine = CounterModel(limit=2).generate_state_machine()
+        alarm = machine.get_state("1/F").get_transition("tick")
+        assert alarm.actions == ("->alarm",)
+
+    def test_invalid_messages_absent(self):
+        machine = CounterModel(limit=2).generate_state_machine()
+        # reset in the start state (ticks=0) is invalid: no transition.
+        assert machine.start_state.get_transition("reset") is None
+
+    def test_report_counts(self):
+        _, report = CounterModel(limit=2).generate_with_report()
+        assert report.initial_states == 6  # 3 tick values x 2 done flags
+        assert report.merged_states == 3
+        assert report.total_time > 0

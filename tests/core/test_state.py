@@ -1,0 +1,106 @@
+"""Unit tests for State and Transition value objects."""
+
+import pytest
+
+from repro.core.errors import MachineStructureError
+from repro.core.state import State, Transition
+
+
+class TestTransition:
+    def test_basic_properties(self):
+        transition = Transition("vote", "S2", ["->vote"], ["because"])
+        assert transition.message == "vote"
+        assert transition.target_name == "S2"
+        assert transition.actions == ("->vote",)
+        assert transition.annotations == ("because",)
+
+    def test_phase_transition_has_actions(self):
+        assert Transition("vote", "S2", ["->commit"]).is_phase_transition()
+
+    def test_simple_transition_has_no_actions(self):
+        assert not Transition("vote", "S2").is_phase_transition()
+
+    def test_retarget_preserves_everything_else(self):
+        transition = Transition("vote", "S2", ["->vote"], ["why"])
+        moved = transition.retarget("S9")
+        assert moved.target_name == "S9"
+        assert moved.message == "vote"
+        assert moved.actions == ("->vote",)
+        assert moved.annotations == ("why",)
+
+    def test_signature_excludes_annotations(self):
+        a = Transition("vote", "S2", ["->vote"], ["one"])
+        b = Transition("vote", "S2", ["->vote"], ["different"])
+        assert a.signature() == b.signature()
+        assert a == b
+
+    def test_inequality_on_actions(self):
+        assert Transition("vote", "S2", ["->vote"]) != Transition("vote", "S2")
+
+    def test_hashable(self):
+        assert len({Transition("m", "S"), Transition("m", "S")}) == 1
+
+
+class TestState:
+    def test_record_and_get_transition(self):
+        state = State("S1")
+        transition = Transition("vote", "S2")
+        state.record_transition(transition)
+        assert state.get_transition("vote") is transition
+        assert state.get_transition("commit") is None
+
+    def test_messages_in_insertion_order(self):
+        state = State("S1")
+        state.record_transition(Transition("b", "S2"))
+        state.record_transition(Transition("a", "S3"))
+        assert state.messages() == ("b", "a")
+
+    def test_duplicate_message_rejected(self):
+        state = State("S1")
+        state.record_transition(Transition("vote", "S2"))
+        with pytest.raises(MachineStructureError):
+            state.record_transition(Transition("vote", "S3"))
+
+    def test_final_state_rejects_transitions(self):
+        state = State("DONE", final=True)
+        with pytest.raises(MachineStructureError):
+            state.record_transition(Transition("vote", "S2"))
+
+    def test_annotations_accumulate(self):
+        state = State("S1", annotations=["first"])
+        state.annotate("second", "third")
+        assert state.annotations == ("first", "second", "third")
+
+    def test_merged_names(self):
+        state = State("S1")
+        state.set_merged_names(["A", "B"])
+        assert state.merged_names == ("A", "B")
+
+    def test_replace_transitions(self):
+        state = State("S1")
+        state.record_transition(Transition("vote", "S2"))
+        state.replace_transitions([Transition("vote", "S9"), Transition("commit", "S3")])
+        assert state.get_transition("vote").target_name == "S9"
+        assert len(state.transitions) == 2
+
+    def test_replace_transitions_rejects_duplicates(self):
+        state = State("S1")
+        with pytest.raises(MachineStructureError):
+            state.replace_transitions([Transition("vote", "A"), Transition("vote", "B")])
+
+    def test_transition_signature_is_order_independent(self):
+        left = State("L")
+        left.record_transition(Transition("a", "X"))
+        left.record_transition(Transition("b", "Y"))
+        right = State("R")
+        right.record_transition(Transition("b", "Y"))
+        right.record_transition(Transition("a", "X"))
+        assert left.transition_signature() == right.transition_signature()
+
+    def test_vector_retained(self):
+        state = State("T/0", vector=(True, 0))
+        assert state.vector == (True, 0)
+
+    def test_component_requires_vector(self):
+        with pytest.raises(MachineStructureError):
+            State("S1").component(None, "flag")

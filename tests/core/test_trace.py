@@ -1,0 +1,121 @@
+"""Tests for trace recording, replay and exhaustive enumeration."""
+
+import pytest
+
+from repro.baselines.generic_commit import GenericCommitAlgorithm
+from repro.core.trace import (
+    TraceRecorder,
+    count_reachable_traces,
+    enumerate_traces,
+    replay,
+)
+from repro.models.commit_efsm import commit_efsm_executor
+from repro.runtime.interp import MachineInterpreter
+from tests.conftest import commit_machine, compiled_commit
+
+
+class TestTraceRecorder:
+    def test_records_steps(self):
+        recorder = TraceRecorder(MachineInterpreter(commit_machine(4)))
+        recorder.run(["free", "update"])
+        trace = recorder.trace
+        assert len(trace) == 2
+        assert trace.messages == ["free", "update"]
+        assert trace.steps[1].actions == ("vote", "not_free")
+        assert trace.final_state() == "T/0/T/0/F/T/T"
+
+    def test_records_noop_steps(self):
+        recorder = TraceRecorder(MachineInterpreter(commit_machine(4)))
+        recorder.receive("not_free")
+        assert recorder.trace.steps[0].fired is False
+        assert recorder.trace.steps[0].actions == ()
+
+    def test_actions_flattened(self):
+        recorder = TraceRecorder(MachineInterpreter(commit_machine(4)))
+        recorder.run(["free", "update", "vote", "vote"])
+        assert recorder.trace.actions == ["vote", "not_free", "commit"]
+
+    def test_delegates_to_target(self):
+        recorder = TraceRecorder(MachineInterpreter(commit_machine(4)))
+        assert recorder.get_state() == "F/0/F/0/F/F/F"
+        assert not recorder.is_finished()
+
+
+class TestReplay:
+    def test_identical_implementation_matches(self):
+        recorder = TraceRecorder(MachineInterpreter(commit_machine(4)))
+        recorder.run(["free", "update", "vote", "vote", "commit", "commit"])
+        mismatches = replay(recorder.trace, compiled_commit(4).new_instance())
+        assert mismatches == []
+
+    def test_efsm_matches_without_state_names(self):
+        recorder = TraceRecorder(MachineInterpreter(commit_machine(4)))
+        recorder.run(["free", "update", "vote", "commit"])
+        mismatches = replay(
+            recorder.trace, commit_efsm_executor(4), compare_states=False
+        )
+        assert mismatches == []
+
+    def test_divergence_detected(self):
+        recorder = TraceRecorder(MachineInterpreter(commit_machine(4)))
+        # At the second vote r=4 crosses its 2f+1=3 threshold; r=7 (whose
+        # threshold is 5) does not, so actions diverge there.
+        recorder.run(["free", "update", "vote", "vote"])
+        mismatches = replay(
+            recorder.trace, MachineInterpreter(commit_machine(7))
+        )
+        assert mismatches
+        assert "actions" in {m.field_name for m in mismatches}
+
+    def test_mismatch_str(self):
+        recorder = TraceRecorder(MachineInterpreter(commit_machine(4)))
+        recorder.run(["free", "update", "vote", "vote"])
+        mismatches = replay(recorder.trace, MachineInterpreter(commit_machine(7)))
+        assert "step" in str(mismatches[0])
+
+
+class TestEnumeration:
+    def test_depth_one_counts_applicable_messages(self):
+        machine = commit_machine(4)
+        traces = [t for t in enumerate_traces(machine, 1)]
+        applicable = len(
+            [m for m in machine.messages if machine.start_state.get_transition(m)]
+        )
+        assert len(traces) == applicable
+
+    def test_depth_bound_respected(self):
+        for trace in enumerate_traces(commit_machine(4), 3):
+            assert 1 <= len(trace) <= 3
+
+    def test_counts_grow_with_depth(self):
+        machine = commit_machine(4)
+        counts = [count_reachable_traces(machine, depth) for depth in (1, 2, 3)]
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_exhaustive_conformance_to_depth_5(self):
+        """EVERY distinguishable trace up to length 5 agrees across the
+        generic algorithm and the compiled generated machine.
+
+        This is the exhaustive (not sampled) version of the differential
+        tests: determinism makes these traces a complete behaviour cover
+        at this depth.
+        """
+        pruned = commit_machine(4, merge=False)
+        compiled = compiled_commit(4)
+        checked = 0
+        for messages in enumerate_traces(pruned, 5):
+            generic = GenericCommitAlgorithm(4)
+            instance = compiled.new_instance()
+            generic.run(messages)
+            for message in messages:
+                instance.receive(message)
+            assert generic.sent == instance.sent, messages
+            assert generic.is_finished() == instance.is_finished(), messages
+            checked += 1
+        assert checked > 200
+
+    def test_include_inapplicable_probes(self):
+        machine = commit_machine(4)
+        with_probes = sum(1 for _ in enumerate_traces(machine, 2, include_inapplicable=True))
+        without = sum(1 for _ in enumerate_traces(machine, 2))
+        assert with_probes > without

@@ -1,0 +1,80 @@
+"""Tests for structural machine validation."""
+
+from repro.core.machine import StateMachine
+from repro.core.state import State, Transition
+from repro.core.validate import assert_valid, validate_machine
+from tests.conftest import commit_machine
+
+
+def clean_machine() -> StateMachine:
+    machine = StateMachine(["go"], name="clean")
+    machine.add_state(State("A"))
+    machine.add_state(State("B", final=True))
+    machine.get_state("A").record_transition(Transition("go", "B"))
+    machine.set_start("A")
+    machine.set_finish("B")
+    return machine
+
+
+class TestValidateMachine:
+    def test_clean_machine_passes(self):
+        report = validate_machine(clean_machine())
+        assert report.ok
+        assert str(report) == "machine valid"
+
+    def test_unreachable_state_reported(self):
+        machine = clean_machine()
+        machine.add_state(State("ORPHAN", final=True))
+        report = validate_machine(machine)
+        assert not report.ok
+        assert any("unreachable" in issue for issue in report.issues)
+
+    def test_unused_message_reported(self):
+        machine = StateMachine(["go", "never"], name="m")
+        machine.add_state(State("A"))
+        machine.add_state(State("B", final=True))
+        machine.get_state("A").record_transition(Transition("go", "B"))
+        machine.set_start("A")
+        report = validate_machine(machine)
+        assert any("never" in issue for issue in report.issues)
+
+    def test_dead_end_reported(self):
+        machine = StateMachine(["go"], name="m")
+        machine.add_state(State("A"))
+        machine.add_state(State("B"))  # non-final, no transitions
+        machine.get_state("A").record_transition(Transition("go", "B"))
+        machine.set_start("A")
+        report = validate_machine(machine)
+        assert any("dead end" in issue for issue in report.issues)
+
+    def test_multiple_finals_without_finish_reported(self):
+        machine = StateMachine(["go", "stop"], name="m")
+        machine.add_state(State("A"))
+        machine.add_state(State("B", final=True))
+        machine.add_state(State("C", final=True))
+        machine.get_state("A").record_transition(Transition("go", "B"))
+        machine.get_state("A").record_transition(Transition("stop", "C"))
+        machine.set_start("A")
+        report = validate_machine(machine)
+        assert any("finish" in issue for issue in report.issues)
+
+    def test_assert_valid_raises_with_details(self):
+        machine = clean_machine()
+        machine.add_state(State("ORPHAN", final=True))
+        try:
+            assert_valid(machine)
+        except AssertionError as error:
+            assert "ORPHAN" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("expected assert_valid to fail")
+
+    def test_generated_commit_machines_are_valid(self):
+        for r in (4, 7):
+            assert validate_machine(commit_machine(r)).ok
+
+    def test_pruned_commit_machine_valid(self):
+        # Before merging there are many final states but pruning keeps all
+        # reachable, so the only expected issue is the missing finish
+        # designation.
+        report = validate_machine(commit_machine(4, merge=False))
+        assert all("finish" in issue for issue in report.issues)

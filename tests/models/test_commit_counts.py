@@ -1,0 +1,154 @@
+"""The paper's Table 1 and §3.1 state counts, reproduced exactly."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import (
+    initial_state_count,
+    merged_state_count,
+    merged_state_formula,
+)
+from repro.models.commit import CommitModel, fault_tolerance
+from tests.conftest import commit_machine, commit_report
+
+#: (f, r, initial, final) exactly as published in Table 1.
+TABLE1 = [
+    (1, 4, 512, 33),
+    (2, 7, 1568, 85),
+    (4, 13, 5408, 261),
+    (8, 25, 20000, 901),
+    (15, 46, 67712, 2945),
+]
+
+
+class TestTable1:
+    @pytest.mark.parametrize("f,r,initial,final", TABLE1)
+    def test_fault_tolerance_column(self, f, r, initial, final):
+        assert fault_tolerance(r) == f
+
+    @pytest.mark.parametrize("f,r,initial,final", TABLE1)
+    def test_initial_states_column(self, f, r, initial, final):
+        assert commit_report(r).initial_states == initial
+
+    @pytest.mark.parametrize("f,r,initial,final", TABLE1)
+    def test_final_states_column(self, f, r, initial, final):
+        assert commit_report(r).merged_states == final
+
+    @pytest.mark.parametrize("f,r,initial,final", TABLE1)
+    def test_initial_formula(self, f, r, initial, final):
+        assert initial_state_count(r) == 32 * r * r == initial
+
+    @pytest.mark.parametrize("f,r,initial,final", TABLE1)
+    def test_merged_formula(self, f, r, initial, final):
+        assert merged_state_formula(f) == final
+
+
+class TestSection31Claims:
+    """§3.1: '33 states with 3-4 transitions from each' for r=4."""
+
+    def test_33_states(self):
+        assert len(commit_machine(4)) == 33
+
+    def test_most_states_have_3_or_4_transitions(self):
+        machine = commit_machine(4)
+        live = [s for s in machine.states if not s.final]
+        counts = [len(s.transitions) for s in live]
+        in_range = sum(1 for c in counts if 3 <= c <= 4)
+        assert in_range / len(counts) > 0.5
+        assert max(counts) == 4
+
+    def test_pruning_example(self):
+        """§3.4: 'this step reduces the state space from 512 to 48'."""
+        assert commit_report(4).initial_states == 512
+        assert commit_report(4).reachable_states == 48
+
+    def test_no_reachable_commit_count_beyond_f(self):
+        """§3.4: 'no reachable states where the commit count exceeds f'
+        (other than the terminal states the finish transition lands in)."""
+        machine = commit_machine(4, merge=False)
+        space = machine.space
+        f = 1
+        for state in machine.states:
+            commits = space.get(state.vector, "commits_received")
+            if state.final:
+                assert commits == f + 1
+            else:
+                assert commits <= f
+
+
+class TestReachableInvariants:
+    """Structural invariants of the reachable commit state space."""
+
+    @pytest.mark.parametrize("r", [4, 7])
+    def test_vote_sent_implies_chosen_equals_could_choose(self, r):
+        """Holds for all *live* states; the finish transition's forced vote
+        can land a terminal state with vote_sent and could_choose set but
+        has_chosen clear, so terminal states are exempt."""
+        machine = commit_machine(r, merge=False)
+        space = machine.space
+        for state in machine.states:
+            if state.final:
+                continue
+            vote_sent = space.get(state.vector, "vote_sent")
+            could_choose = space.get(state.vector, "could_choose")
+            has_chosen = space.get(state.vector, "has_chosen")
+            if vote_sent:
+                assert has_chosen == could_choose
+            else:
+                assert not has_chosen
+
+    @pytest.mark.parametrize("r", [4, 7])
+    def test_commit_sent_requires_vote_sent(self, r):
+        machine = commit_machine(r, merge=False)
+        space = machine.space
+        for state in machine.states:
+            if space.get(state.vector, "commit_sent"):
+                assert space.get(state.vector, "vote_sent")
+
+    def test_start_state_is_all_clear(self):
+        assert commit_machine(4).start_state.name == "F/0/F/0/F/F/F"
+
+    def test_finish_state_designated(self):
+        machine = commit_machine(4)
+        assert machine.finish_state is not None
+        assert machine.finish_state.final
+
+    def test_every_phase_transition_sends_messages(self):
+        machine = commit_machine(4)
+        for _, transition in machine.transitions():
+            if transition.is_phase_transition():
+                assert all(action.startswith("->") for action in transition.actions)
+
+
+@settings(max_examples=12, deadline=None)
+@given(r=st.integers(min_value=4, max_value=24))
+def test_property_merged_size_matches_general_formula(r):
+    """For any replication factor, merged size is
+    ``12f²+16f+5 + (r-3f-1)(4f+4)``.
+
+    The paper only publishes the five ``r = 3f+1`` points (where the slack
+    term vanishes); the general closed form was discovered during
+    calibration and is a stronger statement.
+    """
+    machine = CommitModel(r).generate_state_machine()
+    assert len(machine) == merged_state_count(r)
+
+
+@pytest.mark.parametrize("f", [1, 2, 3, 4, 5])
+def test_minimal_r_has_no_slack(f):
+    """At r = 3f+1 the general formula reduces to the Table 1 one."""
+    assert merged_state_count(3 * f + 1) == merged_state_formula(f)
+
+
+@settings(max_examples=12, deadline=None)
+@given(r=st.integers(min_value=4, max_value=24))
+def test_property_initial_size_is_32_r_squared(r):
+    model = CommitModel(r)
+    assert model.space.size() == 32 * r * r
+
+
+def test_minimum_replication_factor_enforced():
+    from repro.core.errors import ModelDefinitionError
+
+    with pytest.raises(ModelDefinitionError):
+        CommitModel(3)

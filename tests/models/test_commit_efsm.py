@@ -1,0 +1,111 @@
+"""Tests of the 9-state commit EFSM (paper §5.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.spectrum import (
+    efsm_phase_transitions,
+    phase_names,
+    phase_quotient,
+)
+from repro.models.commit import MESSAGES, CommitModel
+from repro.models.commit_efsm import (
+    STATE_NAMES,
+    build_commit_efsm,
+    commit_efsm_executor,
+)
+from repro.runtime.interp import MachineInterpreter
+from tests.conftest import commit_machine
+
+
+class TestStructure:
+    def test_nine_states(self):
+        """§5.3: 'The resulting EFSM contains 9 states.'"""
+        assert len(build_commit_efsm()) == 9
+        assert len(STATE_NAMES) == 9
+
+    def test_two_variables(self):
+        efsm = build_commit_efsm()
+        assert {v.name for v in efsm.variables} == {
+            "votes_received",
+            "commits_received",
+        }
+
+    def test_generic_in_replication_factor(self):
+        """The EFSM takes r as a runtime parameter, not a generation one."""
+        efsm = build_commit_efsm()
+        assert efsm.parameter_names == ("replication_factor",)
+
+    def test_single_final_state(self):
+        efsm = build_commit_efsm()
+        finals = [s for s in efsm.states if s.final]
+        assert [s.name for s in finals] == ["FINISHED"]
+
+    def test_integrity(self):
+        build_commit_efsm().check_integrity()
+
+
+class TestQuotientCrossValidation:
+    """Derive the phase structure from generated FSMs and compare."""
+
+    @pytest.mark.parametrize("r", [4, 5, 7, 10, 13])
+    def test_phase_count_is_nine(self, r):
+        pruned = CommitModel(r).generate_state_machine(merge=False)
+        assert len(phase_names(pruned)) == 9
+
+    @pytest.mark.parametrize("r", [4, 7, 13])
+    def test_quotient_equals_hand_built_efsm(self, r):
+        pruned = CommitModel(r).generate_state_machine(merge=False)
+        assert phase_quotient(pruned) == efsm_phase_transitions(build_commit_efsm())
+
+
+class TestDifferentialExecution:
+    """The EFSM and the FSM behave identically on any message trace."""
+
+    @pytest.mark.parametrize("r", [4, 7])
+    def test_random_traces_agree(self, r):
+        rng = random.Random(1234 + r)
+        machine = commit_machine(r, merge=False)
+        for _ in range(100):
+            fsm = MachineInterpreter(machine)
+            efsm = commit_efsm_executor(r)
+            for _ in range(30):
+                message = rng.choice(MESSAGES)
+                fsm.receive(message)
+                efsm.receive(message)
+                assert fsm.sent == efsm.sent
+                assert fsm.is_finished() == efsm.is_finished()
+
+    def test_full_commit_sequence(self):
+        efsm = commit_efsm_executor(4)
+        actions = efsm.run(["free", "update", "vote", "vote", "commit", "commit"])
+        assert actions == ["vote", "not_free", "commit", "free"]
+        assert efsm.is_finished()
+
+    def test_forced_vote_path(self):
+        efsm = commit_efsm_executor(4)
+        efsm.run(["vote", "vote", "vote"])
+        assert efsm.get_state() == "F/T/T/F/F"
+        assert efsm.sent == ["vote", "commit"]
+
+    def test_variables_track_counts(self):
+        efsm = commit_efsm_executor(7)
+        efsm.run(["vote", "vote", "commit"])
+        assert efsm.variables == {"votes_received": 2, "commits_received": 1}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    r=st.sampled_from([4, 7]),
+    trace=st.lists(st.sampled_from(MESSAGES), min_size=0, max_size=25),
+)
+def test_property_efsm_equals_fsm(r, trace):
+    """Property: identical actions and finality on arbitrary traces."""
+    fsm = MachineInterpreter(commit_machine(r, merge=False))
+    efsm = commit_efsm_executor(r)
+    fsm.run(list(trace))
+    efsm.run(list(trace))
+    assert fsm.sent == efsm.sent
+    assert fsm.is_finished() == efsm.is_finished()

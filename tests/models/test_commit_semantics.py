@@ -1,0 +1,136 @@
+"""Semantic tests of the commit model against the paper's figures."""
+
+import pytest
+
+from repro.models.commit import CommitModel, generate_commit_machine
+from tests.conftest import commit_machine
+
+
+class TestThresholds:
+    def test_vote_threshold(self):
+        assert CommitModel(4).vote_threshold == 3
+        assert CommitModel(7).vote_threshold == 5
+
+    def test_commit_threshold(self):
+        assert CommitModel(4).commit_threshold == 2
+        assert CommitModel(13).commit_threshold == 5
+
+    def test_machine_name(self):
+        assert CommitModel(4).machine_name() == "commit[r=4]"
+
+    def test_generate_commit_machine_helper(self):
+        assert len(generate_commit_machine(4)) == 33
+
+
+class TestFig14State:
+    """The exact state the paper renders in Fig 14: T/2/F/0/F/F/F."""
+
+    @pytest.fixture
+    def state(self):
+        return commit_machine(4).get_state("T/2/F/0/F/F/F")
+
+    def test_vote_transition(self, state):
+        transition = state.get_transition("vote")
+        assert transition.actions == ("->vote", "->commit")
+        assert transition.target_name == "T/3/T/0/T/F/F"
+
+    def test_commit_transition(self, state):
+        transition = state.get_transition("commit")
+        assert transition.actions == ()
+        assert transition.target_name == "T/2/F/1/F/F/F"
+
+    def test_free_transition(self, state):
+        transition = state.get_transition("free")
+        assert transition.actions == ("->vote", "->commit", "->not_free")
+        assert transition.target_name == "T/2/T/0/T/T/T"
+
+    def test_no_update_transition(self, state):
+        """Fig 14 lists no UPDATE row: the update was already received."""
+        assert state.get_transition("update") is None
+
+    def test_no_not_free_transition(self, state):
+        """Fig 14 lists no NOT FREE row: could_choose is already clear."""
+        assert state.get_transition("not_free") is None
+
+    def test_description_mentions_thresholds(self, state):
+        text = "\n".join(state.annotations)
+        assert "vote threshold (3)" in text
+        assert "external commit threshold (2)" in text
+
+    def test_description_waiting_lines(self, state):
+        text = "\n".join(state.annotations)
+        assert "Waiting for 1 further vote" in text
+        assert "Waiting for 2 further external commits" in text
+
+
+class TestTransitionSemantics:
+    def test_start_update_without_permission_only_records(self):
+        machine = commit_machine(4)
+        transition = machine.start_state.get_transition("update")
+        assert transition.actions == ()
+        # update_received flips, nothing else.
+        assert transition.target_name.startswith("T/0/F/0/F/F")
+
+    def test_start_free_grants_choice(self):
+        machine = commit_machine(4)
+        transition = machine.start_state.get_transition("free")
+        assert transition.target_name == "F/0/F/0/F/T/F"
+
+    def test_free_then_update_votes_immediately(self):
+        machine = commit_machine(4)
+        free_state = machine.get_state("F/0/F/0/F/T/F")
+        transition = free_state.get_transition("update")
+        assert transition.actions == ("->vote", "->not_free")
+
+    def test_forced_vote_at_threshold(self):
+        """Receipt of the (2f+1)-th vote forces a vote and a commit."""
+        machine = commit_machine(4)
+        state = machine.get_state("F/2/F/0/F/F/F")
+        transition = state.get_transition("vote")
+        assert transition.actions == ("->vote", "->commit")
+
+    def test_forced_vote_with_choice_claims_it(self):
+        machine = commit_machine(4)
+        state = machine.get_state("F/2/F/0/F/T/F")
+        transition = state.get_transition("vote")
+        assert transition.actions == ("->not_free", "->vote", "->commit")
+
+    def test_finish_frees_when_chosen(self):
+        """The final commit sends `free` iff this update was chosen here."""
+        machine = commit_machine(4)
+        chosen = machine.get_state("T/2/T/1/T/T/T").get_transition("commit")
+        assert "->free" in chosen.actions
+        unchosen = machine.get_state("T/3/T/1/T/F/F").get_transition("commit")
+        assert "->free" not in unchosen.actions
+
+    def test_finish_transitions_target_finish_state(self):
+        machine = commit_machine(4)
+        finish = machine.finish_state.name
+        for state in machine.states:
+            transition = state.get_transition("commit")
+            if transition is None:
+                continue
+            cr = machine.space.get(state.vector, "commits_received")
+            if cr == 1:  # the (f+1)-th commit arrives
+                assert transition.target_name == finish
+
+    def test_annotations_on_transitions(self):
+        machine = commit_machine(4)
+        transition = machine.start_state.get_transition("vote")
+        assert any("voted" in a.lower() or "vote" in a.lower()
+                   for a in transition.annotations)
+
+
+class TestFig3Excerpt:
+    """Fig 3's narrative: in a state with 2 total votes and 1 commit
+    received, one more vote crosses the committing threshold, sending a
+    commit message."""
+
+    def test_threshold_crossing_sends_commit(self):
+        machine = commit_machine(4)
+        # votes_received=2, vote_sent=F, commits_received=1: next vote is
+        # the third -> phase transition with ->vote and ->commit.
+        state = machine.get_state("T/2/F/1/F/F/F")
+        transition = state.get_transition("vote")
+        assert "->commit" in transition.actions
+        assert "->vote" in transition.actions

@@ -1,0 +1,162 @@
+"""Tests for the §5.2 applicability models."""
+
+import pytest
+
+from repro.core.errors import ModelDefinitionError
+from repro.core.validate import validate_machine
+from repro.models.chandra_toueg import CoordinatorRoundModel, majority
+from repro.models.termination import TerminationModel
+from repro.models.threshold_sig import ThresholdSignatureModel
+from repro.runtime.compile import compile_machine
+from repro.runtime.interp import MachineInterpreter
+
+
+class TestThresholdSignature:
+    def test_parameter_validation(self):
+        with pytest.raises(ModelDefinitionError):
+            ThresholdSignatureModel(signers=0, threshold=1)
+        with pytest.raises(ModelDefinitionError):
+            ThresholdSignatureModel(signers=3, threshold=4)
+
+    def test_generates_valid_machine(self):
+        machine = ThresholdSignatureModel(signers=5, threshold=3).generate_state_machine()
+        assert validate_machine(machine).ok
+
+    def test_assembles_at_threshold_with_local_share(self):
+        machine = ThresholdSignatureModel(signers=5, threshold=3).generate_state_machine()
+        interp = MachineInterpreter(machine)
+        interp.run(["request", "share", "share"])
+        assert interp.is_finished()
+        assert interp.sent == ["share", "assemble"]
+
+    def test_shares_before_request_do_not_assemble(self):
+        machine = ThresholdSignatureModel(signers=5, threshold=2).generate_state_machine()
+        interp = MachineInterpreter(machine)
+        interp.run(["share", "share", "share"])
+        assert not interp.is_finished()
+        interp.receive("request")
+        assert interp.is_finished()
+        assert interp.sent == ["share", "assemble"]
+
+    def test_revoke_delays_assembly(self):
+        machine = ThresholdSignatureModel(signers=5, threshold=3).generate_state_machine()
+        interp = MachineInterpreter(machine)
+        interp.run(["share", "revoke", "request", "share"])
+        assert not interp.is_finished()
+        interp.receive("share")
+        assert interp.is_finished()
+
+    def test_revoke_with_no_shares_is_invalid(self):
+        machine = ThresholdSignatureModel(signers=4, threshold=2).generate_state_machine()
+        assert machine.start_state.get_transition("revoke") is None
+
+    def test_family_scales_with_signers(self):
+        small = ThresholdSignatureModel(signers=3, threshold=2).generate_state_machine()
+        large = ThresholdSignatureModel(signers=9, threshold=2).generate_state_machine()
+        assert len(large) > len(small)
+
+    def test_k_equals_one_assembles_on_request(self):
+        machine = ThresholdSignatureModel(signers=3, threshold=1).generate_state_machine()
+        interp = MachineInterpreter(machine)
+        interp.receive("request")
+        assert interp.is_finished()
+
+
+class TestTermination:
+    def test_parameter_validation(self):
+        with pytest.raises(ModelDefinitionError):
+            TerminationModel(max_tasks=0)
+
+    def test_generates_valid_machine(self):
+        machine = TerminationModel(max_tasks=3).generate_state_machine()
+        assert validate_machine(machine).ok
+
+    def test_passive_probe_echoes_immediately(self):
+        machine = TerminationModel(max_tasks=2).generate_state_machine()
+        interp = MachineInterpreter(machine)
+        interp.receive("probe")
+        assert interp.is_finished()
+        assert interp.sent == ["echo"]
+
+    def test_active_probe_defers_echo(self):
+        machine = TerminationModel(max_tasks=2).generate_state_machine()
+        interp = MachineInterpreter(machine)
+        interp.run(["task", "probe"])
+        assert not interp.is_finished()
+        interp.receive("done")
+        assert interp.is_finished()
+        assert interp.sent == ["echo"]
+
+    def test_echo_waits_for_all_tasks(self):
+        machine = TerminationModel(max_tasks=3).generate_state_machine()
+        interp = MachineInterpreter(machine)
+        interp.run(["task", "task", "probe", "done"])
+        assert not interp.is_finished()
+        interp.receive("done")
+        assert interp.is_finished()
+
+    def test_done_without_task_is_invalid(self):
+        machine = TerminationModel(max_tasks=2).generate_state_machine()
+        assert machine.start_state.get_transition("done") is None
+
+    def test_task_overflow_is_invalid(self):
+        machine = TerminationModel(max_tasks=1).generate_state_machine()
+        interp = MachineInterpreter(machine)
+        interp.receive("task")
+        assert not interp.receive("task")  # at the bound: not applicable
+
+    def test_compiled_matches_interpreted(self):
+        machine = TerminationModel(max_tasks=2).generate_state_machine()
+        compiled = compile_machine(machine).new_instance()
+        interp = MachineInterpreter(machine)
+        for message in ["task", "probe", "task", "done", "done"]:
+            compiled.receive(message)
+            interp.receive(message)
+        assert compiled.get_state() == interp.get_state()
+        assert compiled.sent == interp.sent
+
+
+class TestCoordinatorRound:
+    def test_majority(self):
+        assert majority(3) == 2
+        assert majority(4) == 3
+        assert majority(5) == 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelDefinitionError):
+            CoordinatorRoundModel(processes=2)
+
+    def test_generates_valid_machine(self):
+        machine = CoordinatorRoundModel(processes=5).generate_state_machine()
+        assert validate_machine(machine).ok
+
+    def test_broadcast_after_majority_estimates(self):
+        machine = CoordinatorRoundModel(processes=5).generate_state_machine()
+        interp = MachineInterpreter(machine)
+        interp.receive("estimate")
+        assert interp.sent == []
+        interp.receive("estimate")  # external majority = 2 for n=5
+        assert interp.sent == ["estimate"]
+
+    def test_decides_after_majority_acks(self):
+        machine = CoordinatorRoundModel(processes=5).generate_state_machine()
+        interp = MachineInterpreter(machine)
+        interp.run(["estimate", "estimate", "ack", "ack"])
+        assert interp.is_finished()
+        assert interp.sent == ["estimate", "decide"]
+
+    def test_ack_before_broadcast_is_invalid(self):
+        machine = CoordinatorRoundModel(processes=5).generate_state_machine()
+        assert machine.start_state.get_transition("ack") is None
+
+    def test_suspicion_aborts(self):
+        machine = CoordinatorRoundModel(processes=5).generate_state_machine()
+        interp = MachineInterpreter(machine)
+        interp.run(["estimate", "suspect"])
+        assert interp.is_finished()
+        assert interp.sent == ["abort"]
+
+    def test_family_scales_with_processes(self):
+        small = CoordinatorRoundModel(processes=3).generate_state_machine()
+        large = CoordinatorRoundModel(processes=9).generate_state_machine()
+        assert len(large) > len(small)

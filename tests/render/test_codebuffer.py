@@ -1,0 +1,109 @@
+"""Tests for the Fig 18 code-generation utilities."""
+
+import pytest
+
+from repro.core.errors import RenderError
+from repro.render.codebuffer import CodeBuffer
+
+
+class TestBasicAccumulation:
+    def test_add_line(self):
+        buffer = CodeBuffer()
+        buffer.add_line("hello")
+        assert buffer.text() == "hello\n"
+
+    def test_add_joins_items(self):
+        buffer = CodeBuffer()
+        buffer.add("a", "b").add_line("c")
+        assert buffer.text() == "abc\n"
+
+    def test_blank_line(self):
+        buffer = CodeBuffer()
+        buffer.add_line("x").blank().add_line("y")
+        assert buffer.text() == "x\n\ny\n"
+
+    def test_blank_terminates_open_line(self):
+        buffer = CodeBuffer()
+        buffer.add("partial").blank()
+        assert buffer.text() == "partial\n\n"
+
+
+class TestIndentation:
+    def test_python_style_blocks(self):
+        buffer = CodeBuffer()
+        buffer.enter_block("def f():")
+        buffer.add_line("return 1")
+        buffer.exit_block()
+        assert buffer.text() == "def f():\n    return 1\n"
+
+    def test_nested_blocks(self):
+        buffer = CodeBuffer(indent_unit="  ")
+        buffer.enter_block("a:")
+        buffer.enter_block("b:")
+        buffer.add_line("c")
+        buffer.exit_block()
+        buffer.exit_block()
+        assert buffer.text() == "a:\n  b:\n    c\n"
+
+    def test_manual_indent(self):
+        buffer = CodeBuffer()
+        buffer.increase_indent().add_line("in").decrease_indent().add_line("out")
+        assert buffer.text() == "    in\nout\n"
+
+    def test_reset_indent(self):
+        buffer = CodeBuffer()
+        buffer.increase_indent().increase_indent().reset_indent()
+        buffer.add_line("flat")
+        assert buffer.text() == "flat\n"
+
+    def test_indent_applies_only_at_line_start(self):
+        buffer = CodeBuffer()
+        buffer.increase_indent()
+        buffer.add("a").add("b").add_line("")
+        buffer.decrease_indent()
+        assert buffer.text() == "    ab\n"
+
+
+class TestBraceBlocks:
+    def test_java_style_block(self):
+        buffer = CodeBuffer(brace_blocks=True)
+        buffer.enter_block("void f()")
+        buffer.add_line("return;")
+        buffer.exit_block()
+        assert buffer.text() == "void f() {\n    return;\n}\n"
+
+    def test_anonymous_block(self):
+        buffer = CodeBuffer(brace_blocks=True)
+        buffer.enter_block()
+        buffer.add_line("x;")
+        buffer.exit_block()
+        assert buffer.text() == "{\n    x;\n}\n"
+
+
+class TestBalanceChecks:
+    def test_exit_without_enter(self):
+        with pytest.raises(RenderError):
+            CodeBuffer().exit_block()
+
+    def test_decrease_below_zero(self):
+        with pytest.raises(RenderError):
+            CodeBuffer().decrease_indent()
+
+    def test_text_with_open_block_rejected(self):
+        buffer = CodeBuffer()
+        buffer.enter_block("if x:")
+        with pytest.raises(RenderError):
+            buffer.text()
+
+    def test_str_is_lenient(self):
+        buffer = CodeBuffer()
+        buffer.enter_block("if x:")
+        assert "if x:" in str(buffer)
+
+    def test_level_tracking(self):
+        buffer = CodeBuffer()
+        assert buffer.level == 0
+        buffer.enter_block("a:")
+        assert buffer.level == 1
+        buffer.exit_block()
+        assert buffer.level == 0

@@ -1,0 +1,146 @@
+"""Tests for EFSM source and text rendering (paper abstract, §5.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.efsm import Efsm, EfsmState, EfsmTransition, EfsmVariable
+from repro.core.errors import RenderError
+from repro.models.commit import MESSAGES
+from repro.models.commit_efsm import build_commit_efsm, commit_efsm_executor
+from repro.render.efsm_source import PythonEfsmRenderer, efsm_class_name
+from repro.render.efsm_text import EfsmTextRenderer
+from repro.runtime.compile import compile_efsm
+
+_COMPILED = None
+
+
+def compiled_commit_efsm():
+    global _COMPILED
+    if _COMPILED is None:
+        _COMPILED = compile_efsm(build_commit_efsm())
+    return _COMPILED
+
+
+class TestEfsmSourceRenderer:
+    def test_class_name(self):
+        assert efsm_class_name(build_commit_efsm()) == "CommitEfsmMachine"
+
+    def test_output_compiles(self):
+        source = PythonEfsmRenderer().render(build_commit_efsm())
+        compile(source, "<test>", "exec")
+
+    def test_handler_per_message(self):
+        source = PythonEfsmRenderer().render(build_commit_efsm())
+        for message in MESSAGES:
+            assert f"def receive_{message}(self):" in source
+
+    def test_guard_code_embedded(self):
+        source = PythonEfsmRenderer().render(build_commit_efsm())
+        assert "v['votes_received'] + 1 + 0 >= (2 * ((p['replication_factor'] - 1) // 3) + 1)" in source
+
+    def test_one_artefact_serves_the_family(self):
+        """§5.3: the EFSM is generic in r — parameters at construction."""
+        compiled = compiled_commit_efsm()
+        for r in (4, 7, 13, 46):
+            instance = compiled.new_instance(replication_factor=r)
+            f = (r - 1) // 3
+            instance.receive("free")
+            instance.receive("update")
+            for _ in range(2 * f):
+                instance.receive("vote")
+            for _ in range(f + 1):
+                instance.receive("commit")
+            assert instance.is_finished()
+
+    def test_missing_parameter_rejected(self):
+        compiled = compiled_commit_efsm()
+        with pytest.raises(ValueError):
+            compiled.new_instance()
+
+    def test_unknown_message_rejected(self):
+        instance = compiled_commit_efsm().new_instance(replication_factor=4)
+        with pytest.raises(ValueError):
+            instance.receive("bogus")
+
+    def test_callable_only_guards_rejected(self):
+        efsm = Efsm("lambdas", ["m"], [EfsmVariable("x")], [])
+        state = efsm.add_state(EfsmState("A"))
+        efsm.add_state(EfsmState("B", final=True))
+        state.add(EfsmTransition("m", "B", guard=lambda v, p: True))
+        efsm.set_start("A")
+        with pytest.raises(RenderError):
+            PythonEfsmRenderer().render(efsm)
+
+    def test_standalone_mode_has_noop_actions(self):
+        source = PythonEfsmRenderer(action_base=None).render(build_commit_efsm())
+        namespace: dict = {}
+        exec(compile(source, "<test>", "exec"), namespace)
+        instance = namespace["CommitEfsmMachine"](replication_factor=4)
+        instance.receive("free")
+        instance.receive("update")
+        assert instance.get_state() == "T/T/F/T/T"
+
+
+class TestCompiledEfsmBehaviour:
+    @pytest.mark.parametrize("r", [4, 7])
+    def test_random_traces_match_executor(self, r):
+        rng = random.Random(77 + r)
+        compiled = compiled_commit_efsm()
+        for _ in range(80):
+            generated = compiled.new_instance(replication_factor=r)
+            executor = commit_efsm_executor(r)
+            for _ in range(30):
+                message = rng.choice(MESSAGES)
+                assert generated.receive(message) == executor.receive(message)
+                assert generated.sent == executor.sent
+                assert generated.get_state() == executor.get_state()
+
+    def test_variables_exposed(self):
+        instance = compiled_commit_efsm().new_instance(replication_factor=4)
+        instance.receive("vote")
+        assert instance.variables() == {"votes_received": 1, "commits_received": 0}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    r=st.sampled_from([4, 7]),
+    trace=st.lists(st.sampled_from(MESSAGES), min_size=0, max_size=20),
+)
+def test_property_compiled_efsm_equals_executor(r, trace):
+    generated = compiled_commit_efsm().new_instance(replication_factor=r)
+    executor = commit_efsm_executor(r)
+    for message in trace:
+        generated.receive(message)
+        executor.receive(message)
+    assert generated.sent == executor.sent
+    assert generated.get_state() == executor.get_state()
+
+
+class TestEfsmTextRenderer:
+    def test_header(self):
+        text = EfsmTextRenderer().render(build_commit_efsm())
+        assert "extended state machine: commit-efsm" in text
+        assert "states: 9" in text
+        assert "votes_received (initial 0)" in text
+
+    def test_guards_and_updates_shown(self):
+        text = EfsmTextRenderer().render(build_commit_efsm())
+        assert "guard: votes_received + 1 >= 2f+1" in text
+        assert "update: v['votes_received'] += 1" in text
+
+    def test_every_state_has_block(self):
+        text = EfsmTextRenderer().render(build_commit_efsm())
+        from repro.models.commit_efsm import STATE_NAMES
+
+        for name in STATE_NAMES:
+            assert f"state: {name}" in text
+
+    def test_finish_state_marked(self):
+        text = EfsmTextRenderer().render(build_commit_efsm())
+        assert "This is a finish state" in text
+
+    def test_actions_displayed(self):
+        text = EfsmTextRenderer().render(build_commit_efsm())
+        assert "action: ->not free" in text

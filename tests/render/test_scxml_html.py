@@ -1,0 +1,86 @@
+"""Tests for the SCXML and HTML renderers."""
+
+import xml.etree.ElementTree as ET
+
+from repro.render.html import HtmlRenderer
+from repro.render.scxml import SCXML_NS, ScxmlRenderer
+from tests.conftest import commit_machine
+
+NS = {"sc": SCXML_NS}
+
+
+class TestScxml:
+    def render_root(self):
+        return ET.fromstring(ScxmlRenderer().render(commit_machine(4)))
+
+    def test_root_element(self):
+        root = self.render_root()
+        assert root.tag == f"{{{SCXML_NS}}}scxml"
+        assert root.get("version") == "1.0"
+
+    def test_initial_state(self):
+        assert self.render_root().get("initial") == "F_0_F_0_F_F_F"
+
+    def test_state_count(self):
+        root = self.render_root()
+        states = root.findall("sc:state", NS)
+        finals = root.findall("sc:final", NS)
+        assert len(states) + len(finals) == 33
+        assert len(finals) == 1
+
+    def test_ids_are_ncnames(self):
+        root = self.render_root()
+        for element in root.iter():
+            identifier = element.get("id")
+            if identifier:
+                assert "/" not in identifier
+
+    def test_transition_events_and_targets(self):
+        root = self.render_root()
+        transitions = root.findall(".//sc:transition", NS)
+        machine = commit_machine(4)
+        assert len(transitions) == machine.transition_count()
+        ids = {element.get("id") for element in root.iter() if element.get("id")}
+        for transition in transitions:
+            assert transition.get("target") in ids
+            assert transition.get("event") in machine.messages
+
+    def test_actions_as_raise_elements(self):
+        root = self.render_root()
+        raises = root.findall(".//sc:raise", NS)
+        machine = commit_machine(4)
+        expected = sum(len(t.actions) for _, t in machine.transitions())
+        assert len(raises) == expected
+        assert all(r.get("event") for r in raises)
+
+
+class TestHtml:
+    def test_standalone_document(self):
+        html_text = HtmlRenderer().render(commit_machine(4))
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "<style>" in html_text
+        assert "http://" not in html_text.split("</style>")[1]  # no external deps
+
+    def test_every_state_has_anchor(self):
+        machine = commit_machine(4)
+        html_text = HtmlRenderer().render(machine)
+        for state in machine.states:
+            anchor = "s-" + state.name.replace("/", "_")
+            assert f"id='{anchor}'" in html_text
+
+    def test_transitions_link_targets(self):
+        html_text = HtmlRenderer().render(commit_machine(4))
+        assert "href='#s-FINISHED'" in html_text
+
+    def test_badges(self):
+        html_text = HtmlRenderer().render(commit_machine(4))
+        assert ">start</span>" in html_text
+        assert ">finish</span>" in html_text
+
+    def test_annotations_escaped_and_present(self):
+        html_text = HtmlRenderer().render(commit_machine(4))
+        assert "Waiting for 2 further external commits to finish." in html_text
+
+    def test_counts_in_header(self):
+        html_text = HtmlRenderer().render(commit_machine(4))
+        assert "33 states" in html_text

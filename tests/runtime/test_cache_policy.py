@@ -1,0 +1,106 @@
+"""Tests for generation caching and policies (paper §4.2)."""
+
+import pytest
+
+from repro.core.errors import DeploymentError
+from repro.models.commit import CommitModel
+from repro.runtime.cache import CacheStats, GeneratedCodeCache
+from repro.runtime.policy import GenerationPolicy, MachineFactory
+
+
+class TestGeneratedCodeCache:
+    def test_miss_then_hit(self):
+        cache = GeneratedCodeCache()
+        calls = []
+        cache.get_or_generate("k", lambda: calls.append(1) or "v")
+        value = cache.get_or_generate("k", lambda: calls.append(2) or "other")
+        assert value == "v"
+        assert calls == [1]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_hit_rate(self):
+        cache = GeneratedCodeCache()
+        assert cache.stats.hit_rate == 0.0
+        cache.get_or_generate("k", lambda: "v")
+        cache.get_or_generate("k", lambda: "v")
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        cache = GeneratedCodeCache(max_entries=2)
+        cache.get_or_generate("a", lambda: 1)
+        cache.get_or_generate("b", lambda: 2)
+        cache.get_or_generate("a", lambda: 0)  # touch a: b becomes LRU
+        cache.get_or_generate("c", lambda: 3)  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_invalidate(self):
+        cache = GeneratedCodeCache()
+        cache.get_or_generate("k", lambda: "v")
+        assert cache.invalidate("k")
+        assert not cache.invalidate("k")
+        assert "k" not in cache
+
+    def test_clear_preserves_stats(self):
+        cache = GeneratedCodeCache()
+        cache.get_or_generate("k", lambda: "v")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratedCodeCache(max_entries=0)
+
+
+def factory(policy: GenerationPolicy) -> MachineFactory:
+    return MachineFactory(
+        lambda replication_factor: CommitModel(replication_factor), policy=policy
+    )
+
+
+class TestPolicies:
+    def test_once_generates_single_time(self):
+        f = factory(GenerationPolicy.ONCE)
+        a = f.compiled(replication_factor=4)
+        b = f.compiled(replication_factor=4)
+        assert a is b
+        assert f.generations == 1
+
+    def test_once_rejects_other_parameters(self):
+        f = factory(GenerationPolicy.ONCE)
+        f.compiled(replication_factor=4)
+        with pytest.raises(DeploymentError):
+            f.compiled(replication_factor=7)
+
+    def test_per_use_regenerates_every_time(self):
+        f = factory(GenerationPolicy.PER_USE)
+        a = f.compiled(replication_factor=4)
+        b = f.compiled(replication_factor=4)
+        assert a is not b
+        assert f.generations == 2
+
+    def test_on_demand_generates_per_parameter(self):
+        f = factory(GenerationPolicy.ON_DEMAND)
+        a = f.compiled(replication_factor=4)
+        b = f.compiled(replication_factor=4)
+        c = f.compiled(replication_factor=7)
+        assert a is b
+        assert c is not a
+        assert f.generations == 2
+        assert f.cache.stats.hits == 1
+
+    def test_new_instance_drives_protocol(self):
+        f = factory(GenerationPolicy.ON_DEMAND)
+        instance = f.new_instance(replication_factor=4)
+        for message in ["free", "update", "vote", "vote", "commit", "commit"]:
+            instance.receive(message)
+        assert instance.is_finished()
+
+    def test_generated_machines_differ_per_parameter(self):
+        f = factory(GenerationPolicy.ON_DEMAND)
+        r4 = f.compiled(replication_factor=4)
+        r7 = f.compiled(replication_factor=7)
+        assert len(r4.machine) == 33
+        assert len(r7.machine) == 85

@@ -1,0 +1,154 @@
+"""Tests for storage entities and the peer-side commit engine."""
+
+import pytest
+
+from repro.storage.blocks import GUID, PID, DataBlock
+from repro.storage.version_history import (
+    GuidCommitEngine,
+    commit_machine_for,
+)
+
+
+class TestBlocks:
+    def test_pid_is_content_hash(self):
+        block = DataBlock(b"contents")
+        assert block.pid.hex == block.digest()
+
+    def test_identical_contents_same_pid(self):
+        assert DataBlock(b"x").pid == DataBlock(b"x").pid
+
+    def test_different_contents_different_pid(self):
+        assert DataBlock(b"x").pid != DataBlock(b"y").pid
+
+    def test_verify(self):
+        block = DataBlock(b"data")
+        assert block.verify(block.pid)
+        assert not block.verify(DataBlock(b"other").pid)
+
+    def test_guid_from_name_is_stable(self):
+        assert GUID.for_name("file.txt") == GUID.for_name("file.txt")
+
+    def test_guid_str_prefers_label(self):
+        assert str(GUID.for_name("file.txt")) == "file.txt"
+
+    def test_block_length(self):
+        assert len(DataBlock(b"12345")) == 5
+
+
+class TestCompiledMachineCache:
+    def test_same_r_shares_class(self):
+        assert commit_machine_for(4) is commit_machine_for(4)
+
+    def test_different_r_distinct(self):
+        assert commit_machine_for(4) is not commit_machine_for(7)
+
+
+class Harness:
+    """Drives a GuidCommitEngine with scripted time and captured sends."""
+
+    def __init__(self, r: int = 4):
+        self.time = 0.0
+        self.sent: list[tuple[str, str]] = []
+        self.committed: list = []
+        self.engine = GuidCommitEngine(
+            r,
+            send=lambda kind, update_id: self.sent.append((kind, update_id)),
+            now=lambda: self.time,
+            on_commit=self.committed.append,
+        )
+
+
+class TestGuidCommitEngine:
+    def test_single_update_commits(self):
+        h = Harness()
+        h.engine.handle("update", "u1", pid_hex="aa")
+        assert ("vote", "u1") in h.sent  # fresh instance was freed and voted
+        h.engine.handle("vote", "u1")
+        h.engine.handle("vote", "u1")
+        assert ("commit", "u1") in h.sent
+        h.engine.handle("commit", "u1")
+        h.engine.handle("commit", "u1")
+        assert [record.update_id for record in h.committed] == ["u1"]
+        assert h.engine.history_tuples() == [("u1", "aa")]
+
+    def test_second_update_blocked_until_first_finishes(self):
+        h = Harness()
+        h.engine.handle("update", "u1", pid_hex="aa")
+        h.engine.handle("update", "u2", pid_hex="bb")
+        assert ("vote", "u2") not in h.sent  # u1 holds the local vote
+        assert h.engine.chooser == "u1"
+        # Drive u1 to completion.
+        for _ in range(2):
+            h.engine.handle("vote", "u1")
+        for _ in range(2):
+            h.engine.handle("commit", "u1")
+        # u1's `free` action releases u2, which votes immediately.
+        assert ("vote", "u2") in h.sent
+        assert h.engine.chooser == "u2"
+
+    def test_vote_arrives_before_update(self):
+        h = Harness()
+        h.engine.handle("vote", "u1", pid_hex="aa")
+        assert h.engine.instance("u1") is not None
+        h.engine.handle("vote", "u1")
+        h.engine.handle("vote", "u1")  # threshold: forced vote + commit
+        assert ("vote", "u1") in h.sent
+        assert ("commit", "u1") in h.sent
+
+    def test_abandon_releases_chooser(self):
+        h = Harness()
+        h.engine.handle("update", "u1", pid_hex="aa")
+        h.engine.handle("update", "u2", pid_hex="bb")
+        h.time = 100.0
+        abandoned = h.engine.abandon_stalled(idle_timeout=30.0)
+        assert set(abandoned) == {"u1", "u2"}
+        assert h.engine.chooser is None
+        # A fresh retry can now take the vote.
+        h.engine.handle("update", "u3", pid_hex="cc")
+        assert ("vote", "u3") in h.sent
+
+    def test_abandon_spares_active_instances(self):
+        h = Harness()
+        h.engine.handle("update", "u1", pid_hex="aa")
+        h.time = 10.0
+        h.engine.handle("vote", "u1")  # recent activity
+        h.time = 20.0
+        assert h.engine.abandon_stalled(idle_timeout=15.0) == []
+
+    def test_catch_up_after_abandonment(self):
+        """f+1 commits prove a correct member committed: adopt the update."""
+        h = Harness()
+        h.engine.handle("update", "u1", pid_hex="aa")
+        h.time = 100.0
+        h.engine.abandon_stalled(idle_timeout=30.0)
+        h.engine.handle("commit", "u1")
+        assert h.committed == []
+        h.engine.handle("commit", "u1")  # f+1 = 2 commits
+        assert [record.update_id for record in h.committed] == ["u1"]
+        assert ("commit", "u1") in h.sent  # echoes for slower members
+
+    def test_no_duplicate_commit_records(self):
+        h = Harness()
+        h.engine.handle("update", "u1", pid_hex="aa")
+        for _ in range(2):
+            h.engine.handle("vote", "u1")
+        for _ in range(3):
+            h.engine.handle("commit", "u1")
+        assert len(h.committed) == 1
+
+    def test_stalled_contenders_not_resurrected(self):
+        """Abandoning must not free a sibling that is itself stalled."""
+        h = Harness()
+        h.engine.handle("update", "u1", pid_hex="aa")
+        h.engine.handle("update", "u2", pid_hex="bb")
+        h.time = 100.0
+        h.engine.abandon_stalled(idle_timeout=30.0)
+        votes_for_u2 = [entry for entry in h.sent if entry == ("vote", "u2")]
+        assert votes_for_u2 == []  # u2 was abandoned, not revived
+
+    def test_pid_learned_from_any_message(self):
+        h = Harness()
+        h.engine.handle("vote", "u1")
+        h.engine.handle("commit", "u1", pid_hex="aa")
+        instance = h.engine.instance("u1")
+        assert instance.pid_hex == "aa"

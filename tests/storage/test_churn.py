@@ -1,0 +1,98 @@
+"""Tests for membership churn: joins, leaves and rebalancing."""
+
+from repro.storage import DataBlock, StorageCluster
+from repro.storage.p2p.keys import parse_key, replica_keys
+
+
+def stored_block(cluster, endpoint, payload=b"churn-data"):
+    block = DataBlock(payload)
+    operation = endpoint.store_block(block)
+    cluster.run_until(lambda: operation.done, timeout=500)
+    assert operation.success
+    return block
+
+
+class TestJoin:
+    def test_new_node_routable(self):
+        cluster = StorageCluster(node_count=8, replication_factor=4, seed=31)
+        cluster.add_node("node-99")
+        assert "node-99" in cluster.ring.node_ids()
+        owner = cluster.router.lookup(
+            "node-00", cluster.ring.node_key("node-99")
+        ).owner
+        assert owner == "node-99"
+
+    def test_lookups_still_correct_after_join(self):
+        cluster = StorageCluster(node_count=8, replication_factor=4, seed=31)
+        cluster.add_node("node-99")
+        for probe in range(0, 2**160, 2**160 // 17):
+            assert (
+                cluster.router.lookup("node-00", probe).owner
+                == cluster.ring.successor(probe)
+            )
+
+    def test_rebalance_moves_replicas_to_new_owner(self):
+        cluster = StorageCluster(node_count=8, replication_factor=4, seed=31)
+        endpoint = cluster.add_endpoint("client")
+        block = stored_block(cluster, endpoint)
+        # Join enough nodes that some replica key changes owner.
+        for index in range(8):
+            cluster.add_node(f"joiner-{index}")
+        transfers = cluster.rebalance()
+        cluster.run(50)
+        owners = cluster.ring.responsible_nodes(
+            replica_keys(parse_key(block.pid.hex), 4)
+        )
+        holders = [o for o in owners if block.pid.hex in cluster.nodes[o].blocks]
+        assert holders == owners
+        assert transfers >= 0  # zero only if ownership did not move
+
+    def test_retrieval_after_churn_and_holder_loss(self):
+        """Join, rebalance, then lose the original holders: still readable."""
+        cluster = StorageCluster(node_count=8, replication_factor=4, seed=31)
+        endpoint = cluster.add_endpoint("client")
+        block = stored_block(cluster, endpoint)
+        original_owners = set(
+            cluster.ring.responsible_nodes(replica_keys(parse_key(block.pid.hex), 4))
+        )
+        for index in range(8):
+            cluster.add_node(f"joiner-{index}")
+        cluster.rebalance()
+        cluster.run(50)
+        new_owners = set(
+            cluster.ring.responsible_nodes(replica_keys(parse_key(block.pid.hex), 4))
+        )
+        # Crash owners that are no longer responsible.
+        for node_id in original_owners - new_owners:
+            cluster.crash_node(node_id, remove_from_ring=True)
+        retrieve = endpoint.retrieve_block(block.pid)
+        cluster.run_until(lambda: retrieve.done, timeout=500)
+        assert retrieve.success
+
+
+class TestLeave:
+    def test_graceful_leave_reroutes(self):
+        cluster = StorageCluster(node_count=8, replication_factor=4, seed=31)
+        victim = cluster.ring.node_ids()[0]
+        cluster.remove_node(victim)
+        assert victim not in cluster.ring.node_ids()
+        for probe in range(0, 2**160, 2**160 // 13):
+            assert cluster.router.lookup(
+                cluster.ring.node_ids()[0], probe
+            ).owner != victim
+
+    def test_leave_then_rebalance_restores_replication(self):
+        cluster = StorageCluster(node_count=8, replication_factor=4, seed=31)
+        endpoint = cluster.add_endpoint("client")
+        block = stored_block(cluster, endpoint)
+        owners = cluster.ring.responsible_nodes(
+            replica_keys(parse_key(block.pid.hex), 4)
+        )
+        cluster.crash_node(owners[0], remove_from_ring=True)
+        cluster.rebalance()
+        cluster.run(50)
+        new_owners = cluster.ring.responsible_nodes(
+            replica_keys(parse_key(block.pid.hex), 4)
+        )
+        holders = [o for o in new_owners if block.pid.hex in cluster.nodes[o].blocks]
+        assert holders == new_owners

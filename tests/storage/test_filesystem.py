@@ -1,0 +1,130 @@
+"""Tests for the distributed abstract file system (paper Fig 1)."""
+
+import pytest
+
+from repro.storage import DataBlock, FaultPlan, StorageCluster
+from repro.storage.filesystem import (
+    DistributedFileSystem,
+    FileSystemError,
+)
+
+
+@pytest.fixture
+def fs():
+    cluster = StorageCluster(node_count=12, replication_factor=4, seed=23)
+    endpoint = cluster.add_endpoint("fs-client")
+    return DistributedFileSystem(cluster, endpoint, chunk_size=64)
+
+
+class TestWriteRead:
+    def test_roundtrip_small_file(self, fs):
+        fs.write_file("/doc.txt", b"hello world")
+        assert fs.read_file("/doc.txt") == b"hello world"
+
+    def test_roundtrip_multi_chunk(self, fs):
+        data = bytes(range(256)) * 3  # 768 bytes -> 12 chunks of 64
+        version = fs.write_file("/big.bin", data)
+        assert version.chunk_count == 12
+        assert fs.read_file("/big.bin") == data
+
+    def test_empty_file(self, fs):
+        fs.write_file("/empty", b"")
+        assert fs.read_file("/empty") == b""
+
+    def test_chunk_boundary_exact(self, fs):
+        data = b"x" * 128  # exactly two chunks
+        version = fs.write_file("/exact", data)
+        assert version.chunk_count == 2
+        assert fs.read_file("/exact") == data
+
+    def test_missing_file(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.read_file("/nope")
+
+    def test_exists(self, fs):
+        assert not fs.exists("/later")
+        fs.write_file("/later", b"x")
+        assert fs.exists("/later")
+
+    def test_identical_content_shares_blocks(self, fs):
+        """Content addressing: same bytes -> same PIDs (deduplication)."""
+        v1 = fs.write_file("/a", b"shared-content")
+        v2 = fs.write_file("/b", b"shared-content")
+        assert v1.manifest_pid == v2.manifest_pid
+
+
+class TestVersionHistory:
+    def test_versions_accumulate(self, fs):
+        fs.write_file("/file", b"v1")
+        fs.write_file("/file", b"v2")
+        fs.write_file("/file", b"v3")
+        versions = fs.list_versions("/file")
+        assert len(versions) == 3
+        assert [v.index for v in versions] == [0, 1, 2]
+
+    def test_historical_record_readable(self, fs):
+        """Old versions stay readable: the paper's historical record."""
+        fs.write_file("/file", b"first draft")
+        fs.write_file("/file", b"final text")
+        assert fs.read_file("/file", version=0) == b"first draft"
+        assert fs.read_file("/file", version=1) == b"final text"
+        assert fs.read_file("/file") == b"final text"
+
+    def test_version_out_of_range(self, fs):
+        fs.write_file("/file", b"only one")
+        with pytest.raises(FileSystemError):
+            fs.read_file("/file", version=5)
+
+    def test_independent_paths(self, fs):
+        fs.write_file("/one", b"1")
+        fs.write_file("/two", b"2")
+        assert fs.read_file("/one") == b"1"
+        assert fs.read_file("/two") == b"2"
+        assert len(fs.list_versions("/one")) == 1
+
+    def test_guid_stability(self):
+        assert (
+            DistributedFileSystem.guid_for_path("/x")
+            == DistributedFileSystem.guid_for_path("/x")
+        )
+        assert (
+            DistributedFileSystem.guid_for_path("/x")
+            != DistributedFileSystem.guid_for_path("/y")
+        )
+
+
+class TestUnderFaults:
+    def test_corrupt_replica_does_not_affect_reads(self):
+        """Hash-verified retrieval routes around a corrupting node."""
+        cluster = StorageCluster(
+            node_count=12,
+            replication_factor=4,
+            seed=29,
+            fault_plans={"node-03": FaultPlan.corrupt()},
+        )
+        endpoint = cluster.add_endpoint("fs-client")
+        fs = DistributedFileSystem(cluster, endpoint, chunk_size=32)
+        data = b"important bytes" * 10
+        fs.write_file("/doc", data)
+        for _ in range(3):
+            assert fs.read_file("/doc") == data
+
+    def test_silent_member_tolerated(self):
+        cluster = StorageCluster(
+            node_count=12,
+            replication_factor=4,
+            seed=29,
+            fault_plans={"node-05": FaultPlan.silent()},
+        )
+        endpoint = cluster.add_endpoint("fs-client")
+        fs = DistributedFileSystem(cluster, endpoint, chunk_size=32)
+        fs.write_file("/doc", b"resilient")
+        assert fs.read_file("/doc") == b"resilient"
+
+    def test_bad_chunk_size_rejected(self, fs):
+        from repro.core.errors import SimulationError
+
+        cluster = StorageCluster(node_count=4, replication_factor=4, seed=1)
+        endpoint = cluster.add_endpoint("c")
+        with pytest.raises(SimulationError):
+            DistributedFileSystem(cluster, endpoint, chunk_size=0)

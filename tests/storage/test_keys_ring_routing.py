@@ -1,0 +1,227 @@
+"""Tests for the key space, Chord ring and finger-table routing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import SimulationError
+from repro.storage.p2p.keys import (
+    KEY_SPACE,
+    distance,
+    format_key,
+    in_interval,
+    key_for_bytes,
+    key_for_string,
+    parse_key,
+    replica_keys,
+)
+from repro.storage.p2p.ring import ChordRing
+from repro.storage.p2p.routing import Router
+
+
+class TestKeys:
+    def test_key_is_sha1(self):
+        import hashlib
+
+        data = b"hello"
+        assert key_for_bytes(data) == int(hashlib.sha1(data).hexdigest(), 16)
+
+    def test_string_key_utf8(self):
+        assert key_for_string("x") == key_for_bytes(b"x")
+
+    def test_format_parse_roundtrip(self):
+        key = key_for_string("roundtrip")
+        assert parse_key(format_key(key)) == key
+
+    def test_format_is_40_hex_digits(self):
+        assert len(format_key(0)) == 40
+        assert format_key(0) == "0" * 40
+
+    def test_parse_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_key("f" * 41)
+
+    def test_replica_keys_count_and_first(self):
+        key = key_for_string("data")
+        keys = replica_keys(key, 4)
+        assert len(keys) == 4
+        assert keys[0] == key
+
+    def test_replica_keys_evenly_spaced(self):
+        key = key_for_string("data")
+        keys = replica_keys(key, 4)
+        strides = [(keys[i + 1] - keys[i]) % KEY_SPACE for i in range(3)]
+        assert len(set(strides)) == 1
+        assert strides[0] == KEY_SPACE // 4
+
+    def test_replica_keys_rejects_zero(self):
+        with pytest.raises(ValueError):
+            replica_keys(1, 0)
+
+    def test_distance_wraps(self):
+        assert distance(KEY_SPACE - 1, 1) == 2
+
+    def test_in_interval_simple(self):
+        assert in_interval(5, 1, 10)
+        assert not in_interval(0, 1, 10)
+        assert in_interval(10, 1, 10)  # inclusive end
+        assert not in_interval(10, 1, 10, inclusive_end=False)
+
+    def test_in_interval_wrapping(self):
+        assert in_interval(0, KEY_SPACE - 5, 5)
+        assert not in_interval(10, KEY_SPACE - 5, 5)
+
+    def test_in_interval_degenerate_is_full_circle(self):
+        assert in_interval(123, 7, 7)
+        assert not in_interval(7, 7, 7, inclusive_end=False)
+
+
+@given(
+    key=st.integers(min_value=0, max_value=KEY_SPACE - 1),
+    r=st.integers(min_value=1, max_value=12),
+)
+def test_property_replica_keys_distinct(key, r):
+    """Replica keys are pairwise distinct for any key and sensible r."""
+    keys = replica_keys(key, r)
+    assert len(set(keys)) == r
+
+
+@given(
+    a=st.integers(min_value=0, max_value=KEY_SPACE - 1),
+    b=st.integers(min_value=0, max_value=KEY_SPACE - 1),
+)
+def test_property_distance_antisymmetry(a, b):
+    """d(a,b) + d(b,a) is 0 or a full circle."""
+    total = distance(a, b) + distance(b, a)
+    assert total in (0, KEY_SPACE)
+
+
+def build_ring(count: int) -> ChordRing:
+    ring = ChordRing()
+    for index in range(count):
+        ring.join(f"node-{index:02d}")
+    return ring
+
+
+class TestChordRing:
+    def test_membership(self):
+        ring = build_ring(5)
+        assert len(ring) == 5
+        assert "node-00" in ring
+        assert "node-99" not in ring
+
+    def test_duplicate_join_rejected(self):
+        ring = build_ring(2)
+        with pytest.raises(SimulationError):
+            ring.join("node-00")
+
+    def test_leave(self):
+        ring = build_ring(3)
+        ring.leave("node-01")
+        assert len(ring) == 2
+        with pytest.raises(SimulationError):
+            ring.leave("node-01")
+
+    def test_empty_ring_rejects_lookup(self):
+        with pytest.raises(SimulationError):
+            ChordRing().successor(123)
+
+    def test_successor_matches_brute_force(self):
+        ring = build_ring(8)
+        positions = sorted(
+            (ChordRing.node_key(node), node) for node in ring.node_ids()
+        )
+        for probe in range(0, KEY_SPACE, KEY_SPACE // 31):
+            expected = next(
+                (node for key, node in positions if key >= probe), positions[0][1]
+            )
+            assert ring.successor(probe) == expected
+
+    def test_single_node_owns_everything(self):
+        ring = ChordRing()
+        ring.join("only")
+        assert ring.successor(0) == "only"
+        assert ring.successor(KEY_SPACE - 1) == "only"
+
+    def test_successor_list_wraps_without_repeats(self):
+        ring = build_ring(4)
+        nodes = ring.successor_list(0, 10)
+        assert len(nodes) == 4
+        assert len(set(nodes)) == 4
+
+    def test_predecessor_successor_adjacency(self):
+        ring = build_ring(6)
+        for node in ring.node_ids():
+            key = ChordRing.node_key(node)
+            assert ring.successor(key) == node
+            predecessor = ring.predecessor(key)
+            assert predecessor != node
+
+    def test_responsible_nodes_deduplicates(self):
+        ring = build_ring(2)  # fewer nodes than replica keys
+        nodes = ring.responsible_nodes(replica_keys(key_for_string("x"), 4))
+        assert len(nodes) == len(set(nodes)) <= 2
+
+
+class TestRouter:
+    def test_lookup_owner_matches_ring(self):
+        ring = build_ring(16)
+        router = Router(ring)
+        for probe in range(0, KEY_SPACE, KEY_SPACE // 23):
+            result = router.lookup("node-00", probe)
+            assert result.owner == ring.successor(probe)
+
+    def test_lookup_from_any_start(self):
+        ring = build_ring(10)
+        router = Router(ring)
+        key = key_for_string("somewhere")
+        owners = {router.lookup(node, key).owner for node in ring.node_ids()}
+        assert owners == {ring.successor(key)}
+
+    def test_hops_logarithmic(self):
+        """Chord's headline property: O(log n) routing hops."""
+        import math
+
+        ring = build_ring(64)
+        router = Router(ring)
+        # Probes spread evenly across the whole key space.
+        hop_counts = [
+            router.lookup("node-00", (i * KEY_SPACE) // 200 + i).hop_count
+            for i in range(200)
+        ]
+        average = sum(hop_counts) / len(hop_counts)
+        assert average <= 2 * math.log2(64)
+        assert max(hop_counts) <= 4 * math.log2(64)
+
+    def test_unknown_start_rejected(self):
+        router = Router(build_ring(3))
+        with pytest.raises(SimulationError):
+            router.lookup("stranger", 1)
+
+    def test_stabilise_after_leave(self):
+        ring = build_ring(8)
+        router = Router(ring)
+        victim = ring.successor(key_for_string("target"))
+        ring.leave(victim)
+        router.stabilise()
+        result = router.lookup(ring.node_ids()[0], key_for_string("target"))
+        assert result.owner == ring.successor(key_for_string("target"))
+        assert result.owner != victim
+
+    def test_single_node_routes_to_itself(self):
+        ring = ChordRing()
+        ring.join("only")
+        router = Router(ring)
+        assert router.lookup("only", 42).owner == "only"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    count=st.integers(min_value=1, max_value=24),
+    key=st.integers(min_value=0, max_value=KEY_SPACE - 1),
+)
+def test_property_lookup_agrees_with_successor(count, key):
+    """For any ring size and key, routed owner == ground-truth successor."""
+    ring = build_ring(count)
+    router = Router(ring)
+    start = ring.node_ids()[0]
+    assert router.lookup(start, key).owner == ring.successor(key)

@@ -1,0 +1,62 @@
+"""Tests for the replica maintenance process (paper §2.2)."""
+
+from repro.storage import DataBlock, FaultPlan, StorageCluster
+
+
+def stored_cluster(fault_plans=None, seed=17):
+    """A cluster with one block stored and tracked by the maintainer."""
+    block = DataBlock(b"maintained-data")
+    probe = StorageCluster(node_count=12, replication_factor=4, seed=seed)
+    replicas = probe.add_endpoint("probe").locate_peers(block.pid.key)
+
+    cluster = StorageCluster(
+        node_count=12, replication_factor=4, seed=seed, fault_plans=fault_plans or {}
+    )
+    endpoint = cluster.add_endpoint("client")
+    maintainer = cluster.add_maintainer(probe_interval=50.0, probe_timeout=10.0)
+    store = endpoint.store_block(block)
+    cluster.run_until(lambda: store.done)
+    maintainer.track(block.pid.hex)
+    return cluster, block, replicas, maintainer
+
+
+class TestMaintenance:
+    def test_healthy_replicas_need_no_repair(self):
+        cluster, block, replicas, maintainer = stored_cluster()
+        cluster.run(200)
+        assert maintainer.stats.probes_sent > 0
+        assert maintainer.stats.repairs_requested == 0
+
+    def test_missing_replica_regenerated_after_crash(self):
+        """Fail-stop faults are detected through timeouts and repaired."""
+        cluster, block, replicas, maintainer = stored_cluster()
+        victim = replicas[0]
+        # Crash the victim, losing its copy on recovery.
+        cluster.nodes[victim].crash()
+        cluster.run(80)  # one probe round: detects the missing replica
+        cluster.nodes[victim].blocks.clear()
+        cluster.nodes[victim].recover()
+        cluster.run(150)  # next probe + repair push
+        assert maintainer.stats.missing_detected > 0
+        assert maintainer.stats.repairs_requested > 0
+        assert block.pid.hex in cluster.nodes[victim].blocks
+
+    def test_corrupt_replica_detected_by_cross_check(self):
+        """Malicious nodes are detected via periodic cross-checks."""
+        block = DataBlock(b"maintained-data")
+        probe = StorageCluster(node_count=12, replication_factor=4, seed=17)
+        replicas = probe.add_endpoint("probe").locate_peers(block.pid.key)
+        cluster, block, replicas, maintainer = stored_cluster(
+            fault_plans={replicas[0]: FaultPlan.corrupt()}
+        )
+        cluster.run(200)
+        assert maintainer.stats.corrupt_detected > 0
+        assert replicas[0] in maintainer.suspected
+
+    def test_lost_data_cannot_be_repaired(self):
+        cluster, block, replicas, maintainer = stored_cluster()
+        for replica in replicas:
+            cluster.nodes[replica].blocks.clear()
+        cluster.run(120)
+        assert maintainer.stats.missing_detected > 0
+        assert maintainer.stats.repairs_requested == 0  # no healthy source

@@ -1,0 +1,163 @@
+"""Tests for the simulated network and node base class."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.storage.sim.kernel import Simulator
+from repro.storage.sim.network import (
+    ExponentialLatency,
+    FixedLatency,
+    Message,
+    Network,
+    UniformLatency,
+)
+from repro.storage.sim.node import SimNode
+
+
+class Echo(SimNode):
+    """Test node recording everything it hears."""
+
+    def __init__(self, node_id, network):
+        super().__init__(node_id, network)
+        self.heard: list[Message] = []
+
+    def on_message(self, message):
+        self.heard.append(message)
+
+
+def make_pair(drop=0.0, latency=None, seed=0):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=latency or FixedLatency(1.0), drop_probability=drop)
+    return sim, network, Echo("a", network), Echo("b", network)
+
+
+class TestDelivery:
+    def test_message_delivered_after_latency(self):
+        sim, network, a, b = make_pair()
+        a.send("b", "ping", value=7)
+        sim.run()
+        assert len(b.heard) == 1
+        assert b.heard[0].payload == {"value": 7}
+        assert sim.now == 1.0
+
+    def test_duplicate_node_id_rejected(self):
+        sim, network, a, b = make_pair()
+        with pytest.raises(SimulationError):
+            Echo("a", network)
+
+    def test_send_to_unknown_node_rejected(self):
+        sim, network, a, b = make_pair()
+        with pytest.raises(SimulationError):
+            a.send("nobody", "ping")
+
+    def test_broadcast_excludes_source(self):
+        sim = Simulator()
+        network = Network(sim)
+        nodes = [Echo(f"n{i}", network) for i in range(4)]
+        nodes[0].broadcast([n.node_id for n in nodes], "hello")
+        sim.run()
+        assert len(nodes[0].heard) == 0
+        assert all(len(n.heard) == 1 for n in nodes[1:])
+
+    def test_stats_counted(self):
+        sim, network, a, b = make_pair()
+        a.send("b", "ping")
+        sim.run()
+        assert network.stats.sent == 1
+        assert network.stats.delivered == 1
+
+    def test_tap_observes_sends(self):
+        sim, network, a, b = make_pair()
+        seen = []
+        network.tap(seen.append)
+        a.send("b", "ping")
+        assert len(seen) == 1 and seen[0].kind == "ping"
+
+
+class TestFaults:
+    def test_drops(self):
+        sim, network, a, b = make_pair(drop=0.5, seed=3)
+        for _ in range(100):
+            a.send("b", "ping")
+        sim.run()
+        assert network.stats.dropped > 20
+        assert network.stats.delivered == 100 - network.stats.dropped
+
+    def test_invalid_drop_probability(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Network(sim, drop_probability=1.5)
+
+    def test_partition_blocks_cross_group_traffic(self):
+        sim, network, a, b = make_pair()
+        network.partition({"a"}, {"b"})
+        a.send("b", "ping")
+        sim.run()
+        assert b.heard == []
+        assert network.stats.blocked_by_partition == 1
+
+    def test_partition_allows_intra_group_traffic(self):
+        sim, network, a, b = make_pair()
+        network.partition({"a", "b"})
+        a.send("b", "ping")
+        sim.run()
+        assert len(b.heard) == 1
+
+    def test_heal_partition(self):
+        sim, network, a, b = make_pair()
+        network.partition({"a"}, {"b"})
+        network.heal_partition()
+        a.send("b", "ping")
+        sim.run()
+        assert len(b.heard) == 1
+
+    def test_dead_node_loses_messages(self):
+        sim, network, a, b = make_pair()
+        b.crash()
+        a.send("b", "ping")
+        sim.run()
+        assert b.heard == []
+        assert network.stats.to_dead_node == 1
+
+    def test_dead_node_does_not_send(self):
+        sim, network, a, b = make_pair()
+        a.crash()
+        a.send("b", "ping")
+        sim.run()
+        assert network.stats.sent == 0
+
+    def test_recovered_node_receives_again(self):
+        sim, network, a, b = make_pair()
+        b.crash()
+        b.recover()
+        a.send("b", "ping")
+        sim.run()
+        assert len(b.heard) == 1
+
+    def test_crash_cancels_timers(self):
+        sim, network, a, b = make_pair()
+        fired = []
+        a.set_timer(1.0, lambda: fired.append(1))
+        a.crash()
+        sim.run()
+        assert fired == []
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        assert FixedLatency(2.5).sample(None) == 2.5
+
+    def test_uniform_within_bounds(self):
+        import random
+
+        rng = random.Random(1)
+        model = UniformLatency(1.0, 2.0)
+        for _ in range(50):
+            assert 1.0 <= model.sample(rng) <= 2.0
+
+    def test_exponential_above_floor(self):
+        import random
+
+        rng = random.Random(1)
+        model = ExponentialLatency(mean=1.0, floor=0.25)
+        assert all(model.sample(rng) >= 0.25 for _ in range(50))

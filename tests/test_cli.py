@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_generate(self, capsys):
+        assert main(["generate", "-r", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "512 initial states" in output
+        assert "33 after merging" in output
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "67712" in output
+        assert "2945" in output
+
+    def test_render_text(self, capsys):
+        assert main(["render", "-r", "4", "--format", "text"]) == 0
+        assert "state: T/2/F/0/F/F/F" in capsys.readouterr().out
+
+    def test_render_dot(self, capsys):
+        assert main(["render", "-r", "4", "--format", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_render_source(self, capsys):
+        assert main(["render", "-r", "4", "--format", "source"]) == 0
+        assert "def receive_vote" in capsys.readouterr().out
+
+    def test_render_to_file(self, tmp_path, capsys):
+        target = tmp_path / "machine.xml"
+        assert main(["render", "-r", "4", "--format", "xml", "-o", str(target)]) == 0
+        assert target.exists()
+        assert "<stateMachine" in target.read_text()
+
+    def test_describe_state(self, capsys):
+        assert main(["describe", "-r", "4", "--state", "T/2/F/0/F/F/F"]) == 0
+        output = capsys.readouterr().out
+        assert "Waiting for 2 further external commits to finish." in output
+
+    def test_describe_unknown_state(self, capsys):
+        assert main(["describe", "-r", "4", "--state", "NOPE"]) == 1
+
+    def test_parser_rejects_missing_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parser_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["render", "--format", "hologram"])

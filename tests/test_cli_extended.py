@@ -1,0 +1,58 @@
+"""Tests for the extended CLI commands (export, modelcheck, new formats)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestNewFormats:
+    def test_render_scxml(self, capsys):
+        assert main(["render", "-r", "4", "--format", "scxml"]) == 0
+        output = capsys.readouterr().out
+        assert "scxml" in output
+        assert 'initial="F_0_F_0_F_F_F"' in output
+
+    def test_render_html(self, capsys):
+        assert main(["render", "-r", "4", "--format", "html"]) == 0
+        assert capsys.readouterr().out.startswith("<!DOCTYPE html>")
+
+    def test_render_markdown(self, capsys):
+        assert main(["render", "-r", "4", "--format", "markdown"]) == 0
+        assert "| States | 33 |" in capsys.readouterr().out
+
+    def test_render_java(self, capsys):
+        assert main(["render", "-r", "4", "--format", "java"]) == 0
+        assert "void receiveVote()" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_export_creates_runnable_module(self, tmp_path, capsys):
+        target = tmp_path / "commit_r4.py"
+        assert main(["export", "-r", "4", "-o", str(target)]) == 0
+        assert "exported commit[r=4]" in capsys.readouterr().out
+        from repro.runtime.export import import_machine_module
+
+        cls = import_machine_module(target, "CommitR4Machine")
+        assert cls().get_state() == "F/0/F/0/F/F/F"
+
+
+class TestModelcheck:
+    def test_single_update_silent_one(self, capsys):
+        assert main(["modelcheck", "-r", "4", "--silent", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "safe=True always-terminates=True" in output
+
+    def test_single_update_silent_two_deadlocks(self, capsys):
+        assert main(["modelcheck", "-r", "4", "--silent", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "deadlocked=1" in output
+        assert "always-terminates=False" in output
+
+    def test_contention_even_split(self, capsys):
+        assert main(["modelcheck", "-r", "4", "--contention", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "outcome ('none', 'none')" in output
+
+    def test_max_states_bounds_run(self, capsys):
+        assert main(["modelcheck", "-r", "4", "--max-states", "50"]) == 0
+        assert "(truncated)" in capsys.readouterr().out
