@@ -3,7 +3,11 @@
 Runs every reproduced experiment end to end and writes the results table
 the repository documents.  Usage::
 
-    python scripts/run_experiments.py [output-path]
+    python scripts/run_experiments.py [output-path] [--engine {eager,lazy}]
+
+``--engine lazy`` regenerates the Table 1 sweep with the frontier-based
+engine (:mod:`repro.core.lazy`) instead of the paper's eager pipeline;
+state counts are identical, only the generation times change.
 
 Runtime is a few minutes (dominated by Table 1's r=46 generation and the
 model-checking sweeps).
@@ -11,9 +15,9 @@ model-checking sweeps).
 
 from __future__ import annotations
 
+import argparse
 import math
 import statistics
-import sys
 import time
 
 from repro.analysis.peerset_check import check_contending_updates, check_single_update
@@ -49,8 +53,8 @@ FIG14_LINES = [
 ]
 
 
-def section_table1(out: list[str]) -> None:
-    out.append("## Table 1 — state machine generation\n")
+def section_table1(out: list[str], engine: str = "eager") -> None:
+    out.append(f"## Table 1 — state machine generation ({engine} engine)\n")
     out.append(
         "State counts are machine-independent and must match exactly; times "
         "are hardware/language-bound (paper: Java on a 2007 MacBook Pro; "
@@ -58,7 +62,7 @@ def section_table1(out: list[str]) -> None:
     )
     out.append("| f | r | initial states | final states | time (s) paper | time (s) measured | counts match |")
     out.append("|---|---|----------------|--------------|----------------|-------------------|--------------|")
-    rows = table1()
+    rows = table1(engine=engine)
     paper = {row["r"]: row for row in PAPER_TABLE1}
     for row in rows:
         reference = paper[row.r]
@@ -359,7 +363,17 @@ def section_modelcheck(out: list[str]) -> None:
 
 
 def main() -> None:
-    target = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    parser.add_argument(
+        "--engine",
+        choices=("eager", "lazy"),
+        default="eager",
+        help="generation engine for the Table 1 sweep (default: eager; "
+        "'lazy' uses frontier-based on-the-fly reachable-set construction)",
+    )
+    args = parser.parse_args()
+    target = args.output
     out: list[str] = []
     out.append("# EXPERIMENTS — paper vs. measured\n")
     out.append(
@@ -369,8 +383,12 @@ def main() -> None:
         "`python scripts/run_experiments.py`.\n"
     )
     started = time.time()
+
+    def section_table1_selected(lines: list[str]) -> None:
+        section_table1(lines, engine=args.engine)
+
     for section in (
-        section_table1,
+        section_table1_selected,
         section_pipeline,
         section_fig14,
         section_artefacts,

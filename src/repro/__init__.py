@@ -16,11 +16,19 @@ Quickstart::
     machine = CommitModel(replication_factor=4).generate_state_machine()
     print(len(machine))                      # 33 states (paper Table 1)
     print(TextRenderer().render(machine))    # Fig 14-style description
+
+Two generation engines produce identical machines: the eager four-step
+pipeline (:func:`repro.generate`, paper §3.4) and the lazy frontier-based
+engine (:func:`repro.generate_lazy`), which expands only reachable states
+and scales to parameter values the eager engine cannot touch.  Select one
+per call with ``generate_state_machine(engine="lazy")`` or on the command
+line with ``python -m repro.cli generate --engine lazy``.
 """
 
 from repro.core import (
     AbstractModel,
     BooleanComponent,
+    ENGINES,
     EnumComponent,
     GenerationReport,
     IntComponent,
@@ -31,6 +39,8 @@ from repro.core import (
     Transition,
     TransitionBuilder,
     generate,
+    generate_lazy,
+    generate_with_engine,
 )
 
 __version__ = "1.0.0"
@@ -38,6 +48,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AbstractModel",
     "BooleanComponent",
+    "ENGINES",
     "EnumComponent",
     "GenerationReport",
     "IntComponent",
@@ -49,4 +60,6 @@ __all__ = [
     "TransitionBuilder",
     "__version__",
     "generate",
+    "generate_lazy",
+    "generate_with_engine",
 ]

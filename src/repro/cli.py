@@ -3,6 +3,7 @@
 Mirrors the paper's Fig 6 usage from a shell::
 
     repro-fsm generate -r 4                  # Table 1 row for r=4
+    repro-fsm generate -r 40 --engine lazy   # frontier engine: no 2^5 r^2 blow-up
     repro-fsm table1                         # the whole Table 1
     repro-fsm render -r 4 --format text      # Fig 14 artefact
     repro-fsm render -r 4 --format source    # generated Python (Fig 16)
@@ -27,6 +28,7 @@ from repro.render.scxml import ScxmlRenderer
 from repro.render.source import JavaSourceRenderer, PythonSourceRenderer
 from repro.render.text import TextRenderer
 from repro.render.xml import XmlRenderer
+from repro.core.pipeline import ENGINES
 from repro.runtime.export import export_machine_module
 
 _RENDERERS = {
@@ -50,12 +52,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_flag(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--engine",
+            choices=ENGINES,
+            default="eager",
+            help="generation engine: 'eager' enumerates the full 2^5 r^2 "
+            "product space then prunes (paper §3.4); 'lazy' expands only "
+            "states reachable from the start state via a BFS frontier, "
+            "making large replication factors feasible (default: eager)",
+        )
+
     generate = commands.add_parser(
         "generate", help="generate a machine and print its pipeline counts"
     )
     generate.add_argument("-r", "--replication-factor", type=int, default=4)
+    add_engine_flag(generate)
 
-    commands.add_parser("table1", help="regenerate the paper's Table 1")
+    table1_cmd = commands.add_parser("table1", help="regenerate the paper's Table 1")
+    add_engine_flag(table1_cmd)
 
     render = commands.add_parser("render", help="render a machine artefact")
     render.add_argument("-r", "--replication-factor", type=int, default=4)
@@ -63,18 +78,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=sorted(_RENDERERS), default="text", dest="fmt"
     )
     render.add_argument("-o", "--output", help="write to a file instead of stdout")
+    add_engine_flag(render)
 
     describe = commands.add_parser(
         "describe", help="print the Fig 14 description of one state"
     )
     describe.add_argument("-r", "--replication-factor", type=int, default=4)
     describe.add_argument("--state", required=True, help="state name, e.g. T/2/F/0/F/F/F")
+    add_engine_flag(describe)
 
     export = commands.add_parser(
         "export", help="export a standalone generated module (paper §4.3)"
     )
     export.add_argument("-r", "--replication-factor", type=int, default=4)
     export.add_argument("-o", "--output", required=True, help="target .py file")
+    add_engine_flag(export)
 
     modelcheck = commands.add_parser(
         "modelcheck", help="exhaustively check a peer set of generated FSMs"
@@ -99,20 +117,22 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "generate":
-        row = table1_row(args.replication_factor)
+        row = table1_row(args.replication_factor, engine=args.engine)
         print(
-            f"f={row.f} r={row.r}: {row.initial_states} initial states, "
-            f"{row.pruned_states} reachable, {row.final_states} after merging "
-            f"({row.generation_time_s:.3f}s)"
+            f"f={row.f} r={row.r} [{args.engine}]: {row.initial_states} initial "
+            f"states, {row.pruned_states} reachable, {row.final_states} after "
+            f"merging ({row.generation_time_s:.3f}s)"
         )
         return 0
 
     if args.command == "table1":
-        print(format_table1(table1()))
+        print(format_table1(table1(engine=args.engine)))
         return 0
 
     if args.command == "render":
-        machine = CommitModel(args.replication_factor).generate_state_machine()
+        machine = CommitModel(args.replication_factor).generate_state_machine(
+            engine=args.engine
+        )
         renderer = _RENDERERS[args.fmt]()
         text = renderer.render(machine)
         if args.output:
@@ -124,7 +144,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "describe":
-        machine = CommitModel(args.replication_factor).generate_state_machine()
+        machine = CommitModel(args.replication_factor).generate_state_machine(
+            engine=args.engine
+        )
         if args.state not in machine:
             print(f"unknown state {args.state!r}", file=sys.stderr)
             return 1
@@ -132,7 +154,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "export":
-        machine = CommitModel(args.replication_factor).generate_state_machine()
+        machine = CommitModel(args.replication_factor).generate_state_machine(
+            engine=args.engine
+        )
         path = export_machine_module(machine, args.output)
         print(f"exported {machine.name} to {path}")
         return 0

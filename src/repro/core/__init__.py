@@ -12,6 +12,9 @@ Public surface:
   representation handed to renderers and the runtime;
 * :func:`~repro.core.pipeline.generate` runs the four-step pipeline and
   reports per-step counts and timings;
+* :func:`~repro.core.lazy.generate_lazy` is the frontier-based engine that
+  builds the reachable set on the fly instead of enumerating the product
+  space (select per call with :func:`~repro.core.pipeline.generate_with_engine`);
 * :mod:`~repro.core.efsm` provides the extended-FSM representation of §5.3.
 """
 
@@ -32,6 +35,7 @@ from repro.core.errors import (
     ReproError,
     SimulationError,
 )
+from repro.core.lazy import generate_lazy
 from repro.core.machine import StateMachine
 from repro.core.minimize import (
     FINISH_NAME,
@@ -40,7 +44,7 @@ from repro.core.minimize import (
     one_shot_merge,
 )
 from repro.core.model import AbstractModel, StateView, TransitionBuilder
-from repro.core.pipeline import GenerationReport, generate
+from repro.core.pipeline import ENGINES, GenerationReport, generate, generate_with_engine
 from repro.core.state import State, Transition
 from repro.core.trace import (
     Trace,
@@ -55,6 +59,7 @@ __all__ = [
     "BooleanComponent",
     "ComponentError",
     "DeploymentError",
+    "ENGINES",
     "EnumComponent",
     "FINISH_NAME",
     "GenerationReport",
@@ -78,6 +83,8 @@ __all__ = [
     "equivalence_classes",
     "enumerate_traces",
     "generate",
+    "generate_lazy",
+    "generate_with_engine",
     "replay",
     "merge_equivalent",
     "one_shot_merge",

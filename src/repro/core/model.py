@@ -247,6 +247,31 @@ class AbstractModel:
         return f"{base}[{args}]" if args else base
 
     # ------------------------------------------------------------------
+    # successor enumeration (shared by the eager and lazy engines)
+    # ------------------------------------------------------------------
+
+    def successors(self, vector: tuple):
+        """Yield ``(message, builder)`` for each effective message in ``vector``.
+
+        One elaborated :class:`TransitionBuilder` per message that is both
+        applicable (no :class:`InvalidStateError`) and effective (changes
+        state or performs actions).  The eager pipeline calls this for every
+        state of the product space; the lazy engine
+        (:func:`repro.core.lazy.generate_lazy`) calls it on demand for
+        frontier states only, which is what makes on-the-fly reachable-set
+        construction possible without any model changes.
+        """
+        for message in self._messages:
+            builder = TransitionBuilder(self._space, vector)
+            try:
+                self.generate_transition(message, builder)
+            except InvalidStateError:
+                continue  # message not applicable in this state (Fig 10)
+            if not builder.is_effective():
+                continue  # no state change and no actions: not recorded
+            yield message, builder
+
+    # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
 
@@ -271,18 +296,26 @@ class AbstractModel:
     # ------------------------------------------------------------------
 
     def generate_state_machine(
-        self, *, prune: bool = True, merge: bool = True
+        self, *, prune: bool = True, merge: bool = True, engine: str = "eager"
     ) -> StateMachine:
-        """Run the four-step generation process and return the machine."""
-        from repro.core.pipeline import generate
+        """Run the generation process and return the machine.
 
-        machine, _ = generate(self, prune=prune, merge=merge)
+        ``engine`` selects between the eager four-step pipeline
+        (:func:`repro.core.pipeline.generate`) and the lazy frontier-based
+        engine (:func:`repro.core.lazy.generate_lazy`); both produce
+        isomorphic machines.  ``prune=False`` (inspecting the unpruned
+        product space) requires the eager engine and raises ``ValueError``
+        with the lazy one.
+        """
+        from repro.core.pipeline import generate_with_engine
+
+        machine, _ = generate_with_engine(self, engine, prune=prune, merge=merge)
         return machine
 
     def generate_with_report(
-        self, *, prune: bool = True, merge: bool = True
+        self, *, prune: bool = True, merge: bool = True, engine: str = "eager"
     ):
         """As :meth:`generate_state_machine`, also returning the step report."""
-        from repro.core.pipeline import generate
+        from repro.core.pipeline import generate_with_engine
 
-        return generate(self, prune=prune, merge=merge)
+        return generate_with_engine(self, engine, prune=prune, merge=merge)

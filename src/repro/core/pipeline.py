@@ -20,11 +20,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.core.errors import InvalidStateError
 from repro.core.machine import StateMachine
 from repro.core.minimize import merge_equivalent
-from repro.core.model import AbstractModel, StateView, TransitionBuilder
+from repro.core.model import AbstractModel, StateView
 from repro.core.state import State, Transition
+
+#: The generation engines selectable via ``engine=`` / ``--engine``.
+ENGINES = ("eager", "lazy")
 
 
 @dataclass
@@ -43,6 +45,12 @@ class GenerationReport:
     reachable_states: int = 0
     merged_states: int = 0
     timings: dict[str, float] = field(default_factory=dict)
+    #: Which engine produced the machine: ``"eager"`` (four-step pipeline)
+    #: or ``"lazy"`` (frontier-based on-the-fly construction).
+    engine: str = "eager"
+    #: Largest worklist size observed by the lazy engine (0 for eager runs);
+    #: with the seen-set, this bounds the engine's peak working memory.
+    frontier_peak: int = 0
 
     @property
     def total_time(self) -> float:
@@ -60,7 +68,7 @@ class GenerationReport:
 
     def __str__(self) -> str:
         return (
-            f"{self.model_name}: {self.initial_states} initial -> "
+            f"{self.model_name} [{self.engine}]: {self.initial_states} initial -> "
             f"{self.reachable_states} reachable -> {self.merged_states} merged "
             f"({self.total_time:.3f}s)"
         )
@@ -99,14 +107,7 @@ def generate(
         state = machine.get_state(space.vector_name(vector))
         if state.final:
             continue
-        for message in model.messages:
-            builder = TransitionBuilder(space, vector)
-            try:
-                model.generate_transition(message, builder)
-            except InvalidStateError:
-                continue  # message not applicable in this state (Fig 10)
-            if not builder.is_effective():
-                continue  # no state change and no actions: not recorded
+        for message, builder in model.successors(vector):
             state.record_transition(
                 Transition(
                     message,
@@ -140,6 +141,36 @@ def generate(
 
     machine.check_integrity()
     return machine, report
+
+
+def generate_with_engine(
+    model: AbstractModel,
+    engine: str = "eager",
+    *,
+    prune: bool = True,
+    merge: bool = True,
+) -> tuple[StateMachine, GenerationReport]:
+    """Dispatch generation to the named engine.
+
+    ``"eager"`` runs the four-step pipeline above; ``"lazy"`` runs the
+    frontier-based engine of :mod:`repro.core.lazy`, which never
+    materialises the product space — requesting ``prune=False`` from it is
+    a contradiction and raises :class:`ValueError` rather than silently
+    returning a pruned machine.  Both engines return isomorphic machines
+    with identical merged state counts.
+    """
+    if engine == "eager":
+        return generate(model, prune=prune, merge=merge)
+    if engine == "lazy":
+        if not prune:
+            raise ValueError(
+                "prune=False requires the eager engine: the lazy engine never "
+                "materialises unreachable states, so there is nothing to keep"
+            )
+        from repro.core.lazy import generate_lazy
+
+        return generate_lazy(model, merge=merge)
+    raise ValueError(f"unknown generation engine {engine!r}; choose from {ENGINES}")
 
 
 def _designate_finish(machine: StateMachine) -> None:

@@ -11,6 +11,13 @@ implementation of a FSM solution:
 
 :class:`MachineFactory` wraps an abstract-model constructor with one of
 these policies and hands out ready-to-instantiate generated classes.
+
+Orthogonal to *when* to generate is *how*: the factory's ``engine``
+selects the eager four-step pipeline or the lazy frontier-based engine
+(:mod:`repro.core.lazy`).  ``ON_DEMAND`` + ``"lazy"`` is the
+production-scale point of the spectrum — generation cost is paid on first
+encounter of a parameter value and is proportional to the reachable state
+count rather than the full product space.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from typing import Any
 
 from repro.core.errors import DeploymentError
 from repro.core.model import AbstractModel
+from repro.core.pipeline import ENGINES
 from repro.runtime.actions import RecordingActions
 from repro.runtime.cache import GeneratedCodeCache
 from repro.runtime.compile import CompiledMachine, compile_machine
@@ -48,10 +56,16 @@ class MachineFactory:
         policy: GenerationPolicy = GenerationPolicy.ON_DEMAND,
         action_base: type = RecordingActions,
         cache_size: int = 32,
+        engine: str = "eager",
     ):
+        if engine not in ENGINES:
+            raise DeploymentError(
+                f"unknown generation engine {engine!r}; choose from {ENGINES}"
+            )
         self._model_factory = model_factory
         self._policy = policy
         self._action_base = action_base
+        self._engine = engine
         self._cache = GeneratedCodeCache(max_entries=cache_size)
         self._pinned: CompiledMachine | None = None
         self._pinned_key: tuple | None = None
@@ -61,6 +75,11 @@ class MachineFactory:
     def policy(self) -> GenerationPolicy:
         """The active generation policy."""
         return self._policy
+
+    @property
+    def engine(self) -> str:
+        """The generation engine used for every generation (eager/lazy)."""
+        return self._engine
 
     @property
     def cache(self) -> GeneratedCodeCache:
@@ -100,5 +119,5 @@ class MachineFactory:
 
     def _generate(self, parameters: dict) -> CompiledMachine:
         model = self._model_factory(**parameters)
-        machine = model.generate_state_machine()
+        machine = model.generate_state_machine(engine=self._engine)
         return compile_machine(machine, action_base=self._action_base)
