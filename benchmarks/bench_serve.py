@@ -1,0 +1,267 @@
+"""Fleet execution plane: naive per-event dispatch vs sharded+batched.
+
+The sweep hosts a population of commit-machine instances in a
+:class:`~repro.serve.fleet.FleetEngine` and pushes the same recorded
+workload through both dispatch modes:
+
+* ``naive``   — one full interpreter protocol walk per event (the baseline
+  a straightforward deployment of the paper's runtime would use);
+* ``batched`` — sharded store + one-pass dispatch over the machine's flat
+  ``(state, message) -> (next_state, actions)`` table.
+
+Every timed configuration is differentially verified first: per instance,
+the fleet's final state/action trace must equal a standalone
+:class:`~repro.runtime.interp.MachineInterpreter` replay of the same
+schedule.  The headline acceptance claim: **batched dispatch sustains at
+least 5x the naive per-event interpreter throughput at >= 10k instances**.
+
+Run under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q
+
+or standalone (prints the sweep table; ``--fast`` trims it for CI smoke,
+``--json PATH`` writes the rows as a JSON artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--fast] [--json BENCH_serve.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+if __name__ == "__main__":  # allow running without PYTHONPATH=src
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.models.commit import CommitModel
+from repro.serve import (
+    FleetEngine,
+    WorkloadSpec,
+    diff_against_standalone,
+    generate_workload,
+)
+
+#: (scenario, instances, events, shards) sweep points.
+SWEEP = (
+    ("uniform", 1_000, 50_000, 8),
+    ("uniform", 10_000, 300_000, 16),
+    ("hotkey", 10_000, 300_000, 16),
+    ("burst", 10_000, 300_000, 16),
+    ("uniform", 100_000, 500_000, 32),
+)
+
+#: CI smoke sweep: small counts, still one point per scenario.
+FAST_SWEEP = (
+    ("uniform", 500, 10_000, 4),
+    ("hotkey", 500, 10_000, 4),
+    ("burst", 500, 10_000, 4),
+)
+
+#: The acceptance configuration: >= 10k instances, batching-friendly
+#: bursty arrivals (events for one session collate into the same batch).
+ACCEPT_SCENARIO = ("burst", 10_000, 300_000, 16)
+ACCEPT_SPEEDUP = 5.0
+
+
+def _timed_run(machine, events, instances, shards, mode, runs=3, verify=False):
+    """Best wall-clock seconds over ``runs``; optionally differentially verified."""
+    best = float("inf")
+    for _ in range(runs):
+        fleet = FleetEngine(
+            machine, shards=shards, backend="interp", mode=mode, auto_recycle=True
+        )
+        keys = fleet.spawn_many(instances)
+        started = time.perf_counter()
+        fleet.run(events)
+        best = min(best, time.perf_counter() - started)
+        if verify:
+            mismatched = diff_against_standalone(fleet, keys, events)
+            if mismatched:
+                raise AssertionError(
+                    f"{len(mismatched)} fleet traces diverge from standalone "
+                    f"replay ({mode}, {instances} instances)"
+                )
+            verify = False  # one verification per configuration is enough
+    return best
+
+
+def sweep(points=SWEEP, runs=3, seed=0):
+    """Run the naive-vs-batched comparison over ``points``; return rows.
+
+    Each row is a dict with the configuration, per-mode events/sec and the
+    speedup.  Every configuration is differentially verified once.
+    """
+    machine = CommitModel(4).generate_state_machine()
+    rows = []
+    for scenario, instances, events_n, shards in points:
+        spec = WorkloadSpec(
+            scenario=scenario, instances=instances, events=events_n, seed=seed
+        )
+        events = generate_workload(machine, spec)
+        naive_s = _timed_run(
+            machine, events, instances, shards, "naive", runs=runs, verify=True
+        )
+        batched_s = _timed_run(
+            machine, events, instances, shards, "batched", runs=runs, verify=True
+        )
+        rows.append(
+            {
+                "scenario": scenario,
+                "instances": instances,
+                "events": len(events),
+                "shards": shards,
+                "naive_eps": len(events) / naive_s,
+                "batched_eps": len(events) / batched_s,
+                "speedup": naive_s / batched_s,
+            }
+        )
+    return rows
+
+
+def format_rows(rows) -> str:
+    """Render sweep rows as an aligned table."""
+    lines = [
+        "scenario  instances  events   shards  naive ev/s   batched ev/s  speedup",
+        "--------  ---------  -------  ------  -----------  ------------  -------",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['scenario']:<9} {row['instances']:<10d} {row['events']:<8d} "
+            f"{row['shards']:<7d} {row['naive_eps']:>11,.0f}  "
+            f"{row['batched_eps']:>12,.0f}  {row['speedup']:>6.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def acceptance_speedup(runs: int = 3) -> float:
+    """Speedup at the acceptance configuration (>= 10k instances)."""
+    scenario, instances, events_n, shards = ACCEPT_SCENARIO
+    machine = CommitModel(4).generate_state_machine()
+    events = generate_workload(
+        machine,
+        WorkloadSpec(scenario=scenario, instances=instances, events=events_n, seed=0),
+    )
+    naive_s = _timed_run(machine, events, instances, shards, "naive", runs=runs)
+    batched_s = _timed_run(machine, events, instances, shards, "batched", runs=runs)
+    return naive_s / batched_s
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+def test_differential_all_scenarios():
+    """Fleet == standalone for every scenario (the timing-free guarantee)."""
+    machine = CommitModel(4).generate_state_machine()
+    for scenario in ("uniform", "hotkey", "burst"):
+        events = generate_workload(
+            machine,
+            WorkloadSpec(scenario=scenario, instances=200, events=5_000, seed=3),
+        )
+        for mode in ("naive", "batched"):
+            fleet = FleetEngine(machine, shards=4, mode=mode, auto_recycle=True)
+            keys = fleet.spawn_many(200)
+            fleet.run(events)
+            assert diff_against_standalone(fleet, keys, events) == []
+
+
+def test_batched_beats_naive_5x_at_10k_instances():
+    """The acceptance criterion, at the bursty >= 10k-instance point."""
+    speedup = acceptance_speedup()
+    assert speedup >= ACCEPT_SPEEDUP, (
+        f"batched dispatch is only {speedup:.2f}x the naive per-event "
+        f"throughput (needs >= {ACCEPT_SPEEDUP}x)"
+    )
+
+
+def test_bench_naive_10k(benchmark):
+    machine = CommitModel(4).generate_state_machine()
+    events = generate_workload(
+        machine, WorkloadSpec(instances=10_000, events=100_000, seed=0)
+    )
+
+    def run():
+        fleet = FleetEngine(machine, shards=16, mode="naive", auto_recycle=True)
+        fleet.spawn_many(10_000)
+        fleet.run(events)
+        return fleet
+
+    fleet = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["transitions_fired"] = fleet.metrics.transitions_fired
+
+
+def test_bench_batched_10k(benchmark):
+    machine = CommitModel(4).generate_state_machine()
+    events = generate_workload(
+        machine, WorkloadSpec(instances=10_000, events=100_000, seed=0)
+    )
+
+    def run():
+        fleet = FleetEngine(machine, shards=16, mode="batched", auto_recycle=True)
+        fleet.spawn_many(10_000)
+        fleet.run(events)
+        return fleet
+
+    fleet = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["transitions_fired"] = fleet.metrics.transitions_fired
+
+
+# ----------------------------------------------------------------------
+# standalone sweep (CI smoke: --fast)
+# ----------------------------------------------------------------------
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="fleet serving sweep: naive vs sharded+batched dispatch"
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="trimmed sweep + single runs, for CI smoke testing (the 5x "
+        "acceptance gate is skipped: tiny populations under-utilise batching)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the sweep rows (and acceptance result) as JSON",
+    )
+    args = parser.parse_args()
+
+    if args.fast:
+        rows = sweep(points=FAST_SWEEP, runs=1)
+    else:
+        rows = sweep()
+    print(format_rows(rows))
+
+    result = {"rows": rows, "acceptance": None}
+    ok = True
+    if not args.fast:
+        speedup = acceptance_speedup()
+        ok = speedup >= ACCEPT_SPEEDUP
+        result["acceptance"] = {
+            "scenario": ACCEPT_SCENARIO[0],
+            "instances": ACCEPT_SCENARIO[1],
+            "speedup": speedup,
+            "required": ACCEPT_SPEEDUP,
+            "pass": ok,
+        }
+        print(
+            f"\nacceptance: batched {speedup:.2f}x naive at "
+            f"{ACCEPT_SCENARIO[1]} instances ({ACCEPT_SCENARIO[0]}) -> "
+            f"{'PASS' if ok else 'FAIL'} (needs >= {ACCEPT_SPEEDUP}x)"
+        )
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

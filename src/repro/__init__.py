@@ -23,6 +23,11 @@ engine (:func:`repro.generate_lazy`), which expands only reachable states
 and scales to parameter values the eager engine cannot touch.  Select one
 per call with ``generate_state_machine(engine="lazy")`` or on the command
 line with ``python -m repro.cli generate --engine lazy``.
+
+For serving a *population* of machine instances — sharded by session key
+with batched dispatch, backpressure and snapshot/restore — see
+:class:`repro.FleetEngine` (the fleet execution plane,
+:mod:`repro.serve`).
 """
 
 from repro.core import (
@@ -42,6 +47,7 @@ from repro.core import (
     generate_lazy,
     generate_with_engine,
 )
+from repro.serve import FleetEngine
 
 __version__ = "1.0.0"
 
@@ -50,6 +56,7 @@ __all__ = [
     "BooleanComponent",
     "ENGINES",
     "EnumComponent",
+    "FleetEngine",
     "GenerationReport",
     "IntComponent",
     "InvalidStateError",

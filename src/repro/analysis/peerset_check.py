@@ -279,6 +279,7 @@ def check_single_update(
     replication_factor: int = 4,
     silent_members: int = 0,
     max_states: int = 2_000_000,
+    engine: str = "eager",
 ) -> ExplorationResult:
     """Exhaustively check one update across the peer set.
 
@@ -290,7 +291,7 @@ def check_single_update(
     r = replication_factor
     if silent_members >= r:
         raise SimulationError("at least one member must be live")
-    machine = CommitModel(r).generate_state_machine()
+    machine = CommitModel(r).generate_state_machine(engine=engine)
     explorer = PeerSetExplorer(machine, members=r, updates=1)
     live = [m >= silent_members for m in range(r)]
     members_state = explorer.initial_members(live)
@@ -302,6 +303,7 @@ def check_contending_updates(
     replication_factor: int = 4,
     first_half: int | None = None,
     max_states: int = 2_000_000,
+    engine: str = "eager",
 ) -> ExplorationResult:
     """Model-check the §2.2 contention scenario.
 
@@ -321,7 +323,7 @@ def check_contending_updates(
     split = first_half if first_half is not None else r // 2
     if not 0 <= split <= r:
         raise SimulationError(f"first_half must be in 0..{r}, got {split}")
-    machine = CommitModel(r).generate_state_machine()
+    machine = CommitModel(r).generate_state_machine(engine=engine)
     explorer = PeerSetExplorer(machine, members=r, updates=2)
     live = [True] * r
     members_state = explorer.initial_members(live)

@@ -11,6 +11,8 @@ Mirrors the paper's Fig 6 usage from a shell::
     repro-fsm describe -r 4 --state T/2/F/0/F/F/F
     repro-fsm export -r 4 -o commit_r4.py    # §4.3 copy-into-codebase
     repro-fsm modelcheck -r 4 --silent 1     # exhaustive peer-set check
+    repro-fsm serve-bench --instances 10000 --events 100000 --shards 16
+                                             # fleet plane: naive vs batched
 """
 
 from __future__ import annotations
@@ -30,6 +32,14 @@ from repro.render.text import TextRenderer
 from repro.render.xml import XmlRenderer
 from repro.core.pipeline import ENGINES
 from repro.runtime.export import export_machine_module
+from repro.serve import (
+    FleetEngine,
+    WorkloadSpec,
+    diff_against_standalone,
+    generate_workload,
+)
+from repro.serve.adapter import BACKENDS as SERVE_BACKENDS
+from repro.serve.workload import SCENARIOS as SERVE_SCENARIOS
 
 _RENDERERS = {
     "text": TextRenderer,
@@ -108,6 +118,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="check two contending updates with this many first-voters for A",
     )
     modelcheck.add_argument("--max-states", type=int, default=500_000)
+    add_engine_flag(modelcheck)
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="benchmark the fleet execution plane: naive per-event dispatch "
+        "vs sharded+batched dispatch over a synthetic workload",
+    )
+    serve_bench.add_argument("-r", "--replication-factor", type=int, default=4)
+    serve_bench.add_argument(
+        "--shards", type=int, default=8, help="instance partitions (default: 8)"
+    )
+    serve_bench.add_argument(
+        "--instances", type=int, default=10_000, help="machine instances hosted"
+    )
+    serve_bench.add_argument(
+        "--events", type=int, default=100_000, help="events in the workload"
+    )
+    serve_bench.add_argument(
+        "--backend",
+        choices=SERVE_BACKENDS,
+        default="interp",
+        help="execution backend for the naive per-event baseline",
+    )
+    serve_bench.add_argument(
+        "--workload",
+        choices=SERVE_SCENARIOS,
+        default="uniform",
+        help="arrival pattern (default: uniform)",
+    )
+    serve_bench.add_argument("--seed", type=int, default=0)
+    add_engine_flag(serve_bench)
 
     return parser
 
@@ -161,18 +202,23 @@ def main(argv: list[str] | None = None) -> int:
         print(f"exported {machine.name} to {path}")
         return 0
 
+    if args.command == "serve-bench":
+        return _serve_bench(args)
+
     if args.command == "modelcheck":
         if args.contention is not None:
             result = check_contending_updates(
                 args.replication_factor,
                 first_half=args.contention,
                 max_states=args.max_states,
+                engine=args.engine,
             )
         else:
             result = check_single_update(
                 args.replication_factor,
                 silent_members=args.silent,
                 max_states=args.max_states,
+                engine=args.engine,
             )
         print(
             f"explored {result.states_explored} system states"
@@ -190,6 +236,56 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if result.safe else 1
 
     return 1  # pragma: no cover - argparse enforces the command set
+
+
+def _serve_bench(args) -> int:
+    """Run one naive-vs-batched fleet comparison and print the result."""
+    import time
+
+    machine = CommitModel(args.replication_factor).generate_state_machine(
+        engine=args.engine
+    )
+    spec = WorkloadSpec(
+        scenario=args.workload,
+        instances=args.instances,
+        events=args.events,
+        seed=args.seed,
+    )
+    events = generate_workload(machine, spec)
+    print(
+        f"machine {machine.name} [{args.engine}]: {len(machine)} states; "
+        f"workload {args.workload}: {args.instances} instances, "
+        f"{len(events)} events, {args.shards} shards, "
+        f"backend {args.backend}"
+    )
+
+    elapsed: dict[str, float] = {}
+    for mode in ("naive", "batched"):
+        fleet = FleetEngine(
+            machine,
+            shards=args.shards,
+            backend=args.backend,
+            mode=mode,
+            auto_recycle=True,
+        )
+        keys = fleet.spawn_many(args.instances)
+        started = time.perf_counter()
+        fleet.run(events)
+        elapsed[mode] = time.perf_counter() - started
+        mismatched = diff_against_standalone(fleet, keys, events)
+        metrics = fleet.metrics
+        print(
+            f"  {mode:8s} {metrics.events_per_sec(elapsed[mode]):>12,.0f} ev/s  "
+            f"({elapsed[mode]:.3f}s, {metrics.transitions_fired} fired, "
+            f"{metrics.events_ignored} ignored, "
+            f"{metrics.instances_recycled} recycled, "
+            f"differential {'ok' if not mismatched else 'MISMATCH'})"
+        )
+        if mismatched:
+            print(f"  {len(mismatched)} mismatched traces", file=sys.stderr)
+            return 1
+    print(f"  speedup  {elapsed['naive'] / elapsed['batched']:.2f}x")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,11 +18,47 @@ between the abstract model (producer) and the renderers / runtime
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.components import StateSpace
 from repro.core.errors import MachineStructureError
 from repro.core.state import State, Transition
+
+
+@dataclass(frozen=True)
+class FlatDispatchTable:
+    """A machine flattened to index arithmetic for batched execution.
+
+    States and messages are assigned dense integer indices; ``entries`` is a
+    flat row-major list of length ``len(state_names) * len(messages)`` where
+    slot ``state_index * len(messages) + message_index`` holds either
+    ``None`` (message not applicable in that state — ignored, per protocol
+    semantics) or a ``(next_state_index, actions)`` pair with actions
+    already stripped of their ``->`` prefix.  This is the representation
+    the fleet execution plane (:mod:`repro.serve`) drains mailboxes
+    against: one list lookup and one tuple unpack per event instead of a
+    per-event interpreter walk.
+    """
+
+    state_names: tuple[str, ...]
+    messages: tuple[str, ...]
+    state_index: dict[str, int]
+    message_index: dict[str, int]
+    entries: tuple[Optional[tuple[int, tuple[str, ...]]], ...]
+    start_index: int
+    final: tuple[bool, ...]
+
+    @property
+    def width(self) -> int:
+        """Number of message columns per state row."""
+        return len(self.messages)
+
+    def lookup(self, state_name: str, message: str):
+        """Convenience name-based lookup (hot paths use index arithmetic)."""
+        row = self.state_index[state_name]
+        col = self.message_index[message]
+        return self.entries[row * len(self.messages) + col]
 
 
 class StateMachine:
@@ -181,6 +217,42 @@ class StateMachine:
                     seen.add(target)
                     frontier.append(target)
         return seen
+
+    def dispatch_table(self) -> FlatDispatchTable:
+        """Export the machine as a :class:`FlatDispatchTable`.
+
+        The flat form is behaviour-preserving: an event sequence replayed
+        through the table visits exactly the states and performs exactly
+        the actions of :class:`~repro.runtime.interp.MachineInterpreter`
+        on the same machine (asserted by the fleet differential tests).
+        """
+        self.check_integrity()
+        state_names = tuple(self._states.keys())
+        state_index = {name: i for i, name in enumerate(state_names)}
+        message_index = {message: i for i, message in enumerate(self._messages)}
+        width = len(self._messages)
+        entries: list[Optional[tuple[int, tuple[str, ...]]]] = [None] * (
+            len(state_names) * width
+        )
+        for state in self._states.values():
+            row = state_index[state.name] * width
+            for transition in state.transitions:
+                actions = tuple(
+                    a[2:] if a.startswith("->") else a for a in transition.actions
+                )
+                entries[row + message_index[transition.message]] = (
+                    state_index[transition.target_name],
+                    actions,
+                )
+        return FlatDispatchTable(
+            state_names=state_names,
+            messages=self._messages,
+            state_index=state_index,
+            message_index=message_index,
+            entries=tuple(entries),
+            start_index=state_index[self.start_state.name],
+            final=tuple(state.final for state in self._states.values()),
+        )
 
     def check_integrity(self) -> None:
         """Raise if any transition dangles or a final state has outgoing edges."""

@@ -146,6 +146,15 @@ class PythonSourceRenderer(Renderer):
         buffer.add_line("return self._state in FINAL_STATES")
         buffer.exit_block()
         buffer.blank()
+        buffer.enter_block("def reset(self):")
+        buffer.add_line('"""Return to the start state and clear any recorded actions."""')
+        buffer.add_line("self._state = START_STATE")
+        buffer.add_line("clear = getattr(self, 'clear_sent', None)")
+        buffer.enter_block("if clear is not None:")
+        buffer.add_line("clear()")
+        buffer.exit_block()
+        buffer.exit_block()
+        buffer.blank()
 
     def _dispatch_method(self, buffer: CodeBuffer, machine: StateMachine) -> None:
         buffer.enter_block("def receive(self, message):")

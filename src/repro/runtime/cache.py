@@ -37,11 +37,17 @@ class CacheStats:
 
 
 class GeneratedCodeCache:
-    """LRU cache mapping parameter keys to generated artefacts."""
+    """LRU cache mapping parameter keys to generated artefacts.
 
-    def __init__(self, max_entries: int = 32):
-        if max_entries < 1:
-            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+    ``max_entries=None`` makes the cache unbounded — the right choice for
+    long-running deployments such as the fleet execution plane
+    (:mod:`repro.serve`), where the set of distinct machine parameters is
+    small and an eviction would force a pointless regeneration.
+    """
+
+    def __init__(self, max_entries: int | None = 32):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
         self._max_entries = max_entries
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self.stats = CacheStats()
@@ -61,7 +67,7 @@ class GeneratedCodeCache:
         self.stats.misses += 1
         artefact = producer()
         self._entries[key] = artefact
-        if len(self._entries) > self._max_entries:
+        if self._max_entries is not None and len(self._entries) > self._max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
         return artefact
@@ -71,5 +77,6 @@ class GeneratedCodeCache:
         return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
-        """Drop all entries (statistics are preserved)."""
+        """Drop all entries and reset the hit/miss/eviction statistics."""
         self._entries.clear()
+        self.stats = CacheStats()

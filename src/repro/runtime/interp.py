@@ -25,8 +25,12 @@ class MachineInterpreter:
         self,
         machine: StateMachine,
         sink: Optional[Callable[[str], None]] = None,
+        validate: bool = True,
     ):
-        machine.check_integrity()
+        """``validate=False`` skips the integrity walk — for callers that
+        spawn many interpreters over one already-validated machine."""
+        if validate:
+            machine.check_integrity()
         self._machine = machine
         self._state = machine.start_state
         self._sink = sink

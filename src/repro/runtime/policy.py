@@ -55,7 +55,7 @@ class MachineFactory:
         model_factory: Callable[..., AbstractModel],
         policy: GenerationPolicy = GenerationPolicy.ON_DEMAND,
         action_base: type = RecordingActions,
-        cache_size: int = 32,
+        cache_size: int | None = 32,
         engine: str = "eager",
     ):
         if engine not in ENGINES:

@@ -1,0 +1,48 @@
+"""Fleet execution plane: sharded, batched serving of many machine instances.
+
+Scales the paper's single-machine deployment story (§4) to a population:
+instances are partitioned by session key across shards
+(:mod:`repro.serve.store`), events queue in bounded per-shard mailboxes
+(:mod:`repro.serve.mailbox`) and are dispatched in batches over the
+machine's flat dispatch table (:mod:`repro.serve.fleet`), with
+snapshot/restore, backpressure and a metrics surface
+(:mod:`repro.serve.metrics`).  Both execution backends — interpreter and
+compiled generated class — plug in through :mod:`repro.serve.adapter`;
+:mod:`repro.serve.workload` fabricates arrival patterns and
+:mod:`repro.serve.differential` proves fleet runs identical to standalone
+single-instance runs.
+"""
+
+from repro.serve.adapter import BACKENDS, BackendAdapter, make_backend
+from repro.serve.differential import diff_against_standalone, standalone_traces
+from repro.serve.fleet import DISPATCH_MODES, FleetEngine, FleetSnapshot
+from repro.serve.mailbox import Mailbox, OverflowPolicy
+from repro.serve.metrics import FleetMetrics
+from repro.serve.store import InstanceSnapshot, InstanceStore, shard_of
+from repro.serve.workload import (
+    SCENARIOS,
+    WorkloadSpec,
+    generate_workload,
+    session_keys,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BackendAdapter",
+    "DISPATCH_MODES",
+    "FleetEngine",
+    "FleetMetrics",
+    "FleetSnapshot",
+    "InstanceSnapshot",
+    "InstanceStore",
+    "Mailbox",
+    "OverflowPolicy",
+    "SCENARIOS",
+    "WorkloadSpec",
+    "diff_against_standalone",
+    "generate_workload",
+    "make_backend",
+    "session_keys",
+    "shard_of",
+    "standalone_traces",
+]

@@ -1,0 +1,76 @@
+"""Common adapter over the two execution backends (paper §4.2 spectrum).
+
+The fleet can back its instances with either end of the deployment
+spectrum — the :class:`~repro.runtime.interp.MachineInterpreter` walking
+the machine representation, or an instance of the generated class produced
+by :func:`~repro.runtime.compile.compile_machine`.  Both already speak the
+same protocol (``receive`` / ``get_state`` / ``is_finished`` / ``reset`` /
+``sent``); the adapter's job is uniform construction and restoration, plus
+amortising compilation: one :class:`~repro.runtime.cache.GeneratedCodeCache`
+entry serves *every* instance of the same machine parameters, so spawning
+a million compiled-backend sessions compiles exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import DeploymentError
+from repro.core.machine import StateMachine
+from repro.runtime.cache import GeneratedCodeCache
+from repro.runtime.compile import compile_machine
+from repro.runtime.interp import MachineInterpreter
+
+#: Backend kinds the fleet accepts.
+BACKENDS = ("interp", "compiled")
+
+#: Process-wide cache of compiled machine classes, shared by every fleet
+#: that does not bring its own cache.  Unbounded: the set of distinct
+#: machine parameters in one process is small and an eviction would force
+#: a pointless recompilation.
+_SHARED_COMPILED_CACHE = GeneratedCodeCache(max_entries=None)
+
+
+class BackendAdapter:
+    """Uniform construction/restoration of protocol-identical instances."""
+
+    def __init__(self, kind: str, machine: StateMachine, factory):
+        self.kind = kind
+        self.machine = machine
+        self._factory = factory
+
+    def new_instance(self):
+        """A fresh instance in the machine's start state."""
+        return self._factory()
+
+    def restore_instance(self, instance, state_name: str, actions) -> None:
+        """Force ``instance`` to a snapshotted state and action log."""
+        instance.set_state(state_name)
+        instance.sent[:] = actions
+
+
+def make_backend(
+    kind: str,
+    machine: StateMachine,
+    cache: Optional[GeneratedCodeCache] = None,
+) -> BackendAdapter:
+    """Build the adapter for a backend kind.
+
+    ``interp`` instances share the one machine representation; ``compiled``
+    instances share one generated class, produced at most once per machine
+    parameters via ``cache`` (default: the process-wide shared cache).
+    """
+    if kind == "interp":
+        # Validate once here, not once per spawned instance.
+        machine.check_integrity()
+        return BackendAdapter(
+            kind, machine, lambda: MachineInterpreter(machine, validate=False)
+        )
+    if kind == "compiled":
+        from repro.runtime.export import machine_fingerprint
+
+        store = cache if cache is not None else _SHARED_COMPILED_CACHE
+        key = (machine.name, machine_fingerprint(machine))
+        compiled = store.get_or_generate(key, lambda: compile_machine(machine))
+        return BackendAdapter(kind, machine, compiled.new_instance)
+    raise DeploymentError(f"unknown backend {kind!r}; choose from {BACKENDS}")

@@ -1,0 +1,63 @@
+"""Differential harness: fleet runs versus standalone interpreter replays.
+
+The fleet's correctness claim is that hosting an instance inside the
+execution plane is observationally identical to running it alone: for any
+recorded event schedule, every instance's final ``(state, action log)``
+trace must match a standalone :class:`~repro.runtime.interp.MachineInterpreter`
+fed the same per-key subsequence.  This module replays schedules standalone
+and reports mismatches; the test suite and ``bench_serve`` both use it.
+
+The comparison is only meaningful when the fleet dropped nothing — use
+unbounded mailboxes (or check ``metrics.events_dropped == 0``) before
+trusting a clean result.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import StateMachine
+from repro.runtime.interp import MachineInterpreter
+from repro.serve.store import InstanceSnapshot
+
+
+def standalone_traces(
+    machine: StateMachine,
+    keys,
+    events,
+    auto_recycle: bool = False,
+) -> dict[str, InstanceSnapshot]:
+    """Replay a recorded schedule through one interpreter per session key.
+
+    ``auto_recycle`` mirrors the fleet option: an instance that reaches a
+    final state is immediately ``reset()``.
+    """
+    machine.check_integrity()
+    interpreters = {
+        key: MachineInterpreter(machine, validate=False) for key in keys
+    }
+    for key, message in events:
+        interpreter = interpreters[key]
+        if interpreter.receive(message):
+            if auto_recycle and interpreter.is_finished():
+                interpreter.reset()
+    return {
+        key: InstanceSnapshot(key, interp.get_state(), tuple(interp.sent))
+        for key, interp in interpreters.items()
+    }
+
+
+def diff_against_standalone(fleet, keys, events) -> list[str]:
+    """Keys whose fleet trace differs from the standalone replay.
+
+    ``fleet`` must already have processed ``events``; the standalone side
+    is replayed here with the fleet's own ``auto_recycle`` setting.  An
+    empty list means the fleet is observationally identical to
+    single-instance runs.
+    """
+    expected = standalone_traces(
+        fleet.machine, keys, events, auto_recycle=fleet.auto_recycle
+    )
+    mismatched = []
+    for key in keys:
+        if fleet.trace(key) != expected[key]:
+            mismatched.append(key)
+    return mismatched

@@ -1,0 +1,527 @@
+"""The fleet execution engine: many machine instances behind one API.
+
+The paper's deployment story (§4) generates, compiles and binds a *single*
+state machine; this module is the production-scale counterpart: it hosts
+thousands-to-millions of instances of one generated machine, partitioned
+by session key across shards, and dispatches events in batches.
+
+Two dispatch modes expose the architectural choice the benchmarks measure:
+
+* ``naive`` — every event is delivered individually to a per-instance
+  backend object (a :class:`~repro.runtime.interp.MachineInterpreter` or a
+  compiled generated-class instance, selected by ``backend``): one full
+  protocol walk per event.
+* ``batched`` — events are queued and whole batches are dispatched in one
+  pass over the machine's precomputed
+  :class:`~repro.core.machine.FlatDispatchTable`, specialised at fleet
+  construction into two flat arrays: ``jump`` (premultiplied next-state
+  offset, ``-1`` when the message is inapplicable) and ``acts`` (the
+  transition's action tuple, with ``None`` marking a protocol-completing
+  transition when auto-recycling).  Per event the loop does one dict
+  lookup, one addition, two list indexings — no interpreter walk, no
+  method dispatch.
+
+Both modes produce identical per-instance state/action traces (the
+differential tests assert this against standalone interpreter replays), so
+the batched plane is a pure throughput optimisation.
+
+Event intake is two-tier.  :meth:`FleetEngine.post` routes single events
+into per-shard bounded :class:`~repro.serve.mailbox.Mailbox` queues —
+backpressure domain per shard, with *shed* (drop and count) or *block*
+(drain inline, the synchronous form of blocking the producer) overflow
+policies — and :meth:`FleetEngine.drain_shard` dispatches a shard's queue
+in one pass.  :meth:`FleetEngine.run` additionally treats an already
+materialised event list as one arrival batch: when no mailbox bound is
+configured there is nothing for per-shard queueing to enforce in a single
+process, so the batch is dispatched directly against the sharded store's
+global session index, skipping the per-event routing hash entirely.
+
+Snapshot/restore captures every instance's ``(key, state, action log)``
+for recycling and failover; recycling itself rides the ``reset()``
+protocol both backends implement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import DeploymentError
+from repro.core.machine import StateMachine
+from repro.runtime.cache import GeneratedCodeCache
+from repro.serve.adapter import BACKENDS, make_backend
+from repro.serve.mailbox import Mailbox, OverflowPolicy
+from repro.serve.metrics import FleetMetrics
+from repro.serve.workload import session_keys
+from repro.serve.store import (
+    ACTIONS,
+    BACKEND,
+    STATE,
+    InstanceSnapshot,
+    InstanceStore,
+    shard_of,
+)
+
+#: Event dispatch modes.
+DISPATCH_MODES = ("naive", "batched")
+
+
+@dataclass(frozen=True)
+class FleetSnapshot:
+    """Portable state of a whole fleet at a quiescent point.
+
+    Pending (queued, undelivered) events are *not* part of a snapshot:
+    :meth:`FleetEngine.snapshot` drains all mailboxes first so the capture
+    is consistent.
+    """
+
+    machine_name: str
+    instances: tuple[InstanceSnapshot, ...]
+
+
+class FleetEngine:
+    """Host a population of instances of one machine; dispatch events to them."""
+
+    def __init__(
+        self,
+        machine: StateMachine,
+        *,
+        shards: int = 8,
+        backend: str = "interp",
+        mode: str = "batched",
+        mailbox_capacity: Optional[int] = None,
+        overflow: OverflowPolicy = OverflowPolicy.SHED,
+        auto_recycle: bool = False,
+        cache: Optional[GeneratedCodeCache] = None,
+    ):
+        if mode not in DISPATCH_MODES:
+            raise DeploymentError(
+                f"unknown dispatch mode {mode!r}; choose from {DISPATCH_MODES}"
+            )
+        if backend not in BACKENDS:
+            raise DeploymentError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        self._machine = machine
+        self._mode = mode
+        self._backend_kind = backend
+        self._auto_recycle = auto_recycle
+        self._table = machine.dispatch_table()
+        self._width = self._table.width
+        self._columns = self._table.message_index
+        self._final = self._table.final
+        self._start = self._table.start_index * self._width
+        # The specialised jump/acts arrays are only read by the batched
+        # dispatch loop; naive fleets execute through backend objects.
+        if mode == "batched":
+            self._jump, self._acts = self._specialise_table()
+        else:
+            self._jump = self._acts = None
+        # Backend objects only exist on the naive path; the batched path
+        # executes instances as (premultiplied state, action log) records.
+        self._adapter = (
+            make_backend(backend, machine, cache) if mode == "naive" else None
+        )
+        self._store = InstanceStore(self._table, shards=shards)
+        self._mailboxes = [
+            Mailbox(capacity=mailbox_capacity, policy=overflow)
+            for _ in range(shards)
+        ]
+        self._bounded = mailbox_capacity is not None
+        self.metrics = FleetMetrics()
+
+    def _specialise_table(self) -> tuple[list[int], list]:
+        """Flatten the dispatch table into the two hot-loop arrays.
+
+        ``jump[offset]`` is the next state premultiplied by the alphabet
+        width (``-1``: message inapplicable).  ``acts[offset]`` is the
+        action tuple; under auto-recycling a protocol-completing
+        transition instead jumps straight to the start state and carries
+        the ``None`` sentinel (its actions would be wiped by the
+        immediate ``reset()`` anyway, exactly as in a standalone replay).
+        """
+        table = self._table
+        width = table.width
+        jump: list[int] = []
+        acts: list = []
+        for row in range(len(table.state_names)):
+            for col in range(width):
+                entry = table.entries[row * width + col]
+                if entry is None:
+                    jump.append(-1)
+                    acts.append(())
+                elif self._auto_recycle and table.final[entry[0]]:
+                    jump.append(self._start)
+                    acts.append(None)
+                else:
+                    jump.append(entry[0] * width)
+                    acts.append(entry[1])
+        return jump, acts
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def machine(self) -> StateMachine:
+        return self._machine
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def backend(self) -> str:
+        return self._backend_kind
+
+    @property
+    def auto_recycle(self) -> bool:
+        return self._auto_recycle
+
+    @property
+    def shard_count(self) -> int:
+        return self._store.shard_count
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def shard_id(self, key: str) -> int:
+        """The shard a session key routes to (stable across engines)."""
+        return self._store.shard_id(key)
+
+    def shard_sizes(self) -> list[int]:
+        """Instance population per shard."""
+        return self._store.shard_sizes()
+
+    def depths(self) -> list[int]:
+        """Current mailbox depth per shard; also recorded into metrics."""
+        depths = [len(box) for box in self._mailboxes]
+        self.metrics.observe_depths(depths)
+        return depths
+
+    def dropped_per_shard(self) -> list[int]:
+        """Events shed per shard since construction."""
+        return [box.dropped for box in self._mailboxes]
+
+    # ------------------------------------------------------------------
+    # instance lifecycle
+    # ------------------------------------------------------------------
+
+    def spawn(self, key: str) -> None:
+        """Create one instance at the machine's start state."""
+        backend = self._adapter.new_instance() if self._adapter is not None else None
+        self._store.spawn(key, backend)
+        self.metrics.instances_spawned += 1
+
+    def spawn_many(self, count: int, prefix: str = "session") -> list[str]:
+        """Create ``count`` instances with generated session keys.
+
+        The keys come from :func:`repro.serve.workload.session_keys`, so a
+        generated workload targets exactly the instances spawned here.
+        """
+        keys = session_keys(count, prefix)
+        for key in keys:
+            self.spawn(key)
+        return keys
+
+    def recycle(self, key: str) -> None:
+        """Return one instance to the start state (the ``reset()`` protocol)."""
+        rec = self._store.locate(key)
+        if self._mode == "naive":
+            rec[BACKEND].reset()
+        else:
+            rec[STATE] = self._start
+            rec[ACTIONS].clear()
+        self.metrics.instances_recycled += 1
+
+    def trace(self, key: str) -> InstanceSnapshot:
+        """The instance's current state name and full action log."""
+        rec = self._store.locate(key)
+        if self._mode == "naive":
+            instance = rec[BACKEND]
+            return InstanceSnapshot(key, instance.get_state(), tuple(instance.sent))
+        return InstanceSnapshot(
+            key,
+            self._table.state_names[rec[STATE] // self._width],
+            tuple(action for chunk in rec[ACTIONS] for action in chunk),
+        )
+
+    def is_finished(self, key: str) -> bool:
+        """Whether the instance has reached a final state."""
+        rec = self._store.locate(key)
+        if self._mode == "naive":
+            return rec[BACKEND].is_finished()
+        return self._final[rec[STATE] // self._width]
+
+    # ------------------------------------------------------------------
+    # event intake
+    # ------------------------------------------------------------------
+
+    def post(self, key: str, message: str) -> bool:
+        """Queue one event for batched dispatch; returns acceptance.
+
+        Routing is a stable hash of the key; existence of the instance and
+        validity of the message are checked at dispatch time, keeping the
+        intake path to a hash, a bound check and an append.  Under the
+        ``block`` policy a full mailbox is drained inline (the synchronous
+        form of blocking the producer) and the event is then accepted.
+        """
+        shard_id = shard_of(key, len(self._mailboxes))
+        mailbox = self._mailboxes[shard_id]
+        if mailbox.offer((key, message)):
+            self.metrics.events_offered += 1
+            return True
+        if mailbox.policy is OverflowPolicy.BLOCK:
+            # The incoming event is enqueued even when the inline drain
+            # raises for bad previously-queued events (the drain empties
+            # the mailbox either way) — the error must not lose it.
+            try:
+                self.drain_shard(shard_id)
+            finally:
+                mailbox.offer((key, message))
+                self.metrics.events_offered += 1
+            return True
+        self.metrics.events_dropped += 1
+        return False
+
+    def deliver(self, key: str, message: str) -> bool:
+        """Dispatch one event immediately, bypassing the mailboxes.
+
+        This is the per-event path — full routing, dispatch and metrics
+        accounting for a single event; in ``naive`` mode one complete
+        backend protocol walk.  Returns whether a transition fired.
+        """
+        rec = self._store.locate(key)
+        metrics = self.metrics
+        if self._mode == "naive":
+            instance = rec[BACKEND]
+            try:
+                fired = instance.receive(message)
+            except ValueError as exc:
+                # Compiled generated classes raise raw ValueError for an
+                # unknown message; normalise to the API's error type.
+                raise DeploymentError(f"unknown message {message!r}") from exc
+            metrics.events_dispatched += 1
+            if fired:
+                metrics.transitions_fired += 1
+                if self._auto_recycle and instance.is_finished():
+                    instance.reset()
+                    metrics.instances_recycled += 1
+            else:
+                metrics.events_ignored += 1
+            return fired
+        try:
+            offset = rec[STATE] + self._columns[message]
+        except KeyError:
+            raise DeploymentError(f"unknown message {message!r}") from None
+        metrics.events_dispatched += 1
+        next_state = self._jump[offset]
+        if next_state < 0:
+            metrics.events_ignored += 1
+            return False
+        acts = self._acts[offset]
+        if acts:
+            rec[ACTIONS].append(acts)
+        elif acts is None:
+            rec[ACTIONS].clear()
+            metrics.instances_recycled += 1
+        rec[STATE] = next_state
+        metrics.transitions_fired += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # batched dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, batch) -> None:
+        """Dispatch a batch of ``(key, message)`` events in one pass.
+
+        A bad event (unknown instance or message) does not poison the
+        batch: dispatch resumes with the events queued behind it, and one
+        :class:`~repro.core.errors.DeploymentError` naming the rejected
+        events is raised after the whole batch has been processed — so a
+        programming error is still loud, but never loses valid traffic.
+        """
+        metrics = self.metrics
+        ignored = 0
+        recycled = 0
+        rejected: list[tuple[str, str]] = []
+        # Iterating an explicit iterator lets the except clause resume the
+        # loop exactly after a failing event, at zero cost to the hot path.
+        events = iter(batch)
+        key = message = None
+        if self._mode == "batched":
+            index = self._store.index
+            columns = self._columns
+            jump = self._jump
+            acts_table = self._acts
+            while True:
+                try:
+                    # rec[0] is STATE, rec[1] is ACTIONS: literal indices keep
+                    # the loop free of global-name lookups.
+                    for key, message in events:
+                        rec = index[key]
+                        offset = rec[0] + columns[message]
+                        next_state = jump[offset]
+                        if next_state >= 0:
+                            acts = acts_table[offset]
+                            if acts:
+                                rec[1].append(acts)
+                            elif acts is None:
+                                rec[1].clear()
+                                recycled += 1
+                            rec[0] = next_state
+                        else:
+                            ignored += 1
+                    break
+                except KeyError:
+                    rejected.append((key, message))
+            fired = len(batch) - len(rejected) - ignored
+        else:
+            index = self._store.index
+            auto = self._auto_recycle
+            fired = 0
+            while True:
+                try:
+                    # rec[2] is BACKEND (see store record layout).
+                    for key, message in events:
+                        instance = index[key][2]
+                        if instance.receive(message):
+                            fired += 1
+                            if auto and instance.is_finished():
+                                instance.reset()
+                                recycled += 1
+                        else:
+                            ignored += 1
+                    break
+                except (KeyError, ValueError, DeploymentError):
+                    rejected.append((key, message))
+        metrics.events_dispatched += len(batch) - len(rejected)
+        metrics.transitions_fired += fired
+        metrics.events_ignored += ignored
+        metrics.instances_recycled += recycled
+        if rejected:
+            shown = ", ".join(f"({k!r}, {m!r})" for k, m in rejected[:3])
+            suffix = f" (+{len(rejected) - 3} more)" if len(rejected) > 3 else ""
+            raise DeploymentError(
+                f"dispatch rejected {len(rejected)} event(s) with unknown "
+                f"instance or message: {shown}{suffix}"
+            )
+
+    def drain_shard(self, shard_id: int) -> int:
+        """Dispatch every queued event of one shard in a single pass."""
+        batch = self._mailboxes[shard_id].drain()
+        if not batch:
+            return 0
+        # The batch is drained at this point, so it counts even when
+        # _dispatch raises for bad events after processing the rest.
+        self.metrics.batches_drained += 1
+        self._dispatch(batch)
+        return len(batch)
+
+    def drain_all(self) -> int:
+        """Drain every shard; returns the number of events dispatched.
+
+        A shard whose batch contains bad events still raises, but only
+        after every shard has been drained — one failing shard does not
+        strand traffic queued behind it in the others.
+        """
+        total = 0
+        errors: list[str] = []
+        for shard_id in range(len(self._mailboxes)):
+            try:
+                total += self.drain_shard(shard_id)
+            except DeploymentError as exc:
+                errors.append(str(exc))
+        if errors:
+            raise DeploymentError("; ".join(errors))
+        return total
+
+    def run(self, events) -> FleetMetrics:
+        """Feed a whole workload through the engine's dispatch mode.
+
+        Both modes first drain anything already queued (FIFO with
+        previously posted traffic), then dispatch ``events`` as one
+        arrival batch when the mailboxes are unbounded, or route them
+        through :meth:`post`/:meth:`drain_all` when a capacity bound (and
+        its overflow policy) is in force — intake is mode-independent, so
+        bounded fleets shed/block identically in both modes.  Inside the
+        batch, ``naive`` still performs one full backend protocol walk
+        per event (the baseline the benchmarks measure) while ``batched``
+        runs the flat-table loop.
+        """
+        self.drain_all()
+        if not self._bounded:
+            batch = events if isinstance(events, list) else list(events)
+            if batch:
+                self.metrics.events_offered += len(batch)
+                self.metrics.batches_drained += 1
+                self._dispatch(batch)
+            return self.metrics
+        # Bounded: identical intake for both modes — capacity and overflow
+        # policy apply the same way, so bounded naive and bounded batched
+        # fleets shed/block identically and stay trace-identical.  Errors
+        # from inline drains (bad queued events under BLOCK) are collected
+        # so they never strand the traffic still to be posted.
+        errors: list[str] = []
+        post = self.post
+        for key, message in events:
+            try:
+                post(key, message)
+            except DeploymentError as exc:
+                errors.append(str(exc))
+        try:
+            self.drain_all()
+        except DeploymentError as exc:
+            errors.append(str(exc))
+        if errors:
+            raise DeploymentError("; ".join(errors))
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> FleetSnapshot:
+        """Capture every instance's state after draining all mailboxes."""
+        self.drain_all()
+        instances = tuple(self.trace(key) for key in self._store.keys())
+        self.metrics.snapshots_taken += 1
+        return FleetSnapshot(machine_name=self._machine.name, instances=instances)
+
+    def restore(self, snapshot: FleetSnapshot) -> None:
+        """Rebuild the instance population from a snapshot.
+
+        The current population and any still-queued events are discarded.
+        Restoring a snapshot from a different machine raises
+        :class:`~repro.core.errors.DeploymentError`.
+        """
+        if snapshot.machine_name != self._machine.name:
+            raise DeploymentError(
+                f"snapshot is for machine {snapshot.machine_name!r}, "
+                f"this fleet serves {self._machine.name!r}"
+            )
+        state_index = self._table.state_index
+        for inst in snapshot.instances:
+            if inst.state not in state_index:
+                raise DeploymentError(
+                    f"snapshot state {inst.state!r} does not exist in "
+                    f"machine {self._machine.name!r}"
+                )
+        for mailbox in self._mailboxes:
+            mailbox.drain()
+        self._store.clear()
+        for inst in snapshot.instances:
+            backend = (
+                self._adapter.new_instance() if self._adapter is not None else None
+            )
+            rec = self._store.spawn(inst.key, backend)
+            if self._mode == "naive":
+                self._adapter.restore_instance(backend, inst.state, inst.actions)
+            else:
+                rec[STATE] = state_index[inst.state] * self._width
+                rec[ACTIONS] = [tuple(inst.actions)] if inst.actions else []
+        self.metrics.snapshots_restored += 1

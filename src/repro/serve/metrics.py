@@ -1,0 +1,60 @@
+"""Counter surface for the fleet execution plane.
+
+A :class:`FleetMetrics` instance is owned by one
+:class:`~repro.serve.fleet.FleetEngine` and mutated only on its thread;
+counters are plain ints updated once per batch (not per event) so the hot
+dispatch loop stays tight.  ``events_per_sec`` is derived by the caller
+from wall-clock timing — the engine itself never reads the clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class FleetMetrics:
+    """Aggregate counters for one fleet engine."""
+
+    #: Events accepted for dispatch — into a mailbox by
+    #: :meth:`FleetEngine.post`, or as part of a bulk :meth:`FleetEngine.run`
+    #: arrival batch on unbounded fleets.
+    events_offered: int = 0
+    #: Events refused by a full mailbox under the ``shed`` policy.
+    events_dropped: int = 0
+    #: Events pulled out of mailboxes and dispatched (fired + ignored).
+    events_dispatched: int = 0
+    #: Dispatched events that fired a transition.
+    transitions_fired: int = 0
+    #: Dispatched events with no transition from the current state.
+    events_ignored: int = 0
+    #: Non-empty batches drained from shard mailboxes.
+    batches_drained: int = 0
+    #: Instances created by ``spawn``.
+    instances_spawned: int = 0
+    #: Instances returned to the start state via the ``reset()`` protocol.
+    instances_recycled: int = 0
+    #: Fleet-wide snapshots taken / restored.
+    snapshots_taken: int = 0
+    snapshots_restored: int = 0
+    #: Mailbox depth per shard at the last :meth:`observe_depths` call.
+    shard_depths: list[int] = field(default_factory=list)
+
+    def observe_depths(self, depths: list[int]) -> None:
+        """Record the current per-shard mailbox depths (a gauge, not a sum)."""
+        self.shard_depths = list(depths)
+
+    @property
+    def max_shard_depth(self) -> int:
+        """Deepest mailbox at the last observation (0 when never observed)."""
+        return max(self.shard_depths, default=0)
+
+    def events_per_sec(self, elapsed_seconds: float) -> float:
+        """Dispatch throughput over a caller-measured interval."""
+        if elapsed_seconds <= 0:
+            return 0.0
+        return self.events_dispatched / elapsed_seconds
+
+    def as_dict(self) -> dict:
+        """All counters as a plain dict (for JSON artifacts and reports)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,119 @@
+"""Sharded storage of machine-instance state.
+
+Instances are partitioned across ``N`` shards by a *stable* hash of their
+session key (CRC-32, not Python's per-process-randomised ``hash``), so the
+same key always routes to the same shard — across calls, across store
+rebuilds, and across processes.  Shards carry the membership (ordered key
+lists, used for snapshots, per-shard population counts and the per-shard
+mailbox alignment); the *dispatch* state of every instance lives in one
+process-global session index so the batched drain loop resolves a key with
+a single dict lookup, no routing hash on the hot path.
+
+Each instance is a three-slot record (a plain list — the hot loop indexes
+it, never attribute-accesses it):
+
+* ``rec[STATE]``   — current state, premultiplied by the message-alphabet
+  width so a dispatch-table offset is one addition (``rec[STATE] + column``);
+* ``rec[ACTIONS]`` — the instance's performed-action log, stored as a list
+  of per-transition action *chunks* (appending one tuple per fired
+  transition is cheaper than extending; readers flatten at trace time);
+* ``rec[BACKEND]`` — the backing interpreter/compiled instance, present
+  only when the owning fleet dispatches in ``naive`` mode.
+
+Snapshots capture ``(key, state name, action log)`` per instance — enough
+to rebuild an equivalent fleet on either backend for recycling/failover.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.core.errors import DeploymentError
+from repro.core.machine import FlatDispatchTable
+
+#: Record slots (records are plain lists for hot-loop speed).
+STATE, ACTIONS, BACKEND = 0, 1, 2
+
+
+def shard_of(key: str, shards: int) -> int:
+    """Stable shard index for a session key (CRC-32 based)."""
+    return zlib.crc32(key.encode("utf-8")) % shards
+
+
+@dataclass(frozen=True)
+class InstanceSnapshot:
+    """Portable state of one instance: enough to restore it anywhere."""
+
+    key: str
+    state: str
+    actions: tuple[str, ...]
+
+
+class Shard:
+    """Membership of one partition: session keys in spawn order."""
+
+    __slots__ = ("keys",)
+
+    def __init__(self) -> None:
+        self.keys: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class InstanceStore:
+    """All instances of one fleet: sharded membership, global dispatch index."""
+
+    def __init__(self, table: FlatDispatchTable, shards: int = 8):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self._table = table
+        self._start = table.start_index * table.width
+        #: key -> [premultiplied state, action log, backend-or-None]
+        self.index: dict[str, list] = {}
+        self.shards: list[Shard] = [Shard() for _ in range(shards)]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.index
+
+    def shard_id(self, key: str) -> int:
+        """The shard a key routes to (stable across rebuilds)."""
+        return shard_of(key, len(self.shards))
+
+    def shard_sizes(self) -> list[int]:
+        """Instance population per shard."""
+        return [len(shard) for shard in self.shards]
+
+    def spawn(self, key: str, backend=None) -> list:
+        """Create an instance at the start state; returns its record."""
+        if key in self.index:
+            raise DeploymentError(f"instance {key!r} already exists")
+        rec = [self._start, [], backend]
+        self.index[key] = rec
+        self.shards[shard_of(key, len(self.shards))].keys.append(key)
+        return rec
+
+    def locate(self, key: str) -> list:
+        """The record for an existing key."""
+        try:
+            return self.index[key]
+        except KeyError:
+            raise DeploymentError(f"unknown instance {key!r}") from None
+
+    def keys(self) -> list[str]:
+        """All session keys, grouped by shard in spawn order."""
+        return [key for shard in self.shards for key in shard.keys]
+
+    def clear(self) -> None:
+        """Drop every instance (used by restore)."""
+        self.index.clear()
+        for shard in self.shards:
+            shard.keys.clear()

@@ -1,0 +1,131 @@
+"""Synthetic event workloads for fleet benchmarks and differential tests.
+
+A workload is a *recorded schedule*: a plain list of ``(session_key,
+message)`` events, so the identical stream can be replayed through a fleet
+and through standalone interpreters and the traces compared exactly.
+
+The generator simulates each session's protocol position against the
+machine's flat dispatch table and mostly sends messages that are enabled
+in the session's current state (so transitions actually fire), mixed with
+a configurable fraction of arbitrary-message noise (exercising the
+ignored-event path).  Sessions that complete the protocol are recycled to
+the start state — matching a fleet run with ``auto_recycle=True``.
+
+Arrival scenarios:
+
+* ``uniform`` — every event targets a uniformly random session;
+* ``hotkey``  — a small hot set of sessions receives most of the traffic
+  (skew stresses a single shard's mailbox and dispatch batch);
+* ``burst``   — one session receives a run of consecutive events before
+  the next session is drawn (bursty arrival, deep per-shard batches).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import SimulationError
+from repro.core.machine import StateMachine
+
+#: Supported arrival scenarios.
+SCENARIOS = ("uniform", "hotkey", "burst")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a synthetic workload."""
+
+    scenario: str = "uniform"
+    instances: int = 1000
+    events: int = 10_000
+    seed: int = 0
+    #: Probability an event carries an arbitrary (possibly inapplicable)
+    #: message instead of one enabled in the session's current state.
+    noise: float = 0.1
+    #: ``hotkey``: fraction of sessions forming the hot set, and the share
+    #: of traffic they receive.
+    hot_fraction: float = 0.1
+    hot_share: float = 0.9
+    #: ``burst``: mean run length of consecutive events to one session.
+    burst_length: int = 16
+
+
+def session_keys(count: int, prefix: str = "session") -> list[str]:
+    """The canonical key naming used by ``FleetEngine.spawn_many``."""
+    return [f"{prefix}-{i:07d}" for i in range(count)]
+
+
+def generate_workload(
+    machine: StateMachine, spec: WorkloadSpec
+) -> list[tuple[str, str]]:
+    """Produce a recorded event schedule for ``machine`` under ``spec``."""
+    if spec.scenario not in SCENARIOS:
+        raise SimulationError(
+            f"unknown workload scenario {spec.scenario!r}; choose from {SCENARIOS}"
+        )
+    if spec.instances < 1 or spec.events < 0:
+        raise SimulationError("workload needs >= 1 instance and >= 0 events")
+    if not 0.0 < spec.hot_fraction <= 1.0 or not 0.0 <= spec.hot_share <= 1.0:
+        raise SimulationError(
+            "hot_fraction must be in (0, 1] and hot_share in [0, 1]"
+        )
+    if spec.burst_length < 1:
+        raise SimulationError("burst_length must be >= 1")
+    if not 0.0 <= spec.noise <= 1.0:
+        raise SimulationError("noise must be in [0, 1]")
+
+    table = machine.dispatch_table()
+    width = table.width
+    messages = table.messages
+    entries = table.entries
+    final = table.final
+    start = table.start_index
+    # Enabled messages per state, precomputed once.
+    enabled: list[tuple[str, ...]] = [
+        tuple(
+            messages[col]
+            for col in range(width)
+            if entries[row * width + col] is not None
+        )
+        for row in range(len(table.state_names))
+    ]
+
+    rng = random.Random(spec.seed)
+    keys = session_keys(spec.instances)
+    sim_state = {key: start for key in keys}
+
+    hot_count = max(1, int(spec.instances * spec.hot_fraction))
+    burst_key: str | None = None
+    burst_left = 0
+
+    def next_key() -> str:
+        nonlocal burst_key, burst_left
+        if spec.scenario == "uniform":
+            return keys[rng.randrange(spec.instances)]
+        if spec.scenario == "hotkey":
+            if rng.random() < spec.hot_share:
+                return keys[rng.randrange(hot_count)]
+            return keys[rng.randrange(spec.instances)]
+        # burst
+        if burst_left <= 0 or burst_key is None:
+            burst_key = keys[rng.randrange(spec.instances)]
+            burst_left = rng.randint(1, 2 * spec.burst_length)
+        burst_left -= 1
+        return burst_key
+
+    schedule: list[tuple[str, str]] = []
+    for _ in range(spec.events):
+        key = next_key()
+        state = sim_state[key]
+        options = enabled[state]
+        if not options or rng.random() < spec.noise:
+            message = messages[rng.randrange(width)]
+        else:
+            message = options[rng.randrange(len(options))]
+        schedule.append((key, message))
+        entry = entries[state * width + table.message_index[message]]
+        if entry is not None:
+            # Mirror auto-recycling: completed sessions restart.
+            sim_state[key] = start if final[entry[0]] else entry[0]
+    return schedule

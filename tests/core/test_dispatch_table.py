@@ -1,0 +1,77 @@
+"""Tests for the flat dispatch-table export (fleet hot-path representation)."""
+
+import pytest
+
+from repro.core.machine import FlatDispatchTable
+from repro.models.commit import CommitModel
+from repro.runtime.interp import MachineInterpreter
+from tests.conftest import commit_machine
+
+
+@pytest.fixture(scope="module")
+def table() -> FlatDispatchTable:
+    return commit_machine(4).dispatch_table()
+
+
+class TestFlatDispatchTable:
+    def test_shape(self, table):
+        machine = commit_machine(4)
+        assert table.state_names == machine.state_names()
+        assert table.messages == machine.messages
+        assert len(table.entries) == len(machine) * len(machine.messages)
+        assert table.width == len(machine.messages)
+        assert table.start_index == table.state_index[machine.start_state.name]
+
+    def test_final_flags(self, table):
+        machine = commit_machine(4)
+        for name, index in table.state_index.items():
+            assert table.final[index] == machine.get_state(name).final
+
+    def test_entries_match_transitions(self, table):
+        machine = commit_machine(4)
+        for state in machine.states:
+            for message in machine.messages:
+                transition = state.get_transition(message)
+                entry = table.lookup(state.name, message)
+                if transition is None:
+                    assert entry is None
+                else:
+                    next_index, actions = entry
+                    assert table.state_names[next_index] == transition.target_name
+                    assert actions == tuple(
+                        a[2:] if a.startswith("->") else a
+                        for a in transition.actions
+                    )
+
+    def test_replay_equals_interpreter(self, table):
+        """Walking the table step-for-step mirrors the interpreter."""
+        machine = commit_machine(4)
+        interp = MachineInterpreter(machine)
+        state = table.start_index
+        actions: list[str] = []
+        for message in ["free", "update", "vote", "vote", "commit", "commit"]:
+            entry = table.entries[
+                state * table.width + table.message_index[message]
+            ]
+            fired = interp.receive(message)
+            if entry is None:
+                assert not fired
+            else:
+                assert fired
+                state = entry[0]
+                actions.extend(entry[1])
+            assert table.state_names[state] == interp.get_state()
+        assert actions == interp.sent
+        assert table.final[state] and interp.is_finished()
+
+    def test_integrity_enforced(self):
+        machine = CommitModel(4).generate_state_machine()
+        # dispatch_table runs check_integrity: a machine without a start
+        # state (fresh StateMachine) must be rejected.
+        from repro.core.errors import MachineStructureError
+        from repro.core.machine import StateMachine
+
+        empty = StateMachine(["m"])
+        with pytest.raises(MachineStructureError):
+            empty.dispatch_table()
+        assert machine.dispatch_table() is not None

@@ -42,12 +42,20 @@ class TestGeneratedCodeCache:
         assert not cache.invalidate("k")
         assert "k" not in cache
 
-    def test_clear_preserves_stats(self):
+    def test_clear_resets_stats(self):
         cache = GeneratedCodeCache()
         cache.get_or_generate("k", lambda: "v")
         cache.clear()
         assert len(cache) == 0
-        assert cache.stats.misses == 1
+        assert cache.stats.misses == 0
+        assert cache.stats.lookups == 0
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = GeneratedCodeCache(max_entries=None)
+        for i in range(100):
+            cache.get_or_generate(i, lambda i=i: i)
+        assert len(cache) == 100
+        assert cache.stats.evictions == 0
 
     def test_bad_size_rejected(self):
         with pytest.raises(ValueError):

@@ -139,3 +139,50 @@ class TestMachineInterpreter:
                 assert interp.receive(message) == instance.receive(message)
                 assert interp.get_state() == instance.get_state()
                 assert interp.sent == instance.sent
+
+
+class TestCompiledReset:
+    def test_reset_matches_interpreter_protocol(self):
+        """Both backends reset to the start state with a cleared log."""
+        machine = commit_machine(4)
+        interp = MachineInterpreter(machine)
+        instance = compiled_commit(4).new_instance()
+        for runner in (interp, instance):
+            for message in ["free", "update", "vote"]:
+                runner.receive(message)
+            runner.reset()
+        assert instance.get_state() == interp.get_state() == "F/0/F/0/F/F/F"
+        assert instance.sent == interp.sent == []
+
+    def test_reset_allows_reuse_without_reconstruction(self):
+        instance = compiled_commit(4).new_instance()
+        fresh = compiled_commit(4).new_instance()
+        script = ["free", "update", "vote", "vote", "commit", "commit"]
+        for message in script:
+            instance.receive(message)
+        assert instance.is_finished()
+        instance.reset()
+        assert not instance.is_finished()
+        for message in script:
+            instance.receive(message)
+            fresh.receive(message)
+        assert instance.is_finished()
+        assert instance.sent == fresh.sent
+
+    def test_standalone_module_reset(self, tmp_path):
+        """Generated standalone modules (no action base) also reset."""
+        from repro.render.source import PythonSourceRenderer
+
+        source = PythonSourceRenderer(action_base=None).render(commit_machine(4))
+        namespace: dict = {}
+        exec(compile(source, "<standalone>", "exec"), namespace)
+        cls = next(
+            value
+            for name, value in namespace.items()
+            if isinstance(value, type) and name.endswith("Machine")
+        )
+        instance = cls()
+        instance.receive("free")
+        assert instance.get_state() != namespace["START_STATE"]
+        instance.reset()
+        assert instance.get_state() == namespace["START_STATE"]

@@ -1,0 +1,58 @@
+"""Adapter tests: backend protocol parity and compiled-class caching."""
+
+import pytest
+
+from repro.core.errors import DeploymentError
+from repro.models.commit import CommitModel
+from repro.runtime.cache import GeneratedCodeCache
+from repro.serve import make_backend
+
+_MACHINE = None
+
+
+def commit_machine():
+    global _MACHINE
+    if _MACHINE is None:
+        _MACHINE = CommitModel(4).generate_state_machine()
+    return _MACHINE
+
+
+class TestBackendAdapter:
+    @pytest.mark.parametrize("kind", ["interp", "compiled"])
+    def test_instances_speak_the_protocol(self, kind):
+        adapter = make_backend(kind, commit_machine())
+        instance = adapter.new_instance()
+        assert instance.get_state() == commit_machine().start_state.name
+        assert instance.receive("free")
+        assert not instance.is_finished()
+        instance.reset()
+        assert instance.get_state() == commit_machine().start_state.name
+        assert instance.sent == []
+
+    @pytest.mark.parametrize("kind", ["interp", "compiled"])
+    def test_restore_instance(self, kind):
+        adapter = make_backend(kind, commit_machine())
+        instance = adapter.new_instance()
+        target = commit_machine().states[3].name
+        adapter.restore_instance(instance, target, ("vote", "commit"))
+        assert instance.get_state() == target
+        assert instance.sent == ["vote", "commit"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DeploymentError):
+            make_backend("jit", commit_machine())
+
+    def test_compiled_class_generated_once_per_machine(self):
+        cache = GeneratedCodeCache(max_entries=None)
+        adapter_a = make_backend("compiled", commit_machine(), cache=cache)
+        adapter_b = make_backend("compiled", commit_machine(), cache=cache)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert type(adapter_a.new_instance()) is type(adapter_b.new_instance())
+
+    def test_compiled_cache_distinguishes_structures(self):
+        cache = GeneratedCodeCache(max_entries=None)
+        make_backend("compiled", commit_machine(), cache=cache)
+        other = CommitModel(7).generate_state_machine()
+        make_backend("compiled", other, cache=cache)
+        assert cache.stats.misses == 2

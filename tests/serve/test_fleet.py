@@ -1,0 +1,365 @@
+"""Fleet engine tests: differential equivalence, lifecycle, snapshots."""
+
+import pytest
+
+from repro.core.errors import DeploymentError
+from repro.models.chandra_toueg import CoordinatorRoundModel
+from repro.models.commit import CommitModel
+from repro.models.termination import TerminationModel
+from repro.models.threshold_sig import ThresholdSignatureModel
+from repro.serve import (
+    FleetEngine,
+    OverflowPolicy,
+    WorkloadSpec,
+    diff_against_standalone,
+    generate_workload,
+)
+
+BUNDLED_MODELS = [
+    pytest.param(lambda: CommitModel(replication_factor=4), id="commit-r4"),
+    pytest.param(lambda: CoordinatorRoundModel(processes=5), id="chandra-toueg-n5"),
+    pytest.param(lambda: TerminationModel(max_tasks=3), id="termination-t3"),
+    pytest.param(
+        lambda: ThresholdSignatureModel(signers=4, threshold=3), id="threshold-sig-4of3"
+    ),
+]
+
+_MACHINES: dict = {}
+
+
+def machine_for(model_factory, engine):
+    """Session-cached generated machine per (model, engine)."""
+    model = model_factory()
+    key = (model.machine_name(), engine)
+    if key not in _MACHINES:
+        _MACHINES[key] = model.generate_state_machine(engine=engine)
+    return _MACHINES[key]
+
+
+class TestDifferential:
+    """A fleet run equals a standalone interpreter replay, per instance."""
+
+    @pytest.mark.parametrize("model_factory", BUNDLED_MODELS)
+    @pytest.mark.parametrize("engine", ["eager", "lazy"])
+    @pytest.mark.parametrize("backend", ["interp", "compiled"])
+    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    def test_fleet_equals_standalone(self, model_factory, engine, backend, mode):
+        machine = machine_for(model_factory, engine)
+        events = generate_workload(
+            machine, WorkloadSpec(instances=23, events=1_500, seed=11)
+        )
+        fleet = FleetEngine(
+            machine, shards=5, backend=backend, mode=mode, auto_recycle=True
+        )
+        keys = fleet.spawn_many(23)
+        fleet.run(events)
+        assert diff_against_standalone(fleet, keys, events) == []
+        assert fleet.metrics.events_dispatched == len(events)
+
+    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    def test_without_auto_recycle(self, mode):
+        machine = machine_for(lambda: CommitModel(4), "eager")
+        events = generate_workload(
+            machine, WorkloadSpec(instances=10, events=400, seed=2)
+        )
+        fleet = FleetEngine(machine, shards=3, mode=mode, auto_recycle=False)
+        keys = fleet.spawn_many(10)
+        fleet.run(events)
+        assert diff_against_standalone(fleet, keys, events) == []
+
+    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    def test_posted_events_dispatch_before_bulk_run(self, mode):
+        machine = machine_for(lambda: CommitModel(4), "eager")
+        fleet = FleetEngine(machine, shards=2, mode=mode)
+        fleet.spawn("s")
+        fleet.post("s", "free")
+        fleet.run([("s", "update")])
+        # free then update: both fired, in order.
+        trace = fleet.trace("s")
+        assert trace.actions == ("vote", "not_free")
+        assert fleet.metrics.transitions_fired == 2
+
+
+class TestLifecycle:
+    def setup_method(self):
+        self.machine = machine_for(lambda: CommitModel(4), "eager")
+
+    def test_spawn_duplicate_rejected(self):
+        fleet = FleetEngine(self.machine)
+        fleet.spawn("a")
+        with pytest.raises(DeploymentError):
+            fleet.spawn("a")
+
+    def test_unknown_instance_rejected(self):
+        fleet = FleetEngine(self.machine)
+        with pytest.raises(DeploymentError):
+            fleet.trace("ghost")
+        with pytest.raises(DeploymentError):
+            fleet.deliver("ghost", "free")
+
+    @pytest.mark.parametrize("backend", ["interp", "compiled"])
+    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    def test_unknown_message_rejected(self, mode, backend):
+        fleet = FleetEngine(self.machine, mode=mode, backend=backend)
+        fleet.spawn("a")
+        with pytest.raises(DeploymentError):
+            fleet.deliver("a", "bogus")
+        fleet.post("a", "bogus")
+        with pytest.raises(DeploymentError):
+            fleet.drain_all()
+
+    @pytest.mark.parametrize("backend", ["interp", "compiled"])
+    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    def test_bad_event_does_not_poison_batch(self, mode, backend):
+        fleet = FleetEngine(self.machine, shards=1, mode=mode, backend=backend)
+        fleet.spawn("a")
+        fleet.post("a", "bogus")
+        fleet.post("ghost", "free")
+        fleet.post("a", "free")
+        fleet.post("a", "update")
+        with pytest.raises(DeploymentError) as excinfo:
+            fleet.drain_all()
+        # The two bad events are named; the valid ones behind them fired.
+        assert "2 event(s)" in str(excinfo.value)
+        assert fleet.trace("a").actions == ("vote", "not_free")
+        assert fleet.metrics.events_dispatched == 2
+        assert fleet.metrics.transitions_fired == 2
+
+    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    def test_run_skips_bad_events_and_reports(self, mode):
+        fleet = FleetEngine(self.machine, mode=mode)
+        fleet.spawn("a")
+        with pytest.raises(DeploymentError):
+            fleet.run([("a", "bogus"), ("a", "free"), ("a", "update")])
+        # The valid events behind the bad one were still dispatched.
+        assert fleet.trace("a").actions == ("vote", "not_free")
+        assert fleet.metrics.events_dispatched == 2
+
+    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    def test_empty_run_counts_no_batch(self, mode):
+        fleet = FleetEngine(self.machine, mode=mode)
+        fleet.run([])
+        assert fleet.metrics.batches_drained == 0
+        assert fleet.metrics.events_dispatched == 0
+
+    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    def test_bounded_run_collects_block_drain_errors(self, mode):
+        fleet = FleetEngine(
+            self.machine,
+            shards=1,
+            mode=mode,
+            mailbox_capacity=2,
+            overflow=OverflowPolicy.BLOCK,
+        )
+        fleet.spawn("a")
+        events = [("a", "bogus"), ("a", "free"), ("a", "update"), ("a", "vote")]
+        with pytest.raises(DeploymentError):
+            fleet.run(events)
+        # Every valid event behind the bad one was still dispatched.
+        assert fleet.trace("a").actions == ("vote", "not_free")
+        assert fleet.metrics.events_dispatched == 3
+        assert fleet.metrics.transitions_fired == 3
+        assert fleet.depths() == [0]
+
+    def test_bounded_shed_identical_across_modes(self):
+        results = []
+        for mode in ("naive", "batched"):
+            fleet = FleetEngine(
+                self.machine,
+                shards=1,
+                mode=mode,
+                mailbox_capacity=2,
+                overflow=OverflowPolicy.SHED,
+            )
+            fleet.spawn("a")
+            fleet.run([("a", m) for m in ["free", "update", "vote", "vote"]])
+            results.append(
+                (fleet.trace("a"), fleet.metrics.events_dropped)
+            )
+        assert results[0] == results[1]
+
+    def test_block_policy_keeps_incoming_event_when_drain_raises(self):
+        fleet = FleetEngine(
+            self.machine,
+            shards=1,
+            mode="batched",
+            mailbox_capacity=2,
+            overflow=OverflowPolicy.BLOCK,
+        )
+        fleet.spawn("a")
+        fleet.post("a", "bogus")
+        fleet.post("a", "free")
+        # Mailbox full: the inline drain raises for the bad queued event,
+        # but the incoming valid event must still be enqueued.
+        with pytest.raises(DeploymentError):
+            fleet.post("a", "update")
+        assert fleet.depths() == [1]
+        fleet.drain_all()
+        assert fleet.trace("a").actions == ("vote", "not_free")
+
+    def test_failing_shard_does_not_strand_other_shards(self):
+        fleet = FleetEngine(self.machine, shards=4, mode="batched")
+        keys = fleet.spawn_many(8)
+        bad = keys[0]
+        good = next(k for k in keys if fleet.shard_id(k) != fleet.shard_id(bad))
+        fleet.post(bad, "bogus")
+        fleet.post(good, "free")
+        with pytest.raises(DeploymentError):
+            fleet.drain_all()
+        # The good shard's event was still dispatched and fired.
+        assert fleet.metrics.transitions_fired == 1
+        assert fleet.metrics.events_dispatched == 1
+        assert all(depth == 0 for depth in fleet.depths())
+
+    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    def test_recycle_returns_to_start(self, mode):
+        fleet = FleetEngine(self.machine, mode=mode)
+        fleet.spawn("a")
+        fleet.deliver("a", "free")
+        fleet.deliver("a", "update")
+        assert fleet.trace("a").actions == ("vote", "not_free")
+        fleet.recycle("a")
+        trace = fleet.trace("a")
+        assert trace.state == self.machine.start_state.name
+        assert trace.actions == ()
+        assert fleet.metrics.instances_recycled == 1
+
+    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    def test_auto_recycle_counts_completions(self, mode):
+        fleet = FleetEngine(self.machine, mode=mode, auto_recycle=True)
+        fleet.spawn("a")
+        for message in ["free", "update", "vote", "vote", "commit", "commit"]:
+            fleet.deliver("a", message)
+        trace = fleet.trace("a")
+        assert trace.state == self.machine.start_state.name
+        assert trace.actions == ()
+        assert fleet.metrics.instances_recycled == 1
+        assert not fleet.is_finished("a")
+
+    def test_bad_mode_and_backend_rejected(self):
+        with pytest.raises(DeploymentError):
+            FleetEngine(self.machine, mode="warp")
+        with pytest.raises(DeploymentError):
+            FleetEngine(self.machine, backend="quantum")
+
+
+class TestBackpressure:
+    def setup_method(self):
+        self.machine = machine_for(lambda: CommitModel(4), "eager")
+
+    def test_shed_drops_and_counts(self):
+        fleet = FleetEngine(
+            self.machine,
+            shards=1,
+            mailbox_capacity=4,
+            overflow=OverflowPolicy.SHED,
+        )
+        fleet.spawn("a")
+        accepted = [fleet.post("a", "free") for _ in range(10)]
+        assert accepted.count(True) == 4
+        assert fleet.metrics.events_dropped == 6
+        assert fleet.dropped_per_shard() == [6]
+        assert fleet.depths() == [4]
+        fleet.drain_all()
+        assert fleet.metrics.events_dispatched == 4
+
+    def test_block_drains_inline(self):
+        fleet = FleetEngine(
+            self.machine,
+            shards=1,
+            mailbox_capacity=2,
+            overflow=OverflowPolicy.BLOCK,
+        )
+        fleet.spawn("a")
+        for _ in range(7):
+            assert fleet.post("a", "free")
+        assert fleet.metrics.events_dropped == 0
+        fleet.drain_all()
+        # Every event was eventually dispatched: nothing was lost.
+        assert fleet.metrics.events_dispatched == 7
+
+    def test_bounded_run_applies_policy(self):
+        events = [("a", "free")] * 10
+        fleet = FleetEngine(
+            self.machine,
+            shards=1,
+            mailbox_capacity=3,
+            overflow=OverflowPolicy.BLOCK,
+        )
+        fleet.spawn("a")
+        fleet.run(events)
+        assert fleet.metrics.events_dispatched == 10
+
+
+class TestSnapshotRestore:
+    def setup_method(self):
+        self.machine = machine_for(lambda: CommitModel(4), "eager")
+        self.events = generate_workload(
+            self.machine, WorkloadSpec(instances=12, events=600, seed=5)
+        )
+
+    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    def test_round_trip_resumes_identically(self, mode):
+        midpoint = len(self.events) // 2
+        fleet = FleetEngine(self.machine, shards=3, mode=mode, auto_recycle=True)
+        keys = fleet.spawn_many(12)
+        fleet.run(self.events[:midpoint])
+        snapshot = fleet.snapshot()
+
+        fleet.run(self.events[midpoint:])
+        expected = {key: fleet.trace(key) for key in keys}
+
+        fleet.restore(snapshot)
+        fleet.run(self.events[midpoint:])
+        assert {key: fleet.trace(key) for key in keys} == expected
+
+    def test_restore_across_modes_and_backends(self):
+        fleet = FleetEngine(self.machine, shards=3, mode="batched")
+        keys = fleet.spawn_many(12)
+        fleet.run(self.events[:300])
+        snapshot = fleet.snapshot()
+
+        other = FleetEngine(
+            self.machine, shards=5, mode="naive", backend="compiled"
+        )
+        other.restore(snapshot)
+        assert {k: other.trace(k) for k in keys} == {
+            k: fleet.trace(k) for k in keys
+        }
+
+    def test_restore_rejects_foreign_machine(self):
+        fleet = FleetEngine(self.machine)
+        fleet.spawn_many(3)
+        snapshot = fleet.snapshot()
+        other_machine = machine_for(lambda: TerminationModel(max_tasks=3), "eager")
+        other = FleetEngine(other_machine)
+        with pytest.raises(DeploymentError):
+            other.restore(snapshot)
+
+    def test_snapshot_drains_pending_events(self):
+        fleet = FleetEngine(self.machine, mode="batched")
+        fleet.spawn("a")
+        fleet.post("a", "free")
+        snapshot = fleet.snapshot()
+        (inst,) = snapshot.instances
+        assert inst.state != self.machine.start_state.name
+        assert fleet.metrics.snapshots_taken == 1
+
+
+class TestMetricsSurface:
+    def test_counters_and_dict(self):
+        machine = machine_for(lambda: CommitModel(4), "eager")
+        events = generate_workload(
+            machine, WorkloadSpec(instances=20, events=500, seed=9, noise=0.5)
+        )
+        fleet = FleetEngine(machine, shards=4, mode="batched", auto_recycle=True)
+        fleet.spawn_many(20)
+        fleet.run(events)
+        metrics = fleet.metrics
+        assert metrics.events_dispatched == 500
+        assert metrics.transitions_fired + metrics.events_ignored == 500
+        assert metrics.instances_spawned == 20
+        as_dict = metrics.as_dict()
+        assert as_dict["events_dispatched"] == 500
+        assert metrics.events_per_sec(2.0) == 250.0
+        assert metrics.events_per_sec(0) == 0.0

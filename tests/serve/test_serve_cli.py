@@ -1,0 +1,85 @@
+"""CLI tests for the serve-bench subcommand and modelcheck --engine."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestServeBenchCli:
+    def test_serve_bench_smoke(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--instances", "50",
+                    "--events", "800",
+                    "--shards", "4",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "naive" in output
+        assert "batched" in output
+        assert "speedup" in output
+        assert "differential ok" in output
+
+    def test_serve_bench_lazy_engine_and_compiled_backend(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--instances", "20",
+                    "--events", "300",
+                    "--engine", "lazy",
+                    "--backend", "compiled",
+                    "--workload", "hotkey",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "[lazy]" in output
+        assert "backend compiled" in output
+
+    @pytest.mark.parametrize("scenario", ["uniform", "hotkey", "burst"])
+    def test_all_workloads_accepted(self, scenario, capsys):
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--instances", "10",
+                    "--events", "100",
+                    "--workload", scenario,
+                ]
+            )
+            == 0
+        )
+
+    def test_parser_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--workload", "tsunami"])
+
+    def test_parser_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--backend", "jit"])
+
+
+class TestModelcheckEngineCli:
+    def test_modelcheck_accepts_lazy_engine(self, capsys):
+        assert (
+            main(["modelcheck", "-r", "4", "--engine", "lazy"]) == 0
+        )
+        assert "safe=True" in capsys.readouterr().out
+
+    def test_engine_flag_on_every_machine_building_command(self):
+        parser = build_parser()
+        for argv in (
+            ["generate", "--engine", "lazy"],
+            ["table1", "--engine", "lazy"],
+            ["render", "--engine", "lazy"],
+            ["describe", "--state", "x", "--engine", "lazy"],
+            ["export", "-o", "x.py", "--engine", "lazy"],
+            ["modelcheck", "--engine", "lazy"],
+        ):
+            assert parser.parse_args(argv).engine == "lazy"

@@ -1,0 +1,126 @@
+"""Unit tests for shard routing, the instance store and mailboxes."""
+
+import pytest
+
+from repro.core.errors import DeploymentError
+from repro.models.commit import CommitModel
+from repro.serve import InstanceStore, Mailbox, OverflowPolicy, shard_of
+from repro.serve.store import ACTIONS, BACKEND, STATE
+
+_MACHINE = None
+
+
+def commit_table():
+    global _MACHINE
+    if _MACHINE is None:
+        _MACHINE = CommitModel(4).generate_state_machine()
+    return _MACHINE.dispatch_table()
+
+
+class TestShardRouting:
+    def test_routing_is_stable_across_calls(self):
+        for key in ("session-0000001", "user:42", "x"):
+            assert shard_of(key, 8) == shard_of(key, 8)
+
+    def test_routing_is_stable_across_store_rebuilds(self):
+        table = commit_table()
+        keys = [f"session-{i:07d}" for i in range(500)]
+        first = InstanceStore(table, shards=8)
+        second = InstanceStore(table, shards=8)
+        for key in keys:
+            first.spawn(key)
+        for key in reversed(keys):
+            second.spawn(key)
+        assert [first.shard_id(k) for k in keys] == [
+            second.shard_id(k) for k in keys
+        ]
+
+    def test_routing_is_crc32_not_builtin_hash(self):
+        # The documented contract: CRC-32 of the UTF-8 key, so routing is
+        # reproducible across processes (builtin str hash is randomised).
+        import zlib
+
+        assert shard_of("session-0000042", 16) == zlib.crc32(b"session-0000042") % 16
+
+    def test_population_spreads_across_shards(self):
+        table = commit_table()
+        store = InstanceStore(table, shards=8)
+        for i in range(4_000):
+            store.spawn(f"session-{i:07d}")
+        sizes = store.shard_sizes()
+        assert sum(sizes) == 4_000
+        assert min(sizes) > 0.5 * (4_000 / 8)
+        assert max(sizes) < 1.5 * (4_000 / 8)
+
+
+class TestInstanceStore:
+    def test_spawn_and_locate(self):
+        table = commit_table()
+        store = InstanceStore(table, shards=4)
+        rec = store.spawn("a")
+        assert store.locate("a") is rec
+        assert rec[STATE] == table.start_index * table.width
+        assert rec[ACTIONS] == []
+        assert rec[BACKEND] is None
+        assert "a" in store
+        assert len(store) == 1
+
+    def test_duplicate_and_unknown(self):
+        store = InstanceStore(commit_table(), shards=4)
+        store.spawn("a")
+        with pytest.raises(DeploymentError):
+            store.spawn("a")
+        with pytest.raises(DeploymentError):
+            store.locate("b")
+
+    def test_keys_grouped_by_shard(self):
+        store = InstanceStore(commit_table(), shards=4)
+        keys = [f"k{i}" for i in range(40)]
+        for key in keys:
+            store.spawn(key)
+        grouped = store.keys()
+        assert sorted(grouped) == sorted(keys)
+        shard_ids = [store.shard_id(k) for k in grouped]
+        assert shard_ids == sorted(shard_ids)
+
+    def test_clear(self):
+        store = InstanceStore(commit_table(), shards=2)
+        store.spawn("a")
+        store.clear()
+        assert len(store) == 0
+        assert store.shard_sizes() == [0, 0]
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            InstanceStore(commit_table(), shards=0)
+
+
+class TestMailbox:
+    def test_fifo_drain(self):
+        box = Mailbox()
+        for i in range(5):
+            assert box.offer(i)
+        assert len(box) == 5
+        assert box.drain() == [0, 1, 2, 3, 4]
+        assert len(box) == 0
+        assert box.offered == 5
+
+    def test_shed_policy_drops_newest(self):
+        box = Mailbox(capacity=2, policy=OverflowPolicy.SHED)
+        assert box.offer("a") and box.offer("b")
+        assert box.full
+        assert not box.offer("c")
+        assert box.dropped == 1
+        assert box.drain() == ["a", "b"]
+
+    def test_block_policy_refuses_without_counting(self):
+        box = Mailbox(capacity=1, policy=OverflowPolicy.BLOCK)
+        assert box.offer("a")
+        assert not box.offer("b")
+        assert box.dropped == 0
+        box.drain()
+        assert box.offer("b")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Mailbox(capacity=0)
