@@ -1,0 +1,143 @@
+"""Compare a fresh fleet-serving benchmark artifact against the committed baseline.
+
+CI runs ``bench_serve.py --fast --json BENCH_serve.json`` on every push;
+this script fails (exit 1) when any sweep configuration's throughput
+drops more than ``--threshold`` (default 30%) below the committed
+baseline at ``benchmarks/baselines/BENCH_serve.json``.  It is wired into
+CI as a *non-blocking* step: hosted runners vary too much for a hard
+gate, but a consistent large drop is worth a red mark in the log.
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH_serve.json \
+        [--baseline benchmarks/baselines/BENCH_serve.json] \
+        [--threshold 0.30] [--metric batched_eps] [--metric naive_eps]
+
+Rows are matched on their configuration fields (everything except the
+measured floats); configurations present in only one file are reported
+but do not fail the check — sweeps are allowed to evolve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: Measured fields: never part of a row's configuration key.
+MEASURED = frozenset({"naive_eps", "batched_eps", "speedup"})
+
+DEFAULT_BASELINE = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "baselines"
+    / "BENCH_serve.json"
+)
+
+
+def row_key(row: dict) -> tuple:
+    """A row's configuration identity: every non-measured field."""
+    return tuple(sorted((k, v) for k, v in row.items() if k not in MEASURED))
+
+
+def load_rows(path: pathlib.Path) -> dict[tuple, dict]:
+    """Sweep rows of one artifact, keyed by configuration."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    rows = data["rows"] if isinstance(data, dict) else data
+    return {row_key(row): row for row in rows}
+
+
+def check(
+    fresh_path: pathlib.Path,
+    baseline_path: pathlib.Path,
+    threshold: float,
+    metrics: list[str],
+) -> int:
+    """Print the comparison; return the process exit code."""
+    if not baseline_path.exists():
+        print(f"no committed baseline at {baseline_path}; nothing to compare")
+        return 2
+    fresh = load_rows(fresh_path)
+    baseline = load_rows(baseline_path)
+
+    regressions = []
+    compared = 0
+    for key, base_row in baseline.items():
+        fresh_row = fresh.get(key)
+        config = ", ".join(f"{k}={v}" for k, v in key)
+        if fresh_row is None:
+            print(f"  [skip] baseline-only configuration: {config}")
+            continue
+        for metric in metrics:
+            if metric not in base_row or metric not in fresh_row:
+                continue
+            compared += 1
+            base_value = base_row[metric]
+            fresh_value = fresh_row[metric]
+            ratio = fresh_value / base_value if base_value else float("inf")
+            verdict = "ok"
+            if ratio < 1.0 - threshold:
+                verdict = "REGRESSION"
+                regressions.append((config, metric, base_value, fresh_value))
+            print(
+                f"  [{verdict:>10}] {config} {metric}: "
+                f"baseline {base_value:,.0f} -> fresh {fresh_value:,.0f} "
+                f"({ratio:.2f}x)"
+            )
+    for key in fresh.keys() - baseline.keys():
+        config = ", ".join(f"{k}={v}" for k, v in key)
+        print(f"  [skip] fresh-only configuration: {config}")
+
+    if not compared:
+        print("no overlapping configurations between fresh and baseline artifacts")
+        return 2
+    if regressions:
+        print(
+            f"\n{len(regressions)} metric(s) regressed more than "
+            f"{threshold:.0%} below baseline:"
+        )
+        for config, metric, base_value, fresh_value in regressions:
+            print(f"  {config}: {metric} {base_value:,.0f} -> {fresh_value:,.0f}")
+        return 1
+    print(f"\nall {compared} compared metric(s) within {threshold:.0%} of baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on >threshold throughput regression vs committed baseline"
+    )
+    parser.add_argument(
+        "fresh", type=pathlib.Path, help="freshly produced JSON artifact"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline artifact (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop before failing (default: 0.30)",
+    )
+    parser.add_argument(
+        "--metric",
+        action="append",
+        dest="metrics",
+        help="measured field(s) to compare (default: batched_eps, naive_eps)",
+    )
+    args = parser.parse_args(argv)
+    metrics = args.metrics or ["batched_eps", "naive_eps"]
+    print(
+        f"comparing {args.fresh} against {args.baseline} "
+        f"(threshold {args.threshold:.0%}, metrics {', '.join(metrics)})"
+    )
+    return check(args.fresh, args.baseline, args.threshold, metrics)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

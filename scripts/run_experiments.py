@@ -88,7 +88,9 @@ def section_pipeline(out: list[str]) -> None:
     out.append("| step | paper | measured |")
     out.append("|------|-------|----------|")
     out.append(f"| 1: possible states | 512 | {report.initial_states} |")
-    out.append(f"| 2: transitions attached | (Fig 11) | {full.transition_count()} transitions |")
+    out.append(
+        f"| 2: transitions attached | (Fig 11) | {full.transition_count()} transitions |"
+    )
     out.append(f"| 3: after pruning | 48 | {report.reachable_states} |")
     out.append(f"| 4: after merging | 33 | {report.merged_states} |")
     terminals = sum(1 for s in unmerged.states if s.final)
@@ -134,13 +136,18 @@ def section_artefacts(out: list[str]) -> None:
     instance = compiled.new_instance()
     for message in ["free", "update", "vote", "vote", "commit", "commit"]:
         instance.receive(message)
-    out.append(f"- XML diagram document: {len(xml)} bytes, 33 states, round-trips isomorphically")
+    out.append(
+        f"- XML diagram document: {len(xml)} bytes, 33 states, round-trips isomorphically"
+    )
     out.append(f"- DOT diagram: {len(dot)} bytes; phase transitions drawn bold (Fig 8)")
     out.append(
         f"- generated Python implementation: {len(python_source)} bytes; "
         f"compiles and completes a commit run (finished={instance.is_finished()})"
     )
-    fig16_shape = "void receiveVote()" in java_source and "case (F-0-F-0-F-F-F) :" in java_source
+    fig16_shape = (
+        "void receiveVote()" in java_source
+        and "case (F-0-F-0-F-F-F) :" in java_source
+    )
     out.append(
         f"- generated Java (Fig 16 shape: receiveVote switch, dash-encoded "
         f"states): **{fig16_shape}**"
@@ -222,7 +229,12 @@ def section_policies(out: list[str]) -> None:
     workload = [4, 4, 4, 7, 4, 4, 7, 4, 4, 4]
     out.append("| policy | generations for 10 deployments | cache hit rate |")
     out.append("|--------|-------------------------------|----------------|")
-    for policy in (GenerationPolicy.ONCE, GenerationPolicy.PER_USE, GenerationPolicy.ON_DEMAND):
+    policies = (
+        GenerationPolicy.ONCE,
+        GenerationPolicy.PER_USE,
+        GenerationPolicy.ON_DEMAND,
+    )
+    for policy in policies:
         factory = MachineFactory(
             lambda replication_factor: CommitModel(replication_factor), policy=policy
         )

@@ -28,14 +28,25 @@ For serving a *population* of machine instances — sharded by session key
 with batched dispatch, backpressure and snapshot/restore — see
 :class:`repro.FleetEngine` (the fleet execution plane,
 :mod:`repro.serve`).
+
+Hierarchical designs (nested regions, inherited transitions, entry/exit
+actions) are authored with :class:`repro.HierarchicalModel`
+(:mod:`repro.core.hsm`) and flattened — eagerly or lazily — into plain
+machines that run unchanged on every backend and on the fleet;
+:class:`repro.HierarchicalSimulator` executes the hierarchy directly for
+differential verification.
 """
 
 from repro.core import (
     AbstractModel,
     BooleanComponent,
+    CompositeState,
     ENGINES,
     EnumComponent,
+    FlattenReport,
     GenerationReport,
+    HierarchicalModel,
+    HierarchicalSimulator,
     IntComponent,
     InvalidStateError,
     State,
@@ -54,10 +65,14 @@ __version__ = "1.0.0"
 __all__ = [
     "AbstractModel",
     "BooleanComponent",
+    "CompositeState",
     "ENGINES",
     "EnumComponent",
     "FleetEngine",
+    "FlattenReport",
     "GenerationReport",
+    "HierarchicalModel",
+    "HierarchicalSimulator",
     "IntComponent",
     "InvalidStateError",
     "State",

@@ -4,10 +4,18 @@
   Table 1 (including the merged-size closed form ``12 f^2 + 16 f + 5``);
 * :mod:`repro.analysis.diff` — isomorphism checking between machines;
 * :mod:`repro.analysis.spectrum` — the FSM/EFSM/algorithm spectrum and the
-  phase-quotient derivation that cross-validates the 9-state commit EFSM.
+  phase-quotient derivation that cross-validates the 9-state commit EFSM;
+* :mod:`repro.analysis.flatten_stats` — state/transition blow-up factors
+  of the hierarchical flattening pipeline.
 """
 
 from repro.analysis.diff import MachineDiff, diff_machines, machines_isomorphic
+from repro.analysis.flatten_stats import (
+    bundled_flatten_reports,
+    flatten_blowup,
+    flatten_comparison,
+    format_flatten_table,
+)
 from repro.analysis.peerset_check import (
     ExplorationResult,
     PeerSetExplorer,
@@ -53,6 +61,7 @@ __all__ = [
     "action_at_most_once",
     "action_exactly_once",
     "action_required",
+    "bundled_flatten_reports",
     "check_contending_updates",
     "check_single_update",
     "commit_protocol_properties",
@@ -66,6 +75,9 @@ __all__ = [
     "commit_spectrum",
     "diff_machines",
     "efsm_phase_transitions",
+    "flatten_blowup",
+    "flatten_comparison",
+    "format_flatten_table",
     "format_table1",
     "fsm_vs_efsm_table",
     "initial_state_count",

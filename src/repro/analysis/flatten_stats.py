@@ -1,0 +1,64 @@
+"""Flattening statistics: what hierarchy costs (and saves) when expanded.
+
+The mapping-study literature on state-machine flattening measures the
+transformation by its blow-up: a transition declared once on a composite
+is copied into every descendant leaf, while unreachable leaves disappear.
+This module turns the :class:`~repro.core.hsm.FlattenReport` produced by
+the pipeline into comparison rows and an aligned table — per bundled
+model, per engine — so the CLI and benchmarks can report the factors
+directly.
+"""
+
+from __future__ import annotations
+
+from repro.core.hsm import FlattenReport, HierarchicalModel
+from repro.core.pipeline import ENGINES
+from repro.models import HIERARCHICAL_MODELS, build_hierarchical_model
+
+
+def flatten_blowup(model: HierarchicalModel, engine: str = "eager") -> FlattenReport:
+    """Flatten ``model`` with ``engine`` and return the blow-up report."""
+    _, report = model.flatten_with_report(engine)
+    return report
+
+
+def flatten_comparison(model: HierarchicalModel) -> dict[str, FlattenReport]:
+    """Reports for every flatten engine, keyed by engine name.
+
+    Both engines must agree on the reachable machine, so the flat counts
+    match; the expanded counts differ (eager materialises unreachable
+    leaves, lazy never does) — that difference *is* the engine trade-off.
+    """
+    return {engine: flatten_blowup(model, engine) for engine in ENGINES}
+
+
+def bundled_flatten_reports(
+    replication_factor: int = 4,
+) -> list[FlattenReport]:
+    """One report per bundled hierarchical model and flatten engine."""
+    reports: list[FlattenReport] = []
+    for name in HIERARCHICAL_MODELS:
+        model = build_hierarchical_model(name, replication_factor)
+        for engine in ENGINES:
+            reports.append(flatten_blowup(model, engine))
+    return reports
+
+
+def format_flatten_table(reports: list[FlattenReport]) -> str:
+    """Render reports as an aligned table (CLI ``flatten --stats`` output)."""
+    header = (
+        f"{'model':<18} {'engine':<7} {'groups':>6} {'leaves':>6} "
+        f"{'depth':>5} {'declared':>8} {'expanded':>8} {'flat':>6} "
+        f"{'trans':>6} {'state x':>8} {'trans x':>8} {'ms':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for report in reports:
+        lines.append(
+            f"{report.model_name:<18} {report.engine:<7} "
+            f"{report.composite_count:>6d} {report.leaf_count:>6d} "
+            f"{report.max_depth:>5d} {report.declared_transitions:>8d} "
+            f"{report.expanded_states:>8d} {report.flat_states:>6d} "
+            f"{report.flat_transitions:>6d} {report.state_blowup:>8.2f} "
+            f"{report.transition_blowup:>8.2f} {report.total_time * 1000:>7.1f}"
+        )
+    return "\n".join(lines)

@@ -92,7 +92,10 @@ def efsm_phase_transitions(efsm: Efsm) -> set[PhaseTransition]:
                 continue  # variable-update self-loop
             transitions.add(
                 PhaseTransition(
-                    state.name, transition.message, transition.actions, transition.target
+                    state.name,
+                    transition.message,
+                    transition.actions,
+                    transition.target,
                 )
             )
     return transitions

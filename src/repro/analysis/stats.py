@@ -16,6 +16,8 @@ from repro.core.machine import StateMachine
 from repro.models.commit import CommitModel, fault_tolerance
 
 #: The paper's Table 1 parameter points and published counts.
+# One published row per line beats the 88-column rule here.
+# fmt: off
 PAPER_TABLE1 = (
     {"f": 1, "r": 4, "initial_states": 512, "final_states": 33, "generation_time_s": 0.10},
     {"f": 2, "r": 7, "initial_states": 1568, "final_states": 85, "generation_time_s": 0.12},
@@ -23,6 +25,7 @@ PAPER_TABLE1 = (
     {"f": 8, "r": 25, "initial_states": 20000, "final_states": 901, "generation_time_s": 2.2},
     {"f": 15, "r": 46, "initial_states": 67712, "final_states": 2945, "generation_time_s": 19.1},
 )
+# fmt: on
 
 
 @dataclass

@@ -13,6 +13,10 @@ Mirrors the paper's Fig 6 usage from a shell::
     repro-fsm modelcheck -r 4 --silent 1     # exhaustive peer-set check
     repro-fsm serve-bench --instances 10000 --events 100000 --shards 16
                                              # fleet plane: naive vs batched
+    repro-fsm flatten --model session --format outline
+                                             # hierarchical design, outlined
+    repro-fsm flatten --model commit -r 7 --engine lazy --format stats
+                                             # flattening blow-up factors
 """
 
 from __future__ import annotations
@@ -20,10 +24,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.flatten_stats import flatten_blowup, format_flatten_table
 from repro.analysis.peerset_check import check_contending_updates, check_single_update
 from repro.analysis.stats import format_table1, table1, table1_row
+from repro.models import HIERARCHICAL_MODELS, build_hierarchical_model
 from repro.models.commit import CommitModel
 from repro.render.dot import DotRenderer
+from repro.render.hsm import HierarchicalDotRenderer, HierarchicalOutlineRenderer
 from repro.render.html import HtmlRenderer
 from repro.render.markdown import MarkdownRenderer
 from repro.render.scxml import ScxmlRenderer
@@ -94,7 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
         "describe", help="print the Fig 14 description of one state"
     )
     describe.add_argument("-r", "--replication-factor", type=int, default=4)
-    describe.add_argument("--state", required=True, help="state name, e.g. T/2/F/0/F/F/F")
+    describe.add_argument(
+        "--state", required=True, help="state name, e.g. T/2/F/0/F/F/F"
+    )
     add_engine_flag(describe)
 
     export = commands.add_parser(
@@ -119,6 +128,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     modelcheck.add_argument("--max-states", type=int, default=500_000)
     add_engine_flag(modelcheck)
+
+    flatten = commands.add_parser(
+        "flatten",
+        help="flatten a bundled hierarchical model into a plain machine "
+        "(stats, hierarchy-aware rendering, or flat artefacts)",
+    )
+    flatten.add_argument(
+        "--model",
+        choices=HIERARCHICAL_MODELS,
+        default="session",
+        help="bundled hierarchical model (default: session)",
+    )
+    flatten.add_argument(
+        "-r",
+        "--replication-factor",
+        type=int,
+        default=4,
+        help="size of the embedded commit machine (commit model only)",
+    )
+    flatten.add_argument(
+        "--format",
+        choices=["stats", "outline", "dot"]
+        + [f"flat-{name}" for name in sorted(_RENDERERS)],
+        default="stats",
+        dest="fmt",
+        help="'stats' prints blow-up factors for both flatten engines; "
+        "'outline'/'dot' render the hierarchy itself (text outline, "
+        "clustered Graphviz); 'flat-*' renders the flattened machine "
+        "with the corresponding flat renderer",
+    )
+    flatten.add_argument("-o", "--output", help="write to a file instead of stdout")
+    add_engine_flag(flatten)
 
     serve_bench = commands.add_parser(
         "serve-bench",
@@ -191,7 +232,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.state not in machine:
             print(f"unknown state {args.state!r}", file=sys.stderr)
             return 1
-        print(TextRenderer(include_header=False).render_state(machine.get_state(args.state)))
+        renderer = TextRenderer(include_header=False)
+        print(renderer.render_state(machine.get_state(args.state)))
         return 0
 
     if args.command == "export":
@@ -201,6 +243,9 @@ def main(argv: list[str] | None = None) -> int:
         path = export_machine_module(machine, args.output)
         print(f"exported {machine.name} to {path}")
         return 0
+
+    if args.command == "flatten":
+        return _flatten(args)
 
     if args.command == "serve-bench":
         return _serve_bench(args)
@@ -236,6 +281,31 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if result.safe else 1
 
     return 1  # pragma: no cover - argparse enforces the command set
+
+
+def _flatten(args) -> int:
+    """Flatten (or render) one bundled hierarchical model."""
+    model = build_hierarchical_model(
+        args.model, args.replication_factor, engine=args.engine
+    )
+    if args.fmt == "stats":
+        reports = [flatten_blowup(model, engine) for engine in ENGINES]
+        text = format_flatten_table(reports) + "\n"
+    elif args.fmt == "outline":
+        text = HierarchicalOutlineRenderer().render(model)
+    elif args.fmt == "dot":
+        text = HierarchicalDotRenderer().render(model)
+    else:
+        machine = model.flatten(engine=args.engine)
+        renderer = _RENDERERS[args.fmt.removeprefix("flat-")]()
+        text = renderer.render(machine)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
 
 
 def _serve_bench(args) -> int:

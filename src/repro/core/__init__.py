@@ -15,7 +15,11 @@ Public surface:
 * :func:`~repro.core.lazy.generate_lazy` is the frontier-based engine that
   builds the reachable set on the fly instead of enumerating the product
   space (select per call with :func:`~repro.core.pipeline.generate_with_engine`);
-* :mod:`~repro.core.efsm` provides the extended-FSM representation of §5.3.
+* :mod:`~repro.core.efsm` provides the extended-FSM representation of §5.3;
+* :mod:`~repro.core.hsm` provides hierarchical machines
+  (:class:`~repro.core.hsm.CompositeState` trees owned by a
+  :class:`~repro.core.hsm.HierarchicalModel`) and the flattening
+  pipeline that expands them into plain :class:`StateMachine` objects.
 """
 
 from repro.core.components import (
@@ -35,6 +39,14 @@ from repro.core.errors import (
     ReproError,
     SimulationError,
 )
+from repro.core.hsm import (
+    CompositeState,
+    FlattenReport,
+    HierarchicalModel,
+    HierarchicalSimulator,
+    HsmTransition,
+    LeafState,
+)
 from repro.core.lazy import generate_lazy
 from repro.core.machine import StateMachine
 from repro.core.minimize import (
@@ -44,7 +56,12 @@ from repro.core.minimize import (
     one_shot_merge,
 )
 from repro.core.model import AbstractModel, StateView, TransitionBuilder
-from repro.core.pipeline import ENGINES, GenerationReport, generate, generate_with_engine
+from repro.core.pipeline import (
+    ENGINES,
+    GenerationReport,
+    generate,
+    generate_with_engine,
+)
 from repro.core.state import State, Transition
 from repro.core.trace import (
     Trace,
@@ -58,11 +75,17 @@ __all__ = [
     "AbstractModel",
     "BooleanComponent",
     "ComponentError",
+    "CompositeState",
     "DeploymentError",
     "ENGINES",
     "EnumComponent",
     "FINISH_NAME",
+    "FlattenReport",
     "GenerationReport",
+    "HierarchicalModel",
+    "HierarchicalSimulator",
+    "HsmTransition",
+    "LeafState",
     "IntComponent",
     "InvalidStateError",
     "MachineStructureError",

@@ -32,7 +32,9 @@ class StateComponent:
 
     def __init__(self, name: str):
         if not name or not name.replace("_", "").isalnum():
-            raise ComponentError(f"component name must be an identifier-like string, got {name!r}")
+            raise ComponentError(
+                f"component name must be an identifier-like string, got {name!r}"
+            )
         self._name = name
 
     @property
@@ -116,7 +118,11 @@ class IntComponent(StateComponent):
         return range(self._maximum + 1)
 
     def contains(self, value: Any) -> bool:
-        return isinstance(value, int) and not isinstance(value, bool) and 0 <= value <= self._maximum
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and 0 <= value <= self._maximum
+        )
 
     def encode(self, value: Any) -> str:
         return str(value)
@@ -203,7 +209,9 @@ class StateSpace:
         try:
             return self._index[name]
         except KeyError:
-            raise ComponentError(f"unknown component {name!r}; have {list(self._index)}") from None
+            raise ComponentError(
+                f"unknown component {name!r}; have {list(self._index)}"
+            ) from None
 
     def component(self, name: str) -> StateComponent:
         """The named component object."""
@@ -302,7 +310,9 @@ def _decode(component: StateComponent, text: str) -> Any:
         try:
             value = int(text)
         except ValueError:
-            raise ComponentError(f"cannot decode {text!r} as int {component.name!r}") from None
+            raise ComponentError(
+                f"cannot decode {text!r} as int {component.name!r}"
+            ) from None
         return value
     if isinstance(component, EnumComponent):
         if text in component.values():

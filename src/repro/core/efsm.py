@@ -179,7 +179,9 @@ class EfsmTransition:
         """Actions performed when the transition fires."""
         return self._actions
 
-    def enabled(self, variables: Mapping[str, int], parameters: Mapping[str, int]) -> bool:
+    def enabled(
+        self, variables: Mapping[str, int], parameters: Mapping[str, int]
+    ) -> bool:
         """Whether the guard holds in the given environment."""
         if self._guard is None:
             return True

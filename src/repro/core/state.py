@@ -97,7 +97,14 @@ class State:
     of all original states combined into this one (empty before step 4).
     """
 
-    __slots__ = ("_name", "_vector", "_transitions", "_annotations", "_final", "_merged_names")
+    __slots__ = (
+        "_name",
+        "_vector",
+        "_transitions",
+        "_annotations",
+        "_final",
+        "_merged_names",
+    )
 
     def __init__(
         self,

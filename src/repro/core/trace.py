@@ -115,7 +115,9 @@ class ReplayMismatch:
         )
 
 
-def replay(trace: Trace, target: Any, compare_states: bool = True) -> list[ReplayMismatch]:
+def replay(
+    trace: Trace, target: Any, compare_states: bool = True
+) -> list[ReplayMismatch]:
     """Drive ``target`` with a recorded trace; return all divergences.
 
     ``compare_states`` is disabled when replaying against an

@@ -154,9 +154,13 @@ class CommitModel(AbstractModel):
     def _on_update(self, b: TransitionBuilder) -> None:
         """Client update request arrives at this member."""
         if not b["update_received"]:
-            b.set("update_received", True, because="Received initial update from client.")
+            b.set(
+                "update_received", True, because="Received initial update from client."
+            )
         if b["could_choose"] and not b["has_chosen"] and not b["vote_sent"]:
-            self._vote(b, because="No other update is in progress, so vote for this one.")
+            self._vote(
+                b, because="No other update is in progress, so vote for this one."
+            )
             if self.total_votes(b) >= self.vote_threshold:
                 self._commit_if_unsent(b)
             self._choose(b)
@@ -206,7 +210,9 @@ class CommitModel(AbstractModel):
             return  # no effect once this instance has voted or chosen
         b.set("could_choose", True, because="No other update is in progress any more.")
         if b["update_received"]:
-            self._vote(b, because="Update already received: vote for it now that we may.")
+            self._vote(
+                b, because="Update already received: vote for it now that we may."
+            )
             if self.total_votes(b) >= self.vote_threshold:
                 self._commit_if_unsent(b)
             self._choose(b)
@@ -275,7 +281,9 @@ class CommitModel(AbstractModel):
         elif could_choose:
             lines.append("Have not yet voted for this update.")
         else:
-            lines.append("Have not voted since another update has already been voted for.")
+            lines.append(
+                "Have not voted since another update has already been voted for."
+            )
 
         lines.append(
             f"Have received {_count_phrase(votes_received, 'vote')} "
@@ -294,7 +302,9 @@ class CommitModel(AbstractModel):
         if could_choose:
             lines.append("May choose this update if it is received.")
         else:
-            lines.append("May not choose since another ongoing update has been voted for.")
+            lines.append(
+                "May not choose since another ongoing update has been voted for."
+            )
 
         if has_chosen:
             lines.append("Have chosen this update as the locally selected one.")
@@ -343,4 +353,6 @@ def generate_commit_machine(
 
     Equivalent to ``CommitModel(replication_factor).generate_state_machine()``.
     """
-    return CommitModel(replication_factor).generate_state_machine(prune=prune, merge=merge)
+    return CommitModel(replication_factor).generate_state_machine(
+        prune=prune, merge=merge
+    )

@@ -5,6 +5,9 @@
   implementations (the paper's Fig 16/17/19, retargeted to Python);
 * :class:`~repro.render.source.JavaSourceRenderer` — Fig 16-faithful Java;
 * :class:`~repro.render.dot.DotRenderer` — Graphviz diagrams (Fig 15);
+* :class:`~repro.render.hsm.HierarchicalDotRenderer` and
+  :class:`~repro.render.hsm.HierarchicalOutlineRenderer` — clustered
+  diagrams and text outlines of hierarchical (unflattened) designs;
 * :class:`~repro.render.xml.XmlRenderer` — XML diagram interchange (Fig 15)
   with :func:`~repro.render.xml.parse_machine_xml` for round-trips;
 * :class:`~repro.render.markdown.MarkdownRenderer` — documentation;
@@ -23,6 +26,7 @@ from repro.render.codebuffer import CodeBuffer
 from repro.render.dot import DotRenderer
 from repro.render.efsm_source import PythonEfsmRenderer, efsm_class_name
 from repro.render.efsm_text import EfsmTextRenderer
+from repro.render.hsm import HierarchicalDotRenderer, HierarchicalOutlineRenderer
 from repro.render.html import HtmlRenderer
 from repro.render.markdown import MarkdownRenderer
 from repro.render.source import (
@@ -39,6 +43,8 @@ __all__ = [
     "CodeBuffer",
     "DotRenderer",
     "EfsmTextRenderer",
+    "HierarchicalDotRenderer",
+    "HierarchicalOutlineRenderer",
     "HtmlRenderer",
     "JavaSourceRenderer",
     "MarkdownRenderer",

@@ -24,9 +24,9 @@ class DotRenderer(Renderer):
         machine.check_integrity()
         lines: list[str] = []
         lines.append(f"digraph {_quote(machine.name)} {{")
-        lines.append(f'    rankdir={self._rankdir};')
-        lines.append('    node [shape=ellipse, fontsize=10];')
-        lines.append('    edge [fontsize=9];')
+        lines.append(f"    rankdir={self._rankdir};")
+        lines.append("    node [shape=ellipse, fontsize=10];")
+        lines.append("    edge [fontsize=9];")
         lines.append('    __start [shape=point, label=""];')
 
         for state in machine.states:

@@ -58,7 +58,9 @@ class PythonEfsmRenderer(Renderer):
         finals = sorted(s.name for s in machine.states if s.final)
         buffer.add_line("FINAL_STATES = frozenset(", repr(finals), ")")
         buffer.add_line("MESSAGES = ", repr(tuple(machine.messages)))
-        buffer.add_line("VARIABLES = ", repr({v.name: v.initial for v in machine.variables}))
+        buffer.add_line(
+            "VARIABLES = ", repr({v.name: v.initial for v in machine.variables})
+        )
         buffer.add_line("PARAMETERS = ", repr(tuple(machine.parameter_names)))
         buffer.blank()
 

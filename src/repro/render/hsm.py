@@ -1,0 +1,181 @@
+"""Hierarchy-aware renderers for :class:`~repro.core.hsm.HierarchicalModel`.
+
+Flat renderers draw the *product* of the flattening pipeline; these two
+draw the *design*: the composite structure the author wrote, before
+inheritance and entry/exit composition are expanded away.
+
+* :class:`HierarchicalDotRenderer` — a Graphviz digraph with one
+  ``subgraph cluster_*`` per composite region (``compound=true`` so
+  edges can start and end at region borders via ``ltail``/``lhead``);
+* :class:`HierarchicalOutlineRenderer` — an indented text outline of the
+  tree with per-node transitions and entry/exit actions.
+"""
+
+from __future__ import annotations
+
+from repro.core.hsm import CompositeState, HierarchicalModel, LeafState, _Node
+from repro.render.base import display_action, display_message
+
+
+class HierarchicalDotRenderer:
+    """Render the hierarchy as a clustered Graphviz ``digraph``.
+
+    Composite regions become clusters; a transition declared on a region
+    is drawn once, from (or to) the region border — visually the
+    inheritance the flattening pipeline expands into per-leaf copies.
+    """
+
+    def __init__(self, include_actions: bool = True, rankdir: str = "TB"):
+        self._include_actions = include_actions
+        self._rankdir = rankdir
+
+    def render(self, model: HierarchicalModel) -> str:
+        model.validate()
+        lines: list[str] = []
+        lines.append(f"digraph {_quote(model.name)} {{")
+        lines.append(f"    rankdir={self._rankdir};")
+        lines.append("    compound=true;")
+        lines.append("    node [shape=ellipse, fontsize=10];")
+        lines.append("    edge [fontsize=9];")
+        lines.append('    __start [shape=point, label=""];')
+        self._emit_children(model, model.root, lines, indent="    ")
+        lines.append(
+            f"    __start -> {_quote(model.initial_leaf().flat_name())};"
+        )
+        for node in model.nodes():
+            for transition in node.transitions.values():
+                lines.append(self._edge(model, node, transition))
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def _emit_children(self, model, composite, lines, indent) -> None:
+        for child in composite.children.values():
+            if isinstance(child, CompositeState):
+                lines.append(f"{indent}subgraph {_quote(_cluster_id(child))} {{")
+                label = child.name
+                if child.entry_actions:
+                    label += "\\nentry: " + ", ".join(
+                        display_action(a) for a in child.entry_actions
+                    )
+                if child.exit_actions:
+                    label += "\\nexit: " + ", ".join(
+                        display_action(a) for a in child.exit_actions
+                    )
+                lines.append(f"{indent}    label={_quote(label)};")
+                lines.append(f"{indent}    style=rounded;")
+                self._emit_children(model, child, lines, indent + "    ")
+                lines.append(f"{indent}}}")
+            else:
+                attributes = []
+                if child.final:
+                    attributes.append("shape=doublecircle")
+                attributes.append(f"label={_quote(child.name)}")
+                if child is composite.initial_child:
+                    attributes.append("penwidth=2")
+                lines.append(
+                    f"{indent}{_quote(child.flat_name())} "
+                    f"[{', '.join(attributes)}];"
+                )
+
+    def _edge(self, model, node, transition) -> str:
+        target = model.find(transition.target)
+        source_anchor, ltail = _anchor(model, node)
+        target_anchor, lhead = _anchor(model, target)
+        label = display_message(transition.message)
+        if self._include_actions and transition.actions:
+            label += "\\n" + "\\n".join(
+                display_action(a) for a in transition.actions
+            )
+        attributes = [f"label={_quote(label)}"]
+        if transition.actions:
+            attributes.append("style=bold")
+        if ltail is not None:
+            attributes.append(f"ltail={_quote(ltail)}")
+        if lhead is not None:
+            attributes.append(f"lhead={_quote(lhead)}")
+        return (
+            f"    {_quote(source_anchor)} -> {_quote(target_anchor)} "
+            f"[{', '.join(attributes)}];"
+        )
+
+
+class HierarchicalOutlineRenderer:
+    """Render the hierarchy as an indented text outline."""
+
+    def __init__(self, indent: str = "    "):
+        self._indent = indent
+
+    def render(self, model: HierarchicalModel) -> str:
+        model.validate()
+        lines: list[str] = []
+        lines.append(f"hierarchical model: {model.name}")
+        lines.append(
+            "messages: "
+            + ", ".join(display_message(m) for m in model.messages())
+        )
+        finish = model.finish_name
+        if finish is not None:
+            lines.append(f"finish: {finish}")
+        lines.append("=" * max(len(line) for line in lines))
+        self._emit_transitions(model.root, lines, depth=0)
+        self._emit_children(model.root, lines, depth=0)
+        return "\n".join(lines) + "\n"
+
+    def _emit_children(self, composite: CompositeState, lines, depth) -> None:
+        for child in composite.children.values():
+            pad = self._indent * depth
+            markers = []
+            if child is composite.initial_child:
+                markers.append("initial")
+            if isinstance(child, LeafState) and child.final:
+                markers.append("final")
+            suffix = f"  ({', '.join(markers)})" if markers else ""
+            kind = "region" if isinstance(child, CompositeState) else "state"
+            lines.append(f"{pad}{kind} {child.name}{suffix}")
+            for phase, actions in (
+                ("entry", child.entry_actions),
+                ("exit", child.exit_actions),
+            ):
+                if actions:
+                    shown = ", ".join(display_action(a) for a in actions)
+                    lines.append(f"{pad}{self._indent}{phase}: {shown}")
+            self._emit_transitions(child, lines, depth + 1)
+            if isinstance(child, CompositeState):
+                self._emit_children(child, lines, depth + 1)
+
+    def _emit_transitions(self, node: _Node, lines, depth) -> None:
+        pad = self._indent * depth
+        for transition in node.transitions.values():
+            shown = f"on {display_message(transition.message)} -> {transition.target}"
+            if transition.actions:
+                shown += "  [" + ", ".join(
+                    display_action(a) for a in transition.actions
+                ) + "]"
+            lines.append(f"{pad}{self._indent}{shown}")
+
+
+def _cluster_id(node: CompositeState) -> str:
+    """Graphviz cluster name of a composite (``cluster`` prefix required)."""
+    return f"cluster_{node.flat_name()}"
+
+
+def _anchor(model, node) -> tuple[str, str | None]:
+    """Concrete node id for an edge endpoint, plus its cluster clip.
+
+    Graphviz cannot attach an edge to a cluster itself: the edge runs to
+    a representative node inside it (the initial leaf) and is clipped at
+    the border with ``ltail``/``lhead``.
+    """
+    if isinstance(node, CompositeState):
+        # The root is not drawn as a cluster: its transitions (inherited
+        # by the whole protocol) run unclipped from the initial leaf.
+        clip = _cluster_id(node) if node.parent is not None else None
+        return model.initial_leaf(node).flat_name(), clip
+    return node.flat_name(), None
+
+
+def _quote(text: str) -> str:
+    """DOT double-quoted string with escaping (literal ``\\n`` preserved)."""
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    escaped = escaped.replace("\\\\n", "\\n")
+    return f'"{escaped}"'

@@ -52,7 +52,11 @@ class HtmlRenderer(Renderer):
             f"{len(machine)} states &middot; {machine.transition_count()} transitions "
             f"({machine.phase_transition_count()} phase) &middot; messages: "
             + ", ".join(html.escape(display_message(m)) for m in machine.messages)
-            + (f" &middot; finish: <code>{html.escape(finish.name)}</code>" if finish else "")
+            + (
+                f" &middot; finish: <code>{html.escape(finish.name)}</code>"
+                if finish
+                else ""
+            )
             + "</p>"
         )
 
@@ -81,7 +85,8 @@ class HtmlRenderer(Renderer):
                 )
                 parts.append(
                     "<div class='transition'>"
-                    f"<span class='message'>{html.escape(display_message(transition.message))}</span> "
+                    f"<span class='message'>"
+                    f"{html.escape(display_message(transition.message))}</span> "
                     f"{actions} &rarr; "
                     f"<a href='#{_anchor(transition.target_name)}'>"
                     f"{html.escape(transition.target_name)}</a></div>"

@@ -78,7 +78,10 @@ class MarkdownRenderer(Renderer):
         parameters = machine.parameters
         if parameters:
             rows.append(
-                ("Parameters", ", ".join(f"{k}={v}" for k, v in sorted(parameters.items())))
+                (
+                    "Parameters",
+                    ", ".join(f"{k}={v}" for k, v in sorted(parameters.items())),
+                )
             )
         lines = ["| Property | Value |", "|----------|-------|"]
         for key, value in rows:

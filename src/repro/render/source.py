@@ -80,13 +80,17 @@ class PythonSourceRenderer(Renderer):
     # ------------------------------------------------------------------
 
     def _module_header(self, buffer: CodeBuffer, machine: StateMachine) -> None:
-        buffer.add_line('"""Generated implementation of state machine: ', machine.name, ".")
+        buffer.add_line(
+            '"""Generated implementation of state machine: ', machine.name, "."
+        )
         buffer.blank()
         buffer.add_line("Produced by repro.render.source.PythonSourceRenderer.")
         buffer.add_line("DO NOT EDIT: regenerate from the abstract model instead.")
         parameters = machine.parameters
         if parameters:
-            rendered = ", ".join(f"{key}={value!r}" for key, value in sorted(parameters.items()))
+            rendered = ", ".join(
+                f"{key}={value!r}" for key, value in sorted(parameters.items())
+            )
             buffer.add_line("Generation parameters: ", rendered, ".")
         buffer.add_line('"""')
         buffer.blank()
@@ -147,7 +151,9 @@ class PythonSourceRenderer(Renderer):
         buffer.exit_block()
         buffer.blank()
         buffer.enter_block("def reset(self):")
-        buffer.add_line('"""Return to the start state and clear any recorded actions."""')
+        buffer.add_line(
+            '"""Return to the start state and clear any recorded actions."""'
+        )
         buffer.add_line("self._state = START_STATE")
         buffer.add_line("clear = getattr(self, 'clear_sent', None)")
         buffer.enter_block("if clear is not None:")
@@ -158,7 +164,9 @@ class PythonSourceRenderer(Renderer):
 
     def _dispatch_method(self, buffer: CodeBuffer, machine: StateMachine) -> None:
         buffer.enter_block("def receive(self, message):")
-        buffer.add_line('"""Dispatch a message by name; returns True if a transition fired."""')
+        buffer.add_line(
+            '"""Dispatch a message by name; returns True if a transition fired."""'
+        )
         for message in machine.messages:
             buffer.enter_block(f"if message == {message!r}:")
             buffer.add_line(f"return self.receive_{python_identifier(message)}()")
@@ -203,10 +211,14 @@ class PythonSourceRenderer(Renderer):
     # standalone mode
     # ------------------------------------------------------------------
 
-    def _default_action_methods(self, buffer: CodeBuffer, machine: StateMachine) -> None:
+    def _default_action_methods(
+        self, buffer: CodeBuffer, machine: StateMachine
+    ) -> None:
         for action in _distinct_actions(machine):
             buffer.enter_block(f"def {action_method_name(action)}(self):")
-            buffer.add_line(f'"""Perform the {action!r} action (override to implement)."""')
+            buffer.add_line(
+                f'"""Perform the {action!r} action (override to implement)."""'
+            )
             buffer.exit_block()
             buffer.blank()
 

@@ -36,6 +36,41 @@ class CacheStats:
         return self.hits / self.lookups
 
 
+def canonical_parameter_key(value: Any) -> Hashable:
+    """A stable, hashable key for an arbitrary parameter structure.
+
+    Machine ``parameters`` dicts are free-form: nested dicts, lists, sets
+    and even unhashable user objects all occur (hierarchical models carry
+    structured tuning blobs).  A cache key must be hashable and must not
+    depend on dict insertion order, so containers are recursively frozen
+    — dicts and sets sorted into canonical order — and anything
+    unrecognised degrades to its type name and ``repr``.  Each container
+    kind is tagged so, e.g., a list and a set of the same elements do not
+    collide.
+    """
+    if isinstance(value, dict):
+        items = tuple(
+            sorted(
+                (
+                    (canonical_parameter_key(k), canonical_parameter_key(v))
+                    for k, v in value.items()
+                ),
+                key=repr,
+            )
+        )
+        return ("dict", items)
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(canonical_parameter_key(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        return (
+            "set",
+            tuple(sorted((canonical_parameter_key(v) for v in value), key=repr)),
+        )
+    if isinstance(value, (str, int, float, bool, bytes, type(None))):
+        return value
+    return ("repr", type(value).__name__, repr(value))
+
+
 class GeneratedCodeCache:
     """LRU cache mapping parameter keys to generated artefacts.
 

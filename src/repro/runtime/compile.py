@@ -124,7 +124,9 @@ def compile_efsm(
         code = compile(source, filename=f"<generated {efsm.name}>", mode="exec")
         exec(code, module.__dict__)  # noqa: S102 - deliberate dynamic load
     except SyntaxError as exc:
-        raise DeploymentError(f"generated EFSM source failed to compile: {exc}") from exc
+        raise DeploymentError(
+            f"generated EFSM source failed to compile: {exc}"
+        ) from exc
     try:
         cls = module.__dict__[name]
     except KeyError:

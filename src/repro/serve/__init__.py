@@ -14,7 +14,12 @@ single-instance runs.
 """
 
 from repro.serve.adapter import BACKENDS, BackendAdapter, make_backend
-from repro.serve.differential import diff_against_standalone, standalone_traces
+from repro.serve.differential import (
+    diff_against_hierarchical,
+    diff_against_standalone,
+    hierarchical_traces,
+    standalone_traces,
+)
 from repro.serve.fleet import DISPATCH_MODES, FleetEngine, FleetSnapshot
 from repro.serve.mailbox import Mailbox, OverflowPolicy
 from repro.serve.metrics import FleetMetrics
@@ -39,8 +44,10 @@ __all__ = [
     "OverflowPolicy",
     "SCENARIOS",
     "WorkloadSpec",
+    "diff_against_hierarchical",
     "diff_against_standalone",
     "generate_workload",
+    "hierarchical_traces",
     "make_backend",
     "session_keys",
     "shard_of",

@@ -17,7 +17,7 @@ from typing import Optional
 
 from repro.core.errors import DeploymentError
 from repro.core.machine import StateMachine
-from repro.runtime.cache import GeneratedCodeCache
+from repro.runtime.cache import GeneratedCodeCache, canonical_parameter_key
 from repro.runtime.compile import compile_machine
 from repro.runtime.interp import MachineInterpreter
 
@@ -70,7 +70,14 @@ def make_backend(
         from repro.runtime.export import machine_fingerprint
 
         store = cache if cache is not None else _SHARED_COMPILED_CACHE
-        key = (machine.name, machine_fingerprint(machine))
+        # The canonical parameter key keeps the entry hashable whatever
+        # shape machine.parameters takes (nested dicts, lists, sets,
+        # unhashable user objects) and independent of dict ordering.
+        key = (
+            machine.name,
+            canonical_parameter_key(machine.parameters),
+            machine_fingerprint(machine),
+        )
         compiled = store.get_or_generate(key, lambda: compile_machine(machine))
         return BackendAdapter(kind, machine, compiled.new_instance)
     raise DeploymentError(f"unknown backend {kind!r}; choose from {BACKENDS}")

@@ -19,6 +19,24 @@ from repro.runtime.interp import MachineInterpreter
 from repro.serve.store import InstanceSnapshot
 
 
+def _replay_traces(executors, events, auto_recycle) -> dict[str, InstanceSnapshot]:
+    """Drive one executor per key through a schedule; snapshot each.
+
+    The executors only need the common protocol (``receive`` /
+    ``is_finished`` / ``reset`` / ``get_state`` / ``sent``), so the
+    interpreter and the hierarchical simulator replay identically.
+    """
+    for key, message in events:
+        executor = executors[key]
+        if executor.receive(message):
+            if auto_recycle and executor.is_finished():
+                executor.reset()
+    return {
+        key: InstanceSnapshot(key, executor.get_state(), tuple(executor.sent))
+        for key, executor in executors.items()
+    }
+
+
 def standalone_traces(
     machine: StateMachine,
     keys,
@@ -31,18 +49,47 @@ def standalone_traces(
     final state is immediately ``reset()``.
     """
     machine.check_integrity()
-    interpreters = {
-        key: MachineInterpreter(machine, validate=False) for key in keys
-    }
-    for key, message in events:
-        interpreter = interpreters[key]
-        if interpreter.receive(message):
-            if auto_recycle and interpreter.is_finished():
-                interpreter.reset()
-    return {
-        key: InstanceSnapshot(key, interp.get_state(), tuple(interp.sent))
-        for key, interp in interpreters.items()
-    }
+    return _replay_traces(
+        {key: MachineInterpreter(machine, validate=False) for key in keys},
+        events,
+        auto_recycle,
+    )
+
+
+def hierarchical_traces(
+    model,
+    keys,
+    events,
+    auto_recycle: bool = False,
+) -> dict[str, InstanceSnapshot]:
+    """Replay a recorded schedule through direct hierarchical simulation.
+
+    One :class:`~repro.core.hsm.HierarchicalSimulator` per session key —
+    the hierarchy executed *without* flattening.  Because the simulator
+    reports flat leaf names and logs actions exactly like the
+    interpreter, the resulting snapshots are directly comparable with a
+    fleet hosting the flattened machine.
+    """
+    model.validate()
+    return _replay_traces(
+        {key: model.simulator(validate=False) for key in keys},
+        events,
+        auto_recycle,
+    )
+
+
+def diff_against_hierarchical(fleet, model, keys, events) -> list[str]:
+    """Keys whose fleet trace differs from direct hierarchical simulation.
+
+    ``fleet`` must host a machine flattened from ``model`` and must
+    already have processed ``events``.  An empty list is the end-to-end
+    flattening correctness claim: hierarchy simulated directly ==
+    flattened machine served at fleet scale.
+    """
+    expected = hierarchical_traces(
+        model, keys, events, auto_recycle=fleet.auto_recycle
+    )
+    return [key for key in keys if fleet.trace(key) != expected[key]]
 
 
 def diff_against_standalone(fleet, keys, events) -> list[str]:
@@ -56,8 +103,4 @@ def diff_against_standalone(fleet, keys, events) -> list[str]:
     expected = standalone_traces(
         fleet.machine, keys, events, auto_recycle=fleet.auto_recycle
     )
-    mismatched = []
-    for key in keys:
-        if fleet.trace(key) != expected[key]:
-            mismatched.append(key)
-    return mismatched
+    return [key for key in keys if fleet.trace(key) != expected[key]]

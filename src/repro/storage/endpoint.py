@@ -236,7 +236,9 @@ class ServiceEndpoint(SimNode):
         )
         self._stores[operation.request_id] = operation
         for peer in peers:
-            self.send(peer, "store_block", data=block.data, request_id=operation.request_id)
+            self.send(
+                peer, "store_block", data=block.data, request_id=operation.request_id
+            )
         self._arm_store_timeout(operation)
         return operation
 
@@ -283,7 +285,9 @@ class ServiceEndpoint(SimNode):
         peer = operation.order[operation.next_index]
         operation.next_index += 1
         operation.attempts += 1
-        self.send(peer, "get_block", pid=operation.pid_hex, request_id=operation.request_id)
+        self.send(
+            peer, "get_block", pid=operation.pid_hex, request_id=operation.request_id
+        )
 
         expected_attempt = operation.attempts
 
@@ -357,7 +361,9 @@ class ServiceEndpoint(SimNode):
         )
         self._histories[operation.request_id] = operation
         for peer in peers:
-            self.send(peer, "get_history", guid=guid.hex, request_id=operation.request_id)
+            self.send(
+                peer, "get_history", guid=guid.hex, request_id=operation.request_id
+            )
 
         def on_timeout() -> None:
             if not operation.done:

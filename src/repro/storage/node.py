@@ -130,7 +130,8 @@ class StorageNode(SimNode):
         pid_hex: str = message.payload["pid"]
         block = self.blocks.get(pid_hex)
         data: Optional[bytes] = block.data if block is not None else None
-        if data is not None and self._fault_plan.behaviour is ByzantineBehaviour.CORRUPT_DATA:
+        corrupting = self._fault_plan.behaviour is ByzantineBehaviour.CORRUPT_DATA
+        if data is not None and corrupting:
             data = _corrupt(data)
         self.send(
             message.source,
@@ -167,7 +168,9 @@ class StorageNode(SimNode):
         block = self.blocks.get(pid_hex)
         if block is None:
             return
-        self.send(target, "store_block", data=block.data, request_id=f"repair:{pid_hex}")
+        self.send(
+            target, "store_block", data=block.data, request_id=f"repair:{pid_hex}"
+        )
 
     # ------------------------------------------------------------------
     # version history service (paper §2.2)

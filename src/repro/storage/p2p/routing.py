@@ -74,7 +74,10 @@ class Router:
     def stabilise(self) -> None:
         """Rebuild every node's successor pointer and finger table."""
         self._tables.clear()
-        self._keys = {node_id: ChordRing.node_key(node_id) for node_id in self._ring.node_ids()}
+        self._keys = {
+            node_id: ChordRing.node_key(node_id)
+            for node_id in self._ring.node_ids()
+        }
         for node_id, node_key in self._keys.items():
             table = FingerTable(node_id=node_id, node_key=node_key)
             table.successor = self._ring.successor((node_key + 1) % KEY_SPACE)
@@ -97,7 +100,9 @@ class Router:
         except KeyError:
             raise SimulationError(f"no routing state for node {node_id!r}") from None
 
-    def lookup(self, start_node: str, key: int, max_hops: int | None = None) -> RouteResult:
+    def lookup(
+        self, start_node: str, key: int, max_hops: int | None = None
+    ) -> RouteResult:
         """Resolve ``key`` starting from ``start_node``, recording each hop."""
         if start_node not in self._tables:
             raise SimulationError(f"unknown start node {start_node!r}")

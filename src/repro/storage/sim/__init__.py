@@ -22,4 +22,5 @@ __all__ = [
     "SimNode",
     "Simulator",
     "Timer",
+    "UniformLatency",
 ]

@@ -136,7 +136,9 @@ class Network:
     def set_drop_probability(self, probability: float) -> None:
         """Change the message loss rate."""
         if not 0.0 <= probability < 1.0:
-            raise SimulationError(f"drop probability must be in [0, 1), got {probability}")
+            raise SimulationError(
+                f"drop probability must be in [0, 1), got {probability}"
+            )
         self._drop_probability = probability
 
     def partition(self, *groups: set[str]) -> None:
@@ -192,7 +194,9 @@ class Network:
 
         self._sim.schedule(delay, deliver)
 
-    def broadcast(self, source: str, destinations: list[str], kind: str, **payload: Any) -> None:
+    def broadcast(
+        self, source: str, destinations: list[str], kind: str, **payload: Any
+    ) -> None:
         """Send one message per destination (excluding ``source`` itself)."""
         for destination in destinations:
             if destination == source:

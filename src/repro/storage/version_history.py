@@ -29,7 +29,7 @@ generated one, not a hand-written re-implementation.
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.models.commit import CommitModel, fault_tolerance

@@ -1,0 +1,51 @@
+"""Tests for the flattening blow-up statistics."""
+
+from repro.analysis.flatten_stats import (
+    bundled_flatten_reports,
+    flatten_blowup,
+    flatten_comparison,
+    format_flatten_table,
+)
+from repro.core.pipeline import ENGINES
+from repro.models import HIERARCHICAL_MODELS, build_session_hsm
+
+
+def test_flatten_blowup_reports_counts():
+    report = flatten_blowup(build_session_hsm(), "eager")
+    assert report.model_name == "session"
+    assert report.engine == "eager"
+    assert report.composite_count == 5  # root, Connecting, Connected, Auth, Active
+    assert report.leaf_count == 10
+    assert report.max_depth == 3
+    assert report.flat_states == 9  # Maintenance pruned
+    # Root- and region-level handlers fan out into descendant leaves.
+    assert report.transition_blowup > 1.0
+    assert report.inherited_expansions > 0
+
+
+def test_comparison_covers_both_engines():
+    comparison = flatten_comparison(build_session_hsm())
+    assert set(comparison) == set(ENGINES)
+    eager, lazy = comparison["eager"], comparison["lazy"]
+    # Eager materialises the unreachable leaf; lazy never does.
+    assert eager.expanded_states > lazy.expanded_states
+    assert eager.flat_states == lazy.flat_states
+    assert eager.flat_transitions == lazy.flat_transitions
+
+
+def test_bundled_reports_cover_models_times_engines():
+    reports = bundled_flatten_reports(replication_factor=4)
+    assert len(reports) == len(HIERARCHICAL_MODELS) * len(ENGINES)
+    names = {report.model_name for report in reports}
+    assert "session" in names
+    assert "commit_hsm[r=4]" in names
+
+
+def test_format_flatten_table_alignment():
+    reports = [flatten_blowup(build_session_hsm(), engine) for engine in ENGINES]
+    table = format_flatten_table(reports)
+    lines = table.splitlines()
+    assert lines[0].startswith("model")
+    assert "trans x" in lines[0]
+    assert len(lines) == 2 + len(reports)
+    assert all("session" in line for line in lines[2:])

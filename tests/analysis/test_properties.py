@@ -107,11 +107,13 @@ class TestCommitProtocolProperties:
 
 class TestOtherModelsProperties:
     def test_threshold_assemble_exactly_once(self):
-        machine = ThresholdSignatureModel(signers=5, threshold=3).generate_state_machine()
+        model = ThresholdSignatureModel(signers=5, threshold=3)
+        machine = model.generate_state_machine()
         assert action_exactly_once(machine, "->assemble").ok
 
     def test_threshold_share_at_most_once(self):
-        machine = ThresholdSignatureModel(signers=5, threshold=3).generate_state_machine()
+        model = ThresholdSignatureModel(signers=5, threshold=3)
+        machine = model.generate_state_machine()
         assert action_at_most_once(machine, "->share").ok
 
     def test_termination_echo_exactly_once(self):

@@ -73,7 +73,11 @@ def test_differential_three_way(r):
             interp.receive(message)
             instance.receive(message)
             assert generic.sent == interp.sent == instance.sent
-            assert generic.is_finished() == interp.is_finished() == instance.is_finished()
+            assert (
+                generic.is_finished()
+                == interp.is_finished()
+                == instance.is_finished()
+            )
             if not generic.is_finished():
                 # State names comparable against the unmerged machine.
                 assert generic.get_state() == interp.get_state()

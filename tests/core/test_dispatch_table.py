@@ -75,3 +75,65 @@ class TestFlatDispatchTable:
         with pytest.raises(MachineStructureError):
             empty.dispatch_table()
         assert machine.dispatch_table() is not None
+
+
+class TestUnreachableStates:
+    """dispatch_table() must cover machines that carry unreachable states
+    (e.g. generated with prune=False, or hand-built registries)."""
+
+    @staticmethod
+    def machine_with_unreachable():
+        from repro.core.machine import StateMachine
+        from repro.core.state import State, Transition
+
+        machine = StateMachine(["go", "loop"], name="island")
+        machine.add_state(State("Start"))
+        machine.add_state(State("End", final=True))
+        machine.add_state(State("Island"))
+        machine.add_state(State("IslandEnd", final=True))
+        machine.get_state("Start").record_transition(Transition("go", "End"))
+        machine.get_state("Island").record_transition(
+            Transition("go", "IslandEnd", ("->beacon",))
+        )
+        machine.get_state("Island").record_transition(Transition("loop", "Island"))
+        machine.set_start("Start")
+        return machine
+
+    def test_table_includes_unreachable_rows(self):
+        machine = self.machine_with_unreachable()
+        assert machine.reachable_names() == {"Start", "End"}
+        table = machine.dispatch_table()
+        assert set(table.state_names) == {"Start", "End", "Island", "IslandEnd"}
+        assert len(table.entries) == len(table.state_names) * table.width
+
+    def test_start_index_unaffected_by_unreachable_rows(self):
+        table = self.machine_with_unreachable().dispatch_table()
+        assert table.state_names[table.start_index] == "Start"
+        assert table.final[table.state_index["IslandEnd"]]
+        assert not table.final[table.state_index["Island"]]
+
+    def test_lookup_works_from_unreachable_states(self):
+        table = self.machine_with_unreachable().dispatch_table()
+        next_index, actions = table.lookup("Island", "go")
+        assert table.state_names[next_index] == "IslandEnd"
+        assert actions == ("beacon",)
+        assert table.lookup("Island", "loop")[0] == table.state_index["Island"]
+        # Messages inapplicable in an unreachable state are None, like
+        # anywhere else.
+        assert table.lookup("IslandEnd", "go") is None
+
+    def test_unpruned_generated_machine_round_trips(self):
+        from repro.core.pipeline import generate
+        from repro.models.commit import CommitModel
+
+        machine, report = generate(CommitModel(4), prune=False, merge=False)
+        assert report.initial_states == 512
+        table = machine.dispatch_table()
+        assert len(table.state_names) == 512
+        # The reachable core still replays correctly through the table.
+        state = table.start_index
+        for message in ("update", "vote", "vote", "vote"):
+            entry = table.entries[state * table.width + table.message_index[message]]
+            if entry is not None:
+                state = entry[0]
+        assert table.state_names[state] != table.state_names[table.start_index]

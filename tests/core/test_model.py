@@ -15,7 +15,8 @@ class CounterModel(AbstractModel):
         self._limit = limit
 
     def configure(self, *, limit: int):
-        return [IntComponent("ticks", limit), BooleanComponent("done")], ("tick", "reset")
+        components = [IntComponent("ticks", limit), BooleanComponent("done")]
+        return components, ("tick", "reset")
 
     def is_final(self, view: StateView) -> bool:
         return view["done"]

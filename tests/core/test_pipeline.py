@@ -1,7 +1,5 @@
 """Tests for the four-step generation pipeline (paper §3.4, Figs 7-13)."""
 
-import pytest
-
 from repro.core.components import BooleanComponent, IntComponent
 from repro.core.model import AbstractModel, StateView, TransitionBuilder
 from repro.core.pipeline import generate

@@ -79,14 +79,18 @@ class TestState:
     def test_replace_transitions(self):
         state = State("S1")
         state.record_transition(Transition("vote", "S2"))
-        state.replace_transitions([Transition("vote", "S9"), Transition("commit", "S3")])
+        state.replace_transitions(
+            [Transition("vote", "S9"), Transition("commit", "S3")]
+        )
         assert state.get_transition("vote").target_name == "S9"
         assert len(state.transitions) == 2
 
     def test_replace_transitions_rejects_duplicates(self):
         state = State("S1")
         with pytest.raises(MachineStructureError):
-            state.replace_transitions([Transition("vote", "A"), Transition("vote", "B")])
+            state.replace_transitions(
+                [Transition("vote", "A"), Transition("vote", "B")]
+            )
 
     def test_transition_signature_is_order_independent(self):
         left = State("L")

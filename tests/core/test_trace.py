@@ -1,7 +1,5 @@
 """Tests for trace recording, replay and exhaustive enumeration."""
 
-import pytest
-
 from repro.baselines.generic_commit import GenericCommitAlgorithm
 from repro.core.trace import (
     TraceRecorder,
@@ -116,6 +114,8 @@ class TestEnumeration:
 
     def test_include_inapplicable_probes(self):
         machine = commit_machine(4)
-        with_probes = sum(1 for _ in enumerate_traces(machine, 2, include_inapplicable=True))
+        with_probes = sum(
+            1 for _ in enumerate_traces(machine, 2, include_inapplicable=True)
+        )
         without = sum(1 for _ in enumerate_traces(machine, 2))
         assert with_probes > without

@@ -19,18 +19,21 @@ class TestThresholdSignature:
             ThresholdSignatureModel(signers=3, threshold=4)
 
     def test_generates_valid_machine(self):
-        machine = ThresholdSignatureModel(signers=5, threshold=3).generate_state_machine()
+        model = ThresholdSignatureModel(signers=5, threshold=3)
+        machine = model.generate_state_machine()
         assert validate_machine(machine).ok
 
     def test_assembles_at_threshold_with_local_share(self):
-        machine = ThresholdSignatureModel(signers=5, threshold=3).generate_state_machine()
+        model = ThresholdSignatureModel(signers=5, threshold=3)
+        machine = model.generate_state_machine()
         interp = MachineInterpreter(machine)
         interp.run(["request", "share", "share"])
         assert interp.is_finished()
         assert interp.sent == ["share", "assemble"]
 
     def test_shares_before_request_do_not_assemble(self):
-        machine = ThresholdSignatureModel(signers=5, threshold=2).generate_state_machine()
+        model = ThresholdSignatureModel(signers=5, threshold=2)
+        machine = model.generate_state_machine()
         interp = MachineInterpreter(machine)
         interp.run(["share", "share", "share"])
         assert not interp.is_finished()
@@ -39,7 +42,8 @@ class TestThresholdSignature:
         assert interp.sent == ["share", "assemble"]
 
     def test_revoke_delays_assembly(self):
-        machine = ThresholdSignatureModel(signers=5, threshold=3).generate_state_machine()
+        model = ThresholdSignatureModel(signers=5, threshold=3)
+        machine = model.generate_state_machine()
         interp = MachineInterpreter(machine)
         interp.run(["share", "revoke", "request", "share"])
         assert not interp.is_finished()
@@ -47,7 +51,8 @@ class TestThresholdSignature:
         assert interp.is_finished()
 
     def test_revoke_with_no_shares_is_invalid(self):
-        machine = ThresholdSignatureModel(signers=4, threshold=2).generate_state_machine()
+        model = ThresholdSignatureModel(signers=4, threshold=2)
+        machine = model.generate_state_machine()
         assert machine.start_state.get_transition("revoke") is None
 
     def test_family_scales_with_signers(self):
@@ -56,7 +61,8 @@ class TestThresholdSignature:
         assert len(large) > len(small)
 
     def test_k_equals_one_assembles_on_request(self):
-        machine = ThresholdSignatureModel(signers=3, threshold=1).generate_state_machine()
+        model = ThresholdSignatureModel(signers=3, threshold=1)
+        machine = model.generate_state_machine()
         interp = MachineInterpreter(machine)
         interp.receive("request")
         assert interp.is_finished()

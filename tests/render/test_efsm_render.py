@@ -38,7 +38,11 @@ class TestEfsmSourceRenderer:
 
     def test_guard_code_embedded(self):
         source = PythonEfsmRenderer().render(build_commit_efsm())
-        assert "v['votes_received'] + 1 + 0 >= (2 * ((p['replication_factor'] - 1) // 3) + 1)" in source
+        threshold = (
+            "v['votes_received'] + 1 + 0"
+            " >= (2 * ((p['replication_factor'] - 1) // 3) + 1)"
+        )
+        assert threshold in source
 
     def test_one_artefact_serves_the_family(self):
         """§5.3: the EFSM is generic in r — parameters at construction."""

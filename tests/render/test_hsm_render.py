@@ -1,0 +1,76 @@
+"""Tests for the hierarchy-aware renderers (dot clusters, text outline)."""
+
+import pytest
+
+from repro.models import build_commit_hsm, build_session_hsm
+from repro.render.hsm import HierarchicalDotRenderer, HierarchicalOutlineRenderer
+
+
+class TestHierarchicalDotRenderer:
+    def test_clusters_per_composite(self):
+        output = HierarchicalDotRenderer().render(build_session_hsm())
+        assert output.startswith('digraph "session" {')
+        assert "compound=true;" in output
+        for cluster in (
+            '"cluster_Connecting"',
+            '"cluster_Connected"',
+            '"cluster_Connected.Auth"',
+            '"cluster_Connected.Active"',
+        ):
+            assert f"subgraph {cluster}" in output
+
+    def test_region_transitions_clip_at_borders(self):
+        output = HierarchicalDotRenderer().render(build_session_hsm())
+        # Connecting's inherited timeout handler leaves the region border.
+        assert 'ltail="cluster_Connecting"' in output
+        # Transitions targeting a region clip at its border too.
+        assert 'lhead="cluster_Connected"' in output
+
+    def test_final_states_and_start_marker(self):
+        output = HierarchicalDotRenderer().render(build_session_hsm())
+        assert "doublecircle" in output
+        assert '__start -> "Disconnected";' in output
+
+    def test_entry_exit_actions_in_cluster_labels(self):
+        output = HierarchicalDotRenderer().render(build_session_hsm())
+        assert "entry: ->start keepalive" in output
+        assert "exit: ->stop keepalive" in output
+
+    def test_root_level_transitions_are_unclipped(self):
+        output = HierarchicalDotRenderer().render(build_session_hsm())
+        # disconnect is declared on the root, which is not a cluster.
+        assert 'ltail="cluster_"' not in output
+
+    def test_commit_hsm_renders(self):
+        output = HierarchicalDotRenderer().render(build_commit_hsm(4))
+        assert 'subgraph "cluster_Protocol"' in output
+        assert '"Protocol.T/2/F/0/F/F/F"' in output
+
+
+class TestHierarchicalOutlineRenderer:
+    @pytest.fixture()
+    def outline(self):
+        return HierarchicalOutlineRenderer().render(build_session_hsm())
+
+    def test_header(self, outline):
+        assert outline.startswith("hierarchical model: session")
+        assert "finish: Closed" in outline
+
+    def test_regions_and_states(self, outline):
+        assert "region Connecting" in outline
+        assert "region Auth  (initial)" in outline
+        assert "state Disconnected  (initial)" in outline
+        assert "state Closed  (final)" in outline
+
+    def test_entry_exit_lines(self, outline):
+        assert "entry: ->start timer" in outline
+        assert "exit: ->stop keepalive" in outline
+
+    def test_transitions_with_actions(self, outline):
+        assert "on CONNECT -> Connecting  [->open socket]" in outline
+        assert "on DISCONNECT -> Disconnected  [->teardown]" in outline
+
+    def test_nesting_is_indented(self, outline):
+        lines = outline.splitlines()
+        (idle_line,) = [x for x in lines if x.strip().startswith("state Idle")]
+        assert idle_line.startswith("        ")  # two levels below the root

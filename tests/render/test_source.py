@@ -9,7 +9,6 @@ from repro.render.source import (
     action_method_name,
     machine_class_name,
 )
-from repro.runtime.actions import RecordingActions
 from tests.conftest import commit_machine
 
 
@@ -72,7 +71,8 @@ class TestPythonRenderer:
 
     def test_commentary_can_be_disabled(self):
         with_comments = PythonSourceRenderer().render(commit_machine(4))
-        without = PythonSourceRenderer(include_commentary=False).render(commit_machine(4))
+        renderer = PythonSourceRenderer(include_commentary=False)
+        without = renderer.render(commit_machine(4))
         assert len(without) < len(with_comments)
 
     def test_custom_class_name(self):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.errors import DeploymentError
 from repro.models.commit import CommitModel
-from repro.runtime.cache import CacheStats, GeneratedCodeCache
+from repro.runtime.cache import GeneratedCodeCache
 from repro.runtime.policy import GenerationPolicy, MachineFactory
 
 
@@ -112,3 +112,50 @@ class TestPolicies:
         r7 = f.compiled(replication_factor=7)
         assert len(r4.machine) == 33
         assert len(r7.machine) == 85
+
+
+class TestCanonicalParameterKey:
+    def test_scalars_pass_through(self):
+        from repro.runtime.cache import canonical_parameter_key
+
+        for value in ("x", 3, 2.5, True, None, b"raw"):
+            assert canonical_parameter_key(value) == value
+
+    def test_dict_order_independent(self):
+        from repro.runtime.cache import canonical_parameter_key
+
+        assert canonical_parameter_key({"a": 1, "b": 2}) == canonical_parameter_key(
+            {"b": 2, "a": 1}
+        )
+
+    def test_nested_structures_freeze(self):
+        from repro.runtime.cache import canonical_parameter_key
+
+        key = canonical_parameter_key({"w": {"deep": [1, {2, 3}]}})
+        hash(key)  # must be hashable all the way down
+
+    def test_container_kinds_do_not_collide(self):
+        from repro.runtime.cache import canonical_parameter_key
+
+        assert canonical_parameter_key([1, 2]) != canonical_parameter_key({1, 2})
+        assert canonical_parameter_key([1, 2]) == canonical_parameter_key((1, 2))
+
+    def test_set_order_independent(self):
+        from repro.runtime.cache import canonical_parameter_key
+
+        assert canonical_parameter_key({"x", "y", "z"}) == canonical_parameter_key(
+            {"z", "x", "y"}
+        )
+
+    def test_unhashable_objects_degrade_to_repr(self):
+        from repro.runtime.cache import canonical_parameter_key
+
+        class Blob:
+            __hash__ = None
+
+            def __repr__(self):
+                return "Blob(42)"
+
+        key = canonical_parameter_key({"blob": Blob()})
+        hash(key)
+        assert key == canonical_parameter_key({"blob": Blob()})

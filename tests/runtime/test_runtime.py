@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.errors import DeploymentError
-from repro.models.commit import CommitModel
 from repro.runtime.actions import CallbackActions, RecordingActions
 from repro.runtime.compile import ACTION_BASE_NAME, compile_machine, load_machine_class
 from repro.runtime.interp import MachineInterpreter

@@ -56,3 +56,67 @@ class TestBackendAdapter:
         other = CommitModel(7).generate_state_machine()
         make_backend("compiled", other, cache=cache)
         assert cache.stats.misses == 2
+
+
+class TestCompiledCacheKey:
+    """Regression: machine.parameters with unhashable/nested values must
+    not break (or silently bypass) the shared compiled-class cache."""
+
+    @staticmethod
+    def tiny_machine(parameters):
+        from repro.core.machine import StateMachine
+        from repro.core.state import State, Transition
+
+        machine = StateMachine(["go"], name="tiny", parameters=parameters)
+        start = machine.add_state(State("A"))
+        machine.add_state(State("B", final=True))
+        start.record_transition(Transition("go", "B", ("->done",)))
+        machine.set_start("A")
+        return machine
+
+    def test_nested_unhashable_parameters_are_cacheable(self):
+        cache = GeneratedCodeCache(max_entries=None)
+        machine = self.tiny_machine(
+            {
+                "weights": {"b": [1, 2], "a": {"x": 1}},
+                "tags": {"q", "p"},
+                "limits": [10, {"soft": 5}],
+            }
+        )
+        adapter_a = make_backend("compiled", machine, cache=cache)
+        adapter_b = make_backend("compiled", machine, cache=cache)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert type(adapter_a.new_instance()) is type(adapter_b.new_instance())
+
+    def test_dict_ordering_does_not_split_the_cache(self):
+        cache = GeneratedCodeCache(max_entries=None)
+        first = self.tiny_machine({"a": 1, "b": {"x": [1], "y": 2}})
+        second = self.tiny_machine({"b": {"y": 2, "x": [1]}, "a": 1})
+        make_backend("compiled", first, cache=cache)
+        make_backend("compiled", second, cache=cache)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_different_parameters_get_distinct_entries(self):
+        cache = GeneratedCodeCache(max_entries=None)
+        make_backend(
+            "compiled", self.tiny_machine({"cfg": {"mode": "fast"}}), cache=cache
+        )
+        make_backend(
+            "compiled", self.tiny_machine({"cfg": {"mode": "safe"}}), cache=cache
+        )
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 0
+
+    def test_flattened_hierarchical_machine_uses_shared_cache(self):
+        from repro.models import build_session_hsm
+
+        cache = GeneratedCodeCache(max_entries=None)
+        model = build_session_hsm()
+        model.parameters["tuning"] = {"retries": [1, 2, 3]}
+        make_backend("compiled", model.flatten("eager"), cache=cache)
+        make_backend("compiled", model.flatten("lazy"), cache=cache)
+        # Same name, same parameters, same reachable structure -> one entry.
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1

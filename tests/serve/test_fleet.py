@@ -345,6 +345,42 @@ class TestSnapshotRestore:
         assert inst.state != self.machine.start_state.name
         assert fleet.metrics.snapshots_taken == 1
 
+    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    def test_restore_after_recycle_rewinds_recycled_instances(self, mode):
+        """Restoring a snapshot whose keys were recycled *after* the
+        capture must rewind them to their snapshotted state and log."""
+        fleet = FleetEngine(self.machine, shards=3, mode=mode)
+        keys = fleet.spawn_many(12)
+        fleet.run(self.events[:300])
+        snapshot = fleet.snapshot()
+        expected = {inst.key: inst for inst in snapshot.instances}
+        # Some snapshotted instances must be mid-protocol, or the
+        # recycle below would be a no-op and prove nothing.
+        moved = [
+            k for k in keys
+            if expected[k].state != self.machine.start_state.name
+        ]
+        assert moved
+
+        for key in keys[::2]:
+            fleet.recycle(key)
+        start = self.machine.start_state.name
+        assert all(fleet.trace(k).state == start for k in keys[::2])
+
+        fleet.restore(snapshot)
+        for key in keys:
+            trace = fleet.trace(key)
+            assert trace.state == expected[key].state
+            assert trace.actions == expected[key].actions
+        # Restored instances keep executing correctly from the rewound state.
+        fleet.run(self.events[300:])
+        replacement = FleetEngine(self.machine, shards=3, mode=mode)
+        replacement.restore(snapshot)
+        replacement.run(self.events[300:])
+        assert {k: fleet.trace(k) for k in keys} == {
+            k: replacement.trace(k) for k in keys
+        }
+
 
 class TestMetricsSurface:
     def test_counters_and_dict(self):

@@ -1,8 +1,6 @@
 """Tests for storage entities and the peer-side commit engine."""
 
-import pytest
-
-from repro.storage.blocks import GUID, PID, DataBlock
+from repro.storage.blocks import GUID, DataBlock
 from repro.storage.version_history import (
     GuidCommitEngine,
     commit_machine_for,

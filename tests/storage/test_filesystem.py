@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.storage import DataBlock, FaultPlan, StorageCluster
+from repro.storage import FaultPlan, StorageCluster
 from repro.storage.filesystem import (
     DistributedFileSystem,
     FileSystemError,

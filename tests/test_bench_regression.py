@@ -1,0 +1,122 @@
+"""Tests for scripts/check_bench_regression.py."""
+
+import importlib.util
+import json
+import pathlib
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "scripts"
+    / "check_bench_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+checker = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(checker)
+
+
+def write_artifact(path, rows):
+    path.write_text(json.dumps({"rows": rows, "acceptance": None}))
+    return path
+
+
+ROW = {
+    "scenario": "uniform",
+    "instances": 500,
+    "events": 10_000,
+    "shards": 4,
+    "naive_eps": 1_000_000.0,
+    "batched_eps": 5_000_000.0,
+    "speedup": 5.0,
+}
+
+
+class TestRowMatching:
+    def test_key_ignores_measured_fields(self):
+        faster = dict(ROW, batched_eps=9_000_000.0, speedup=9.0)
+        assert checker.row_key(ROW) == checker.row_key(faster)
+
+    def test_key_distinguishes_configurations(self):
+        other = dict(ROW, scenario="burst")
+        assert checker.row_key(ROW) != checker.row_key(other)
+
+
+class TestCheck:
+    def test_within_threshold_passes(self, tmp_path, capsys):
+        baseline = write_artifact(tmp_path / "base.json", [ROW])
+        fresh = write_artifact(
+            tmp_path / "fresh.json", [dict(ROW, batched_eps=4_000_000.0)]
+        )
+        assert checker.check(fresh, baseline, 0.30, ["batched_eps"]) == 0
+        assert "within 30%" in capsys.readouterr().out
+
+    def test_regression_fails(self, tmp_path, capsys):
+        baseline = write_artifact(tmp_path / "base.json", [ROW])
+        fresh = write_artifact(
+            tmp_path / "fresh.json", [dict(ROW, batched_eps=3_000_000.0)]
+        )
+        assert checker.check(fresh, baseline, 0.30, ["batched_eps"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_improvement_passes(self, tmp_path):
+        baseline = write_artifact(tmp_path / "base.json", [ROW])
+        fresh = write_artifact(
+            tmp_path / "fresh.json", [dict(ROW, batched_eps=9_000_000.0)]
+        )
+        assert checker.check(fresh, baseline, 0.30, ["batched_eps"]) == 0
+
+    def test_unmatched_configurations_are_skipped(self, tmp_path, capsys):
+        baseline = write_artifact(tmp_path / "base.json", [ROW])
+        fresh = write_artifact(
+            tmp_path / "fresh.json",
+            [dict(ROW), dict(ROW, scenario="burst", batched_eps=1.0)],
+        )
+        assert checker.check(fresh, baseline, 0.30, ["batched_eps"]) == 0
+        assert "fresh-only configuration" in capsys.readouterr().out
+
+    def test_missing_baseline_is_inconclusive(self, tmp_path):
+        fresh = write_artifact(tmp_path / "fresh.json", [ROW])
+        assert checker.check(fresh, tmp_path / "missing.json", 0.30, ["x"]) == 2
+
+    def test_no_overlap_is_inconclusive(self, tmp_path):
+        baseline = write_artifact(tmp_path / "base.json", [ROW])
+        fresh = write_artifact(
+            tmp_path / "fresh.json", [dict(ROW, scenario="hotkey")]
+        )
+        assert checker.check(fresh, baseline, 0.30, ["batched_eps"]) == 2
+
+
+class TestMain:
+    def test_main_against_committed_baseline_shape(self, tmp_path):
+        fresh = write_artifact(tmp_path / "fresh.json", [ROW])
+        baseline = write_artifact(tmp_path / "base.json", [ROW])
+        assert (
+            checker.main([str(fresh), "--baseline", str(baseline)]) == 0
+        )
+
+    def test_committed_baseline_exists_and_parses(self):
+        assert checker.DEFAULT_BASELINE.exists()
+        rows = checker.load_rows(checker.DEFAULT_BASELINE)
+        assert rows
+        for key, row in rows.items():
+            assert "batched_eps" in row
+            assert "naive_eps" in row
+
+    def test_threshold_flag(self, tmp_path):
+        baseline = write_artifact(tmp_path / "base.json", [ROW])
+        fresh = write_artifact(
+            tmp_path / "fresh.json", [dict(ROW, batched_eps=4_000_000.0)]
+        )
+        assert (
+            checker.main(
+                [
+                    str(fresh),
+                    "--baseline",
+                    str(baseline),
+                    "--threshold",
+                    "0.10",
+                    "--metric",
+                    "batched_eps",
+                ]
+            )
+            == 1
+        )

@@ -51,3 +51,51 @@ class TestCli:
     def test_parser_rejects_unknown_format(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["render", "--format", "hologram"])
+
+
+class TestFlattenCommand:
+    def test_stats_default(self, capsys):
+        assert main(["flatten", "--model", "session"]) == 0
+        output = capsys.readouterr().out
+        assert "session" in output
+        assert "eager" in output and "lazy" in output
+        assert "trans x" in output
+
+    def test_outline(self, capsys):
+        assert main(["flatten", "--model", "session", "--format", "outline"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("hierarchical model: session")
+        assert "region Connecting" in output
+
+    def test_dot_clusters(self, capsys):
+        assert main(["flatten", "--model", "session", "--format", "dot"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith('digraph "session"')
+        assert 'subgraph "cluster_Connected.Auth"' in output
+
+    def test_flat_renderer_passthrough(self, capsys):
+        assert main(["flatten", "--model", "session", "--format", "flat-text"]) == 0
+        output = capsys.readouterr().out
+        assert "state machine: session" in output
+        assert "state: Connected.Auth.AwaitChallenge" in output
+
+    def test_commit_model_with_engine(self, capsys):
+        assert main(
+            ["flatten", "--model", "commit", "-r", "4", "--engine", "lazy",
+             "--format", "flat-text"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "state machine: commit_hsm[r=4]" in output
+        assert "state: Protocol.T/2/F/0/F/F/F" in output
+
+    def test_output_to_file(self, tmp_path, capsys):
+        target = tmp_path / "session.dot"
+        assert main(
+            ["flatten", "--model", "session", "--format", "dot", "-o", str(target)]
+        ) == 0
+        assert f"wrote {target}" in capsys.readouterr().out
+        assert target.read_text().startswith('digraph "session"')
+
+    def test_parser_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["flatten", "--model", "mystery"])

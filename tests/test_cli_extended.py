@@ -1,7 +1,5 @@
 """Tests for the extended CLI commands (export, modelcheck, new formats)."""
 
-import pytest
-
 from repro.cli import main
 
 
