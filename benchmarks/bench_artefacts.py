@@ -8,12 +8,12 @@ executable; Java, figure-faithful), and the documentation artefact.
 
 from __future__ import annotations
 
+from benchmarks.conftest import commit_machine
 from repro.render.dot import DotRenderer
 from repro.render.markdown import MarkdownRenderer
 from repro.render.source import JavaSourceRenderer, PythonSourceRenderer
 from repro.render.text import TextRenderer
 from repro.render.xml import XmlRenderer, parse_machine_xml
-from benchmarks.conftest import commit_machine
 
 
 def test_render_text_fig14(benchmark):

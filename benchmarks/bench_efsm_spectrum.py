@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.conftest import commit_machine
 from repro.analysis.spectrum import (
     commit_spectrum,
     efsm_phase_transitions,
@@ -23,7 +24,6 @@ from repro.analysis.spectrum import (
 )
 from repro.models.commit import CommitModel
 from repro.models.commit_efsm import build_commit_efsm, commit_efsm_executor
-from benchmarks.conftest import commit_machine
 
 
 def test_efsm_construction(benchmark):

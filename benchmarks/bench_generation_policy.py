@@ -13,10 +13,10 @@ step (the §4.3 dynamic deployment cost).
 
 from __future__ import annotations
 
+from benchmarks.conftest import commit_machine
 from repro.models.commit import CommitModel
 from repro.runtime.compile import compile_machine
 from repro.runtime.policy import GenerationPolicy, MachineFactory
-from benchmarks.conftest import commit_machine
 
 WORKLOAD = [4, 4, 4, 7, 4, 4, 7, 4, 4, 4]
 

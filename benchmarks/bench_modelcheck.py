@@ -16,12 +16,12 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.conftest import commit_machine
 from repro.analysis.peerset_check import (
     check_contending_updates,
     check_single_update,
 )
 from repro.analysis.properties import commit_protocol_properties
-from benchmarks.conftest import commit_machine
 
 
 def test_modelcheck_single_update_clean(benchmark, report_lines):

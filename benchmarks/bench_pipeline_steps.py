@@ -12,10 +12,10 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.conftest import commit_machine
 from repro.analysis.diff import machines_isomorphic
 from repro.core.minimize import merge_equivalent, one_shot_merge
 from repro.models.commit import CommitModel
-from benchmarks.conftest import commit_machine
 
 
 def test_step1_step2_enumerate_and_transitions(benchmark):

@@ -20,11 +20,11 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.conftest import commit_machine
 from repro.baselines.generic_commit import GenericCommitAlgorithm
 from repro.models.commit_efsm import commit_efsm_executor
 from repro.runtime.compile import compile_machine
 from repro.runtime.interp import MachineInterpreter
-from benchmarks.conftest import commit_machine
 
 #: One complete protocol execution at r=4.
 TRACE = ["free", "update", "vote", "vote", "vote", "commit", "commit"]

@@ -1,21 +1,30 @@
-"""Compare a fresh fleet-serving benchmark artifact against the committed baseline.
+"""Compare a fresh benchmark artifact against its committed baseline.
 
-CI runs ``bench_serve.py --fast --json BENCH_serve.json`` on every push;
-this script fails (exit 1) when any sweep configuration's throughput
-drops more than ``--threshold`` (default 30%) below the committed
-baseline at ``benchmarks/baselines/BENCH_serve.json``.  It is wired into
-CI as a *non-blocking* step: hosted runners vary too much for a hard
-gate, but a consistent large drop is worth a red mark in the log.
+CI runs the ``--fast --json`` sweeps of ``bench_serve.py``,
+``bench_flatten.py`` and ``bench_opt.py`` on every push; this script
+fails (exit 1) when any sweep configuration's throughput drops more than
+``--threshold`` (default 30%) below the committed baseline of the same
+name under ``benchmarks/baselines/``.  It is wired into CI as a
+*non-blocking* step: hosted runners vary too much for a hard gate, but a
+consistent large drop is worth a red mark in the log.
 
 Usage::
 
-    python scripts/check_bench_regression.py BENCH_serve.json \
-        [--baseline benchmarks/baselines/BENCH_serve.json] \
-        [--threshold 0.30] [--metric batched_eps] [--metric naive_eps]
+    python scripts/check_bench_regression.py BENCH_serve.json
+    python scripts/check_bench_regression.py BENCH_flatten.json
+    python scripts/check_bench_regression.py BENCH_opt.json \
+        [--baseline benchmarks/baselines/BENCH_opt.json] \
+        [--threshold 0.30] [--metric opt_eps]
 
-Rows are matched on their configuration fields (everything except the
-measured floats); configurations present in only one file are reported
-but do not fail the check — sweeps are allowed to evolve.
+Artifacts may be a bare row list, a ``{"rows": [...]}`` object
+(``BENCH_serve``), or an object holding several named row lists
+(``BENCH_flatten``'s ``flatten``/``serve``, ``BENCH_opt``'s
+``passes``/``serve``); named sections become part of each row's
+configuration key.  The default baseline is the committed artifact with
+the same file name.  Rows are matched on their configuration fields
+(everything except the measured floats); configurations present in only
+one file are reported but do not fail the check — sweeps are allowed to
+evolve.  Only throughput metrics (higher-is-better) are compared.
 """
 
 from __future__ import annotations
@@ -25,14 +34,28 @@ import json
 import pathlib
 import sys
 
-#: Measured fields: never part of a row's configuration key.
-MEASURED = frozenset({"naive_eps", "batched_eps", "speedup"})
+#: Measured fields: never part of a row's configuration key.  Timing
+#: fields are listed so they stay out of the key; only the throughput
+#: (events/sec) fields are compared by default — for timings, "bigger"
+#: is worse, which the ratio logic deliberately does not model.
+MEASURED = frozenset(
+    {
+        "naive_eps",
+        "batched_eps",
+        "raw_eps",
+        "opt_eps",
+        "speedup",
+        "ratio",
+        "flatten_ms",
+        "pass_ms",
+    }
+)
 
-DEFAULT_BASELINE = (
-    pathlib.Path(__file__).resolve().parent.parent
-    / "benchmarks"
-    / "baselines"
-    / "BENCH_serve.json"
+#: Metrics compared when --metric is not given (all higher-is-better).
+DEFAULT_METRICS = ("batched_eps", "naive_eps", "raw_eps", "opt_eps")
+
+BASELINE_DIR = (
+    pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
 )
 
 
@@ -42,11 +65,29 @@ def row_key(row: dict) -> tuple:
 
 
 def load_rows(path: pathlib.Path) -> dict[tuple, dict]:
-    """Sweep rows of one artifact, keyed by configuration."""
+    """Sweep rows of one artifact, keyed by configuration.
+
+    Handles a bare list, a ``{"rows": [...]}`` object, and objects with
+    several named row lists (each list's name is folded into the key as
+    a ``_section`` field; non-list values such as ``acceptance`` are
+    ignored).
+    """
     with open(path, encoding="utf-8") as handle:
         data = json.load(handle)
-    rows = data["rows"] if isinstance(data, dict) else data
-    return {row_key(row): row for row in rows}
+    if isinstance(data, list):
+        sections = {"rows": data}
+    else:
+        sections = {
+            name: value for name, value in data.items() if isinstance(value, list)
+        }
+    keyed: dict[tuple, dict] = {}
+    for name, rows in sections.items():
+        for row in rows:
+            tagged = dict(row)
+            if name != "rows":
+                tagged["_section"] = name
+            keyed[row_key(tagged)] = tagged
+    return keyed
 
 
 def check(
@@ -115,8 +156,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--baseline",
         type=pathlib.Path,
-        default=DEFAULT_BASELINE,
-        help=f"committed baseline artifact (default: {DEFAULT_BASELINE})",
+        default=None,
+        help="committed baseline artifact (default: the file of the same "
+        f"name under {BASELINE_DIR})",
     )
     parser.add_argument(
         "--threshold",
@@ -128,10 +170,13 @@ def main(argv=None) -> int:
         "--metric",
         action="append",
         dest="metrics",
-        help="measured field(s) to compare (default: batched_eps, naive_eps)",
+        help="measured field(s) to compare "
+        f"(default: {', '.join(DEFAULT_METRICS)}; skipped where absent)",
     )
     args = parser.parse_args(argv)
-    metrics = args.metrics or ["batched_eps", "naive_eps"]
+    if args.baseline is None:
+        args.baseline = BASELINE_DIR / args.fresh.name
+    metrics = args.metrics or list(DEFAULT_METRICS)
     print(
         f"comparing {args.fresh} against {args.baseline} "
         f"(threshold {args.threshold:.0%}, metrics {', '.join(metrics)})"

@@ -58,6 +58,12 @@ from repro.core import (
     generate_lazy,
     generate_with_engine,
 )
+from repro.opt import (
+    IndexedMachine,
+    PassPipeline,
+    PassReport,
+    standard_pipeline,
+)
 from repro.serve import FleetEngine
 
 __version__ = "1.0.0"
@@ -73,8 +79,11 @@ __all__ = [
     "GenerationReport",
     "HierarchicalModel",
     "HierarchicalSimulator",
+    "IndexedMachine",
     "IntComponent",
     "InvalidStateError",
+    "PassPipeline",
+    "PassReport",
     "State",
     "StateMachine",
     "StateSpace",
@@ -84,4 +93,5 @@ __all__ = [
     "generate",
     "generate_lazy",
     "generate_with_engine",
+    "standard_pipeline",
 ]

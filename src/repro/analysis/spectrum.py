@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.stats import initial_state_count, merged_state_formula
 from repro.core.efsm import Efsm
 from repro.core.machine import StateMachine
 from repro.models.commit import CommitModel, fault_tolerance
-from repro.analysis.stats import initial_state_count, merged_state_formula
 
 #: The flag components that define the commit protocol's phases; the two
 #: counters (votes_received / commits_received) become EFSM variables.

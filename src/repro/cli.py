@@ -17,6 +17,10 @@ Mirrors the paper's Fig 6 usage from a shell::
                                              # hierarchical design, outlined
     repro-fsm flatten --model commit -r 7 --engine lazy --format stats
                                              # flattening blow-up factors
+    repro-fsm optimize --model commit-hsm --opt 3
+                                             # pass pipeline: per-pass deltas
+    repro-fsm serve-bench --instances 10000 --opt prune,merge
+                                             # fleet on an optimized machine
 """
 
 from __future__ import annotations
@@ -24,11 +28,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.flatten_stats import flatten_blowup, format_flatten_table
+from repro.analysis.flatten_stats import (
+    DEFAULT_STATS_OPT,
+    flatten_blowup,
+    format_flatten_table,
+)
 from repro.analysis.peerset_check import check_contending_updates, check_single_update
 from repro.analysis.stats import format_table1, table1, table1_row
+from repro.core.pipeline import ENGINES, generate_with_engine
 from repro.models import HIERARCHICAL_MODELS, build_hierarchical_model
-from repro.models.commit import CommitModel
+from repro.models.commit import CommitModel, fault_tolerance
+from repro.opt import PASSES, format_pass_table, parse_opt_spec, standard_pipeline
 from repro.render.dot import DotRenderer
 from repro.render.hsm import HierarchicalDotRenderer, HierarchicalOutlineRenderer
 from repro.render.html import HtmlRenderer
@@ -37,7 +47,6 @@ from repro.render.scxml import ScxmlRenderer
 from repro.render.source import JavaSourceRenderer, PythonSourceRenderer
 from repro.render.text import TextRenderer
 from repro.render.xml import XmlRenderer
-from repro.core.pipeline import ENGINES
 from repro.runtime.export import export_machine_module
 from repro.serve import (
     FleetEngine,
@@ -80,11 +89,23 @@ def build_parser() -> argparse.ArgumentParser:
             "making large replication factors feasible (default: eager)",
         )
 
+    def add_opt_flag(subparser: argparse.ArgumentParser, default=None) -> None:
+        subparser.add_argument(
+            "--opt",
+            default=default,
+            metavar="LEVEL|PASSES",
+            help="optimization pipeline over the machine: a level 0-3 "
+            f"('full' = 3), 'none', or pass names from {list(PASSES)} "
+            "joined with commas, e.g. 'prune,merge' "
+            f"(default: {default if default is not None else 'no optimization'})",
+        )
+
     generate = commands.add_parser(
         "generate", help="generate a machine and print its pipeline counts"
     )
     generate.add_argument("-r", "--replication-factor", type=int, default=4)
     add_engine_flag(generate)
+    add_opt_flag(generate)
 
     table1_cmd = commands.add_parser("table1", help="regenerate the paper's Table 1")
     add_engine_flag(table1_cmd)
@@ -160,6 +181,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     flatten.add_argument("-o", "--output", help="write to a file instead of stdout")
     add_engine_flag(flatten)
+    add_opt_flag(flatten)
+
+    optimize = commands.add_parser(
+        "optimize",
+        help="run the optimization pass pipeline over a machine and "
+        "report per-pass deltas (states, transitions, action pools)",
+    )
+    optimize.add_argument(
+        "--model",
+        choices=("commit", "session-hsm", "commit-hsm"),
+        default="commit",
+        help="machine to optimize: the generated commit machine, or a "
+        "flattened bundled hierarchical model (default: commit)",
+    )
+    optimize.add_argument("-r", "--replication-factor", type=int, default=4)
+    optimize.add_argument(
+        "--format",
+        choices=["report"] + [f"flat-{name}" for name in sorted(_RENDERERS)],
+        default="report",
+        dest="fmt",
+        help="'report' prints the per-pass delta table; 'flat-*' renders "
+        "the optimized machine with the corresponding flat renderer",
+    )
+    optimize.add_argument("-o", "--output", help="write to a file instead of stdout")
+    add_engine_flag(optimize)
+    add_opt_flag(optimize, default="3")
 
     serve_bench = commands.add_parser(
         "serve-bench",
@@ -190,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_bench.add_argument("--seed", type=int, default=0)
     add_engine_flag(serve_bench)
+    add_opt_flag(serve_bench)
 
     return parser
 
@@ -199,12 +247,30 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "generate":
-        row = table1_row(args.replication_factor, engine=args.engine)
-        print(
-            f"f={row.f} r={row.r} [{args.engine}]: {row.initial_states} initial "
-            f"states, {row.pruned_states} reachable, {row.final_states} after "
-            f"merging ({row.generation_time_s:.3f}s)"
+        pipeline = parse_opt_spec(args.opt)
+        if pipeline is None:
+            row = table1_row(args.replication_factor, engine=args.engine)
+            print(
+                f"f={row.f} r={row.r} [{args.engine}]: {row.initial_states} initial "
+                f"states, {row.pruned_states} reachable, {row.final_states} after "
+                f"merging ({row.generation_time_s:.3f}s)"
+            )
+            return 0
+        # One generation serves both the Table 1 line and the optimizer.
+        machine, report = generate_with_engine(
+            CommitModel(args.replication_factor),
+            args.engine,
+            optimize=pipeline,
         )
+        print(
+            f"f={fault_tolerance(args.replication_factor)} "
+            f"r={args.replication_factor} [{args.engine}]: "
+            f"{report.initial_states} initial states, "
+            f"{report.reachable_states} reachable, {report.merged_states} after "
+            f"merging ({report.total_time:.3f}s)"
+        )
+        print(f"optimization pipeline {pipeline.name} -> {len(machine)} states:")
+        print(format_pass_table(report.opt_report))
         return 0
 
     if args.command == "table1":
@@ -247,6 +313,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "flatten":
         return _flatten(args)
 
+    if args.command == "optimize":
+        return _optimize(args)
+
     if args.command == "serve-bench":
         return _serve_bench(args)
 
@@ -283,29 +352,76 @@ def main(argv: list[str] | None = None) -> int:
     return 1  # pragma: no cover - argparse enforces the command set
 
 
+def _emit(text: str, output) -> int:
+    """Write an artefact to ``output`` (announcing it) or print it."""
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {output}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
 def _flatten(args) -> int:
     """Flatten (or render) one bundled hierarchical model."""
     model = build_hierarchical_model(
         args.model, args.replication_factor, engine=args.engine
     )
     if args.fmt == "stats":
-        reports = [flatten_blowup(model, engine) for engine in ENGINES]
+        # Stats always show the optimization recovery (the 'opt' column):
+        # with no --opt, the default prune+merge+compaction pipeline runs.
+        optimize = args.opt if args.opt is not None else DEFAULT_STATS_OPT
+        reports = [
+            flatten_blowup(model, engine, optimize=optimize) for engine in ENGINES
+        ]
         text = format_flatten_table(reports) + "\n"
     elif args.fmt == "outline":
         text = HierarchicalOutlineRenderer().render(model)
     elif args.fmt == "dot":
         text = HierarchicalDotRenderer().render(model)
     else:
-        machine = model.flatten(engine=args.engine)
+        machine = model.flatten(engine=args.engine, optimize=args.opt)
         renderer = _RENDERERS[args.fmt.removeprefix("flat-")]()
         text = renderer.render(machine)
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(text)
-        print(f"wrote {args.output}")
+    return _emit(text, args.output)
+
+
+def _optimize(args) -> int:
+    """Run a pass pipeline over one machine and report (or render) it."""
+    if args.model == "commit":
+        machine = CommitModel(args.replication_factor).generate_state_machine(
+            engine=args.engine
+        )
     else:
-        print(text, end="" if text.endswith("\n") else "\n")
-    return 0
+        hsm_name = "session" if args.model == "session-hsm" else "commit"
+        machine = build_hierarchical_model(
+            hsm_name, args.replication_factor, engine=args.engine
+        ).flatten(engine=args.engine)
+    pipeline = parse_opt_spec(args.opt)
+    if pipeline is None:  # --opt none: run the (empty) identity pipeline
+        pipeline = standard_pipeline(0)
+    optimized, report = pipeline.optimize_machine(machine)
+
+    if args.fmt == "report":
+        renamed = sum(
+            1 for original, final in report.state_map.items() if original != final
+        )
+        lines = [
+            f"{machine.name}: {len(machine)} states, "
+            f"{machine.transition_count()} transitions "
+            f"[pipeline {pipeline.name}]",
+            format_pass_table(report),
+            f"optimized: {len(optimized)} states, "
+            f"{optimized.transition_count()} transitions "
+            f"({len(machine) - len(optimized)} removed, {renamed} renamed by "
+            f"merging, {report.total_time * 1000:.2f}ms)",
+        ]
+        text = "\n".join(lines) + "\n"
+    else:
+        renderer = _RENDERERS[args.fmt.removeprefix("flat-")]()
+        text = renderer.render(optimized)
+    return _emit(text, args.output)
 
 
 def _serve_bench(args) -> int:
@@ -322,11 +438,12 @@ def _serve_bench(args) -> int:
         seed=args.seed,
     )
     events = generate_workload(machine, spec)
+    opt_note = f", opt {args.opt}" if args.opt else ""
     print(
         f"machine {machine.name} [{args.engine}]: {len(machine)} states; "
         f"workload {args.workload}: {args.instances} instances, "
         f"{len(events)} events, {args.shards} shards, "
-        f"backend {args.backend}"
+        f"backend {args.backend}{opt_note}"
     )
 
     elapsed: dict[str, float] = {}
@@ -337,6 +454,7 @@ def _serve_bench(args) -> int:
             backend=args.backend,
             mode=mode,
             auto_recycle=True,
+            optimize=args.opt,
         )
         keys = fleet.spawn_many(args.instances)
         started = time.perf_counter()

@@ -305,6 +305,13 @@ class FlattenReport:
     flat_states: int = 0
     flat_transitions: int = 0
     timings: dict[str, float] = field(default_factory=dict)
+    #: Post-flatten optimization results (``flatten(optimize=...)``):
+    #: state/transition counts after the pipeline ran, and the
+    #: :class:`repro.opt.PassReport` with the per-pass deltas.  Zero /
+    #: ``None`` when no pipeline ran.
+    opt_states: int = 0
+    opt_transitions: int = 0
+    opt_report: object = None
 
     @property
     def total_time(self) -> float:
@@ -322,6 +329,13 @@ class FlattenReport:
         if not self.declared_transitions:
             return 0.0
         return self.flat_transitions / self.declared_transitions
+
+    @property
+    def recovered_states(self) -> int:
+        """States the post-flatten optimizer clawed back (0 when it didn't run)."""
+        if self.opt_report is None:
+            return 0
+        return self.flat_states - self.opt_states
 
     def __str__(self) -> str:
         return (
@@ -526,13 +540,18 @@ class HierarchicalModel:
     # flattening
     # ------------------------------------------------------------------
 
-    def flatten(self, engine: str = "eager") -> StateMachine:
-        """Expand the hierarchy into a flat machine (see module docs)."""
-        machine, _ = self.flatten_with_report(engine)
+    def flatten(self, engine: str = "eager", optimize=None) -> StateMachine:
+        """Expand the hierarchy into a flat machine (see module docs).
+
+        ``optimize`` optionally runs a :class:`repro.opt.PassPipeline`
+        (or a level / pass-list spec) over the flattened machine — the
+        hook that recovers the state blow-up flattening produces.
+        """
+        machine, _ = self.flatten_with_report(engine, optimize=optimize)
         return machine
 
     def flatten_with_report(
-        self, engine: str = "eager"
+        self, engine: str = "eager", optimize=None
     ) -> tuple[StateMachine, FlattenReport]:
         """Flatten and report blow-up statistics for the chosen engine."""
         if engine not in ENGINES:
@@ -565,6 +584,14 @@ class HierarchicalModel:
         if finish is not None:
             machine.set_finish(finish)
         machine.check_integrity()
+        if optimize is not None:
+            from repro.core.pipeline import _run_optimizer
+
+            machine, report.opt_report = _run_optimizer(machine, optimize)
+            if report.opt_report is not None:
+                report.opt_states = len(machine)
+                report.opt_transitions = machine.transition_count()
+                report.timings["optimize"] = report.opt_report.total_time
         return machine, report
 
     def _add_flat_state(self, machine: StateMachine, leaf: LeafState) -> State:
@@ -615,10 +642,7 @@ class HierarchicalModel:
         report.timings["expand"] = time.perf_counter() - started
 
         started = time.perf_counter()
-        reachable = machine.reachable_names()
-        machine.remove_states(
-            [name for name in machine.state_names() if name not in reachable]
-        )
+        machine.prune_unreachable()
         report.timings["prune"] = time.perf_counter() - started
 
     def _flatten_lazy(self, machine, report) -> None:

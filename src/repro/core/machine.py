@@ -26,6 +26,14 @@ from repro.core.errors import MachineStructureError
 from repro.core.state import State, Transition
 
 
+def strip_action_prefix(action: str) -> str:
+    """Action name without the ``->`` send marker — the dispatch-table
+    form.  The one strip implementation shared by every table builder
+    (:meth:`StateMachine.dispatch_table` and
+    :meth:`repro.opt.IndexedMachine.dispatch_table`)."""
+    return action[2:] if action.startswith("->") else action
+
+
 @dataclass(frozen=True)
 class FlatDispatchTable:
     """A machine flattened to index arithmetic for batched execution.
@@ -55,9 +63,22 @@ class FlatDispatchTable:
         return len(self.messages)
 
     def lookup(self, state_name: str, message: str):
-        """Convenience name-based lookup (hot paths use index arithmetic)."""
-        row = self.state_index[state_name]
-        col = self.message_index[message]
+        """Convenience name-based lookup (hot paths use index arithmetic).
+
+        Raises :class:`MachineStructureError` for a state the table does
+        not contain or a message outside the machine's alphabet; final
+        states yield ``None`` for every message (they absorb silently).
+        """
+        try:
+            row = self.state_index[state_name]
+        except KeyError:
+            raise MachineStructureError(f"unknown state {state_name!r}") from None
+        try:
+            col = self.message_index[message]
+        except KeyError:
+            raise MachineStructureError(
+                f"message {message!r} is not in the alphabet {self.messages}"
+            ) from None
         return self.entries[row * len(self.messages) + col]
 
 
@@ -218,6 +239,20 @@ class StateMachine:
                     frontier.append(target)
         return seen
 
+    def prune_unreachable(self) -> int:
+        """Remove every state unreachable from the start state.
+
+        The one name-graph pruning implementation: step 3 of the eager
+        generation pipeline and the eager flattening engine both call it
+        (the array form for already-indexed machines is
+        :class:`repro.opt.passes.PruneUnreachablePass`).  Returns the
+        number of states removed.
+        """
+        reachable = self.reachable_names()
+        doomed = [name for name in self._states if name not in reachable]
+        self.remove_states(doomed)
+        return len(doomed)
+
     def dispatch_table(self) -> FlatDispatchTable:
         """Export the machine as a :class:`FlatDispatchTable`.
 
@@ -237,9 +272,7 @@ class StateMachine:
         for state in self._states.values():
             row = state_index[state.name] * width
             for transition in state.transitions:
-                actions = tuple(
-                    a[2:] if a.startswith("->") else a for a in transition.actions
-                )
+                actions = tuple(strip_action_prefix(a) for a in transition.actions)
                 entries[row + message_index[transition.message]] = (
                     state_index[transition.target_name],
                     actions,

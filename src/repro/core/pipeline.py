@@ -51,6 +51,10 @@ class GenerationReport:
     #: Largest worklist size observed by the lazy engine (0 for eager runs);
     #: with the seen-set, this bounds the engine's peak working memory.
     frontier_peak: int = 0
+    #: :class:`repro.opt.PassReport` when generation ran an ``optimize=``
+    #: pipeline (``None`` otherwise); its ``state_map`` relates optimized
+    #: state names back to the generated ones.
+    opt_report: object = None
 
     @property
     def total_time(self) -> float:
@@ -124,8 +128,7 @@ def generate(
     # ------------------------------------------------------------- step 3
     if prune:
         started = time.perf_counter()
-        reachable = machine.reachable_names()
-        machine.remove_states([n for n in machine.state_names() if n not in reachable])
+        machine.prune_unreachable()
         report.timings["prune"] = time.perf_counter() - started
     report.reachable_states = len(machine)
 
@@ -149,6 +152,7 @@ def generate_with_engine(
     *,
     prune: bool = True,
     merge: bool = True,
+    optimize=None,
 ) -> tuple[StateMachine, GenerationReport]:
     """Dispatch generation to the named engine.
 
@@ -158,10 +162,15 @@ def generate_with_engine(
     a contradiction and raises :class:`ValueError` rather than silently
     returning a pruned machine.  Both engines return isomorphic machines
     with identical merged state counts.
+
+    ``optimize`` optionally runs a :class:`repro.opt.PassPipeline` (or a
+    level / pass-list spec accepted by :func:`repro.opt.parse_opt_spec`)
+    over the generated machine; the pass deltas land in the report's
+    ``opt_report`` and the time in ``timings["optimize"]``.
     """
     if engine == "eager":
-        return generate(model, prune=prune, merge=merge)
-    if engine == "lazy":
+        machine, report = generate(model, prune=prune, merge=merge)
+    elif engine == "lazy":
         if not prune:
             raise ValueError(
                 "prune=False requires the eager engine: the lazy engine never "
@@ -169,8 +178,28 @@ def generate_with_engine(
             )
         from repro.core.lazy import generate_lazy
 
-        return generate_lazy(model, merge=merge)
-    raise ValueError(f"unknown generation engine {engine!r}; choose from {ENGINES}")
+        machine, report = generate_lazy(model, merge=merge)
+    else:
+        raise ValueError(f"unknown generation engine {engine!r}; choose from {ENGINES}")
+    if optimize is not None:
+        machine, report.opt_report = _run_optimizer(machine, optimize)
+        if report.opt_report is not None:
+            report.timings["optimize"] = report.opt_report.total_time
+    return machine, report
+
+
+def _run_optimizer(machine: StateMachine, optimize):
+    """Run an ``optimize=`` hook (pipeline or spec) over a machine.
+
+    Imported lazily: :mod:`repro.opt` sits above the core package, so the
+    hook is the only place the core reaches up into it.
+    """
+    from repro.opt import as_pipeline
+
+    pipeline = as_pipeline(optimize)
+    if pipeline is None:
+        return machine, None
+    return pipeline.optimize_machine(machine)
 
 
 def _designate_finish(machine: StateMachine) -> None:

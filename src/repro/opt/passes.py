@@ -1,0 +1,282 @@
+"""Optimization passes over the :class:`~repro.opt.indexed.IndexedMachine` IR.
+
+Each pass is a pure function from one IR instance to a new one, paired
+with a *state mapping* (old id -> new id, or ``None`` for a state the
+pass removed).  The pipeline composes the mappings into a name-level
+``state_map`` so differential harnesses can compare optimized traces
+against unoptimized replays: action logs must match exactly, state names
+modulo the map.
+
+Shipped passes (see :data:`~repro.opt.pipeline.PASSES` for the registry):
+
+* :class:`PruneUnreachablePass` — drop states unreachable from the start
+  state.  The array form of the name-graph pruning that
+  :meth:`~repro.core.machine.StateMachine.prune_unreachable` performs for
+  the generation and flattening pipelines.
+* :class:`MergeEquivalentPass` — partition-refinement (Hopcroft-style
+  backwards splitting over predecessor sets) equivalent-state merging.
+  This is the pass that claws back hierarchical-flattening blow-up:
+  flattening copies inherited transitions into every leaf and routinely
+  leaves behaviourally identical leaves behind.
+* :class:`DeadActionEliminationPass` — compact the interned action and
+  action-sequence pools: sequences no transition references (typically
+  orphaned by pruning/merging) and duplicate sequences disappear.
+* :class:`HotStateRenumberPass` — most-visited states get the lowest
+  ids, so a dense-array dispatch loop touches the low, cache-warm end of
+  the arrays for the bulk of its traffic.  "Most visited" comes from an
+  observed visit-count profile when one is supplied, otherwise from a
+  static in-degree estimate (start state counted as permanently hot).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.opt.indexed import IndexedMachine
+
+#: Mapping produced by a pass: old state id -> new state id (None = removed).
+StateMapping = dict[int, Optional[int]]
+
+
+def _identity_mapping(im: IndexedMachine) -> StateMapping:
+    return {i: i for i in range(len(im.state_names))}
+
+
+def _rebuild(im: IndexedMachine, keep: list[int], target_of) -> IndexedMachine:
+    """New IR keeping old state ids ``keep`` (in new-id order).
+
+    ``target_of(old_target_id) -> new id`` rewrites transition targets;
+    action pools are carried over untouched (compaction is its own pass).
+    """
+    width = len(im.messages)
+    next_state: list[int] = []
+    action_seq: list[int] = []
+    transition_annotations: dict[int, tuple[str, ...]] = {}
+    for new_id, old_id in enumerate(keep):
+        row = old_id * width
+        for col in range(width):
+            target = im.next_state[row + col]
+            if target < 0:
+                next_state.append(-1)
+                action_seq.append(-1)
+            else:
+                next_state.append(target_of(target))
+                action_seq.append(im.action_seq[row + col])
+                notes = im.transition_annotations.get(row + col)
+                if notes:
+                    transition_annotations[new_id * width + col] = notes
+    finish = -1
+    if im.finish >= 0:
+        try:
+            finish = target_of(im.finish)
+        except KeyError:
+            finish = -1  # the finish state itself was removed
+    return IndexedMachine(
+        name=im.name,
+        parameters=im.parameters,
+        messages=im.messages,
+        state_names=tuple(im.state_names[i] for i in keep),
+        next_state=tuple(next_state),
+        action_seq=tuple(action_seq),
+        action_seqs=im.action_seqs,
+        actions=im.actions,
+        start=target_of(im.start),
+        finish=finish,
+        final=tuple(im.final[i] for i in keep),
+        state_annotations=tuple(im.state_annotations[i] for i in keep)
+        if im.state_annotations
+        else (),
+        state_vectors=tuple(im.state_vectors[i] for i in keep)
+        if im.state_vectors
+        else (),
+        state_merged=tuple(im.state_merged[i] for i in keep)
+        if im.state_merged
+        else (),
+        transition_annotations=transition_annotations,
+    )
+
+
+class PruneUnreachablePass:
+    """Drop every state unreachable from the start state."""
+
+    name = "prune"
+
+    def run(self, im: IndexedMachine) -> tuple[IndexedMachine, StateMapping]:
+        reachable = im.reachable_ids()
+        if len(reachable) == len(im.state_names):
+            return im, _identity_mapping(im)
+        keep = [i for i in range(len(im.state_names)) if i in reachable]
+        new_id = {old: new for new, old in enumerate(keep)}
+        mapping: StateMapping = {i: new_id.get(i) for i in range(len(im.state_names))}
+        return _rebuild(im, keep, new_id.__getitem__), mapping
+
+
+class MergeEquivalentPass:
+    """Collapse behaviourally equivalent states via partition refinement.
+
+    Two states are equivalent iff they agree on finality and, per
+    message, either both lack a transition or both have transitions with
+    the same interned action sequence into equivalent states — the same
+    relation :func:`repro.core.minimize.equivalence_classes` computes on
+    the name graph, evaluated here on int arrays.  Refinement runs to a
+    fixpoint (the bisimulation quotient); classes keep the name of their
+    lowest-id member, and the mapping records every member -> that
+    representative.
+    """
+
+    name = "merge"
+
+    def run(self, im: IndexedMachine) -> tuple[IndexedMachine, StateMapping]:
+        n = len(im.state_names)
+        width = len(im.messages)
+        # Resolve sequence ids to action-name tuples so duplicate pool
+        # entries (legal in hand-built IRs) still compare equal.
+        seq_key = [tuple(im.actions[a] for a in seq) for seq in im.action_seqs]
+        cls = [1 if f else 0 for f in im.final]
+        while True:
+            signatures: dict[tuple, int] = {}
+            refined = [0] * n
+            for i in range(n):
+                row = i * width
+                outgoing = []
+                for col in range(width):
+                    target = im.next_state[row + col]
+                    if target >= 0:
+                        outgoing.append(
+                            (col, seq_key[im.action_seq[row + col]], cls[target])
+                        )
+                signature = (cls[i], tuple(outgoing))
+                refined[i] = signatures.setdefault(signature, len(signatures))
+            if refined == cls:
+                break
+            cls = refined
+
+        # Representative of each class: its lowest member id; classes
+        # ordered by representative so surviving states keep their
+        # original relative order (and the start state stays first when
+        # it was).
+        members: dict[int, list[int]] = {}
+        for i in range(n):
+            members.setdefault(cls[i], []).append(i)
+        groups = sorted(members.values(), key=lambda group: group[0])
+        if len(groups) == n:
+            return im, _identity_mapping(im)
+        representative = {i: group[0] for group in groups for i in group}
+        keep = [group[0] for group in groups]
+        new_id = {old: new for new, old in enumerate(keep)}
+        mapping: StateMapping = {i: new_id[representative[i]] for i in range(n)}
+
+        merged = _rebuild(im, keep, lambda old: new_id[representative[old]])
+        merged = _record_merges(merged, im, groups, new_id)
+        return merged, mapping
+
+
+def _record_merges(
+    merged: IndexedMachine,
+    original: IndexedMachine,
+    groups: list[list[int]],
+    new_id: dict[int, int],
+) -> IndexedMachine:
+    """Fold member names/annotations of multi-state classes into sidecars."""
+    from dataclasses import replace
+
+    state_merged = list(merged.state_merged) or [()] * len(merged.state_names)
+    state_annotations = list(merged.state_annotations) or [()] * len(
+        merged.state_names
+    )
+    for group in groups:
+        if len(group) < 2:
+            continue
+        rep = new_id[group[0]]
+        names: set[str] = set()
+        for member in group:
+            names.add(original.state_names[member])
+            if original.state_merged:
+                names.update(original.state_merged[member])
+        state_merged[rep] = tuple(sorted(names))
+        state_annotations[rep] = state_annotations[rep] + (
+            f"Represents {len(group)} equivalent states: "
+            + ", ".join(sorted(original.state_names[m] for m in group)),
+        )
+    return replace(
+        merged,
+        state_merged=tuple(state_merged),
+        state_annotations=tuple(state_annotations),
+    )
+
+
+class DeadActionEliminationPass:
+    """Compact the action pools: drop dead entries, fold duplicates.
+
+    Pruning and merging remove transitions but leave the interned pools
+    untouched, so sequences (and the action strings only they used) can
+    become garbage; hand-built IRs may also carry duplicate sequence
+    entries.  This pass rebuilds both pools from the live transitions.
+    States are untouched — the mapping is always the identity.
+    """
+
+    name = "dead-actions"
+
+    def run(self, im: IndexedMachine) -> tuple[IndexedMachine, StateMapping]:
+        from dataclasses import replace
+
+        seq_pool: dict[tuple[int, ...], int] = {(): 0}
+        action_pool: dict[str, int] = {}
+        new_seq_id: dict[int, int] = {}
+        action_seq = list(im.action_seq)
+        for offset, old_seq in enumerate(im.action_seq):
+            if old_seq < 0:
+                continue
+            mapped = new_seq_id.get(old_seq)
+            if mapped is None:
+                names = tuple(im.actions[a] for a in im.action_seqs[old_seq])
+                ids = tuple(action_pool.setdefault(a, len(action_pool)) for a in names)
+                mapped = seq_pool.setdefault(ids, len(seq_pool))
+                new_seq_id[old_seq] = mapped
+            action_seq[offset] = mapped
+        if len(seq_pool) == len(im.action_seqs) and len(action_pool) == len(im.actions):
+            return im, _identity_mapping(im)
+        compacted = replace(
+            im,
+            action_seq=tuple(action_seq),
+            action_seqs=tuple(sorted(seq_pool, key=seq_pool.__getitem__)),
+            actions=tuple(sorted(action_pool, key=action_pool.__getitem__)),
+        )
+        return compacted, _identity_mapping(im)
+
+
+class HotStateRenumberPass:
+    """Renumber states so the hottest ones get the lowest ids.
+
+    ``profile`` maps state names to observed visit counts (e.g. from a
+    fleet's traffic) and is trusted as given; without one the pass falls
+    back to transition in-degree, with the start state pinned hottest
+    (every instance is born there, and auto-recycling returns them to it
+    — facts in-degree alone cannot see, but an observed profile already
+    reflects).  Names, traces and behaviour are untouched — only the id
+    order (and therefore the dense-array layout every downstream backend
+    indexes) changes.
+    """
+
+    name = "renumber"
+
+    def __init__(self, profile: Optional[dict[str, int]] = None):
+        self._profile = dict(profile) if profile else None
+
+    def run(self, im: IndexedMachine) -> tuple[IndexedMachine, StateMapping]:
+        n = len(im.state_names)
+        if self._profile is not None:
+            score = [self._profile.get(name, 0) for name in im.state_names]
+        else:
+            score = [0] * n
+            for target in im.next_state:
+                if target >= 0:
+                    score[target] += 1
+            # Start is hottest by construction; ties keep id order.
+            score[im.start] = max(score) + 1
+        keep = sorted(range(n), key=lambda i: (-score[i], i))
+        if keep == list(range(n)):
+            return im, _identity_mapping(im)
+        new_id = {old: new for new, old in enumerate(keep)}
+        mapping: StateMapping = dict(new_id)
+        return _rebuild(im, keep, new_id.__getitem__), mapping

@@ -29,13 +29,13 @@ from repro.render.efsm_text import EfsmTextRenderer
 from repro.render.hsm import HierarchicalDotRenderer, HierarchicalOutlineRenderer
 from repro.render.html import HtmlRenderer
 from repro.render.markdown import MarkdownRenderer
+from repro.render.scxml import SCXML_NS, ScxmlRenderer
 from repro.render.source import (
     JavaSourceRenderer,
     PythonSourceRenderer,
     action_method_name,
     machine_class_name,
 )
-from repro.render.scxml import SCXML_NS, ScxmlRenderer
 from repro.render.text import TextRenderer
 from repro.render.xml import XmlRenderer, parse_machine_xml
 

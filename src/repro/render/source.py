@@ -45,18 +45,41 @@ def machine_class_name(machine: StateMachine) -> str:
     return "".join(parts) + "Machine"
 
 
+#: Emission modes for :class:`PythonSourceRenderer`.
+DISPATCH_MODES = ("handlers", "indexed")
+
+
 class PythonSourceRenderer(Renderer):
-    """Render a machine as a Python module implementing the protocol."""
+    """Render a machine as a Python module implementing the protocol.
+
+    ``dispatch`` selects the emission mode:
+
+    * ``"handlers"`` (the paper's Fig 16 shape, the default) — one
+      ``receive_<message>`` method per message, each an if-chain over
+      state names;
+    * ``"indexed"`` — the module embeds the machine's dense indexed form
+      (flat ``NEXT_STATE`` / per-offset action-method tuples, exactly the
+      :class:`repro.opt.IndexedMachine` layout) and ``receive`` is index
+      arithmetic: two array lookups per event instead of a name scan.
+      The public protocol is unchanged — ``receive_<message>`` wrappers,
+      ``get_state`` and ``set_state`` still speak state *names*.
+    """
 
     def __init__(
         self,
         class_name: str | None = None,
         action_base: str | None = "ActionsBase",
         include_commentary: bool = True,
+        dispatch: str = "handlers",
     ):
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"unknown dispatch mode {dispatch!r}; choose from {DISPATCH_MODES}"
+            )
         self._class_name = class_name
         self._action_base = action_base
         self._include_commentary = include_commentary
+        self._dispatch = dispatch
 
     def render(self, machine: StateMachine) -> str:
         machine.check_integrity()
@@ -65,11 +88,19 @@ class PythonSourceRenderer(Renderer):
 
         self._module_header(buffer, machine)
         self._module_constants(buffer, machine)
-        self._class_header(buffer, machine, class_name)
-        self._lifecycle_methods(buffer)
-        self._dispatch_method(buffer, machine)
-        for message in machine.messages:
-            self._handler_method(buffer, machine, message)
+        if self._dispatch == "indexed":
+            self._indexed_constants(buffer, machine)
+            self._class_header(buffer, machine, class_name)
+            self._indexed_lifecycle_methods(buffer)
+            self._indexed_dispatch_method(buffer)
+            for message in machine.messages:
+                self._indexed_handler_method(buffer, message)
+        else:
+            self._class_header(buffer, machine, class_name)
+            self._lifecycle_methods(buffer)
+            self._dispatch_method(buffer, machine)
+            for message in machine.messages:
+                self._handler_method(buffer, machine, message)
         if self._action_base is None:
             self._default_action_methods(buffer, machine)
         buffer.exit_block()
@@ -150,11 +181,16 @@ class PythonSourceRenderer(Renderer):
         buffer.add_line("return self._state in FINAL_STATES")
         buffer.exit_block()
         buffer.blank()
+        self._reset_method(buffer, "self._state = START_STATE")
+
+    def _reset_method(self, buffer: CodeBuffer, restore_line: str) -> None:
+        """Emit ``reset()``: shared by both dispatch emission modes so the
+        clear_sent contract cannot drift between them."""
         buffer.enter_block("def reset(self):")
         buffer.add_line(
             '"""Return to the start state and clear any recorded actions."""'
         )
-        buffer.add_line("self._state = START_STATE")
+        buffer.add_line(restore_line)
         buffer.add_line("clear = getattr(self, 'clear_sent', None)")
         buffer.enter_block("if clear is not None:")
         buffer.add_line("clear()")
@@ -172,6 +208,105 @@ class PythonSourceRenderer(Renderer):
             buffer.add_line(f"return self.receive_{python_identifier(message)}()")
             buffer.exit_block()
         buffer.add_line("raise ValueError('unknown message: %r' % (message,))")
+        buffer.exit_block()
+        buffer.blank()
+
+    # ------------------------------------------------------------------
+    # indexed-dispatch emission (dense arrays, repro.opt layout)
+    # ------------------------------------------------------------------
+
+    def _indexed_constants(self, buffer: CodeBuffer, machine: StateMachine) -> None:
+        from repro.opt import IndexedMachine
+
+        im = IndexedMachine.from_machine(machine)
+        width = len(im.messages)
+        buffer.add_line("# Dense indexed dispatch arrays (repro.opt.IndexedMachine")
+        buffer.add_line("# layout): offset = state_id * WIDTH + message column;")
+        buffer.add_line("# NEXT_STATE[offset] is the target state id (-1: ignored)")
+        buffer.add_line("# and ACTION_METHODS[offset] the methods to invoke.")
+        buffer.add_line("WIDTH = ", str(width))
+        buffer.add_line("START_ID = ", str(im.start))
+        buffer.add_line(
+            "STATE_INDEX = {name: i for i, name in enumerate(STATE_NAMES)}"
+        )
+        buffer.add_line("MESSAGE_INDEX = {name: i for i, name in enumerate(MESSAGES)}")
+        buffer.add_line("FINAL = ", repr(im.final))
+        buffer.add_line("NEXT_STATE = (")
+        buffer.increase_indent()
+        for row in range(len(im.state_names)):
+            chunk = im.next_state[row * width : (row + 1) * width]
+            buffer.add_line(", ".join(str(t) for t in chunk), ",")
+        buffer.decrease_indent()
+        buffer.add_line(")")
+        buffer.add_line("ACTION_METHODS = (")
+        buffer.increase_indent()
+        for offset, target in enumerate(im.next_state):
+            if target < 0:
+                methods: tuple[str, ...] = ()
+            else:
+                methods = tuple(
+                    action_method_name(im.actions[a])
+                    for a in im.action_seqs[im.action_seq[offset]]
+                )
+            buffer.add_line(repr(methods), ",")
+        buffer.decrease_indent()
+        buffer.add_line(")")
+        buffer.blank()
+
+    def _indexed_lifecycle_methods(self, buffer: CodeBuffer) -> None:
+        buffer.enter_block("def __init__(self, *args, **kwargs):")
+        buffer.add_line("super().__init__(*args, **kwargs)")
+        buffer.add_line("self._state_id = START_ID")
+        buffer.exit_block()
+        buffer.blank()
+        buffer.enter_block("def get_state(self):")
+        buffer.add_line('"""Current state name."""')
+        buffer.add_line("return STATE_NAMES[self._state_id]")
+        buffer.exit_block()
+        buffer.blank()
+        buffer.enter_block("def set_state(self, state):")
+        buffer.add_line('"""Move to a named state (snapshot restore calls this)."""')
+        buffer.add_line("index = STATE_INDEX.get(state)")
+        buffer.enter_block("if index is None:")
+        buffer.add_line("raise ValueError('unknown state: %r' % (state,))")
+        buffer.exit_block()
+        buffer.add_line("self._state_id = index")
+        buffer.exit_block()
+        buffer.blank()
+        buffer.enter_block("def is_finished(self):")
+        buffer.add_line('"""Whether the machine has reached a finish state."""')
+        buffer.add_line("return FINAL[self._state_id]")
+        buffer.exit_block()
+        buffer.blank()
+        self._reset_method(buffer, "self._state_id = START_ID")
+
+    def _indexed_dispatch_method(self, buffer: CodeBuffer) -> None:
+        buffer.enter_block("def receive(self, message):")
+        buffer.add_line(
+            '"""Dispatch by index arithmetic; returns True if a transition fired."""'
+        )
+        buffer.add_line("column = MESSAGE_INDEX.get(message)")
+        buffer.enter_block("if column is None:")
+        buffer.add_line("raise ValueError('unknown message: %r' % (message,))")
+        buffer.exit_block()
+        buffer.add_line("offset = self._state_id * WIDTH + column")
+        buffer.add_line("target = NEXT_STATE[offset]")
+        buffer.enter_block("if target < 0:")
+        buffer.add_line("# Message not applicable in the current state: ignored.")
+        buffer.add_line("return False")
+        buffer.exit_block()
+        buffer.enter_block("for method in ACTION_METHODS[offset]:")
+        buffer.add_line("getattr(self, method)()")
+        buffer.exit_block()
+        buffer.add_line("self._state_id = target")
+        buffer.add_line("return True")
+        buffer.exit_block()
+        buffer.blank()
+
+    def _indexed_handler_method(self, buffer: CodeBuffer, message: str) -> None:
+        buffer.enter_block(f"def receive_{python_identifier(message)}(self):")
+        buffer.add_line(f'"""Handle an incoming {message!r} message."""')
+        buffer.add_line(f"return self.receive({message!r})")
         buffer.exit_block()
         buffer.blank()
 

@@ -78,29 +78,57 @@ def hierarchical_traces(
     )
 
 
+def _trace_matches(actual: InstanceSnapshot, expected: InstanceSnapshot, state_map):
+    """Whether a fleet trace matches an oracle trace.
+
+    Action logs must be identical — actions are the machine's observable
+    behaviour and no optimization may change them.  States compare by
+    name, through ``state_map`` when the fleet served a machine whose
+    equivalent states were merged (a merged state answers to its
+    representative's name; the oracle replays the unoptimized machine).
+    """
+    if actual.actions != expected.actions:
+        return False
+    if state_map is None:
+        return actual.state == expected.state
+    return actual.state == state_map.get(expected.state, expected.state)
+
+
 def diff_against_hierarchical(fleet, model, keys, events) -> list[str]:
     """Keys whose fleet trace differs from direct hierarchical simulation.
 
     ``fleet`` must host a machine flattened from ``model`` and must
     already have processed ``events``.  An empty list is the end-to-end
     flattening correctness claim: hierarchy simulated directly ==
-    flattened machine served at fleet scale.
+    flattened machine served at fleet scale (modulo the fleet's
+    ``state_map`` when it served an optimized machine).
     """
     expected = hierarchical_traces(
         model, keys, events, auto_recycle=fleet.auto_recycle
     )
-    return [key for key in keys if fleet.trace(key) != expected[key]]
+    state_map = getattr(fleet, "state_map", None)
+    return [
+        key
+        for key in keys
+        if not _trace_matches(fleet.trace(key), expected[key], state_map)
+    ]
 
 
 def diff_against_standalone(fleet, keys, events) -> list[str]:
     """Keys whose fleet trace differs from the standalone replay.
 
     ``fleet`` must already have processed ``events``; the standalone side
-    is replayed here with the fleet's own ``auto_recycle`` setting.  An
-    empty list means the fleet is observationally identical to
-    single-instance runs.
+    is replayed here with the fleet's own ``auto_recycle`` setting, on
+    the fleet's *pre-optimization* machine.  An empty list means the
+    fleet is observationally identical to single-instance runs (modulo
+    ``state_map`` for fleets serving merged machines).
     """
     expected = standalone_traces(
         fleet.machine, keys, events, auto_recycle=fleet.auto_recycle
     )
-    return [key for key in keys if fleet.trace(key) != expected[key]]
+    state_map = getattr(fleet, "state_map", None)
+    return [
+        key
+        for key in keys
+        if not _trace_matches(fleet.trace(key), expected[key], state_map)
+    ]

@@ -48,11 +48,11 @@ from typing import Optional
 
 from repro.core.errors import DeploymentError
 from repro.core.machine import StateMachine
+from repro.opt import IndexedMachine, as_pipeline
 from repro.runtime.cache import GeneratedCodeCache
 from repro.serve.adapter import BACKENDS, make_backend
 from repro.serve.mailbox import Mailbox, OverflowPolicy
 from repro.serve.metrics import FleetMetrics
-from repro.serve.workload import session_keys
 from repro.serve.store import (
     ACTIONS,
     BACKEND,
@@ -61,6 +61,7 @@ from repro.serve.store import (
     InstanceStore,
     shard_of,
 )
+from repro.serve.workload import session_keys
 
 #: Event dispatch modes.
 DISPATCH_MODES = ("naive", "batched")
@@ -93,6 +94,7 @@ class FleetEngine:
         overflow: OverflowPolicy = OverflowPolicy.SHED,
         auto_recycle: bool = False,
         cache: Optional[GeneratedCodeCache] = None,
+        optimize=None,
     ):
         if mode not in DISPATCH_MODES:
             raise DeploymentError(
@@ -106,11 +108,24 @@ class FleetEngine:
         self._mode = mode
         self._backend_kind = backend
         self._auto_recycle = auto_recycle
-        self._table = machine.dispatch_table()
+        # The shared indexed IR is the fleet's source of truth: the
+        # dispatch arrays are specialised from its int arrays, and an
+        # optimize= pipeline (a repro.opt.PassPipeline, a level, or a
+        # pass-list spec) runs over it before anything is built.
+        self._indexed = IndexedMachine.from_machine(machine)
+        pipeline = as_pipeline(optimize)
+        if pipeline is not None:
+            self._indexed, self.opt_report = pipeline.run(self._indexed)
+        else:
+            self.opt_report = None
+        # Materialised lazily from the IR: only the naive backend and the
+        # serving_machine accessor ever need the full object graph.
+        self._serving_machine: Optional[StateMachine] = None
+        self._table = self._indexed.dispatch_table()
         self._width = self._table.width
         self._columns = self._table.message_index
         self._final = self._table.final
-        self._start = self._table.start_index * self._width
+        self._start = self._indexed.start * self._width
         # The specialised jump/acts arrays are only read by the batched
         # dispatch loop; naive fleets execute through backend objects.
         if mode == "batched":
@@ -119,8 +134,12 @@ class FleetEngine:
             self._jump = self._acts = None
         # Backend objects only exist on the naive path; the batched path
         # executes instances as (premultiplied state, action log) records.
+        # Naive backends run the *serving* (optimized) machine so both
+        # modes report identical state names under one optimize setting.
         self._adapter = (
-            make_backend(backend, machine, cache) if mode == "naive" else None
+            make_backend(backend, self.serving_machine, cache)
+            if mode == "naive"
+            else None
         )
         self._store = InstanceStore(self._table, shards=shards)
         self._mailboxes = [
@@ -131,7 +150,7 @@ class FleetEngine:
         self.metrics = FleetMetrics()
 
     def _specialise_table(self) -> tuple[list[int], list]:
-        """Flatten the dispatch table into the two hot-loop arrays.
+        """Specialise the indexed IR into the two hot-loop arrays.
 
         ``jump[offset]`` is the next state premultiplied by the alphabet
         width (``-1``: message inapplicable).  ``acts[offset]`` is the
@@ -139,23 +158,28 @@ class FleetEngine:
         transition instead jumps straight to the start state and carries
         the ``None`` sentinel (its actions would be wiped by the
         immediate ``reset()`` anyway, exactly as in a standalone replay).
+
+        Works from ``self._table`` — itself specialised straight from the
+        shared :class:`~repro.opt.IndexedMachine` arrays, so action names
+        arrive already stripped by the shared
+        :func:`~repro.core.machine.strip_action_prefix` contract.
         """
         table = self._table
-        width = table.width
+        width = self._width
+        final = table.final
+        auto = self._auto_recycle
         jump: list[int] = []
         acts: list = []
-        for row in range(len(table.state_names)):
-            for col in range(width):
-                entry = table.entries[row * width + col]
-                if entry is None:
-                    jump.append(-1)
-                    acts.append(())
-                elif self._auto_recycle and table.final[entry[0]]:
-                    jump.append(self._start)
-                    acts.append(None)
-                else:
-                    jump.append(entry[0] * width)
-                    acts.append(entry[1])
+        for entry in table.entries:
+            if entry is None:
+                jump.append(-1)
+                acts.append(())
+            elif auto and final[entry[0]]:
+                jump.append(self._start)
+                acts.append(None)
+            else:
+                jump.append(entry[0] * width)
+                acts.append(entry[1])
         return jump, acts
 
     # ------------------------------------------------------------------
@@ -164,7 +188,35 @@ class FleetEngine:
 
     @property
     def machine(self) -> StateMachine:
+        """The machine the fleet was constructed with (pre-optimization)."""
         return self._machine
+
+    @property
+    def serving_machine(self) -> StateMachine:
+        """The machine actually served (optimized when ``optimize=`` ran)."""
+        if self._serving_machine is None:
+            self._serving_machine = (
+                self._machine
+                if self.opt_report is None
+                else self._indexed.to_machine()
+            )
+        return self._serving_machine
+
+    @property
+    def indexed_machine(self) -> IndexedMachine:
+        """The shared IR the dispatch arrays were specialised from."""
+        return self._indexed
+
+    @property
+    def state_map(self) -> Optional[dict]:
+        """Original -> served state-name map when an optimizer merged states.
+
+        ``None`` when no pipeline ran or the run was an identity — the
+        differential harness then compares state names directly.
+        """
+        if self.opt_report is None or self.opt_report.identity:
+            return None
+        return self.opt_report.state_map
 
     @property
     def mode(self) -> str:
@@ -497,7 +549,11 @@ class FleetEngine:
 
         The current population and any still-queued events are discarded.
         Restoring a snapshot from a different machine raises
-        :class:`~repro.core.errors.DeploymentError`.
+        :class:`~repro.core.errors.DeploymentError`.  Snapshots taken
+        from an unoptimized fleet restore into an optimized one of the
+        same machine: state names resolve through ``state_map``, so an
+        instance parked in a merged-away state lands on the state that
+        represents it.
         """
         if snapshot.machine_name != self._machine.name:
             raise DeploymentError(
@@ -505,12 +561,18 @@ class FleetEngine:
                 f"this fleet serves {self._machine.name!r}"
             )
         state_index = self._table.state_index
+        state_map = self.state_map
+        resolved: dict[str, str] = {}
         for inst in snapshot.instances:
-            if inst.state not in state_index:
+            name = inst.state
+            if state_map is not None:
+                name = state_map.get(name, name)
+            if name not in state_index:
                 raise DeploymentError(
                     f"snapshot state {inst.state!r} does not exist in "
                     f"machine {self._machine.name!r}"
                 )
+            resolved[inst.key] = name
         for mailbox in self._mailboxes:
             mailbox.drain()
         self._store.clear()
@@ -520,8 +582,10 @@ class FleetEngine:
             )
             rec = self._store.spawn(inst.key, backend)
             if self._mode == "naive":
-                self._adapter.restore_instance(backend, inst.state, inst.actions)
+                self._adapter.restore_instance(
+                    backend, resolved[inst.key], inst.actions
+                )
             else:
-                rec[STATE] = state_index[inst.state] * self._width
+                rec[STATE] = state_index[resolved[inst.key]] * self._width
                 rec[ACTIONS] = [tuple(inst.actions)] if inst.actions else []
         self.metrics.snapshots_restored += 1

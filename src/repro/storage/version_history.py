@@ -33,9 +33,9 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.models.commit import CommitModel, fault_tolerance
+from repro.runtime.actions import CallbackActions
 from repro.runtime.cache import GeneratedCodeCache
 from repro.runtime.compile import CompiledMachine, compile_machine
-from repro.runtime.actions import CallbackActions
 
 #: Process-wide cache of compiled commit machines, keyed by replication
 #: factor (paper §4.2's caching generation policy: every simulated node

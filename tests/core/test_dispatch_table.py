@@ -77,6 +77,39 @@ class TestFlatDispatchTable:
         assert machine.dispatch_table() is not None
 
 
+class TestLookupEdgeCases:
+    """Name-based lookup must fail loudly off the happy path."""
+
+    def test_unknown_state_raises_structure_error(self, table):
+        from repro.core.errors import MachineStructureError
+
+        with pytest.raises(MachineStructureError, match="unknown state"):
+            table.lookup("NoSuchState", "vote")
+
+    def test_message_outside_alphabet_raises_structure_error(self, table):
+        from repro.core.errors import MachineStructureError
+
+        start = table.state_names[table.start_index]
+        with pytest.raises(MachineStructureError, match="not in the alphabet"):
+            table.lookup(start, "not-a-message")
+
+    def test_finish_state_absorbs_every_message(self):
+        """A machine with a finish state: every column of its row is None."""
+        machine = commit_machine(4)
+        finish = machine.finish_state
+        assert finish is not None  # merging created the single FINISHED state
+        table = machine.dispatch_table()
+        for message in table.messages:
+            assert table.lookup(finish.name, message) is None
+        assert table.final[table.state_index[finish.name]]
+
+    def test_lookup_matches_index_arithmetic(self, table):
+        start = table.state_names[table.start_index]
+        entry = table.lookup(start, "update")
+        offset = table.start_index * table.width + table.message_index["update"]
+        assert entry == table.entries[offset]
+
+
 class TestUnreachableStates:
     """dispatch_table() must cover machines that carry unreachable states
     (e.g. generated with prune=False, or hand-built registries)."""

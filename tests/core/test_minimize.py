@@ -1,5 +1,6 @@
 """Tests for equivalence merging (paper §3.4 step 4, Fig 13)."""
 
+from repro.analysis.diff import machines_isomorphic
 from repro.core.machine import StateMachine
 from repro.core.minimize import (
     FINISH_NAME,
@@ -8,7 +9,6 @@ from repro.core.minimize import (
     one_shot_merge,
 )
 from repro.core.state import State, Transition
-from repro.analysis.diff import machines_isomorphic
 from tests.conftest import commit_machine
 
 

@@ -1,0 +1,287 @@
+"""Differential acceptance suite: optimized == unoptimized behaviour.
+
+For every bundled model — the four generated abstract models plus both
+hierarchical models flattened — an optimized machine must be
+trace-identical to its unoptimized input: action logs match exactly and
+state names match through the pipeline's ``state_map`` (a merged state
+answers to its representative's name).  Verified across:
+
+* the interpreter and compiled backends (both emission modes);
+* both fleet dispatch modes (``naive`` / ``batched``), with the fleet's
+  own ``optimize=`` hook;
+* both generation engines for the generated models and both flatten
+  engines for the hierarchical ones (via the shared machine cache).
+"""
+
+import random
+
+import pytest
+
+from repro.models import build_hierarchical_model
+from repro.models.chandra_toueg import CoordinatorRoundModel
+from repro.models.commit import CommitModel
+from repro.models.termination import TerminationModel
+from repro.models.threshold_sig import ThresholdSignatureModel
+from repro.opt import IndexedMachine, standard_pipeline
+from repro.runtime.compile import compile_machine
+from repro.runtime.interp import MachineInterpreter
+from repro.serve import (
+    FleetEngine,
+    WorkloadSpec,
+    diff_against_hierarchical,
+    diff_against_standalone,
+    generate_workload,
+)
+
+#: Every bundled machine the optimizer must preserve, including both HSMs.
+BUNDLED_MACHINES = [
+    pytest.param(
+        lambda: CommitModel(4).generate_state_machine(), id="commit-r4"
+    ),
+    pytest.param(
+        lambda: CommitModel(4).generate_state_machine(engine="lazy"),
+        id="commit-r4-lazy",
+    ),
+    pytest.param(
+        lambda: CoordinatorRoundModel(processes=5).generate_state_machine(),
+        id="chandra-toueg-n5",
+    ),
+    pytest.param(
+        lambda: TerminationModel(max_tasks=3).generate_state_machine(),
+        id="termination-t3",
+    ),
+    pytest.param(
+        lambda: ThresholdSignatureModel(
+            signers=4, threshold=3
+        ).generate_state_machine(),
+        id="threshold-sig",
+    ),
+    pytest.param(
+        lambda: build_hierarchical_model("session").flatten(), id="session-hsm"
+    ),
+    pytest.param(
+        lambda: build_hierarchical_model("commit", 4).flatten("lazy"),
+        id="commit-hsm-r4",
+    ),
+]
+
+_CACHE: dict = {}
+
+
+def cached(request) -> tuple:
+    """(machine, optimized machine, report) per parametrised model."""
+    key = request.node.callspec.params["factory"]
+    if key not in _CACHE:
+        machine = key()
+        optimized, report = standard_pipeline(3).optimize_machine(machine)
+        _CACHE[key] = (machine, optimized, report)
+    return _CACHE[key]
+
+
+def random_schedule(machine, steps: int, seed: int) -> list[str]:
+    rng = random.Random(seed)
+    return [rng.choice(machine.messages) for _ in range(steps)]
+
+
+def replay(executor, schedule, recycle=True) -> tuple:
+    """Drive one executor; returns (state sequence, action log)."""
+    states = []
+    for message in schedule:
+        executor.receive(message)
+        states.append(executor.get_state())
+        if recycle and executor.is_finished():
+            executor.reset()
+    return states, list(executor.sent)
+
+
+@pytest.mark.parametrize("factory", BUNDLED_MACHINES)
+class TestInterpreterDifferential:
+    def test_optimized_interpreter_replay_matches(self, factory, request):
+        machine, optimized, report = cached(request)
+        schedule = random_schedule(machine, 4000, seed=11)
+        base_states, base_actions = replay(MachineInterpreter(machine), schedule)
+        opt_states, opt_actions = replay(MachineInterpreter(optimized), schedule)
+        assert opt_actions == base_actions
+        mapped = [report.state_map[state] for state in base_states]
+        assert opt_states == mapped
+
+    def test_fired_flags_identical(self, factory, request):
+        machine, optimized, _ = cached(request)
+        a = MachineInterpreter(machine)
+        b = MachineInterpreter(optimized)
+        for message in random_schedule(machine, 1500, seed=7):
+            assert a.receive(message) == b.receive(message)
+            assert a.is_finished() == b.is_finished()
+            if a.is_finished():
+                a.reset()
+                b.reset()
+
+
+@pytest.mark.parametrize("factory", BUNDLED_MACHINES)
+class TestCompiledDifferential:
+    def test_compiled_optimized_matches_interpreter(self, factory, request):
+        machine, optimized, report = cached(request)
+        schedule = random_schedule(machine, 2000, seed=23)
+        base_states, base_actions = replay(MachineInterpreter(machine), schedule)
+        compiled = compile_machine(optimized).new_instance()
+        opt_states, opt_actions = replay(compiled, schedule)
+        assert opt_actions == base_actions
+        assert opt_states == [report.state_map[state] for state in base_states]
+
+    def test_indexed_emission_matches_handlers(self, factory, request):
+        _, optimized, _ = cached(request)
+        schedule = random_schedule(optimized, 2000, seed=31)
+        handlers = compile_machine(optimized, dispatch="handlers").new_instance()
+        indexed = compile_machine(optimized, dispatch="indexed").new_instance()
+        h_states, h_actions = replay(handlers, schedule)
+        i_states, i_actions = replay(indexed, schedule)
+        assert i_states == h_states
+        assert i_actions == h_actions
+
+
+@pytest.mark.parametrize("factory", BUNDLED_MACHINES)
+@pytest.mark.parametrize("mode", ["naive", "batched"])
+class TestFleetDifferential:
+    def test_optimized_fleet_matches_standalone(self, factory, mode, request):
+        machine, _, _ = cached(request)
+        events = generate_workload(
+            machine, WorkloadSpec(instances=150, events=4000, seed=5)
+        )
+        fleet = FleetEngine(
+            machine, shards=4, mode=mode, auto_recycle=True, optimize=3
+        )
+        keys = fleet.spawn_many(150)
+        fleet.run(events)
+        assert diff_against_standalone(fleet, keys, events) == []
+
+    def test_optimized_and_raw_fleets_agree_on_actions(self, factory, mode, request):
+        machine, _, report = cached(request)
+        events = generate_workload(
+            machine, WorkloadSpec(instances=100, events=3000, seed=9)
+        )
+        raw = FleetEngine(machine, shards=4, mode=mode, auto_recycle=True)
+        opt = FleetEngine(
+            machine, shards=4, mode=mode, auto_recycle=True, optimize=3
+        )
+        keys = raw.spawn_many(100)
+        opt.spawn_many(100)
+        raw.run(events)
+        opt.run(events)
+        for key in keys:
+            raw_trace = raw.trace(key)
+            opt_trace = opt.trace(key)
+            assert opt_trace.actions == raw_trace.actions
+            assert opt_trace.state == report.state_map[raw_trace.state]
+
+
+@pytest.mark.parametrize("hsm", ["session", "commit"])
+@pytest.mark.parametrize("mode", ["naive", "batched"])
+class TestHierarchicalOracle:
+    """Optimized flattened HSMs still match direct hierarchical simulation."""
+
+    def test_optimized_fleet_matches_simulator(self, hsm, mode):
+        model = build_hierarchical_model(hsm, 4)
+        machine = model.flatten()
+        events = generate_workload(
+            machine, WorkloadSpec(instances=120, events=3000, seed=13)
+        )
+        fleet = FleetEngine(
+            machine, shards=4, mode=mode, auto_recycle=True, optimize="full"
+        )
+        keys = fleet.spawn_many(120)
+        fleet.run(events)
+        assert diff_against_hierarchical(fleet, model, keys, events) == []
+
+
+class TestBlowupRecovery:
+    """Flattening blow-up is recovered: merging strictly shrinks an HSM."""
+
+    def test_commit_hsm_strictly_reduced(self):
+        flat = build_hierarchical_model("commit", 4).flatten()
+        optimized, report = standard_pipeline(2).optimize_machine(flat)
+        assert len(optimized) < len(flat)
+        assert report.delta("merge").states_removed >= 1
+        assert not report.identity
+
+    def test_flatten_optimize_hook_reports_recovery(self):
+        model = build_hierarchical_model("commit", 4)
+        machine, report = model.flatten_with_report("eager", optimize=2)
+        assert report.opt_states == len(machine)
+        assert report.opt_states < report.flat_states
+        assert report.recovered_states >= 1
+        assert report.opt_report is not None
+        assert "optimize" in report.timings
+
+    def test_merged_machine_survives_all_backends(self):
+        flat = build_hierarchical_model("commit", 4).flatten()
+        optimized, _ = standard_pipeline(2).optimize_machine(flat)
+        optimized.check_integrity()
+        compile_machine(optimized)
+        compile_machine(optimized, dispatch="indexed")
+        IndexedMachine.from_machine(optimized).check_integrity()
+
+
+@pytest.mark.parametrize("mode", ["naive", "batched"])
+class TestSnapshotAcrossOptimization:
+    """Snapshots cross the optimization boundary through state_map."""
+
+    def drive_to_merged_state(self, fleet):
+        """Park instance 'a' in the state the merge pass renames (the
+        terminal reached via abort, merged with the finish terminal)."""
+        fleet.spawn("a")
+        fleet.deliver("a", "begin")
+        fleet.deliver("a", "abort")
+
+    def test_unoptimized_snapshot_restores_into_optimized_fleet(self, mode):
+        machine = build_hierarchical_model("commit", 4).flatten()
+        raw = FleetEngine(machine, shards=2, mode=mode)
+        self.drive_to_merged_state(raw)
+        snap = raw.snapshot()
+        assert snap.instances[0].state == "Aborted"
+
+        opt = FleetEngine(machine, shards=2, mode=mode, optimize="full")
+        opt.restore(snap)
+        trace = opt.trace("a")
+        assert trace.state == opt.state_map["Aborted"]
+        assert trace.actions == snap.instances[0].actions
+        assert opt.is_finished("a")
+
+    def test_optimized_snapshot_restores_into_optimized_fleet(self, mode):
+        machine = build_hierarchical_model("commit", 4).flatten()
+        first = FleetEngine(machine, shards=2, mode=mode, optimize="full")
+        self.drive_to_merged_state(first)
+        snap = first.snapshot()
+        second = FleetEngine(machine, shards=4, mode=mode, optimize="full")
+        second.restore(snap)
+        assert second.trace("a") == first.trace("a")
+
+    def test_unknown_state_still_rejected(self, mode):
+        from repro.core.errors import DeploymentError
+        from repro.serve.fleet import FleetSnapshot
+        from repro.serve.store import InstanceSnapshot
+
+        machine = build_hierarchical_model("commit", 4).flatten()
+        fleet = FleetEngine(machine, shards=2, mode=mode, optimize="full")
+        bogus = FleetSnapshot(
+            machine_name=machine.name,
+            instances=(InstanceSnapshot("a", "NoSuchState", ()),),
+        )
+        with pytest.raises(DeploymentError, match="does not exist"):
+            fleet.restore(bogus)
+
+
+class TestGenerateOptimizeHook:
+    def test_generate_with_engine_applies_pipeline(self):
+        from repro.core.pipeline import generate_with_engine
+
+        machine, report = generate_with_engine(CommitModel(4), "lazy", optimize=3)
+        assert report.opt_report is not None
+        assert len(machine) == report.opt_report.states_after
+        assert "optimize" in report.timings
+
+    def test_optimize_none_is_a_no_op(self):
+        from repro.core.pipeline import generate_with_engine
+
+        machine, report = generate_with_engine(CommitModel(4), "eager", optimize=None)
+        assert report.opt_report is None
+        assert len(machine) == 33

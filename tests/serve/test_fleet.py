@@ -90,6 +90,37 @@ class TestLifecycle:
         with pytest.raises(DeploymentError):
             fleet.spawn("a")
 
+    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    def test_spawn_duplicate_preserves_existing_instance(self, mode):
+        """A rejected duplicate must not clobber the live instance's state."""
+        fleet = FleetEngine(self.machine, mode=mode)
+        fleet.spawn("a")
+        fleet.deliver("a", "update")
+        before = fleet.trace("a")
+        with pytest.raises(DeploymentError, match="already exists"):
+            fleet.spawn("a")
+        assert fleet.trace("a") == before
+        assert len(fleet) == 1
+
+    def test_spawn_duplicate_does_not_inflate_metrics(self):
+        fleet = FleetEngine(self.machine)
+        fleet.spawn("a")
+        spawned = fleet.metrics.instances_spawned
+        with pytest.raises(DeploymentError):
+            fleet.spawn("a")
+        assert fleet.metrics.instances_spawned == spawned
+
+    def test_spawn_duplicate_leaves_shard_membership_intact(self):
+        fleet = FleetEngine(self.machine, shards=4)
+        fleet.spawn("a")
+        sizes = fleet.shard_sizes()
+        with pytest.raises(DeploymentError):
+            fleet.spawn("a")
+        assert fleet.shard_sizes() == sizes
+        # The key still routes and snapshots exactly once.
+        assert sum(fleet.shard_sizes()) == 1
+        assert len(fleet.snapshot().instances) == 1
+
     def test_unknown_instance_rejected(self):
         fleet = FleetEngine(self.machine)
         with pytest.raises(DeploymentError):

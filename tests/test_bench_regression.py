@@ -40,6 +40,66 @@ class TestRowMatching:
         assert checker.row_key(ROW) != checker.row_key(other)
 
 
+class TestMultiSectionArtifacts:
+    """BENCH_flatten / BENCH_opt hold several named row lists."""
+
+    def artifact(self, path, opt_eps=2_000_000.0):
+        path.write_text(
+            json.dumps(
+                {
+                    "passes": [
+                        {
+                            "machine": "commit-hsm[r=4]",
+                            "pass": "merge",
+                            "states_before": 36,
+                            "states_after": 35,
+                            "pass_ms": 0.3,
+                        }
+                    ],
+                    "serve": [
+                        {
+                            "model": "commit_hsm[r=4]",
+                            "instances": 500,
+                            "raw_eps": 2_000_000.0,
+                            "opt_eps": opt_eps,
+                            "ratio": opt_eps / 2_000_000.0,
+                        }
+                    ],
+                    "acceptance": None,
+                }
+            )
+        )
+        return path
+
+    def test_sections_become_key_fields(self, tmp_path):
+        rows = checker.load_rows(self.artifact(tmp_path / "a.json"))
+        assert len(rows) == 2
+        assert {row["_section"] for row in rows.values()} == {"passes", "serve"}
+
+    def test_same_config_in_different_sections_does_not_collide(self, tmp_path):
+        rows = checker.load_rows(self.artifact(tmp_path / "a.json"))
+        keys = list(rows)
+        assert keys[0] != keys[1]
+
+    def test_opt_eps_regression_detected(self, tmp_path, capsys):
+        baseline = self.artifact(tmp_path / "base.json")
+        fresh = self.artifact(tmp_path / "fresh.json", opt_eps=1_000_000.0)
+        assert checker.check(fresh, baseline, 0.30, ["opt_eps"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_opt_eps_within_threshold_passes(self, tmp_path):
+        baseline = self.artifact(tmp_path / "base.json")
+        fresh = self.artifact(tmp_path / "fresh.json", opt_eps=1_900_000.0)
+        assert checker.check(fresh, baseline, 0.30, ["opt_eps", "raw_eps"]) == 0
+
+    def test_bare_list_artifact_still_loads(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps([ROW]))
+        rows = checker.load_rows(path)
+        assert len(rows) == 1
+        assert "_section" not in next(iter(rows.values()))
+
+
 class TestCheck:
     def test_within_threshold_passes(self, tmp_path, capsys):
         baseline = write_artifact(tmp_path / "base.json", [ROW])
@@ -93,13 +153,37 @@ class TestMain:
             checker.main([str(fresh), "--baseline", str(baseline)]) == 0
         )
 
-    def test_committed_baseline_exists_and_parses(self):
-        assert checker.DEFAULT_BASELINE.exists()
-        rows = checker.load_rows(checker.DEFAULT_BASELINE)
+    def test_committed_serve_baseline_exists_and_parses(self):
+        baseline = checker.BASELINE_DIR / "BENCH_serve.json"
+        assert baseline.exists()
+        rows = checker.load_rows(baseline)
         assert rows
         for key, row in rows.items():
             assert "batched_eps" in row
             assert "naive_eps" in row
+
+    def test_committed_flatten_baseline_exists_and_parses(self):
+        baseline = checker.BASELINE_DIR / "BENCH_flatten.json"
+        assert baseline.exists()
+        rows = checker.load_rows(baseline)
+        sections = {row.get("_section") for row in rows.values()}
+        assert sections == {"flatten", "serve"}
+        assert any("batched_eps" in row for row in rows.values())
+
+    def test_committed_opt_baseline_exists_and_parses(self):
+        baseline = checker.BASELINE_DIR / "BENCH_opt.json"
+        assert baseline.exists()
+        rows = checker.load_rows(baseline)
+        sections = {row.get("_section") for row in rows.values()}
+        assert sections == {"passes", "serve"}
+        assert any("opt_eps" in row for row in rows.values())
+
+    def test_default_baseline_derived_from_fresh_name(self, tmp_path, capsys):
+        fresh = write_artifact(tmp_path / "BENCH_serve.json", [ROW])
+        # No --baseline: resolves to benchmarks/baselines/BENCH_serve.json.
+        assert checker.main([str(fresh)]) in (0, 1)
+        out = capsys.readouterr().out
+        assert "baselines" in out and "BENCH_serve.json" in out
 
     def test_threshold_flag(self, tmp_path):
         baseline = write_artifact(tmp_path / "base.json", [ROW])

@@ -54,3 +54,74 @@ class TestModelcheck:
     def test_max_states_bounds_run(self, capsys):
         assert main(["modelcheck", "-r", "4", "--max-states", "50"]) == 0
         assert "(truncated)" in capsys.readouterr().out
+
+
+class TestOptimizeCommand:
+    def test_report_shows_per_pass_deltas(self, capsys):
+        assert main(["optimize", "--model", "commit-hsm", "--opt", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "pipeline O3" in output
+        for name in ("prune", "merge", "dead-actions", "renumber"):
+            assert name in output
+        assert "optimized: 35 states" in output
+        assert "1 removed" in output
+
+    def test_commit_machine_is_already_minimal(self, capsys):
+        assert main(["optimize", "--model", "commit", "--opt", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "commit[r=4]: 33 states" in output
+        assert "optimized: 33 states" in output
+
+    def test_pass_list_spec(self, capsys):
+        assert main(["optimize", "--model", "session-hsm", "--opt", "prune,merge"]) == 0
+        output = capsys.readouterr().out
+        assert "pipeline prune,merge" in output
+        assert "renumber" not in output
+
+    def test_flat_render_of_optimized_machine(self, capsys):
+        args = ["optimize", "--model", "commit-hsm", "--format", "flat-source"]
+        assert main(args) == 0
+        assert "class CommitHsmR4Machine" in capsys.readouterr().out
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "opt.txt"
+        assert main(["optimize", "--model", "commit", "-o", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "optimized: 33 states" in target.read_text()
+
+
+class TestOptFlags:
+    def test_generate_opt_prints_pass_table(self, capsys):
+        assert main(["generate", "-r", "4", "--opt", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "optimization pipeline O2 -> 33 states" in output
+        assert "dead-actions" in output
+
+    def test_generate_without_opt_unchanged(self, capsys):
+        assert main(["generate", "-r", "4"]) == 0
+        assert "optimization pipeline" not in capsys.readouterr().out
+
+    def test_flatten_stats_shows_opt_column(self, capsys):
+        assert main(["flatten", "--model", "commit", "--format", "stats"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert "opt" in lines[0].split()
+        # 36 flat states recover to 35 after merging, on both engines.
+        assert all("35" in line for line in lines[2:])
+
+    def test_flatten_flat_render_with_opt(self, capsys):
+        args = ["flatten", "--model", "commit", "--format", "flat-markdown"]
+        assert main(args + ["--opt", "2"]) == 0
+        assert "| States | 35 |" in capsys.readouterr().out
+
+    def test_serve_bench_with_opt(self, capsys):
+        args = ["serve-bench", "--instances", "50", "--events", "500", "--shards", "2"]
+        assert main(args + ["--opt", "full"]) == 0
+        output = capsys.readouterr().out
+        assert "opt full" in output
+        assert "differential ok" in output
+
+    def test_bad_opt_spec_fails_loudly(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown optimization pass"):
+            main(["optimize", "--model", "commit", "--opt", "bogus"])
