@@ -42,9 +42,13 @@ MEASURED = frozenset(
     {
         "naive_eps",
         "batched_eps",
+        "encoded_eps",
+        "grouped_eps",
+        "encoded_off_eps",
         "raw_eps",
         "opt_eps",
         "speedup",
+        "encoded_speedup",
         "ratio",
         "flatten_ms",
         "pass_ms",
@@ -52,7 +56,15 @@ MEASURED = frozenset(
 )
 
 #: Metrics compared when --metric is not given (all higher-is-better).
-DEFAULT_METRICS = ("batched_eps", "naive_eps", "raw_eps", "opt_eps")
+DEFAULT_METRICS = (
+    "batched_eps",
+    "naive_eps",
+    "encoded_eps",
+    "grouped_eps",
+    "encoded_off_eps",
+    "raw_eps",
+    "opt_eps",
+)
 
 BASELINE_DIR = (
     pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"

@@ -49,9 +49,11 @@ from repro.render.text import TextRenderer
 from repro.render.xml import XmlRenderer
 from repro.runtime.export import export_machine_module
 from repro.serve import (
+    LOG_POLICIES,
     FleetEngine,
     WorkloadSpec,
     diff_against_standalone,
+    encode_schedule,
     generate_workload,
 )
 from repro.serve.adapter import BACKENDS as SERVE_BACKENDS
@@ -236,6 +238,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="arrival pattern (default: uniform)",
     )
     serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument(
+        "--encoded",
+        action="store_true",
+        help="also measure the encoded and grouped slot-indexed dispatch "
+        "modes (events pre-interned to (slot, column) int pairs)",
+    )
+    serve_bench.add_argument(
+        "--log-policy",
+        choices=LOG_POLICIES,
+        default="full",
+        dest="log_policy",
+        help="action-log retention for the table-dispatch modes (default: "
+        "full; 'count'/'off' trade the trace away for throughput, so the "
+        "differential check is skipped for them)",
+    )
     add_engine_flag(serve_bench)
     add_opt_flag(serve_bench)
 
@@ -425,7 +442,14 @@ def _optimize(args) -> int:
 
 
 def _serve_bench(args) -> int:
-    """Run one naive-vs-batched fleet comparison and print the result."""
+    """Run one fleet dispatch-mode comparison and print the result.
+
+    ``naive`` and ``batched`` are always measured; ``--encoded`` adds the
+    ``encoded`` and ``grouped`` slot-indexed modes, whose schedules are
+    interned to ``(slot, column)`` pairs once, outside the timed region.
+    ``--log-policy`` applies to every table-dispatch mode; reduced
+    policies retain no trace, so their rows skip the differential check.
+    """
     import time
 
     machine = CommitModel(args.replication_factor).generate_state_machine(
@@ -443,11 +467,15 @@ def _serve_bench(args) -> int:
         f"machine {machine.name} [{args.engine}]: {len(machine)} states; "
         f"workload {args.workload}: {args.instances} instances, "
         f"{len(events)} events, {args.shards} shards, "
-        f"backend {args.backend}{opt_note}"
+        f"backend {args.backend}, log {args.log_policy}{opt_note}"
     )
 
+    modes = ["naive", "batched"]
+    if args.encoded:
+        modes += ["encoded", "grouped"]
     elapsed: dict[str, float] = {}
-    for mode in ("naive", "batched"):
+    for mode in modes:
+        policy = "full" if mode == "naive" else args.log_policy
         fleet = FleetEngine(
             machine,
             shards=args.shards,
@@ -455,24 +483,41 @@ def _serve_bench(args) -> int:
             mode=mode,
             auto_recycle=True,
             optimize=args.opt,
+            log_policy=policy,
         )
         keys = fleet.spawn_many(args.instances)
-        started = time.perf_counter()
-        fleet.run(events)
+        if mode in ("encoded", "grouped"):
+            pairs = encode_schedule(fleet, events)
+            started = time.perf_counter()
+            fleet.run_encoded(pairs)
+        else:
+            started = time.perf_counter()
+            fleet.run(events)
         elapsed[mode] = time.perf_counter() - started
-        mismatched = diff_against_standalone(fleet, keys, events)
+        if policy == "full":
+            mismatched = diff_against_standalone(fleet, keys, events)
+            verdict = "ok" if not mismatched else "MISMATCH"
+        else:
+            mismatched = []
+            verdict = f"skipped (log {policy})"
         metrics = fleet.metrics
         print(
-            f"  {mode:8s} {metrics.events_per_sec(elapsed[mode]):>12,.0f} ev/s  "
+            f"  {mode:8s} "
+            f"{metrics.events_per_second(elapsed[mode]):>12,.0f} ev/s  "
             f"({elapsed[mode]:.3f}s, {metrics.transitions_fired} fired, "
             f"{metrics.events_ignored} ignored, "
             f"{metrics.instances_recycled} recycled, "
-            f"differential {'ok' if not mismatched else 'MISMATCH'})"
+            f"differential {verdict})"
         )
         if mismatched:
             print(f"  {len(mismatched)} mismatched traces", file=sys.stderr)
             return 1
-    print(f"  speedup  {elapsed['naive'] / elapsed['batched']:.2f}x")
+    print(f"  speedup  {elapsed['naive'] / elapsed['batched']:.2f}x (batched/naive)")
+    if args.encoded:
+        print(
+            f"  encoded  {elapsed['batched'] / elapsed['encoded']:.2f}x batched, "
+            f"grouped {elapsed['batched'] / elapsed['grouped']:.2f}x batched"
+        )
     return 0
 
 

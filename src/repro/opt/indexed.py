@@ -194,6 +194,37 @@ class IndexedMachine:
         machine.check_integrity()
         return machine
 
+    def jump_arrays(self, auto_recycle: bool = False) -> tuple[list[int], list]:
+        """Specialise the IR into the serve plane's two hot-loop arrays.
+
+        ``jump[offset]`` is the next state premultiplied by the alphabet
+        width (``-1``: message inapplicable), so the dispatch loop is
+        ``offset = premultiplied_state + column; next = jump[offset]``.
+        ``acts[offset]`` is the transition's stripped action-name tuple.
+        Under ``auto_recycle`` a protocol-completing transition instead
+        jumps straight to the premultiplied start state and carries the
+        ``None`` sentinel in ``acts`` (its actions would be wiped by the
+        immediate ``reset()`` anyway, exactly as in a standalone replay).
+        """
+        width = len(self.messages)
+        start = self.start * width
+        final = self.final
+        stripped = tuple(strip_action_prefix(a) for a in self.actions)
+        seq_names = tuple(tuple(stripped[a] for a in seq) for seq in self.action_seqs)
+        jump: list[int] = []
+        acts: list = []
+        for offset, target in enumerate(self.next_state):
+            if target < 0:
+                jump.append(-1)
+                acts.append(())
+            elif auto_recycle and final[target]:
+                jump.append(start)
+                acts.append(None)
+            else:
+                jump.append(target * width)
+                acts.append(seq_names[self.action_seq[offset]])
+        return jump, acts
+
     def dispatch_table(self) -> FlatDispatchTable:
         """Export the IR as the fleet plane's :class:`FlatDispatchTable`.
 

@@ -23,10 +23,16 @@ from repro.serve.differential import (
 from repro.serve.fleet import DISPATCH_MODES, FleetEngine, FleetSnapshot
 from repro.serve.mailbox import Mailbox, OverflowPolicy
 from repro.serve.metrics import FleetMetrics
-from repro.serve.store import InstanceSnapshot, InstanceStore, shard_of
+from repro.serve.store import (
+    LOG_POLICIES,
+    InstanceSnapshot,
+    InstanceStore,
+    shard_of,
+)
 from repro.serve.workload import (
     SCENARIOS,
     WorkloadSpec,
+    encode_schedule,
     generate_workload,
     session_keys,
 )
@@ -40,12 +46,14 @@ __all__ = [
     "FleetSnapshot",
     "InstanceSnapshot",
     "InstanceStore",
+    "LOG_POLICIES",
     "Mailbox",
     "OverflowPolicy",
     "SCENARIOS",
     "WorkloadSpec",
     "diff_against_hierarchical",
     "diff_against_standalone",
+    "encode_schedule",
     "generate_workload",
     "hierarchical_traces",
     "make_backend",

@@ -9,11 +9,14 @@ and reports mismatches; the test suite and ``bench_serve`` both use it.
 
 The comparison is only meaningful when the fleet dropped nothing — use
 unbounded mailboxes (or check ``metrics.events_dropped == 0``) before
-trusting a clean result.
+trusting a clean result — and when the fleet retains full action logs:
+fleets running a reduced ``log_policy`` (``count`` / ``off``) have no
+trace to compare, so the harness rejects them up front.
 """
 
 from __future__ import annotations
 
+from repro.core.errors import DeploymentError
 from repro.core.machine import StateMachine
 from repro.runtime.interp import MachineInterpreter
 from repro.serve.store import InstanceSnapshot
@@ -78,6 +81,16 @@ def hierarchical_traces(
     )
 
 
+def _require_full_logs(fleet) -> None:
+    """Reject fleets whose log policy retains no comparable trace."""
+    policy = getattr(fleet, "log_policy", "full")
+    if policy != "full":
+        raise DeploymentError(
+            f"differential comparison needs log_policy='full'; the fleet "
+            f"runs {policy!r} and retains no action logs to compare"
+        )
+
+
 def _trace_matches(actual: InstanceSnapshot, expected: InstanceSnapshot, state_map):
     """Whether a fleet trace matches an oracle trace.
 
@@ -103,6 +116,7 @@ def diff_against_hierarchical(fleet, model, keys, events) -> list[str]:
     flattened machine served at fleet scale (modulo the fleet's
     ``state_map`` when it served an optimized machine).
     """
+    _require_full_logs(fleet)
     expected = hierarchical_traces(
         model, keys, events, auto_recycle=fleet.auto_recycle
     )
@@ -123,6 +137,7 @@ def diff_against_standalone(fleet, keys, events) -> list[str]:
     fleet is observationally identical to single-instance runs (modulo
     ``state_map`` for fleets serving merged machines).
     """
+    _require_full_logs(fleet)
     expected = standalone_traces(
         fleet.machine, keys, events, auto_recycle=fleet.auto_recycle
     )

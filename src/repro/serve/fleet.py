@@ -5,45 +5,61 @@ state machine; this module is the production-scale counterpart: it hosts
 thousands-to-millions of instances of one generated machine, partitioned
 by session key across shards, and dispatches events in batches.
 
-Two dispatch modes expose the architectural choice the benchmarks measure:
+Four dispatch modes expose the architectural spectrum the benchmarks
+measure — each step removes one more layer of per-event work:
 
 * ``naive`` — every event is delivered individually to a per-instance
   backend object (a :class:`~repro.runtime.interp.MachineInterpreter` or a
   compiled generated-class instance, selected by ``backend``): one full
   protocol walk per event.
-* ``batched`` — events are queued and whole batches are dispatched in one
-  pass over the machine's precomputed
-  :class:`~repro.core.machine.FlatDispatchTable`, specialised at fleet
-  construction into two flat arrays: ``jump`` (premultiplied next-state
-  offset, ``-1`` when the message is inapplicable) and ``acts`` (the
-  transition's action tuple, with ``None`` marking a protocol-completing
-  transition when auto-recycling).  Per event the loop does one dict
-  lookup, one addition, two list indexings — no interpreter walk, no
-  method dispatch.
+* ``batched`` — events are queued as ``(key, message)`` string pairs and
+  whole batches are dispatched in one pass over the ``jump``/``acts``
+  arrays specialised from the shared
+  :class:`~repro.opt.IndexedMachine` IR.  Per event the loop still pays
+  one key-dict probe and one message-dict probe.
+* ``encoded`` — events are *interned at intake*: the session key resolves
+  to its dense store slot and the message to its column id once, so
+  mailboxes and arrival batches carry ``(slot, column)`` int pairs and
+  the inner loop is pure int arithmetic on two flat arrays
+  (``offset = states[slot] + column; next = jump[offset]``) — no hashing,
+  no string in sight.
+* ``grouped`` — the encoded loop, with each batch first split into
+  *rounds* (round *r* holds every slot's *r*-th event, preserving
+  per-instance order exactly) and each round sorted by column, so the
+  ``jump`` rows are walked in sequential column order.
 
-Both modes produce identical per-instance state/action traces (the
+All modes produce identical per-instance state/action traces (the
 differential tests assert this against standalone interpreter replays), so
-the batched plane is a pure throughput optimisation.
+the batched/encoded planes are pure throughput optimisations.
+
+``log_policy`` controls what the hot loop does with fired actions —
+per-event tuple appends dominate profile time at 10k+ instances:
+``full`` (default) retains every action chunk and is required for traces,
+snapshots and differential comparison; ``count`` keeps only a per-slot
+count of performed actions; ``off`` mutates nothing per event.
 
 Event intake is two-tier.  :meth:`FleetEngine.post` routes single events
 into per-shard bounded :class:`~repro.serve.mailbox.Mailbox` queues —
 backpressure domain per shard, with *shed* (drop and count) or *block*
 (drain inline, the synchronous form of blocking the producer) overflow
 policies — and :meth:`FleetEngine.drain_shard` dispatches a shard's queue
-in one pass.  :meth:`FleetEngine.run` additionally treats an already
-materialised event list as one arrival batch: when no mailbox bound is
-configured there is nothing for per-shard queueing to enforce in a single
-process, so the batch is dispatched directly against the sharded store's
-global session index, skipping the per-event routing hash entirely.
+in one pass.  Routing never re-hashes an interned key: the shard id is
+memoized per slot at spawn time.  :meth:`FleetEngine.run` additionally
+treats an already materialised event list as one arrival batch (encoded
+once, for the encoded modes); :meth:`FleetEngine.run_encoded` accepts a
+schedule that is *already* ``(slot, column)`` pairs, so a generator can
+pay the interning cost once per workload instead of once per run.
 
 Snapshot/restore captures every instance's ``(key, state, action log)``
 for recycling and failover; recycling itself rides the ``reset()``
-protocol both backends implement.
+protocol both backends implement, and :meth:`FleetEngine.despawn` returns
+an instance's slot to the store's free list for reuse.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Optional
 
 from repro.core.errors import DeploymentError
@@ -54,9 +70,7 @@ from repro.serve.adapter import BACKENDS, make_backend
 from repro.serve.mailbox import Mailbox, OverflowPolicy
 from repro.serve.metrics import FleetMetrics
 from repro.serve.store import (
-    ACTIONS,
-    BACKEND,
-    STATE,
+    LOG_POLICIES,
     InstanceSnapshot,
     InstanceStore,
     shard_of,
@@ -64,7 +78,12 @@ from repro.serve.store import (
 from repro.serve.workload import session_keys
 
 #: Event dispatch modes.
-DISPATCH_MODES = ("naive", "batched")
+DISPATCH_MODES = ("naive", "batched", "encoded", "grouped")
+
+#: Modes whose mailboxes and arrival batches carry ``(slot, column)`` pairs.
+_ENCODED_MODES = frozenset({"encoded", "grouped"})
+
+_BY_COLUMN = itemgetter(1)
 
 
 @dataclass(frozen=True)
@@ -95,6 +114,7 @@ class FleetEngine:
         auto_recycle: bool = False,
         cache: Optional[GeneratedCodeCache] = None,
         optimize=None,
+        log_policy: str = "full",
     ):
         if mode not in DISPATCH_MODES:
             raise DeploymentError(
@@ -104,10 +124,21 @@ class FleetEngine:
             raise DeploymentError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}"
             )
+        if log_policy not in LOG_POLICIES:
+            raise DeploymentError(
+                f"unknown log policy {log_policy!r}; choose from {LOG_POLICIES}"
+            )
+        if mode == "naive" and log_policy != "full":
+            raise DeploymentError(
+                "naive-mode backends always retain their action logs; "
+                f"log_policy {log_policy!r} needs a table-dispatch mode"
+            )
         self._machine = machine
         self._mode = mode
+        self._encoded_intake = mode in _ENCODED_MODES
         self._backend_kind = backend
         self._auto_recycle = auto_recycle
+        self._log_policy = log_policy
         # The shared indexed IR is the fleet's source of truth: the
         # dispatch arrays are specialised from its int arrays, and an
         # optimize= pipeline (a repro.opt.PassPipeline, a level, or a
@@ -126,61 +157,28 @@ class FleetEngine:
         self._columns = self._table.message_index
         self._final = self._table.final
         self._start = self._indexed.start * self._width
-        # The specialised jump/acts arrays are only read by the batched
-        # dispatch loop; naive fleets execute through backend objects.
-        if mode == "batched":
-            self._jump, self._acts = self._specialise_table()
-        else:
+        # The specialised jump/acts arrays serve every table-dispatch
+        # mode; naive fleets execute through backend objects instead.
+        if mode == "naive":
             self._jump = self._acts = None
-        # Backend objects only exist on the naive path; the batched path
-        # executes instances as (premultiplied state, action log) records.
-        # Naive backends run the *serving* (optimized) machine so both
+        else:
+            self._jump, self._acts = self._indexed.jump_arrays(auto_recycle)
+        # Backend objects only exist on the naive path; the table modes
+        # execute instances as columns of the slot-indexed store.
+        # Naive backends run the *serving* (optimized) machine so all
         # modes report identical state names under one optimize setting.
         self._adapter = (
             make_backend(backend, self.serving_machine, cache)
             if mode == "naive"
             else None
         )
-        self._store = InstanceStore(self._table, shards=shards)
+        self._store = InstanceStore(self._table, shards=shards, log_policy=log_policy)
         self._mailboxes = [
             Mailbox(capacity=mailbox_capacity, policy=overflow)
             for _ in range(shards)
         ]
         self._bounded = mailbox_capacity is not None
         self.metrics = FleetMetrics()
-
-    def _specialise_table(self) -> tuple[list[int], list]:
-        """Specialise the indexed IR into the two hot-loop arrays.
-
-        ``jump[offset]`` is the next state premultiplied by the alphabet
-        width (``-1``: message inapplicable).  ``acts[offset]`` is the
-        action tuple; under auto-recycling a protocol-completing
-        transition instead jumps straight to the start state and carries
-        the ``None`` sentinel (its actions would be wiped by the
-        immediate ``reset()`` anyway, exactly as in a standalone replay).
-
-        Works from ``self._table`` — itself specialised straight from the
-        shared :class:`~repro.opt.IndexedMachine` arrays, so action names
-        arrive already stripped by the shared
-        :func:`~repro.core.machine.strip_action_prefix` contract.
-        """
-        table = self._table
-        width = self._width
-        final = table.final
-        auto = self._auto_recycle
-        jump: list[int] = []
-        acts: list = []
-        for entry in table.entries:
-            if entry is None:
-                jump.append(-1)
-                acts.append(())
-            elif auto and final[entry[0]]:
-                jump.append(self._start)
-                acts.append(None)
-            else:
-                jump.append(entry[0] * width)
-                acts.append(entry[1])
-        return jump, acts
 
     # ------------------------------------------------------------------
     # introspection
@@ -231,6 +229,10 @@ class FleetEngine:
         return self._auto_recycle
 
     @property
+    def log_policy(self) -> str:
+        return self._log_policy
+
+    @property
     def shard_count(self) -> int:
         return self._store.shard_count
 
@@ -262,11 +264,12 @@ class FleetEngine:
     # instance lifecycle
     # ------------------------------------------------------------------
 
-    def spawn(self, key: str) -> None:
-        """Create one instance at the machine's start state."""
+    def spawn(self, key: str) -> int:
+        """Create one instance at the machine's start state; returns its slot."""
         backend = self._adapter.new_instance() if self._adapter is not None else None
-        self._store.spawn(key, backend)
+        slot = self._store.spawn(key, backend)
         self.metrics.instances_spawned += 1
+        return slot
 
     def spawn_many(self, count: int, prefix: str = "session") -> list[str]:
         """Create ``count`` instances with generated session keys.
@@ -279,51 +282,120 @@ class FleetEngine:
             self.spawn(key)
         return keys
 
+    def despawn(self, key: str) -> None:
+        """Remove one instance; its slot returns to the free list for reuse.
+
+        Events still queued for the key are *not* purged: on the
+        string-keyed path they surface as unknown-instance rejects at
+        dispatch; on the encoded path, pairs already interned for the
+        slot would be delivered to the slot's next occupant — drain
+        before despawning when traffic may be in flight.
+        """
+        self._store.release(key)
+        self.metrics.instances_released += 1
+
     def recycle(self, key: str) -> None:
         """Return one instance to the start state (the ``reset()`` protocol)."""
-        rec = self._store.locate(key)
+        store = self._store
+        slot = store.slot(key)
         if self._mode == "naive":
-            rec[BACKEND].reset()
+            store.backends[slot].reset()
         else:
-            rec[STATE] = self._start
-            rec[ACTIONS].clear()
+            store.states[slot] = self._start
+            if self._log_policy == "full":
+                store.logs[slot].clear()
+            elif self._log_policy == "count":
+                store.counts[slot] = 0
         self.metrics.instances_recycled += 1
+
+    def state_name(self, key: str) -> str:
+        """The instance's current state name (works under every log policy)."""
+        slot = self._store.slot(key)
+        if self._mode == "naive":
+            return self._store.backends[slot].get_state()
+        return self._table.state_names[self._store.states[slot] // self._width]
+
+    def action_count(self, key: str) -> int:
+        """Number of actions the instance has performed since its last reset.
+
+        Available under ``full`` (counted from the retained log) and
+        ``count`` (the per-slot counter); ``off`` retains nothing.
+        """
+        store = self._store
+        slot = store.slot(key)
+        if self._mode == "naive":
+            return len(store.backends[slot].sent)
+        if self._log_policy == "full":
+            return sum(len(chunk) for chunk in store.logs[slot])
+        if self._log_policy == "count":
+            return store.counts[slot]
+        raise DeploymentError(
+            "log_policy 'off' retains no action information; "
+            "use 'count' or 'full'"
+        )
 
     def trace(self, key: str) -> InstanceSnapshot:
         """The instance's current state name and full action log."""
-        rec = self._store.locate(key)
+        store = self._store
+        slot = store.slot(key)
         if self._mode == "naive":
-            instance = rec[BACKEND]
+            instance = store.backends[slot]
             return InstanceSnapshot(key, instance.get_state(), tuple(instance.sent))
+        if self._log_policy != "full":
+            raise DeploymentError(
+                f"log_policy {self._log_policy!r} does not retain action "
+                "logs; traces and snapshots need log_policy='full'"
+            )
         return InstanceSnapshot(
             key,
-            self._table.state_names[rec[STATE] // self._width],
-            tuple(action for chunk in rec[ACTIONS] for action in chunk),
+            self._table.state_names[store.states[slot] // self._width],
+            tuple(action for chunk in store.logs[slot] for action in chunk),
         )
 
     def is_finished(self, key: str) -> bool:
         """Whether the instance has reached a final state."""
-        rec = self._store.locate(key)
+        slot = self._store.slot(key)
         if self._mode == "naive":
-            return rec[BACKEND].is_finished()
-        return self._final[rec[STATE] // self._width]
+            return self._store.backends[slot].is_finished()
+        return self._final[self._store.states[slot] // self._width]
 
     # ------------------------------------------------------------------
     # event intake
     # ------------------------------------------------------------------
 
-    def post(self, key: str, message: str) -> bool:
-        """Queue one event for batched dispatch; returns acceptance.
+    def encode(self, events) -> list[tuple[int, int]]:
+        """Intern ``(key, message)`` events to ``(slot, column)`` pairs.
 
-        Routing is a stable hash of the key; existence of the instance and
-        validity of the message are checked at dispatch time, keeping the
-        intake path to a hash, a bound check and an append.  Under the
-        ``block`` policy a full mailbox is drained inline (the synchronous
-        form of blocking the producer) and the event is then accepted.
+        The encoded serve path's batch half: keys resolve through the
+        store's intern table and messages through the IR's message index
+        exactly once, so :meth:`run_encoded` downstream never touches a
+        string.  Slot ids are fleet-specific — encode against the fleet
+        that will run the schedule.  Unknown keys or messages raise one
+        :class:`~repro.core.errors.DeploymentError` naming them.
         """
-        shard_id = shard_of(key, len(self._mailboxes))
+        pairs, rejected = self._encode_batch(events)
+        if rejected:
+            self._raise_rejected(rejected)
+        return pairs
+
+    def _encode_batch(self, events):
+        """``(pairs, rejected)`` — bad events are collected, not raised."""
+        slot_of = self._store.slot_of
+        columns = self._columns
+        pairs: list[tuple[int, int]] = []
+        rejected: list[tuple[str, str]] = []
+        append = pairs.append
+        for key, message in events:
+            try:
+                append((slot_of[key], columns[message]))
+            except KeyError:
+                rejected.append((key, message))
+        return pairs, rejected
+
+    def _offer(self, shard_id: int, event) -> bool:
+        """Offer one event to a shard mailbox, applying the overflow policy."""
         mailbox = self._mailboxes[shard_id]
-        if mailbox.offer((key, message)):
+        if mailbox.offer(event):
             self.metrics.events_offered += 1
             return True
         if mailbox.policy is OverflowPolicy.BLOCK:
@@ -333,28 +405,63 @@ class FleetEngine:
             try:
                 self.drain_shard(shard_id)
             finally:
-                mailbox.offer((key, message))
+                mailbox.offer(event)
                 self.metrics.events_offered += 1
             return True
         self.metrics.events_dropped += 1
         return False
+
+    def post(self, key: str, message: str) -> bool:
+        """Queue one event for batched dispatch; returns acceptance.
+
+        Routing never re-hashes an interned key: the slot lookup yields
+        the shard id memoized at spawn time (unknown keys fall back to
+        the hash so the existence error still surfaces at dispatch, on
+        the right shard).  In the encoded modes the event is interned
+        here — the mailbox carries a ``(slot, column)`` pair — so an
+        unknown key or message raises at intake instead.  Under the
+        ``block`` policy a full mailbox is drained inline (the
+        synchronous form of blocking the producer) and the event is then
+        accepted.
+        """
+        store = self._store
+        slot = store.slot_of.get(key)
+        if self._encoded_intake:
+            if slot is None:
+                raise DeploymentError(f"unknown instance {key!r}")
+            try:
+                event = (slot, self._columns[message])
+            except KeyError:
+                raise DeploymentError(f"unknown message {message!r}") from None
+            return self._offer(store.shard_ids[slot], event)
+        shard_id = (
+            store.shard_ids[slot]
+            if slot is not None
+            else shard_of(key, len(self._mailboxes))
+        )
+        return self._offer(shard_id, (key, message))
 
     def deliver(self, key: str, message: str) -> bool:
         """Dispatch one event immediately, bypassing the mailboxes.
 
         This is the per-event path — full routing, dispatch and metrics
         accounting for a single event; in ``naive`` mode one complete
-        backend protocol walk.  Returns whether a transition fired.
+        backend protocol walk.  Returns whether a transition fired.  An
+        unknown instance and an unknown message both raise
+        :class:`~repro.core.errors.DeploymentError`, whatever the mode
+        or backend.
         """
-        rec = self._store.locate(key)
+        store = self._store
+        slot = store.slot(key)
         metrics = self.metrics
         if self._mode == "naive":
-            instance = rec[BACKEND]
+            instance = store.backends[slot]
             try:
                 fired = instance.receive(message)
-            except ValueError as exc:
+            except (ValueError, DeploymentError) as exc:
                 # Compiled generated classes raise raw ValueError for an
-                # unknown message; normalise to the API's error type.
+                # unknown message, the interpreter its own DeploymentError;
+                # normalise both to one API error shape.
                 raise DeploymentError(f"unknown message {message!r}") from exc
             metrics.events_dispatched += 1
             if fired:
@@ -366,7 +473,7 @@ class FleetEngine:
                 metrics.events_ignored += 1
             return fired
         try:
-            offset = rec[STATE] + self._columns[message]
+            offset = store.states[slot] + self._columns[message]
         except KeyError:
             raise DeploymentError(f"unknown message {message!r}") from None
         metrics.events_dispatched += 1
@@ -375,18 +482,33 @@ class FleetEngine:
             metrics.events_ignored += 1
             return False
         acts = self._acts[offset]
+        policy = self._log_policy
         if acts:
-            rec[ACTIONS].append(acts)
+            if policy == "full":
+                store.logs[slot].append(acts)
+            elif policy == "count":
+                store.counts[slot] += len(acts)
         elif acts is None:
-            rec[ACTIONS].clear()
+            if policy == "full":
+                store.logs[slot].clear()
+            elif policy == "count":
+                store.counts[slot] = 0
             metrics.instances_recycled += 1
-        rec[STATE] = next_state
+        store.states[slot] = next_state
         metrics.transitions_fired += 1
         return True
 
     # ------------------------------------------------------------------
     # batched dispatch
     # ------------------------------------------------------------------
+
+    def _raise_rejected(self, rejected: list[tuple[str, str]]) -> None:
+        shown = ", ".join(f"({k!r}, {m!r})" for k, m in rejected[:3])
+        suffix = f" (+{len(rejected) - 3} more)" if len(rejected) > 3 else ""
+        raise DeploymentError(
+            f"dispatch rejected {len(rejected)} event(s) with unknown "
+            f"instance or message: {shown}{suffix}"
+        )
 
     def _dispatch(self, batch) -> None:
         """Dispatch a batch of ``(key, message)`` events in one pass.
@@ -398,6 +520,7 @@ class FleetEngine:
         programming error is still loud, but never loses valid traffic.
         """
         metrics = self.metrics
+        store = self._store
         ignored = 0
         recycled = 0
         rejected: list[tuple[str, str]] = []
@@ -405,42 +528,15 @@ class FleetEngine:
         # loop exactly after a failing event, at zero cost to the hot path.
         events = iter(batch)
         key = message = None
-        if self._mode == "batched":
-            index = self._store.index
-            columns = self._columns
-            jump = self._jump
-            acts_table = self._acts
-            while True:
-                try:
-                    # rec[0] is STATE, rec[1] is ACTIONS: literal indices keep
-                    # the loop free of global-name lookups.
-                    for key, message in events:
-                        rec = index[key]
-                        offset = rec[0] + columns[message]
-                        next_state = jump[offset]
-                        if next_state >= 0:
-                            acts = acts_table[offset]
-                            if acts:
-                                rec[1].append(acts)
-                            elif acts is None:
-                                rec[1].clear()
-                                recycled += 1
-                            rec[0] = next_state
-                        else:
-                            ignored += 1
-                    break
-                except KeyError:
-                    rejected.append((key, message))
-            fired = len(batch) - len(rejected) - ignored
-        else:
-            index = self._store.index
+        if self._mode == "naive":
+            slot_of = store.slot_of
+            backends = store.backends
             auto = self._auto_recycle
             fired = 0
             while True:
                 try:
-                    # rec[2] is BACKEND (see store record layout).
                     for key, message in events:
-                        instance = index[key][2]
+                        instance = backends[slot_of[key]]
                         if instance.receive(message):
                             fired += 1
                             if auto and instance.is_finished():
@@ -451,17 +547,138 @@ class FleetEngine:
                     break
                 except (KeyError, ValueError, DeploymentError):
                     rejected.append((key, message))
+        elif self._log_policy == "full":
+            slot_of = store.slot_of
+            states = store.states
+            logs = store.logs
+            columns = self._columns
+            jump = self._jump
+            acts_table = self._acts
+            while True:
+                try:
+                    for key, message in events:
+                        slot = slot_of[key]
+                        offset = states[slot] + columns[message]
+                        next_state = jump[offset]
+                        if next_state >= 0:
+                            acts = acts_table[offset]
+                            if acts:
+                                logs[slot].append(acts)
+                            elif acts is None:
+                                logs[slot].clear()
+                                recycled += 1
+                            states[slot] = next_state
+                        else:
+                            ignored += 1
+                    break
+                except KeyError:
+                    rejected.append((key, message))
+            fired = len(batch) - len(rejected) - ignored
+        else:
+            # count/off policies share the encoded inner loops: intern the
+            # batch (collecting bad events), then run pure int dispatch.
+            pairs, rejected = self._encode_batch(batch)
+            self._dispatch_pairs(pairs)
+            if rejected:
+                self._raise_rejected(rejected)
+            return
         metrics.events_dispatched += len(batch) - len(rejected)
         metrics.transitions_fired += fired
         metrics.events_ignored += ignored
         metrics.instances_recycled += recycled
         if rejected:
-            shown = ", ".join(f"({k!r}, {m!r})" for k, m in rejected[:3])
-            suffix = f" (+{len(rejected) - 3} more)" if len(rejected) > 3 else ""
-            raise DeploymentError(
-                f"dispatch rejected {len(rejected)} event(s) with unknown "
-                f"instance or message: {shown}{suffix}"
-            )
+            self._raise_rejected(rejected)
+
+    def _group_rounds(self, pairs) -> list[list]:
+        """Split an encoded batch into column-sorted rounds.
+
+        Round *r* holds every slot's *r*-th event of the batch, so
+        per-slot event order is preserved exactly; within a round every
+        slot appears at most once, so sorting the round by column is
+        free of ordering hazards and turns the ``jump`` access pattern
+        sequential (all events of one message column dispatch together).
+        """
+        rounds: list[list] = []
+        occurrence: dict[int, int] = {}
+        get = occurrence.get
+        for pair in pairs:
+            slot = pair[0]
+            nth = get(slot, 0)
+            occurrence[slot] = nth + 1
+            if nth == len(rounds):
+                rounds.append([])
+            rounds[nth].append(pair)
+        for rnd in rounds:
+            rnd.sort(key=_BY_COLUMN)
+        return rounds
+
+    def _dispatch_pairs(self, pairs) -> None:
+        """Dispatch a batch of pre-encoded ``(slot, column)`` pairs."""
+        if self._mode == "grouped":
+            for rnd in self._group_rounds(pairs):
+                self._run_pairs(rnd)
+        else:
+            self._run_pairs(pairs)
+
+    def _run_pairs(self, pairs) -> None:
+        """The encoded hot loop: pure int arithmetic on two flat arrays.
+
+        Pairs are trusted (interned by :meth:`encode` / :meth:`post`), so
+        there is no error path inside the loop; the three variants differ
+        only in what they do with a fired transition's actions.
+        """
+        metrics = self.metrics
+        store = self._store
+        states = store.states
+        jump = self._jump
+        acts_table = self._acts
+        ignored = 0
+        recycled = 0
+        policy = self._log_policy
+        if policy == "full":
+            logs = store.logs
+            for slot, col in pairs:
+                offset = states[slot] + col
+                next_state = jump[offset]
+                if next_state >= 0:
+                    acts = acts_table[offset]
+                    if acts:
+                        logs[slot].append(acts)
+                    elif acts is None:
+                        logs[slot].clear()
+                        recycled += 1
+                    states[slot] = next_state
+                else:
+                    ignored += 1
+        elif policy == "count":
+            counts = store.counts
+            for slot, col in pairs:
+                offset = states[slot] + col
+                next_state = jump[offset]
+                if next_state >= 0:
+                    acts = acts_table[offset]
+                    if acts:
+                        counts[slot] += len(acts)
+                    elif acts is None:
+                        counts[slot] = 0
+                        recycled += 1
+                    states[slot] = next_state
+                else:
+                    ignored += 1
+        else:  # "off": no per-event log mutation at all
+            for slot, col in pairs:
+                offset = states[slot] + col
+                next_state = jump[offset]
+                if next_state >= 0:
+                    if acts_table[offset] is None:
+                        recycled += 1
+                    states[slot] = next_state
+                else:
+                    ignored += 1
+        metrics.events_dispatched += len(pairs)
+        metrics.transitions_fired += len(pairs) - ignored
+        metrics.events_ignored += ignored
+        metrics.instances_recycled += recycled
 
     def drain_shard(self, shard_id: int) -> int:
         """Dispatch every queued event of one shard in a single pass."""
@@ -471,7 +688,10 @@ class FleetEngine:
         # The batch is drained at this point, so it counts even when
         # _dispatch raises for bad events after processing the rest.
         self.metrics.batches_drained += 1
-        self._dispatch(batch)
+        if self._encoded_intake:
+            self._dispatch_pairs(batch)
+        else:
+            self._dispatch(batch)
         return len(batch)
 
     def drain_all(self) -> int:
@@ -493,17 +713,16 @@ class FleetEngine:
         return total
 
     def run(self, events) -> FleetMetrics:
-        """Feed a whole workload through the engine's dispatch mode.
+        """Feed a whole ``(key, message)`` workload through the engine.
 
-        Both modes first drain anything already queued (FIFO with
-        previously posted traffic), then dispatch ``events`` as one
-        arrival batch when the mailboxes are unbounded, or route them
-        through :meth:`post`/:meth:`drain_all` when a capacity bound (and
-        its overflow policy) is in force — intake is mode-independent, so
-        bounded fleets shed/block identically in both modes.  Inside the
-        batch, ``naive`` still performs one full backend protocol walk
-        per event (the baseline the benchmarks measure) while ``batched``
-        runs the flat-table loop.
+        Every mode first drains anything already queued (FIFO with
+        previously posted traffic), then dispatches ``events`` as one
+        arrival batch when the mailboxes are unbounded — encoded once
+        for the encoded modes, with bad events collected and raised
+        after the valid traffic dispatched — or routes them through
+        :meth:`post`/:meth:`drain_all` when a capacity bound (and its
+        overflow policy) is in force: intake is mode-independent, so
+        bounded fleets shed/block identically in every mode.
         """
         self.drain_all()
         if not self._bounded:
@@ -511,11 +730,18 @@ class FleetEngine:
             if batch:
                 self.metrics.events_offered += len(batch)
                 self.metrics.batches_drained += 1
-                self._dispatch(batch)
+                if self._encoded_intake:
+                    pairs, rejected = self._encode_batch(batch)
+                    self._dispatch_pairs(pairs)
+                    if rejected:
+                        self._raise_rejected(rejected)
+                else:
+                    self._dispatch(batch)
             return self.metrics
-        # Bounded: identical intake for both modes — capacity and overflow
-        # policy apply the same way, so bounded naive and bounded batched
-        # fleets shed/block identically and stay trace-identical.  Errors
+        # Bounded: identical intake for every mode — capacity and overflow
+        # policy apply the same way, so bounded fleets shed/block
+        # identically and stay trace-identical across modes.  Errors from
+        # intake (encoded modes reject unknown keys/messages at post) and
         # from inline drains (bad queued events under BLOCK) are collected
         # so they never strand the traffic still to be posted.
         errors: list[str] = []
@@ -533,6 +759,36 @@ class FleetEngine:
             raise DeploymentError("; ".join(errors))
         return self.metrics
 
+    def run_encoded(self, pairs) -> FleetMetrics:
+        """Feed a pre-encoded ``(slot, column)`` schedule through the engine.
+
+        The zero-string serve path: the schedule comes from
+        :meth:`encode` (or
+        :func:`repro.serve.workload.encode_schedule`) against *this*
+        fleet — slot ids are fleet-specific — and dispatch goes straight
+        to the int hot loop.  Only the encoded modes accept pairs; pairs
+        are trusted, exactly as documented on :meth:`encode`.
+        """
+        if not self._encoded_intake:
+            raise DeploymentError(
+                f"run_encoded needs an encoded dispatch mode ('encoded' or "
+                f"'grouped'); this fleet dispatches {self._mode!r}"
+            )
+        self.drain_all()
+        if not self._bounded:
+            batch = pairs if isinstance(pairs, list) else list(pairs)
+            if batch:
+                self.metrics.events_offered += len(batch)
+                self.metrics.batches_drained += 1
+                self._dispatch_pairs(batch)
+            return self.metrics
+        shard_ids = self._store.shard_ids
+        offer = self._offer
+        for pair in pairs:
+            offer(shard_ids[pair[0]], pair)
+        self.drain_all()
+        return self.metrics
+
     # ------------------------------------------------------------------
     # snapshot / restore
     # ------------------------------------------------------------------
@@ -547,13 +803,16 @@ class FleetEngine:
     def restore(self, snapshot: FleetSnapshot) -> None:
         """Rebuild the instance population from a snapshot.
 
-        The current population and any still-queued events are discarded.
-        Restoring a snapshot from a different machine raises
-        :class:`~repro.core.errors.DeploymentError`.  Snapshots taken
-        from an unoptimized fleet restore into an optimized one of the
-        same machine: state names resolve through ``state_map``, so an
-        instance parked in a merged-away state lands on the state that
-        represents it.
+        The current population — including any free slots accumulated by
+        :meth:`despawn` — and any still-queued events are discarded; the
+        snapshot's instances are interned afresh in snapshot order, so
+        per-key traces survive whatever spawn order and slot layout the
+        source fleet had.  Restoring a snapshot from a different machine
+        raises :class:`~repro.core.errors.DeploymentError`.  Snapshots
+        taken from an unoptimized fleet restore into an optimized one of
+        the same machine: state names resolve through ``state_map``, so
+        an instance parked in a merged-away state lands on the state
+        that represents it.
         """
         if snapshot.machine_name != self._machine.name:
             raise DeploymentError(
@@ -575,17 +834,24 @@ class FleetEngine:
             resolved[inst.key] = name
         for mailbox in self._mailboxes:
             mailbox.drain()
-        self._store.clear()
+        store = self._store
+        store.clear()
+        policy = self._log_policy
         for inst in snapshot.instances:
             backend = (
                 self._adapter.new_instance() if self._adapter is not None else None
             )
-            rec = self._store.spawn(inst.key, backend)
+            slot = store.spawn(inst.key, backend)
             if self._mode == "naive":
                 self._adapter.restore_instance(
                     backend, resolved[inst.key], inst.actions
                 )
             else:
-                rec[STATE] = state_index[resolved[inst.key]] * self._width
-                rec[ACTIONS] = [tuple(inst.actions)] if inst.actions else []
+                store.states[slot] = state_index[resolved[inst.key]] * self._width
+                if policy == "full":
+                    store.logs[slot] = (
+                        [tuple(inst.actions)] if inst.actions else []
+                    )
+                elif policy == "count":
+                    store.counts[slot] = len(inst.actions)
         self.metrics.snapshots_restored += 1

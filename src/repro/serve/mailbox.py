@@ -1,10 +1,13 @@
 """Bounded per-shard event queues with explicit overflow policy.
 
 Each shard of the fleet owns one :class:`Mailbox`.  Producers ``offer``
-``(session_key, message)`` events; the engine drains a whole mailbox in
-one pass (batched dispatch).  Overflow is a first-class outcome, not an
-exception path: a bounded mailbox either **sheds** the new event (drop and
-count — load shedding for best-effort traffic) or **blocks** the producer
+events — ``(session_key, message)`` string pairs on the string-keyed
+dispatch modes, pre-interned ``(slot, column)`` int pairs on the encoded
+modes, where the fleet translates at intake so the drain loop never
+hashes a string — and the engine drains a whole mailbox in one pass
+(batched dispatch).  Overflow is a first-class outcome, not an exception
+path: a bounded mailbox either **sheds** the new event (drop and count —
+load shedding for best-effort traffic) or **blocks** the producer
 (refuses the offer so the caller must drain before retrying — the
 synchronous analogue of a blocking put).
 """

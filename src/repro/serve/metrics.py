@@ -3,8 +3,11 @@
 A :class:`FleetMetrics` instance is owned by one
 :class:`~repro.serve.fleet.FleetEngine` and mutated only on its thread;
 counters are plain ints updated once per batch (not per event) so the hot
-dispatch loop stays tight.  ``events_per_sec`` is derived by the caller
-from wall-clock timing — the engine itself never reads the clock.
+dispatch loop stays tight.  The dataclass is ``slots=True``: fleets at
+10k+ instances poll metrics per batch, and a fixed layout keeps the
+counter object small and its attribute access dict-free.
+``events_per_second`` is derived from caller-measured wall-clock timing —
+the engine itself never reads the clock.
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 
 
-@dataclass
+@dataclass(slots=True)
 class FleetMetrics:
     """Aggregate counters for one fleet engine."""
 
@@ -34,6 +37,8 @@ class FleetMetrics:
     instances_spawned: int = 0
     #: Instances returned to the start state via the ``reset()`` protocol.
     instances_recycled: int = 0
+    #: Instances removed by ``despawn`` (their slots were freed for reuse).
+    instances_released: int = 0
     #: Fleet-wide snapshots taken / restored.
     snapshots_taken: int = 0
     snapshots_restored: int = 0
@@ -49,8 +54,12 @@ class FleetMetrics:
         """Deepest mailbox at the last observation (0 when never observed)."""
         return max(self.shard_depths, default=0)
 
-    def events_per_sec(self, elapsed_seconds: float) -> float:
-        """Dispatch throughput over a caller-measured interval."""
+    def events_per_second(self, elapsed_seconds: float) -> float:
+        """Dispatch throughput over a caller-measured interval.
+
+        Guards the zero/negative-duration edge (a timer that did not
+        advance) by reporting 0.0 instead of dividing by zero.
+        """
         if elapsed_seconds <= 0:
             return 0.0
         return self.events_dispatched / elapsed_seconds

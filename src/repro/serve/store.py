@@ -1,24 +1,40 @@
-"""Sharded storage of machine-instance state.
+"""Columnar, slot-indexed storage of machine-instance state.
 
-Instances are partitioned across ``N`` shards by a *stable* hash of their
-session key (CRC-32, not Python's per-process-randomised ``hash``), so the
-same key always routes to the same shard — across calls, across store
-rebuilds, and across processes.  Shards carry the membership (ordered key
-lists, used for snapshots, per-shard population counts and the per-shard
-mailbox alignment); the *dispatch* state of every instance lives in one
-process-global session index so the batched drain loop resolves a key with
-a single dict lookup, no routing hash on the hot path.
+Instances are interned to dense integer *slots* at spawn time: the
+``slot_of`` dict (key -> slot) is the only string-keyed structure, and it
+is consulted once per instance lifetime event (spawn, release, routing,
+string-keyed dispatch) — never inside the encoded hot loop, which indexes
+the flat columns directly by slot.  The columns are parallel arrays:
 
-Each instance is a three-slot record (a plain list — the hot loop indexes
-it, never attribute-accesses it):
+* ``states[slot]``    — current state, premultiplied by the message-alphabet
+  width, so a dispatch-table offset is one addition
+  (``states[slot] + column``).  A flat dense list, deliberately not an
+  ``array('i')``: the premultiplied values are small ints CPython caches
+  anyway, and ``array.__getitem__``/``__setitem__`` box/unbox on every
+  access — measured at 25-40% of the whole dispatch loop at 10k
+  instances, far more than the 4-byte-vs-pointer density buys;
+* ``shard_ids[slot]`` — the slot's CRC-32 shard, memoized at spawn so
+  routing an event for an interned key never re-hashes the key;
+* ``logs[slot]``      — the performed-action log as a list of per-transition
+  action *chunks* (``log_policy="full"``), or ``None`` when the store does
+  not retain logs (``"count"`` / ``"off"``);
+* ``counts[slot]``    — number of actions performed (``log_policy="count"``);
+* ``backends[slot]``  — the backing interpreter/compiled instance, present
+  only when the owning fleet dispatches in ``naive`` mode;
+* ``key_of[slot]``    — the session key owning the slot (``None`` while the
+  slot sits on the free list).
 
-* ``rec[STATE]``   — current state, premultiplied by the message-alphabet
-  width so a dispatch-table offset is one addition (``rec[STATE] + column``);
-* ``rec[ACTIONS]`` — the instance's performed-action log, stored as a list
-  of per-transition action *chunks* (appending one tuple per fired
-  transition is cheaper than extending; readers flatten at trace time);
-* ``rec[BACKEND]`` — the backing interpreter/compiled instance, present
-  only when the owning fleet dispatches in ``naive`` mode.
+Shard routing stays a *stable* hash of the session key (CRC-32, not
+Python's per-process-randomised ``hash``), so the same key always routes
+to the same shard — across calls, across store rebuilds, and across
+processes; ``shard_ids`` merely caches that hash per slot.  Shards carry
+the membership (ordered key lists, used for snapshots, per-shard
+population counts and the per-shard mailbox alignment).
+
+Released slots go on a free list and are reused by the next spawn, so a
+long-lived fleet with session churn keeps its columns dense; reuse always
+reinitialises the slot's state, log and backend columns — a recycled
+slot never leaks its previous occupant's action log.
 
 Snapshots capture ``(key, state name, action log)`` per instance — enough
 to rebuild an equivalent fleet on either backend for recycling/failover.
@@ -27,13 +43,18 @@ to rebuild an equivalent fleet on either backend for recycling/failover.
 from __future__ import annotations
 
 import zlib
+from array import array
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.errors import DeploymentError
 from repro.core.machine import FlatDispatchTable
 
-#: Record slots (records are plain lists for hot-loop speed).
-STATE, ACTIONS, BACKEND = 0, 1, 2
+#: Action-log retention policies.  ``full`` keeps every action chunk (the
+#: only policy under which traces, snapshots and differential comparison
+#: work); ``count`` keeps a per-slot count of performed actions; ``off``
+#: keeps nothing — the hot loop does no per-event log mutation at all.
+LOG_POLICIES = ("full", "count", "off")
 
 
 def shard_of(key: str, shards: int) -> int:
@@ -51,27 +72,57 @@ class InstanceSnapshot:
 
 
 class Shard:
-    """Membership of one partition: session keys in spawn order."""
+    """Membership of one partition: session keys in spawn order.
+
+    Backed by an insertion-ordered dict (values unused) so that both
+    spawn and release are O(1) — a churning fleet despawns sessions
+    without scanning its shard — while iteration still yields spawn
+    order for snapshots.
+    """
 
     __slots__ = ("keys",)
 
     def __init__(self) -> None:
-        self.keys: list[str] = []
+        self.keys: dict[str, None] = {}
 
     def __len__(self) -> int:
         return len(self.keys)
 
 
 class InstanceStore:
-    """All instances of one fleet: sharded membership, global dispatch index."""
+    """All instances of one fleet: columnar slot state, sharded membership."""
 
-    def __init__(self, table: FlatDispatchTable, shards: int = 8):
+    def __init__(
+        self,
+        table: FlatDispatchTable,
+        shards: int = 8,
+        log_policy: str = "full",
+    ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if log_policy not in LOG_POLICIES:
+            raise DeploymentError(
+                f"unknown log policy {log_policy!r}; choose from {LOG_POLICIES}"
+            )
         self._table = table
         self._start = table.start_index * table.width
-        #: key -> [premultiplied state, action log, backend-or-None]
-        self.index: dict[str, list] = {}
+        self.log_policy = log_policy
+        #: key -> slot intern table (consulted at spawn/route time only).
+        self.slot_of: dict[str, int] = {}
+        #: slot -> key (``None`` while the slot is on the free list).
+        self.key_of: list[Optional[str]] = []
+        #: Premultiplied state per slot (dense list — see module docstring).
+        self.states: list[int] = []
+        #: Memoized CRC-32 shard per slot (cold column: intake-time reads
+        #: only, so the compact array representation costs nothing).
+        self.shard_ids = array("i")
+        #: Action-log column (``full``) / action counters (``count``).
+        self.logs: list[Optional[list]] = []
+        self.counts = array("q")
+        #: Backend objects (naive-mode fleets only).
+        self.backends: list = []
+        #: Released slots awaiting reuse (LIFO keeps the columns dense).
+        self.free_slots: list[int] = []
         self.shards: list[Shard] = [Shard() for _ in range(shards)]
 
     @property
@@ -79,41 +130,91 @@ class InstanceStore:
         return len(self.shards)
 
     def __len__(self) -> int:
-        return len(self.index)
+        return len(self.slot_of)
 
     def __contains__(self, key: str) -> bool:
-        return key in self.index
+        return key in self.slot_of
 
     def shard_id(self, key: str) -> int:
-        """The shard a key routes to (stable across rebuilds)."""
+        """The shard a key routes to — memoized for interned keys.
+
+        Unknown keys still route (the hash is computed on the spot): the
+        fleet defers existence checks to dispatch time on the
+        string-keyed path, and the error must surface *there*, on the
+        shard the key would live on.
+        """
+        slot = self.slot_of.get(key)
+        if slot is not None:
+            return self.shard_ids[slot]
         return shard_of(key, len(self.shards))
 
     def shard_sizes(self) -> list[int]:
         """Instance population per shard."""
         return [len(shard) for shard in self.shards]
 
-    def spawn(self, key: str, backend=None) -> list:
-        """Create an instance at the start state; returns its record."""
-        if key in self.index:
-            raise DeploymentError(f"instance {key!r} already exists")
-        rec = [self._start, [], backend]
-        self.index[key] = rec
-        self.shards[shard_of(key, len(self.shards))].keys.append(key)
-        return rec
+    def spawn(self, key: str, backend=None) -> int:
+        """Create an instance at the start state; returns its slot.
 
-    def locate(self, key: str) -> list:
-        """The record for an existing key."""
+        A freed slot is reused when available; every column of the slot
+        is reinitialised, so reuse can never leak the previous
+        occupant's state, action log or backend.
+        """
+        if key in self.slot_of:
+            raise DeploymentError(f"instance {key!r} already exists")
+        shard_id = shard_of(key, len(self.shards))
+        log = [] if self.log_policy == "full" else None
+        if self.free_slots:
+            slot = self.free_slots.pop()
+            self.key_of[slot] = key
+            self.states[slot] = self._start
+            self.shard_ids[slot] = shard_id
+            self.logs[slot] = log
+            self.counts[slot] = 0
+            self.backends[slot] = backend
+        else:
+            slot = len(self.key_of)
+            self.key_of.append(key)
+            self.states.append(self._start)
+            self.shard_ids.append(shard_id)
+            self.logs.append(log)
+            self.counts.append(0)
+            self.backends.append(backend)
+        self.slot_of[key] = slot
+        self.shards[shard_id].keys[key] = None
+        return slot
+
+    def slot(self, key: str) -> int:
+        """The slot of an existing key (:class:`DeploymentError` otherwise)."""
         try:
-            return self.index[key]
+            return self.slot_of[key]
         except KeyError:
             raise DeploymentError(f"unknown instance {key!r}") from None
+
+    def release(self, key: str) -> int:
+        """Remove an instance; its slot joins the free list for reuse."""
+        slot = self.slot(key)
+        del self.slot_of[key]
+        self.key_of[slot] = None
+        self.logs[slot] = None
+        self.counts[slot] = 0
+        self.backends[slot] = None
+        del self.shards[self.shard_ids[slot]].keys[key]
+        self.free_slots.append(slot)
+        return slot
 
     def keys(self) -> list[str]:
         """All session keys, grouped by shard in spawn order."""
         return [key for shard in self.shards for key in shard.keys]
 
     def clear(self) -> None:
-        """Drop every instance (used by restore)."""
-        self.index.clear()
+        """Drop every instance and every recycled slot (used by restore)."""
+        self.slot_of.clear()
+        self.key_of = []
+        self.states = []
+        self.shard_ids = array("i")
+        self.logs = []
+        self.counts = array("q")
+        self.backends = []
+        self.free_slots = []
         for shard in self.shards:
             shard.keys.clear()

@@ -56,6 +56,20 @@ def session_keys(count: int, prefix: str = "session") -> list[str]:
     return [f"{prefix}-{i:07d}" for i in range(count)]
 
 
+def encode_schedule(fleet, schedule) -> list[tuple[int, int]]:
+    """Intern a recorded ``(key, message)`` schedule for one fleet.
+
+    The encoded serve path's generator half: session keys resolve to
+    their dense store slots and messages to their column ids *once per
+    schedule*, producing the ``(slot, column)`` int pairs that
+    ``FleetEngine.run_encoded`` dispatches without touching a string.
+    Slot ids are fleet-specific — the returned pairs are only meaningful
+    for ``fleet`` (with its current population); re-encode after a
+    restore or despawn churn.
+    """
+    return fleet.encode(schedule)
+
+
 def generate_workload(
     machine: StateMachine, spec: WorkloadSpec
 ) -> list[tuple[str, str]]:

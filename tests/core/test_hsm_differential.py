@@ -5,7 +5,8 @@ be trace-identical to the flattened machine executed through
 
 * both execution backends (interpreter, compiled generated class),
 * both flatten engines (eager, lazy),
-* and both fleet dispatch modes (naive per-event, sharded batched),
+* and the fleet dispatch-mode spectrum (naive per-event, sharded batched,
+  slot-encoded and grouped-by-column),
 
 which is exactly the ISSUE's acceptance criterion.
 """
@@ -26,7 +27,15 @@ from repro.serve import (
 )
 
 #: (fleet dispatch mode, execution backend) configurations under test.
-FLEET_CONFIGS = (("naive", "interp"), ("naive", "compiled"), ("batched", "interp"))
+#: The encoded/grouped entries exercise the slot-indexed (slot, column)
+#: dispatch plane on flattened hierarchies (backend is naive-only).
+FLEET_CONFIGS = (
+    ("naive", "interp"),
+    ("naive", "compiled"),
+    ("batched", "interp"),
+    ("encoded", "interp"),
+    ("grouped", "interp"),
+)
 
 
 def build(name):

@@ -140,7 +140,7 @@ class TestCompiledDifferential:
 
 
 @pytest.mark.parametrize("factory", BUNDLED_MACHINES)
-@pytest.mark.parametrize("mode", ["naive", "batched"])
+@pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
 class TestFleetDifferential:
     def test_optimized_fleet_matches_standalone(self, factory, mode, request):
         machine, _, _ = cached(request)

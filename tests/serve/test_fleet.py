@@ -9,10 +9,13 @@ from repro.models.termination import TerminationModel
 from repro.models.threshold_sig import ThresholdSignatureModel
 from repro.serve import (
     FleetEngine,
+    FleetMetrics,
     OverflowPolicy,
     WorkloadSpec,
     diff_against_standalone,
+    encode_schedule,
     generate_workload,
+    shard_of,
 )
 
 BUNDLED_MODELS = [
@@ -56,7 +59,34 @@ class TestDifferential:
         assert diff_against_standalone(fleet, keys, events) == []
         assert fleet.metrics.events_dispatched == len(events)
 
-    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    @pytest.mark.parametrize("model_factory", BUNDLED_MODELS)
+    @pytest.mark.parametrize("mode", ["encoded", "grouped"])
+    def test_encoded_fleet_equals_standalone(self, model_factory, mode):
+        """The slot-indexed planes are observationally string-identical."""
+        machine = machine_for(model_factory, "eager")
+        events = generate_workload(
+            machine, WorkloadSpec(instances=23, events=1_500, seed=11)
+        )
+        fleet = FleetEngine(machine, shards=5, mode=mode, auto_recycle=True)
+        keys = fleet.spawn_many(23)
+        fleet.run(events)
+        assert diff_against_standalone(fleet, keys, events) == []
+        assert fleet.metrics.events_dispatched == len(events)
+
+    @pytest.mark.parametrize("model_factory", BUNDLED_MODELS)
+    @pytest.mark.parametrize("mode", ["encoded", "grouped"])
+    def test_pre_encoded_schedule_equals_standalone(self, model_factory, mode):
+        """run_encoded on a once-interned schedule matches the replay."""
+        machine = machine_for(model_factory, "eager")
+        events = generate_workload(
+            machine, WorkloadSpec(instances=17, events=1_200, seed=29)
+        )
+        fleet = FleetEngine(machine, shards=3, mode=mode, auto_recycle=True)
+        keys = fleet.spawn_many(17)
+        fleet.run_encoded(encode_schedule(fleet, events))
+        assert diff_against_standalone(fleet, keys, events) == []
+
+    @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
     def test_without_auto_recycle(self, mode):
         machine = machine_for(lambda: CommitModel(4), "eager")
         events = generate_workload(
@@ -67,7 +97,7 @@ class TestDifferential:
         fleet.run(events)
         assert diff_against_standalone(fleet, keys, events) == []
 
-    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
     def test_posted_events_dispatch_before_bulk_run(self, mode):
         machine = machine_for(lambda: CommitModel(4), "eager")
         fleet = FleetEngine(machine, shards=2, mode=mode)
@@ -242,7 +272,7 @@ class TestLifecycle:
         assert fleet.metrics.events_dispatched == 1
         assert all(depth == 0 for depth in fleet.depths())
 
-    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
     def test_recycle_returns_to_start(self, mode):
         fleet = FleetEngine(self.machine, mode=mode)
         fleet.spawn("a")
@@ -255,7 +285,7 @@ class TestLifecycle:
         assert trace.actions == ()
         assert fleet.metrics.instances_recycled == 1
 
-    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
     def test_auto_recycle_counts_completions(self, mode):
         fleet = FleetEngine(self.machine, mode=mode, auto_recycle=True)
         fleet.spawn("a")
@@ -272,6 +302,254 @@ class TestLifecycle:
             FleetEngine(self.machine, mode="warp")
         with pytest.raises(DeploymentError):
             FleetEngine(self.machine, backend="quantum")
+        with pytest.raises(DeploymentError):
+            FleetEngine(self.machine, log_policy="verbose")
+        # Naive backends always log; reduced policies need table dispatch.
+        with pytest.raises(DeploymentError):
+            FleetEngine(self.machine, mode="naive", log_policy="off")
+
+
+class TestDeliverNormalisation:
+    """Unknown instance and unknown message raise the same API error type
+    on every mode x backend combination — never a bare KeyError/ValueError."""
+
+    def setup_method(self):
+        self.machine = machine_for(lambda: CommitModel(4), "eager")
+
+    @pytest.mark.parametrize("backend", ["interp", "compiled"])
+    @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
+    def test_deliver_unknown_instance(self, mode, backend):
+        fleet = FleetEngine(self.machine, mode=mode, backend=backend)
+        fleet.spawn("a")
+        with pytest.raises(DeploymentError, match="unknown instance"):
+            fleet.deliver("ghost", "free")
+
+    @pytest.mark.parametrize("backend", ["interp", "compiled"])
+    @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
+    def test_deliver_unknown_message(self, mode, backend):
+        fleet = FleetEngine(self.machine, mode=mode, backend=backend)
+        fleet.spawn("a")
+        with pytest.raises(DeploymentError, match="unknown message"):
+            fleet.deliver("a", "bogus")
+        # The failed delivery counted nothing and moved nothing.
+        assert fleet.metrics.events_dispatched == 0
+        assert fleet.trace("a").state == self.machine.start_state.name
+
+
+class TestEncodedIntake:
+    """The encoded modes intern events at intake: mailboxes carry
+    (slot, column) int pairs and unknown keys/messages fail fast."""
+
+    def setup_method(self):
+        self.machine = machine_for(lambda: CommitModel(4), "eager")
+
+    @pytest.mark.parametrize("mode", ["encoded", "grouped"])
+    def test_post_rejects_unknown_at_intake(self, mode):
+        fleet = FleetEngine(self.machine, shards=2, mode=mode)
+        fleet.spawn("a")
+        with pytest.raises(DeploymentError, match="unknown instance"):
+            fleet.post("ghost", "free")
+        with pytest.raises(DeploymentError, match="unknown message"):
+            fleet.post("a", "bogus")
+        assert fleet.depths() == [0, 0]
+
+    def test_mailboxes_carry_int_pairs(self):
+        fleet = FleetEngine(self.machine, shards=2, mode="encoded")
+        slot = fleet.spawn("a")
+        fleet.post("a", "free")
+        box = fleet._mailboxes[fleet.shard_id("a")]
+        assert box._queue == [(slot, fleet.indexed_machine.message_index()["free"])]
+        fleet.post("a", "update")
+        fleet.drain_all()
+        assert fleet.trace("a").actions == ("vote", "not_free")
+
+    @pytest.mark.parametrize("mode", ["encoded", "grouped"])
+    def test_run_skips_bad_events_and_reports(self, mode):
+        fleet = FleetEngine(self.machine, mode=mode)
+        fleet.spawn("a")
+        with pytest.raises(DeploymentError, match="2 event"):
+            fleet.run(
+                [("a", "bogus"), ("ghost", "free"), ("a", "free"), ("a", "update")]
+            )
+        assert fleet.trace("a").actions == ("vote", "not_free")
+        assert fleet.metrics.events_dispatched == 2
+
+    def test_encode_names_bad_events(self):
+        fleet = FleetEngine(self.machine, mode="encoded")
+        fleet.spawn("a")
+        with pytest.raises(DeploymentError, match="'ghost'"):
+            fleet.encode([("a", "free"), ("ghost", "free")])
+
+    def test_encode_matches_schedule_order(self):
+        fleet = FleetEngine(self.machine, mode="encoded")
+        fleet.spawn("a")
+        fleet.spawn("b")
+        columns = fleet.indexed_machine.message_index()
+        events = [("a", "free"), ("b", "update"), ("a", "update")]
+        assert encode_schedule(fleet, events) == [
+            (fleet._store.slot_of["a"], columns["free"]),
+            (fleet._store.slot_of["b"], columns["update"]),
+            (fleet._store.slot_of["a"], columns["update"]),
+        ]
+
+    def test_run_encoded_needs_encoded_mode(self):
+        fleet = FleetEngine(self.machine, mode="batched")
+        fleet.spawn("a")
+        with pytest.raises(DeploymentError, match="run_encoded"):
+            fleet.run_encoded([(0, 0)])
+
+    @pytest.mark.parametrize("mode", ["encoded", "grouped"])
+    def test_bounded_run_encoded_applies_policy(self, mode):
+        fleet = FleetEngine(
+            self.machine,
+            shards=1,
+            mode=mode,
+            mailbox_capacity=3,
+            overflow=OverflowPolicy.BLOCK,
+        )
+        fleet.spawn("a")
+        pairs = fleet.encode([("a", "free")] * 10)
+        fleet.run_encoded(pairs)
+        assert fleet.metrics.events_dispatched == 10
+
+    def test_bounded_shed_identical_to_batched(self):
+        results = []
+        for mode in ("batched", "encoded"):
+            fleet = FleetEngine(
+                self.machine,
+                shards=1,
+                mode=mode,
+                mailbox_capacity=2,
+                overflow=OverflowPolicy.SHED,
+            )
+            fleet.spawn("a")
+            fleet.run([("a", m) for m in ["free", "update", "vote", "vote"]])
+            results.append((fleet.trace("a"), fleet.metrics.events_dropped))
+        assert results[0] == results[1]
+
+    def test_grouped_preserves_per_instance_order(self):
+        """Column sorting must never reorder one instance's events."""
+        fleet = FleetEngine(self.machine, shards=1, mode="grouped")
+        fleet.spawn("a")
+        fleet.spawn("b")
+        # 'update' sorts before/after 'free' by column id; per-key order
+        # (free then update for a, update-only for b) must survive.
+        events = [("a", "free"), ("b", "free"), ("a", "update"), ("b", "update")]
+        fleet.run(events)
+        assert diff_against_standalone(fleet, ["a", "b"], events) == []
+
+
+class TestLogPolicies:
+    def setup_method(self):
+        self.machine = machine_for(lambda: CommitModel(4), "eager")
+        self.events = generate_workload(
+            self.machine, WorkloadSpec(instances=15, events=900, seed=21)
+        )
+        self.keys = [f"session-{i:07d}" for i in range(15)]
+
+    @pytest.mark.parametrize("mode", ["batched", "encoded", "grouped"])
+    def test_count_policy_counts_exactly(self, mode):
+        full = FleetEngine(self.machine, shards=3, mode=mode, auto_recycle=True)
+        counted = FleetEngine(
+            self.machine, shards=3, mode=mode, auto_recycle=True, log_policy="count"
+        )
+        full.spawn_many(15)
+        counted.spawn_many(15)
+        full.run(self.events)
+        counted.run(self.events)
+        for key in self.keys:
+            assert counted.action_count(key) == full.action_count(key)
+            assert counted.state_name(key) == full.state_name(key)
+        assert counted.metrics.transitions_fired == full.metrics.transitions_fired
+        assert counted.metrics.instances_recycled == full.metrics.instances_recycled
+
+    @pytest.mark.parametrize("mode", ["batched", "encoded", "grouped"])
+    def test_off_policy_tracks_states_only(self, mode):
+        full = FleetEngine(self.machine, shards=3, mode=mode, auto_recycle=True)
+        off = FleetEngine(
+            self.machine, shards=3, mode=mode, auto_recycle=True, log_policy="off"
+        )
+        full.spawn_many(15)
+        off.spawn_many(15)
+        full.run(self.events)
+        off.run(self.events)
+        for key in self.keys:
+            assert off.state_name(key) == full.state_name(key)
+        assert off.metrics.as_dict() == full.metrics.as_dict()
+        with pytest.raises(DeploymentError, match="log"):
+            off.action_count(self.keys[0])
+
+    def test_reduced_policies_reject_traces_and_snapshots(self):
+        fleet = FleetEngine(self.machine, mode="encoded", log_policy="count")
+        fleet.spawn("a")
+        with pytest.raises(DeploymentError, match="log_policy"):
+            fleet.trace("a")
+        with pytest.raises(DeploymentError, match="log_policy"):
+            fleet.snapshot()
+        with pytest.raises(DeploymentError, match="log_policy"):
+            diff_against_standalone(fleet, ["a"], [])
+
+    def test_deliver_honours_count_policy(self):
+        fleet = FleetEngine(self.machine, mode="encoded", log_policy="count")
+        fleet.spawn("a")
+        fleet.deliver("a", "free")
+        fleet.deliver("a", "update")
+        assert fleet.action_count("a") == 2
+        assert fleet.state_name("a") != self.machine.start_state.name
+
+    def test_recycle_resets_count(self):
+        fleet = FleetEngine(self.machine, mode="encoded", log_policy="count")
+        fleet.spawn("a")
+        fleet.deliver("a", "free")
+        fleet.recycle("a")
+        assert fleet.action_count("a") == 0
+        assert fleet.state_name("a") == self.machine.start_state.name
+
+
+class TestSlotRecycling:
+    def setup_method(self):
+        self.machine = machine_for(lambda: CommitModel(4), "eager")
+
+    @pytest.mark.parametrize("mode", ["naive", "batched", "encoded"])
+    def test_despawn_frees_and_reuses_slot_without_leaking(self, mode):
+        fleet = FleetEngine(self.machine, shards=4, mode=mode)
+        slot = fleet.spawn("a")
+        fleet.deliver("a", "free")
+        fleet.deliver("a", "update")
+        assert fleet.trace("a").actions == ("vote", "not_free")
+        fleet.despawn("a")
+        assert "a" not in fleet
+        assert len(fleet) == 0
+        assert fleet.metrics.instances_released == 1
+        # The reused slot starts pristine: no leaked state or action log.
+        assert fleet.spawn("b") == slot
+        trace = fleet.trace("b")
+        assert trace.state == self.machine.start_state.name
+        assert trace.actions == ()
+
+    def test_routing_is_stable_across_spawn_and_recycle(self):
+        """The memoized shard id always equals the CRC-32 contract, even
+        after despawn churn hands slots to differently-hashing keys."""
+        fleet = FleetEngine(self.machine, shards=8, mode="encoded")
+        keys = fleet.spawn_many(64)
+        for key in keys[::3]:
+            fleet.despawn(key)
+        replacements = [f"replacement-{i}" for i in range(10)]
+        for key in replacements:
+            fleet.spawn(key)
+        for key in [k for k in keys if k in fleet] + replacements:
+            assert fleet.shard_id(key) == shard_of(key, 8)
+            fleet.post(key, "free")
+        # Every posted event sits in the mailbox its key hashes to.
+        for shard_id, depth in enumerate(fleet.depths()):
+            expected = sum(
+                1
+                for k in [k for k in keys if k in fleet] + replacements
+                if shard_of(k, 8) == shard_id
+            )
+            assert depth == expected
+        fleet.drain_all()
+        assert fleet.metrics.events_dispatched == len(fleet)
 
 
 class TestBackpressure:
@@ -329,7 +607,7 @@ class TestSnapshotRestore:
             self.machine, WorkloadSpec(instances=12, events=600, seed=5)
         )
 
-    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
     def test_round_trip_resumes_identically(self, mode):
         midpoint = len(self.events) // 2
         fleet = FleetEngine(self.machine, shards=3, mode=mode, auto_recycle=True)
@@ -376,7 +654,70 @@ class TestSnapshotRestore:
         assert inst.state != self.machine.start_state.name
         assert fleet.metrics.snapshots_taken == 1
 
-    @pytest.mark.parametrize("mode", ["naive", "batched"])
+    def test_restore_into_different_spawn_order_preserves_traces(self):
+        """Slot assignment is an internal detail: a fleet whose intern
+        table grew in a different order (and through despawn churn, so
+        reused slots shuffle the layout further) must restore every
+        per-key trace exactly."""
+        fleet = FleetEngine(self.machine, shards=3, mode="encoded")
+        keys = fleet.spawn_many(12)
+        fleet.run(self.events[:300])
+        snapshot = fleet.snapshot()
+
+        other = FleetEngine(self.machine, shards=5, mode="encoded")
+        for key in reversed(keys):
+            other.spawn(key)
+        for key in keys[::4]:
+            other.despawn(key)  # punch free-list holes before the restore
+        other.restore(snapshot)
+        assert {k: other.trace(k) for k in keys} == {
+            k: fleet.trace(k) for k in keys
+        }
+        # Both fleets keep executing identically after the restore, even
+        # though their key -> slot layouts differ.
+        fleet.run(self.events[300:])
+        other.run(self.events[300:])
+        assert {k: other.trace(k) for k in keys} == {
+            k: fleet.trace(k) for k in keys
+        }
+
+    def test_restore_slot_reuse_does_not_leak_action_logs(self):
+        """A restored population re-interns from slot zero; logs of the
+        pre-restore occupants (including recycled slots) must not bleed
+        into the restored instances."""
+        fleet = FleetEngine(self.machine, shards=2, mode="encoded")
+        fleet.spawn("old-a")
+        fleet.spawn("old-b")
+        fleet.deliver("old-a", "free")
+        fleet.deliver("old-b", "free")
+        fleet.despawn("old-b")
+
+        pristine = FleetEngine(self.machine, shards=2, mode="encoded")
+        pristine.spawn("new-a")
+        pristine.spawn("new-b")
+        snapshot = pristine.snapshot()
+
+        fleet.restore(snapshot)
+        for key in ("new-a", "new-b"):
+            trace = fleet.trace(key)
+            assert trace.state == self.machine.start_state.name
+            assert trace.actions == ()
+        assert "old-a" not in fleet
+        assert len(fleet) == 2
+
+    def test_restore_across_encoded_and_string_planes(self):
+        fleet = FleetEngine(self.machine, shards=3, mode="encoded")
+        keys = fleet.spawn_many(12)
+        fleet.run(self.events[:300])
+        snapshot = fleet.snapshot()
+        for mode, backend in (("naive", "compiled"), ("batched", "interp")):
+            other = FleetEngine(self.machine, shards=4, mode=mode, backend=backend)
+            other.restore(snapshot)
+            assert {k: other.trace(k) for k in keys} == {
+                k: fleet.trace(k) for k in keys
+            }
+
+    @pytest.mark.parametrize("mode", ["naive", "batched", "encoded"])
     def test_restore_after_recycle_rewinds_recycled_instances(self, mode):
         """Restoring a snapshot whose keys were recycled *after* the
         capture must rewind them to their snapshotted state and log."""
@@ -428,5 +769,15 @@ class TestMetricsSurface:
         assert metrics.instances_spawned == 20
         as_dict = metrics.as_dict()
         assert as_dict["events_dispatched"] == 500
-        assert metrics.events_per_sec(2.0) == 250.0
-        assert metrics.events_per_sec(0) == 0.0
+        assert metrics.events_per_second(2.0) == 250.0
+
+    def test_events_per_second_guards_zero_duration(self):
+        metrics = FleetMetrics(events_dispatched=500)
+        assert metrics.events_per_second(0) == 0.0
+        assert metrics.events_per_second(-1.0) == 0.0
+        assert metrics.events_per_second(0.5) == 1000.0
+
+    def test_metrics_are_slotted(self):
+        metrics = FleetMetrics()
+        with pytest.raises(AttributeError):
+            metrics.events_dispactched = 1  # typo'd counters must not pass silently

@@ -56,9 +56,51 @@ class TestServeBenchCli:
             == 0
         )
 
+    def test_serve_bench_encoded_modes(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--instances", "30",
+                    "--events", "500",
+                    "--shards", "2",
+                    "--encoded",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "encoded" in output
+        assert "grouped" in output
+        # All four modes were differentially verified.
+        assert output.count("differential ok") == 4
+
+    def test_serve_bench_log_policy_skips_differential(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--instances", "30",
+                    "--events", "500",
+                    "--encoded",
+                    "--log-policy", "off",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        # Naive always logs fully and stays verified; the table-dispatch
+        # rows ran with logging off and say so.
+        assert output.count("differential ok") == 1
+        assert output.count("skipped (log off)") == 3
+
     def test_parser_rejects_unknown_workload(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve-bench", "--workload", "tsunami"])
+
+    def test_parser_rejects_unknown_log_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--log-policy", "verbose"])
 
     def test_parser_rejects_unknown_backend(self):
         with pytest.raises(SystemExit):
