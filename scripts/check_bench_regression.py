@@ -1,7 +1,8 @@
 """Compare a fresh benchmark artifact against its committed baseline.
 
 CI runs the ``--fast --json`` sweeps of ``bench_serve.py``,
-``bench_flatten.py`` and ``bench_opt.py`` on every push; this script
+``bench_flatten.py``, ``bench_opt.py`` and ``bench_scenario.py`` on
+every push; this script
 fails (exit 1) when any sweep configuration's throughput drops more than
 ``--threshold`` (default 30%) below the committed baseline of the same
 name under ``benchmarks/baselines/``.  It is wired into CI as a
@@ -19,9 +20,9 @@ Usage::
 Artifacts may be a bare row list, a ``{"rows": [...]}`` object
 (``BENCH_serve``), or an object holding several named row lists
 (``BENCH_flatten``'s ``flatten``/``serve``, ``BENCH_opt``'s
-``passes``/``serve``); named sections become part of each row's
-configuration key.  The default baseline is the committed artifact with
-the same file name.  Rows are matched on their configuration fields
+``passes``/``serve``, ``BENCH_scenario``'s ``rows``/``active``); named
+sections become part of each row's configuration key.  The default
+baseline is the committed artifact with the same file name.  Rows are matched on their configuration fields
 (everything except the measured floats); configurations present in only
 one file are reported but do not fail the check — sweeps are allowed to
 evolve.  Only throughput metrics (higher-is-better) are compared.
@@ -47,9 +48,13 @@ MEASURED = frozenset(
         "encoded_off_eps",
         "raw_eps",
         "opt_eps",
+        "scenario_eps",
+        "active_eps",
         "speedup",
         "encoded_speedup",
         "ratio",
+        "scenario_ratio",
+        "deliveries",
         "flatten_ms",
         "pass_ms",
     }
@@ -64,6 +69,8 @@ DEFAULT_METRICS = (
     "encoded_off_eps",
     "raw_eps",
     "opt_eps",
+    "scenario_eps",
+    "active_eps",
 )
 
 BASELINE_DIR = (

@@ -21,6 +21,8 @@ Mirrors the paper's Fig 6 usage from a shell::
                                              # pass pipeline: per-pass deltas
     repro-fsm serve-bench --instances 10000 --opt prune,merge
                                              # fleet on an optimized machine
+    repro-fsm serve-scenario --model commit --faults kill-shard --seed 7
+                                             # interacting fleet under faults
 """
 
 from __future__ import annotations
@@ -37,7 +39,10 @@ from repro.analysis.peerset_check import check_contending_updates, check_single_
 from repro.analysis.stats import format_table1, table1, table1_row
 from repro.core.pipeline import ENGINES, generate_with_engine
 from repro.models import HIERARCHICAL_MODELS, build_hierarchical_model
+from repro.models.chandra_toueg import CoordinatorRoundModel
+from repro.models.chandra_toueg import scenario_profile as ct_scenario_profile
 from repro.models.commit import CommitModel, fault_tolerance
+from repro.models.commit import scenario_profile as commit_scenario_profile
 from repro.opt import PASSES, format_pass_table, parse_opt_spec, standard_pipeline
 from repro.render.dot import DotRenderer
 from repro.render.hsm import HierarchicalDotRenderer, HierarchicalOutlineRenderer
@@ -49,12 +54,18 @@ from repro.render.text import TextRenderer
 from repro.render.xml import XmlRenderer
 from repro.runtime.export import export_machine_module
 from repro.serve import (
+    DISPATCH_MODES,
     LOG_POLICIES,
     FleetEngine,
+    ScenarioFaultPlan,
+    ScenarioSpec,
     WorkloadSpec,
     diff_against_standalone,
+    diff_fleets,
     encode_schedule,
+    generate_scenario,
     generate_workload,
+    run_scenario,
 )
 from repro.serve.adapter import BACKENDS as SERVE_BACKENDS
 from repro.serve.workload import SCENARIOS as SERVE_SCENARIOS
@@ -256,6 +267,79 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_flag(serve_bench)
     add_opt_flag(serve_bench)
 
+    serve_scenario = commands.add_parser(
+        "serve-scenario",
+        help="run an interacting timed scenario on the fleet — per-model "
+        "timers, machine-driven routing between peers, optional fault "
+        "injection — differentially checked against a naive fleet",
+    )
+    serve_scenario.add_argument(
+        "--model",
+        choices=("commit", "chandra-toueg"),
+        default="commit",
+        help="protocol to run as interacting groups (default: commit)",
+    )
+    serve_scenario.add_argument(
+        "-r",
+        "--replication-factor",
+        type=int,
+        default=4,
+        help="commit peer-set size: group size and machine parameter",
+    )
+    serve_scenario.add_argument(
+        "-n",
+        "--processes",
+        type=int,
+        default=5,
+        help="chandra-toueg process-set size: group size and machine parameter",
+    )
+    serve_scenario.add_argument(
+        "--groups", type=int, default=20, help="interacting groups (default: 20)"
+    )
+    serve_scenario.add_argument(
+        "--mode",
+        choices=DISPATCH_MODES,
+        default="encoded",
+        help="dispatch mode of the measured fleet (default: encoded)",
+    )
+    serve_scenario.add_argument(
+        "--backend", choices=SERVE_BACKENDS, default="interp"
+    )
+    serve_scenario.add_argument("--shards", type=int, default=8)
+    serve_scenario.add_argument("--seed", type=int, default=0)
+    serve_scenario.add_argument(
+        "--spread",
+        type=float,
+        default=40.0,
+        help="kick arrival window in virtual time units (default: 40)",
+    )
+    serve_scenario.add_argument(
+        "--until",
+        type=float,
+        default=600.0,
+        help="virtual time the scenario runs to (default: 600)",
+    )
+    serve_scenario.add_argument(
+        "--noise",
+        type=float,
+        default=0.0,
+        help="arbitrary-message noise as a fraction of the kick count",
+    )
+    serve_scenario.add_argument(
+        "--faults",
+        default=None,
+        metavar="KINDS",
+        help="comma-joined fault kinds from {kill-shard, drop, duplicate, "
+        "delay}: kill-shard fail-stops one shard mid-burst and restores "
+        "from snapshot; the rest disturb routed messages at 5%% each",
+    )
+    serve_scenario.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the differential check against a naive fleet",
+    )
+    add_engine_flag(serve_scenario)
+
     return parser
 
 
@@ -335,6 +419,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve-bench":
         return _serve_bench(args)
+
+    if args.command == "serve-scenario":
+        return _serve_scenario(args)
 
     if args.command == "modelcheck":
         if args.contention is not None:
@@ -518,6 +605,108 @@ def _serve_bench(args) -> int:
             f"  encoded  {elapsed['batched'] / elapsed['encoded']:.2f}x batched, "
             f"grouped {elapsed['batched'] / elapsed['grouped']:.2f}x batched"
         )
+    return 0
+
+
+#: Per-copy disturbance rate used for each requested message-fault kind.
+_SCENARIO_FAULT_RATE = 0.05
+
+
+def _parse_scenario_faults(spec: str | None, until: float):
+    """Build a :class:`ScenarioFaultPlan` from the ``--faults`` flag."""
+    if not spec:
+        return None
+    kinds = {token.strip() for token in spec.split(",") if token.strip()}
+    known = {"kill-shard", "drop", "duplicate", "delay"}
+    unknown = kinds - known
+    if unknown:
+        raise SystemExit(
+            f"unknown fault kind(s) {sorted(unknown)}; choose from {sorted(known)}"
+        )
+    rate = _SCENARIO_FAULT_RATE
+    return ScenarioFaultPlan(
+        # Mid-burst: late enough for traffic to be in flight, early
+        # enough that the replay after restore still completes.
+        kill_at=until / 3 if "kill-shard" in kinds else None,
+        drop=rate if "drop" in kinds else 0.0,
+        duplicate=rate if "duplicate" in kinds else 0.0,
+        delay=rate if "delay" in kinds else 0.0,
+    )
+
+
+def _serve_scenario(args) -> int:
+    """Run one interacting scenario, report metrics, differentially verify."""
+    import time
+
+    if args.model == "commit":
+        machine = CommitModel(args.replication_factor).generate_state_machine(
+            engine=args.engine
+        )
+        profile = commit_scenario_profile()
+        group_size = args.replication_factor
+    else:
+        machine = CoordinatorRoundModel(args.processes).generate_state_machine(
+            engine=args.engine
+        )
+        profile = ct_scenario_profile()
+        group_size = args.processes
+    faults = _parse_scenario_faults(args.faults, args.until)
+    spec = ScenarioSpec(
+        groups=args.groups,
+        group_size=group_size,
+        seed=args.seed,
+        spread=args.spread,
+        noise=args.noise,
+        until=args.until,
+    )
+    scenario = generate_scenario(machine, profile, spec, faults=faults)
+    print(
+        f"machine {machine.name} [{args.engine}]: {len(machine)} states; "
+        f"scenario: {args.groups} groups x {group_size}, "
+        f"{len(scenario.events)} timed kicks over {args.spread:g} units, "
+        f"until t={args.until:g}, seed {args.seed}, "
+        f"faults {args.faults or 'none'}"
+    )
+    fleet = FleetEngine(
+        machine, mode=args.mode, backend=args.backend, shards=args.shards
+    )
+    started = time.perf_counter()
+    engine = run_scenario(fleet, scenario)
+    elapsed = time.perf_counter() - started
+    m = engine.metrics
+    finished = sum(1 for key in scenario.topology.keys if fleet.is_finished(key))
+    print(
+        f"  [{args.mode}/{args.backend}] {m.events_delivered} deliveries in "
+        f"{elapsed:.3f}s ({m.external_delivered} external, "
+        f"{m.routed_delivered} routed, {m.timers_fired} timer) over "
+        f"{m.instants} instants"
+    )
+    print(
+        f"  timers: {m.timers_armed} armed, {m.timers_cancelled} cancelled, "
+        f"{m.timers_fired} fired; routed copies: {m.messages_routed} "
+        f"({m.messages_dropped} dropped, {m.messages_duplicated} duplicated, "
+        f"{m.messages_delayed} delayed)"
+    )
+    if m.shards_killed:
+        print(
+            f"  faults: {m.shards_killed} shard(s) killed "
+            f"({m.instances_lost} instances lost), "
+            f"{m.snapshots_restored} snapshot restore(s)"
+        )
+    print(f"  finished: {finished}/{len(scenario.topology)} instances")
+    if args.no_verify:
+        return 0
+    oracle = FleetEngine(machine, mode="naive", shards=args.shards)
+    run_scenario(oracle, scenario)
+    mismatched = diff_fleets(fleet, oracle, scenario.topology.keys)
+    if mismatched:
+        print(
+            f"  differential MISMATCH: {len(mismatched)} diverging traces "
+            f"(e.g. {mismatched[:3]})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"  differential vs naive fleet: ok ({len(scenario.topology)} traces)")
     return 0
 
 

@@ -356,3 +356,40 @@ def generate_commit_machine(
     return CommitModel(replication_factor).generate_state_machine(
         prune=prune, merge=merge
     )
+
+
+def scenario_profile(retry_after: float = 60.0, route_delay: float = 1.0):
+    """Scenario annotations making the commit peer set an interacting fleet.
+
+    A topology group plays one peer set, one FSM instance per member for
+    the same update (paper §3.1).  The protocol's peer-to-peer messages
+    become routing rules — a member's fired ``vote``/``commit`` action
+    *is* the ``vote``/``commit`` message its peers receive, and the
+    sibling-serialisation actions ``free``/``not_free`` fan out the same
+    way — so one external ``update`` + ``free`` kick pair per member
+    (``free`` grants the initial local voting permission, since
+    ``could_choose`` starts cleared) runs the whole BFT commit round
+    machine-to-machine.
+
+    The timer is the liveness mechanism: a routed ``not_free`` can land
+    between a member's ``free`` and ``update`` kicks and clear its
+    voting permission for good — with few voters the vote threshold is
+    then out of reach and the group deadlocks.  An instance parked in
+    any non-final state for ``retry_after`` virtual time units receives
+    ``free`` again (a sibling retry releasing its claim), restoring
+    permission and with it progress; members that already voted take it
+    as a no-effect self-loop.
+    """
+    from repro.serve.scenario import RouteRule, ScenarioProfile, TimerRule
+
+    return ScenarioProfile(
+        timers=(TimerRule(delay=retry_after, message="free"),),
+        routes=(
+            RouteRule("vote", "vote", delay=route_delay),
+            RouteRule("commit", "commit", delay=route_delay),
+            RouteRule("free", "free", delay=route_delay),
+            RouteRule("not_free", "not_free", delay=route_delay),
+        ),
+        kicks=("update", "free"),
+        kicks_per_member=1,
+    )

@@ -10,19 +10,36 @@ snapshot/restore, backpressure and a metrics surface
 compiled generated class — plug in through :mod:`repro.serve.adapter`;
 :mod:`repro.serve.workload` fabricates arrival patterns and
 :mod:`repro.serve.differential` proves fleet runs identical to standalone
-single-instance runs.
+single-instance runs.  :mod:`repro.serve.scenario` layers virtual time on
+top: per-model timers, machine-driven routing between instances, and
+fault injection with snapshot-replay recovery.
 """
 
 from repro.serve.adapter import BACKENDS, BackendAdapter, make_backend
 from repro.serve.differential import (
     diff_against_hierarchical,
     diff_against_standalone,
+    diff_fleets,
     hierarchical_traces,
     standalone_traces,
 )
 from repro.serve.fleet import DISPATCH_MODES, FleetEngine, FleetSnapshot
 from repro.serve.mailbox import Mailbox, OverflowPolicy
 from repro.serve.metrics import FleetMetrics
+from repro.serve.scenario import (
+    GroupTopology,
+    RouteRule,
+    Scenario,
+    ScenarioEngine,
+    ScenarioFaultPlan,
+    ScenarioMetrics,
+    ScenarioProfile,
+    ScenarioSnapshot,
+    TimedEvent,
+    TimerRule,
+    run_scenario,
+    scenario_traces,
+)
 from repro.serve.store import (
     LOG_POLICIES,
     InstanceSnapshot,
@@ -31,8 +48,10 @@ from repro.serve.store import (
 )
 from repro.serve.workload import (
     SCENARIOS,
+    ScenarioSpec,
     WorkloadSpec,
     encode_schedule,
+    generate_scenario,
     generate_workload,
     session_keys,
 )
@@ -44,19 +63,34 @@ __all__ = [
     "FleetEngine",
     "FleetMetrics",
     "FleetSnapshot",
+    "GroupTopology",
     "InstanceSnapshot",
     "InstanceStore",
     "LOG_POLICIES",
     "Mailbox",
     "OverflowPolicy",
+    "RouteRule",
     "SCENARIOS",
+    "Scenario",
+    "ScenarioEngine",
+    "ScenarioFaultPlan",
+    "ScenarioMetrics",
+    "ScenarioProfile",
+    "ScenarioSnapshot",
+    "ScenarioSpec",
+    "TimedEvent",
+    "TimerRule",
     "WorkloadSpec",
     "diff_against_hierarchical",
     "diff_against_standalone",
+    "diff_fleets",
     "encode_schedule",
+    "generate_scenario",
     "generate_workload",
     "hierarchical_traces",
     "make_backend",
+    "run_scenario",
+    "scenario_traces",
     "session_keys",
     "shard_of",
     "standalone_traces",

@@ -128,6 +128,33 @@ def diff_against_hierarchical(fleet, model, keys, events) -> list[str]:
     ]
 
 
+def diff_fleets(fleet_a, fleet_b, keys) -> list[str]:
+    """Keys whose final traces differ between two fleets.
+
+    The scenario plane's replay oracle: two fleets of *any* dispatch
+    mode/backend combination that ran the same seeded scenario must end
+    with identical per-key ``(state, action log)`` traces — including a
+    fleet that was killed and restored mid-run versus one that ran
+    undisturbed.  Both fleets must retain full logs and serve the same
+    optimization (identical ``state_map``); comparing across different
+    merges would need an inverse map that does not exist.
+    """
+    _require_full_logs(fleet_a)
+    _require_full_logs(fleet_b)
+    if getattr(fleet_a, "state_map", None) != getattr(fleet_b, "state_map", None):
+        raise DeploymentError(
+            "diff_fleets needs both fleets serving the same optimized "
+            "machine (their state_maps differ)"
+        )
+    mismatched = []
+    for key in keys:
+        a = fleet_a.trace(key)
+        b = fleet_b.trace(key)
+        if a.state != b.state or a.actions != b.actions:
+            mismatched.append(key)
+    return mismatched
+
+
 def diff_against_standalone(fleet, keys, events) -> list[str]:
     """Keys whose fleet trace differs from the standalone replay.
 

@@ -58,6 +58,7 @@ an instance's slot to the store's free list for reuse.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from operator import itemgetter
 from typing import Optional
@@ -236,6 +237,17 @@ class FleetEngine:
     def shard_count(self) -> int:
         return self._store.shard_count
 
+    @property
+    def store(self) -> InstanceStore:
+        """The columnar instance store backing this fleet.
+
+        Exposed for planes layered on top of the engine (the scenario
+        plane reads the timer columns and shard membership directly);
+        treat it as read-mostly — lifecycle goes through
+        :meth:`spawn`/:meth:`despawn`.
+        """
+        return self._store
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -334,6 +346,34 @@ class FleetEngine:
             "use 'count' or 'full'"
         )
 
+    def actions_since(self, key: str, start: int = 0) -> tuple[str, ...]:
+        """The instance's actions from index ``start`` onward, in fire order.
+
+        The incremental form of :meth:`trace` for observers that poll
+        after every batch (the scenario plane routes each *new* action
+        once): callers remember the count they have seen and pass it as
+        ``start``.  Requires a retained log — ``naive`` backends always
+        have one; table modes need ``log_policy='full'``.
+        """
+        store = self._store
+        slot = store.slot(key)
+        if self._mode == "naive":
+            return tuple(store.backends[slot].sent[start:])
+        if self._log_policy != "full":
+            raise DeploymentError(
+                f"log_policy {self._log_policy!r} does not retain action "
+                "logs; actions_since needs log_policy='full'"
+            )
+        out: list[str] = []
+        skip = start
+        for chunk in store.logs[slot]:
+            if skip >= len(chunk):
+                skip -= len(chunk)
+                continue
+            out.extend(chunk[skip:] if skip else chunk)
+            skip = 0
+        return tuple(out)
+
     def trace(self, key: str) -> InstanceSnapshot:
         """The instance's current state name and full action log."""
         store = self._store
@@ -378,6 +418,34 @@ class FleetEngine:
             self._raise_rejected(rejected)
         return pairs
 
+    def encode_flat(self, events) -> array:
+        """Intern events to a flat ``[slot, col, slot, col, ...]`` array.
+
+        The allocation-free twin of :meth:`encode`: one machine-int
+        buffer instead of one tuple per event, so a consumer holding many
+        encoded batches — the scenario wheel keeps one per future instant
+        — pays O(1) objects, not O(events), to build, keep and discard
+        each.  Same validation contract as :meth:`encode`; dispatch with
+        :meth:`run_encoded_flat`.
+        """
+        slot_of = self._store.slot_of
+        columns = self._columns
+        flat = array("q")
+        append = flat.append
+        rejected: list[tuple[str, str]] = []
+        for key, message in events:
+            try:
+                slot = slot_of[key]
+                col = columns[message]
+            except KeyError:
+                rejected.append((key, message))
+            else:
+                append(slot)
+                append(col)
+        if rejected:
+            self._raise_rejected(rejected)
+        return flat
+
     def _encode_batch(self, events):
         """``(pairs, rejected)`` — bad events are collected, not raised."""
         slot_of = self._store.slot_of
@@ -392,10 +460,10 @@ class FleetEngine:
                 rejected.append((key, message))
         return pairs, rejected
 
-    def _offer(self, shard_id: int, event) -> bool:
+    def _offer(self, shard_id: int, event, source: Optional[str] = None) -> bool:
         """Offer one event to a shard mailbox, applying the overflow policy."""
         mailbox = self._mailboxes[shard_id]
-        if mailbox.offer(event):
+        if mailbox.offer(event, source):
             self.metrics.events_offered += 1
             return True
         if mailbox.policy is OverflowPolicy.BLOCK:
@@ -405,13 +473,13 @@ class FleetEngine:
             try:
                 self.drain_shard(shard_id)
             finally:
-                mailbox.offer(event)
+                mailbox.offer(event, source)
                 self.metrics.events_offered += 1
             return True
         self.metrics.events_dropped += 1
         return False
 
-    def post(self, key: str, message: str) -> bool:
+    def post(self, key: str, message: str, source: Optional[str] = None) -> bool:
         """Queue one event for batched dispatch; returns acceptance.
 
         Routing never re-hashes an interned key: the slot lookup yields
@@ -422,7 +490,8 @@ class FleetEngine:
         unknown key or message raises at intake instead.  Under the
         ``block`` policy a full mailbox is drained inline (the
         synchronous form of blocking the producer) and the event is then
-        accepted.
+        accepted.  ``source`` tags the enqueue's provenance in the shard
+        mailbox (the scenario plane marks timed and routed traffic).
         """
         store = self._store
         slot = store.slot_of.get(key)
@@ -433,13 +502,13 @@ class FleetEngine:
                 event = (slot, self._columns[message])
             except KeyError:
                 raise DeploymentError(f"unknown message {message!r}") from None
-            return self._offer(store.shard_ids[slot], event)
+            return self._offer(store.shard_ids[slot], event, source)
         shard_id = (
             store.shard_ids[slot]
             if slot is not None
             else shard_of(key, len(self._mailboxes))
         )
-        return self._offer(shard_id, (key, message))
+        return self._offer(shard_id, (key, message), source)
 
     def deliver(self, key: str, message: str) -> bool:
         """Dispatch one event immediately, bypassing the mailboxes.
@@ -620,13 +689,17 @@ class FleetEngine:
         else:
             self._run_pairs(pairs)
 
-    def _run_pairs(self, pairs) -> None:
+    def _run_pairs(self, pairs, count: Optional[int] = None) -> None:
         """The encoded hot loop: pure int arithmetic on two flat arrays.
 
         Pairs are trusted (interned by :meth:`encode` / :meth:`post`), so
         there is no error path inside the loop; the three variants differ
-        only in what they do with a fired transition's actions.
+        only in what they do with a fired transition's actions.  ``count``
+        is required when ``pairs`` is a one-shot iterable (the flat path)
+        rather than a sized sequence.
         """
+        if count is None:
+            count = len(pairs)
         metrics = self.metrics
         store = self._store
         states = store.states
@@ -675,8 +748,8 @@ class FleetEngine:
                     states[slot] = next_state
                 else:
                     ignored += 1
-        metrics.events_dispatched += len(pairs)
-        metrics.transitions_fired += len(pairs) - ignored
+        metrics.events_dispatched += count
+        metrics.transitions_fired += count - ignored
         metrics.events_ignored += ignored
         metrics.instances_recycled += recycled
 
@@ -703,7 +776,12 @@ class FleetEngine:
         """
         total = 0
         errors: list[str] = []
-        for shard_id in range(len(self._mailboxes)):
+        for shard_id, mailbox in enumerate(self._mailboxes):
+            if not mailbox:
+                # An empty shard would drain to nothing anyway; skipping
+                # it keeps back-to-back drains (every encoded dispatch
+                # call starts with one) allocation-free.
+                continue
             try:
                 total += self.drain_shard(shard_id)
             except DeploymentError as exc:
@@ -787,6 +865,33 @@ class FleetEngine:
         for pair in pairs:
             offer(shard_ids[pair[0]], pair)
         self.drain_all()
+        return self.metrics
+
+    def run_encoded_flat(self, flat) -> FleetMetrics:
+        """Dispatch a flat ``[slot, col, ...]`` schedule (:meth:`encode_flat`).
+
+        The :meth:`run_encoded` contract, minus per-event objects: pairs
+        are formed inside ``zip``, whose result tuple the interpreter
+        recycles, so the hot loop neither allocates nor frees anything
+        per event.  Bounded and grouped fleets need real pair objects (to
+        queue, to sort into rounds) and take the :meth:`run_encoded`
+        path; ``zip`` hands them freshly materialized pairs.
+        """
+        if not self._encoded_intake:
+            raise DeploymentError(
+                f"run_encoded_flat needs an encoded dispatch mode ('encoded' "
+                f"or 'grouped'); this fleet dispatches {self._mode!r}"
+            )
+        if self._bounded or self._mode == "grouped":
+            it = iter(flat)
+            return self.run_encoded(list(zip(it, it)))
+        self.drain_all()
+        count = len(flat) // 2
+        if count:
+            self.metrics.events_offered += count
+            self.metrics.batches_drained += 1
+            it = iter(flat)
+            self._run_pairs(zip(it, it), count)
         return self.metrics
 
     # ------------------------------------------------------------------

@@ -35,7 +35,7 @@ class Mailbox:
     arbitrary tuples; the fleet enqueues ``(session_key, message)``.
     """
 
-    __slots__ = ("_queue", "capacity", "policy", "dropped", "offered")
+    __slots__ = ("_queue", "capacity", "policy", "dropped", "offered", "by_source")
 
     def __init__(
         self,
@@ -49,6 +49,12 @@ class Mailbox:
         self.policy = policy
         self.dropped = 0
         self.offered = 0
+        #: Accepted-offer tally per provenance tag (``external`` /
+        #: ``routed`` / ``timer`` — whatever the producer passes).
+        #: Untagged offers are not tallied; the scenario plane tags
+        #: every enqueue so timed and routed traffic stays attributable
+        #: per shard.
+        self.by_source: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -58,12 +64,13 @@ class Mailbox:
         """Whether the next offer would overflow."""
         return self.capacity is not None and len(self._queue) >= self.capacity
 
-    def offer(self, event) -> bool:
+    def offer(self, event, source: Optional[str] = None) -> bool:
         """Enqueue ``event``; returns whether it was accepted.
 
         On overflow, ``SHED`` counts the event as dropped and returns
         ``False``; ``BLOCK`` returns ``False`` without counting, signalling
-        the producer to drain and retry.
+        the producer to drain and retry.  ``source`` tags the accepted
+        offer's provenance in :attr:`by_source`.
         """
         if self.capacity is not None and len(self._queue) >= self.capacity:
             if self.policy is OverflowPolicy.SHED:
@@ -71,6 +78,8 @@ class Mailbox:
             return False
         self._queue.append(event)
         self.offered += 1
+        if source is not None:
+            self.by_source[source] = self.by_source.get(source, 0) + 1
         return True
 
     def drain(self) -> list:

@@ -1,0 +1,785 @@
+"""Scenario plane: timers, machine-driven routing and fault injection.
+
+The fleet plane (:mod:`repro.serve.fleet`) replays externally scripted,
+independent event streams — no notion of time, no instance ever talks to
+another, nothing fails.  This module closes that gap, the paper's actual
+deployment conditions (§4-5): generated machines ran *protocols*, with
+timeouts, peers messaging each other, and nodes crashing mid-run.
+
+Three mechanisms compose over an unmodified :class:`FleetEngine`, all
+driven by one deterministic scheduled-event wheel (the virtual clock
+lifted from :class:`repro.storage.sim.kernel.Simulator`):
+
+* **Timers** — :class:`TimerRule` declares ``after(delay, message)``
+  per model: an instance sitting in a matching state for ``delay`` units
+  of virtual time receives ``message``.  Timers are armed when a rule
+  matches the instance's observed state and cancelled on state exit,
+  tracked in the store's per-slot ``timers`` column.  Observation is
+  batch-granular: the engine inspects states between dispatch instants,
+  so a state entered and exited within one batch never arms a timer.
+* **Routing** — :class:`RouteRule` turns a fired action into traffic: when
+  an instance performs ``action``, every peer in its
+  :class:`GroupTopology` group is scheduled to receive ``message`` after
+  ``delay``.  This is what makes the commit peer set an *interacting*
+  fleet: one member's ``vote`` action becomes ``vote`` messages to its
+  peers, and the whole BFT commit round runs machine-to-machine from a
+  single external kick.
+* **Faults** — :class:`ScenarioFaultPlan` (the scenario-plane adaptation
+  of :class:`repro.storage.faults.FaultPlan`) injects failures: routed
+  messages can be dropped, duplicated or delayed (one seeded draw per
+  routed copy), and a shard can be killed mid-burst — its instances are
+  despawned fail-stop, then the whole scenario rolls back to the last
+  :class:`ScenarioSnapshot` and replays.  Because every wheel record is
+  plain data and every fault draw comes from a seeded stream captured in
+  the snapshot, the replay is exact: a killed-and-restored run converges
+  to the same per-instance traces as an undisturbed run, which is the
+  testable recovery claim (``tests/serve/test_scenario_fuzz.py``).
+
+Determinism is the load-bearing property.  The wheel orders records by
+``(time, seq)``; all records due at one virtual instant dispatch as one
+batch, in schedule order; observation (which actions fired, which states
+are current) happens engine-side between instants, reading per-instance
+data that is provably identical across dispatch modes (the differential
+guarantee of PR 2-5).  A scenario therefore produces byte-identical
+per-instance traces on ``naive``, ``batched``, ``encoded`` and
+``grouped`` fleets, on either backend — the fuzz suite's claim (a).
+
+When a profile has no timers and no routes and no faults are configured,
+the engine runs *passthrough*: externally scheduled events are grouped
+per instant at schedule time (and pre-encoded to ``(slot, column)``
+pairs for encoded fleets), so the wheel adds one heap pop per distinct
+timestamp, not per event — scenario overhead stays within a few percent
+of raw encoded throughput (gated at >= 0.8x by ``bench_scenario``).
+
+Timers, routes and faults require an observable fleet: ``naive`` mode or
+``log_policy='full'`` (actions must be countable), and
+``auto_recycle=False`` (recycling clears logs mid-run, which would break
+the seen-action bookkeeping).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.core.errors import DeploymentError, SimulationError
+from repro.serve.fleet import FleetEngine, FleetSnapshot
+from repro.serve.store import InstanceSnapshot
+from repro.storage.sim.kernel import Simulator
+
+#: Wheel-record kinds (also the mailbox provenance tags).
+EXTERNAL, ROUTED, TIMER = "external", "routed", "timer"
+_KILL, _SNAP = "kill", "snapshot"
+
+#: Record kinds that deliver a message to an instance.
+_DELIVERY_KINDS = frozenset({EXTERNAL, ROUTED, TIMER})
+
+
+@dataclass(frozen=True)
+class TimerRule:
+    """``after(delay, message)`` declared per model.
+
+    An instance observed in ``state`` (or in *any non-final* state when
+    ``state`` is ``None``) arms a timer; after ``delay`` units of
+    virtual time without leaving that state, the instance receives
+    ``message``.  Leaving the state cancels the timer.  At most one
+    timer is armed per instance — the first matching rule wins.
+    """
+
+    delay: float
+    message: str
+    state: Optional[str] = None
+
+    def __post_init__(self):
+        if self.delay <= 0:
+            raise SimulationError(f"timer delay must be > 0, got {self.delay}")
+
+
+@dataclass(frozen=True)
+class RouteRule:
+    """Fired ``action`` -> ``message`` to every group peer after ``delay``."""
+
+    action: str
+    message: str
+    delay: float = 1.0
+
+    def __post_init__(self):
+        if self.delay < 0:
+            raise SimulationError(f"route delay must be >= 0, got {self.delay}")
+
+
+@dataclass(frozen=True)
+class ScenarioProfile:
+    """A model's scenario annotations: timers, routes and kick messages.
+
+    ``kicks`` are the externally-driven messages that start the protocol
+    on one instance (``update`` + ``free`` for commit, ``estimate`` for
+    the CT coordinator round); generators send each of them, repeated
+    ``kicks_per_member`` times, to every group member at seeded times.
+    """
+
+    timers: tuple[TimerRule, ...] = ()
+    routes: tuple[RouteRule, ...] = ()
+    kicks: tuple[str, ...] = ()
+    kicks_per_member: int = 1
+
+    @property
+    def observing(self) -> bool:
+        """Whether scenarios under this profile must observe instances."""
+        return bool(self.timers or self.routes)
+
+
+class GroupTopology:
+    """Who talks to whom: disjoint groups of session keys.
+
+    Routed messages fan out to the sender's group peers — for the commit
+    protocol a group *is* a peer set (one FSM instance per member for
+    the same update), for the CT round it is the process set.  Keys are
+    unique across groups.
+    """
+
+    __slots__ = ("groups", "keys", "_peers")
+
+    def __init__(self, groups):
+        self.groups: tuple[tuple[str, ...], ...] = tuple(
+            tuple(group) for group in groups
+        )
+        self._peers: dict[str, tuple[str, ...]] = {}
+        keys: list[str] = []
+        for group in self.groups:
+            for key in group:
+                if key in self._peers:
+                    raise DeploymentError(
+                        f"key {key!r} appears in more than one topology group"
+                    )
+                self._peers[key] = tuple(k for k in group if k != key)
+                keys.append(key)
+        self.keys: tuple[str, ...] = tuple(keys)
+
+    @classmethod
+    def regular(cls, groups: int, size: int, prefix: str = "g") -> "GroupTopology":
+        """``groups`` groups of ``size`` members with generated key names."""
+        if groups < 1 or size < 1:
+            raise DeploymentError("topology needs >= 1 group of >= 1 member")
+        return cls(
+            [
+                [f"{prefix}{g:04d}-m{m}" for m in range(size)]
+                for g in range(groups)
+            ]
+        )
+
+    def peers(self, key: str) -> tuple[str, ...]:
+        """The other members of ``key``'s group (empty for unknown keys)."""
+        return self._peers.get(key, ())
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+@dataclass(frozen=True)
+class ScenarioFaultPlan:
+    """What goes wrong, when — the scenario adaptation of ``FaultPlan``.
+
+    ``storage.faults.FaultPlan`` configures per-node Byzantine behaviour
+    for the simulated storage system; this plan configures the fleet
+    analogue at scenario granularity:
+
+    * ``kill_at`` schedules a fail-stop of one shard (``kill_shard``, or
+      a seeded pick when ``None``) at the given virtual time: its
+      instances are despawned mid-burst, then the scenario restores from
+      the last snapshot and replays;
+    * ``drop`` / ``duplicate`` / ``delay`` are per-routed-copy
+      probabilities (one seeded draw decides each copy's fate; the three
+      rates must sum to <= 1); ``delay_by`` is the extra latency a
+      delayed copy suffers.
+
+    Only routed (machine-to-machine) traffic is subject to the message
+    faults — externally scheduled events are the recorded workload and
+    stay intact, which is what keeps faulty runs comparable.
+    """
+
+    kill_at: Optional[float] = None
+    kill_shard: Optional[int] = None
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_by: float = 5.0
+
+    def __post_init__(self):
+        for name in ("drop", "duplicate", "delay"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise SimulationError(f"{name} rate must be in [0, 1], got {rate}")
+        if self.drop + self.duplicate + self.delay > 1.0 + 1e-9:
+            raise SimulationError("drop + duplicate + delay rates must sum to <= 1")
+        if self.delay_by < 0:
+            raise SimulationError(f"delay_by must be >= 0, got {self.delay_by}")
+
+    @property
+    def active(self) -> bool:
+        """Whether the plan injects any fault at all."""
+        return self.kill_at is not None or self.message_faults
+
+    @property
+    def message_faults(self) -> bool:
+        """Whether routed messages are subject to drop/duplicate/delay."""
+        return (self.drop + self.duplicate + self.delay) > 0.0
+
+    @classmethod
+    def kill(cls, at: float, shard: Optional[int] = None) -> "ScenarioFaultPlan":
+        """Fail-stop one shard at virtual time ``at``."""
+        return cls(kill_at=at, kill_shard=shard)
+
+    @classmethod
+    def lossy(
+        cls, drop: float = 0.05, duplicate: float = 0.0, delay: float = 0.0
+    ) -> "ScenarioFaultPlan":
+        """A lossy network for routed traffic."""
+        return cls(drop=drop, duplicate=duplicate, delay=delay)
+
+
+@dataclass(frozen=True)
+class TimedEvent:
+    """One externally scheduled delivery: at ``time``, ``key`` gets ``message``."""
+
+    time: float
+    key: str
+    message: str
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully specified, replayable scenario (profile x topology x schedule)."""
+
+    profile: ScenarioProfile
+    topology: GroupTopology
+    events: tuple[TimedEvent, ...]
+    faults: Optional[ScenarioFaultPlan] = None
+    seed: int = 0
+    until: float = 1000.0
+    snapshot_every: Optional[float] = None
+
+
+@dataclass
+class ScenarioMetrics:
+    """Counters of everything the scenario engine did."""
+
+    instants: int = 0
+    external_delivered: int = 0
+    routed_delivered: int = 0
+    timers_fired: int = 0
+    timers_armed: int = 0
+    timers_cancelled: int = 0
+    messages_routed: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_delayed: int = 0
+    shards_killed: int = 0
+    instances_lost: int = 0
+    snapshots_taken: int = 0
+    snapshots_restored: int = 0
+
+    @property
+    def events_delivered(self) -> int:
+        """Messages delivered to instances, whatever their provenance."""
+        return self.external_delivered + self.routed_delivered + self.timers_fired
+
+    def as_dict(self) -> dict:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["events_delivered"] = self.events_delivered
+        return out
+
+
+@dataclass(frozen=True)
+class ScenarioSnapshot:
+    """Everything a scenario needs to replay from a point in virtual time.
+
+    The fleet snapshot alone is not enough: armed timers, in-flight
+    routed messages, undelivered external batches, the clock and the
+    fault stream's position all shape what happens next.  Each is
+    captured as plain data (wheel records are ``(rid, time, kind,
+    payload)`` tuples), so restoring re-creates the exact pending
+    future — any piece missing here would show up as trace divergence
+    in the kill-restore fuzz claim.
+    """
+
+    fleet: FleetSnapshot
+    now: float
+    pending: tuple[tuple, ...]
+    seen: tuple[tuple[str, int], ...]
+    rng_state: object
+
+
+class ScenarioEngine:
+    """Drive one fleet through virtual time with timers, routing and faults.
+
+    The engine owns a :class:`Simulator` wheel whose records are plain
+    data; at each distinct virtual instant it pops every due record,
+    posts the deliveries through the fleet's mailboxes (tagged with
+    their provenance), drains, and — when the profile declares timers or
+    routes — observes the touched instances to cancel/arm timers and
+    turn newly fired actions into routed traffic.  See the module
+    docstring for the determinism argument.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetEngine,
+        profile: Optional[ScenarioProfile] = None,
+        topology: Optional[GroupTopology] = None,
+        faults: Optional[ScenarioFaultPlan] = None,
+        *,
+        seed: int = 0,
+        snapshot_every: Optional[float] = None,
+        max_events: int = 1_000_000,
+    ):
+        self._fleet = fleet
+        self._profile = profile if profile is not None else ScenarioProfile()
+        self._topology = topology if topology is not None else GroupTopology(())
+        self._faults = faults if faults is not None and faults.active else None
+        self._observing = self._profile.observing
+        needs_trace = self._observing or (
+            self._faults is not None and self._faults.kill_at is not None
+        )
+        if needs_trace and fleet.mode != "naive" and fleet.log_policy != "full":
+            raise DeploymentError(
+                "scenarios with timers, routes or kill-shard faults need an "
+                "observable fleet: naive mode or log_policy='full' "
+                f"(this fleet runs {fleet.log_policy!r})"
+            )
+        if needs_trace and fleet.auto_recycle:
+            raise DeploymentError(
+                "scenarios with timers, routes or kill-shard faults cannot "
+                "run on an auto_recycle fleet: recycling clears action logs "
+                "mid-run, breaking action observation and replay"
+            )
+        self._routes: dict[str, tuple[RouteRule, ...]] = {}
+        for rule in self._profile.routes:
+            self._routes[rule.action] = self._routes.get(rule.action, ()) + (rule,)
+        self._sim = Simulator(seed)
+        self._rng = self._sim.new_rng("scenario-faults")
+        #: rid -> (record, Timer); records are (rid, time, kind, payload).
+        self._pending: dict[int, tuple] = {}
+        #: rid -> flat pre-encoded [slot, col, ...] array for external
+        #: batches (encoded passthrough only; rebuilt after restore).
+        self._pairs: dict[int, object] = {}
+        self._pre_encode = (
+            not self._observing
+            and self._faults is None
+            and fleet.mode in ("encoded", "grouped")
+        )
+        self._due: list[tuple] = []
+        #: Intern table for scheduled (key, message) tuples — engine-lived
+        #: (size is population x message alphabet, the same order as the
+        #: store's own key intern dict) so consuming a wheel record only
+        #: decrefs its payload instead of freeing one object per event on
+        #: the dispatch clock.
+        self._interned: dict[tuple, tuple] = {}
+        self._rid = itertools.count()
+        #: Actions already observed (and routed) per key.
+        self._seen: dict[str, int] = {}
+        self._cancels = 0
+        self._primed = False
+        self._kill_scheduled = False
+        self._kills_done: set[int] = set()
+        self._snap_scheduled = False
+        self._snapshot_every = snapshot_every
+        self._last_snapshot: Optional[ScenarioSnapshot] = None
+        self._delivered = 0
+        self._max_events = max_events
+        self.metrics = ScenarioMetrics()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def fleet(self) -> FleetEngine:
+        return self._fleet
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._sim.now
+
+    @property
+    def pending_records(self) -> int:
+        """Scheduled wheel records not yet fired."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # population & schedule
+    # ------------------------------------------------------------------
+
+    def spawn_topology(self) -> None:
+        """Spawn one instance per topology key (fresh fleets only)."""
+        for key in self._topology.keys:
+            self._fleet.spawn(key)
+        self._seen = dict.fromkeys(self._topology.keys, 0)
+
+    def schedule_event(self, time: float, key: str, message: str) -> None:
+        """Schedule one external delivery at absolute virtual time."""
+        self._schedule_at(time, EXTERNAL, ((key, message),))
+
+    def schedule_events(self, events) -> None:
+        """Schedule a recorded timed workload.
+
+        Events are grouped by timestamp so the wheel pays one record per
+        distinct instant, not per event; within an instant, schedule
+        order is preserved.  On encoded passthrough fleets (no timers,
+        routes or faults) each batch is pre-encoded here, once — the
+        dispatch loop then never touches a string.  Spawn the population
+        (:meth:`spawn_topology`) before scheduling on such fleets.
+        """
+        batches: dict[float, list] = {}
+        interned = self._interned
+        for event in events:
+            item = (event.key, event.message)
+            item = interned.setdefault(item, item)
+            batches.setdefault(event.time, []).append(item)
+        for time in sorted(batches):
+            batch = tuple(batches[time])
+            rid = self._schedule_at(time, EXTERNAL, batch)
+            if self._pre_encode:
+                self._pairs[rid] = self._fleet.encode_flat(batch)
+
+    def despawn(self, key: str) -> None:
+        """Remove one instance *and* its pending timed/routed traffic.
+
+        The safe form of :meth:`FleetEngine.despawn` under a scenario:
+        wheel records addressed to the key are cancelled so a timer
+        expiring after the despawn cannot be delivered to the slot's
+        next occupant.  (Despawning behind the engine's back leaves
+        those records live — their delivery then raises
+        :class:`DeploymentError`, never corrupting a reused slot.)
+        """
+        store = self._fleet.store
+        slot = store.slot(key)
+        armed = store.timers[slot]
+        if armed is not None:
+            self._cancel(armed[0])
+        for rid, (record, _) in list(self._pending.items()):
+            kind, payload = record[2], record[3]
+            if kind in (ROUTED, TIMER) and payload[0] == key:
+                self._cancel(rid)
+        self._seen.pop(key, None)
+        self._fleet.despawn(key)
+
+    # ------------------------------------------------------------------
+    # the wheel
+    # ------------------------------------------------------------------
+
+    def _schedule_at(self, time, kind, payload, rid=None) -> int:
+        if rid is None:
+            rid = next(self._rid)
+        record = (rid, time, kind, payload)
+        handle = self._sim.schedule_at(time, lambda r=record: self._fire(r))
+        self._pending[rid] = (record, handle)
+        return rid
+
+    def _schedule(self, delay, kind, payload) -> int:
+        return self._schedule_at(self._sim.now + delay, kind, payload)
+
+    def _fire(self, record) -> None:
+        self._pending.pop(record[0], None)
+        self._due.append(record)
+
+    def _cancel(self, rid) -> None:
+        entry = self._pending.pop(rid, None)
+        if entry is None:
+            return
+        entry[1].cancel()
+        self._cancels += 1
+        if self._cancels >= 4096:
+            # Cancelled entries are tombstones until popped; compact the
+            # heap periodically so long runs don't accumulate them.
+            self._sim.drain()
+            self._cancels = 0
+
+    def run(self, until: float) -> ScenarioMetrics:
+        """Advance virtual time to ``until``, processing every due instant."""
+        sim = self._sim
+        faults = self._faults
+        if faults is not None and faults.kill_at is not None:
+            if not self._kill_scheduled:
+                self._schedule_at(faults.kill_at, _KILL, faults.kill_shard)
+                self._kill_scheduled = True
+            if self._last_snapshot is None:
+                self.snapshot()
+        if self._snapshot_every is not None and not self._snap_scheduled:
+            self._schedule(self._snapshot_every, _SNAP, None)
+            self._snap_scheduled = True
+        if self._observing and not self._primed:
+            self._primed = True
+            self._observe(self._fleet.store.keys())
+        while True:
+            t = sim.next_time()
+            if t > until:  # inf when the wheel is empty
+                break
+            del self._due[:]
+            while sim.next_time() == t:
+                sim.step()
+            self._process(tuple(self._due))
+        sim.run(until=until)
+        return self.metrics
+
+    def _process(self, due) -> None:
+        metrics = self.metrics
+        metrics.instants += 1
+        observing = self._observing
+        deliveries: list[tuple] = []  # (kind, key, message) — observing only
+        batches: list[tuple] = []  # raw (key, message) payloads — passthrough
+        pair_lists: list = []
+        timer_payloads: list[tuple] = []
+        kills: list[tuple] = []
+        snaps = 0
+        delivered = 0
+        for rid, _time, kind, payload in due:
+            if kind == EXTERNAL:
+                delivered += len(payload)
+                metrics.external_delivered += len(payload)
+                if observing:
+                    deliveries.extend((EXTERNAL, k, m) for k, m in payload)
+                else:
+                    batches.append(payload)
+                    pair_lists.append(self._pairs.pop(rid, None))
+            elif kind == ROUTED:
+                delivered += 1
+                metrics.routed_delivered += 1
+                if observing:
+                    deliveries.append((ROUTED, payload[0], payload[1]))
+                else:
+                    batches.append((payload,))
+                    pair_lists.append(None)
+            elif kind == TIMER:
+                delivered += 1
+                metrics.timers_fired += 1
+                timer_payloads.append(payload)
+                if observing:
+                    deliveries.append((TIMER, payload[0], payload[1]))
+                else:
+                    batches.append((payload,))
+                    pair_lists.append(None)
+            elif kind == _KILL:
+                if rid not in self._kills_done:
+                    kills.append((rid, payload))
+            else:  # _SNAP
+                snaps += 1
+        self._delivered += delivered
+        if self._delivered > self._max_events:
+            raise SimulationError(
+                f"scenario exceeded event budget of {self._max_events} "
+                "deliveries — routing livelock?"
+            )
+        if deliveries:
+            self._dispatch(deliveries, timer_payloads)
+        elif batches:
+            self._passthrough(batches, pair_lists)
+        for _ in range(snaps):
+            self.snapshot()
+            if self._snapshot_every is not None:
+                self._schedule(self._snapshot_every, _SNAP, None)
+        for rid, shard in kills:
+            self._kills_done.add(rid)
+            self._kill(shard)
+
+    def _passthrough(self, batches, pair_lists) -> None:
+        """One instant's arrivals with no observation: a single fleet call.
+
+        When the whole instant was pre-encoded at schedule time its flat
+        slot/column array goes straight to
+        :meth:`FleetEngine.run_encoded_flat` — the usual one-record
+        instant without even a copy — so passthrough pays the raw encoded
+        per-event cost plus one heap pop per distinct timestamp.
+        Anything not interned (naive/batched fleets, records added via
+        :meth:`schedule_event`) falls back to the string path.
+        """
+        fleet = self._fleet
+        if None not in pair_lists:
+            flat = pair_lists[0]
+            for extra in pair_lists[1:]:
+                flat = flat + extra
+            fleet.run_encoded_flat(flat)
+        else:
+            fleet.run([pair for batch in batches for pair in batch])
+
+    def _dispatch(self, deliveries, timer_payloads) -> None:
+        fleet = self._fleet
+        post = fleet.post
+        for kind, key, message in deliveries:
+            post(key, message, source=kind)
+        fleet.drain_all()
+        # A fired timer is no longer armed: clear its column mark before
+        # observation (which may immediately re-arm it — periodic timers).
+        store = fleet.store
+        for key, _message in timer_payloads:
+            slot = store.slot_of.get(key)
+            if slot is not None and store.timers[slot] is not None:
+                store.timers[slot] = None
+        self._observe(dict.fromkeys(key for _, key, _m in deliveries))
+
+    # ------------------------------------------------------------------
+    # observation: timers armed/cancelled, actions routed
+    # ------------------------------------------------------------------
+
+    def _timer_rule(self, state: str, finished: bool) -> Optional[TimerRule]:
+        for rule in self._profile.timers:
+            if rule.state is None:
+                if not finished:
+                    return rule
+            elif rule.state == state:
+                return rule
+        return None
+
+    def _observe(self, keys) -> None:
+        fleet = self._fleet
+        store = fleet.store
+        metrics = self.metrics
+        slot_of = store.slot_of
+        timers_col = store.timers
+        has_timers = bool(self._profile.timers)
+        routes = self._routes
+        seen = self._seen
+        for key in keys:
+            slot = slot_of.get(key)
+            if slot is None:
+                continue
+            state = fleet.state_name(key)
+            armed = timers_col[slot]
+            if armed is not None and armed[1] != state:
+                self._cancel(armed[0])
+                timers_col[slot] = None
+                armed = None
+                metrics.timers_cancelled += 1
+            if has_timers and armed is None:
+                rule = self._timer_rule(state, fleet.is_finished(key))
+                if rule is not None:
+                    rid = self._schedule(rule.delay, TIMER, (key, rule.message))
+                    timers_col[slot] = (rid, state)
+                    metrics.timers_armed += 1
+            if routes:
+                total = fleet.action_count(key)
+                done = seen.get(key, 0)
+                if total > done:
+                    seen[key] = total
+                    for action in fleet.actions_since(key, done):
+                        for rule in routes.get(action, ()):
+                            self._route(key, rule)
+
+    def _route(self, key: str, rule: RouteRule) -> None:
+        metrics = self.metrics
+        faults = self._faults
+        lossy = faults is not None and faults.message_faults
+        for peer in self._topology.peers(key):
+            metrics.messages_routed += 1
+            delay = rule.delay
+            copies = 1
+            if lossy:
+                draw = self._rng.random()
+                if draw < faults.drop:
+                    metrics.messages_dropped += 1
+                    continue
+                if draw < faults.drop + faults.duplicate:
+                    metrics.messages_duplicated += 1
+                    copies = 2
+                elif draw < faults.drop + faults.duplicate + faults.delay:
+                    metrics.messages_delayed += 1
+                    delay += faults.delay_by
+            for _ in range(copies):
+                self._schedule(delay, ROUTED, (peer, rule.message))
+
+    # ------------------------------------------------------------------
+    # faults & recovery
+    # ------------------------------------------------------------------
+
+    def _kill(self, shard: Optional[int]) -> None:
+        metrics = self.metrics
+        if shard is None:
+            shard = self._rng.randrange(self._fleet.shard_count)
+        store = self._fleet.store
+        victims = list(store.shards[shard].keys)
+        metrics.shards_killed += 1
+        metrics.instances_lost += len(victims)
+        # Fail-stop: the shard's instances vanish mid-burst, taking their
+        # armed timers and addressed traffic down with them.
+        for key in victims:
+            self.despawn(key)
+        snap = self._last_snapshot
+        if snap is None:
+            raise DeploymentError(
+                "kill-shard fired with no scenario snapshot to restore from"
+            )
+        self.restore(snap)
+
+    def snapshot(self) -> ScenarioSnapshot:
+        """Capture the scenario at the current instant (fleet + future)."""
+        pending = tuple(
+            record
+            for record, _handle in sorted(
+                self._pending.values(), key=lambda e: (e[0][1], e[0][0])
+            )
+        )
+        snap = ScenarioSnapshot(
+            fleet=self._fleet.snapshot(),
+            now=self._sim.now,
+            pending=pending,
+            seen=tuple(sorted(self._seen.items())),
+            rng_state=self._rng.getstate(),
+        )
+        self._last_snapshot = snap
+        self.metrics.snapshots_taken += 1
+        return snap
+
+    def restore(self, snap: ScenarioSnapshot) -> None:
+        """Rewind the whole scenario — fleet, clock, pending future, rng."""
+        fleet = self._fleet
+        fleet.restore(snap.fleet)
+        sim = self._sim
+        sim.reset()
+        sim.run(until=snap.now)
+        self._pending.clear()
+        del self._due[:]
+        self._pairs.clear()
+        self._cancels = 0
+        for record in snap.pending:
+            rid, time, kind, payload = record
+            self._schedule_at(time, kind, payload, rid=rid)
+            if kind == EXTERNAL and self._pre_encode:
+                self._pairs[rid] = fleet.encode_flat(payload)
+        self._seen = dict(snap.seen)
+        self._rng.setstate(snap.rng_state)
+        # Re-mark armed timers: every pending TIMER record corresponds to
+        # a slot-level arm in the restored population.
+        store = fleet.store
+        for rid, _time, kind, payload in snap.pending:
+            if kind == TIMER:
+                slot = store.slot_of.get(payload[0])
+                if slot is not None:
+                    store.timers[slot] = (rid, fleet.state_name(payload[0]))
+        self._last_snapshot = snap
+        self.metrics.snapshots_restored += 1
+
+
+def run_scenario(fleet: FleetEngine, scenario: Scenario) -> ScenarioEngine:
+    """Spawn, schedule and run one :class:`Scenario` on a fresh fleet."""
+    engine = ScenarioEngine(
+        fleet,
+        scenario.profile,
+        scenario.topology,
+        scenario.faults,
+        seed=scenario.seed,
+        snapshot_every=scenario.snapshot_every,
+    )
+    engine.spawn_topology()
+    engine.schedule_events(scenario.events)
+    engine.run(scenario.until)
+    return engine
+
+
+def scenario_traces(
+    fleet: FleetEngine, scenario: Scenario
+) -> dict[str, InstanceSnapshot]:
+    """Run a scenario and return every topology key's final trace."""
+    run_scenario(fleet, scenario)
+    return {key: fleet.trace(key) for key in scenario.topology.keys}

@@ -22,7 +22,12 @@ the flat columns directly by slot.  The columns are parallel arrays:
 * ``backends[slot]``  — the backing interpreter/compiled instance, present
   only when the owning fleet dispatches in ``naive`` mode;
 * ``key_of[slot]``    — the session key owning the slot (``None`` while the
-  slot sits on the free list).
+  slot sits on the free list);
+* ``timers[slot]``    — the armed scenario timer as an ``(rid, armed_state)``
+  pair (``None`` when no timer is armed).  Owned by the scenario plane
+  (:mod:`repro.serve.scenario`): ``rid`` identifies the pending wheel
+  record and ``armed_state`` the state name the timer was armed in, so
+  the engine can cancel on state exit with one column read.
 
 Shard routing stays a *stable* hash of the session key (CRC-32, not
 Python's per-process-randomised ``hash``), so the same key always routes
@@ -121,6 +126,8 @@ class InstanceStore:
         self.counts = array("q")
         #: Backend objects (naive-mode fleets only).
         self.backends: list = []
+        #: Armed scenario timer per slot — ``(rid, armed_state)`` or ``None``.
+        self.timers: list = []
         #: Released slots awaiting reuse (LIFO keeps the columns dense).
         self.free_slots: list[int] = []
         self.shards: list[Shard] = [Shard() for _ in range(shards)]
@@ -171,6 +178,7 @@ class InstanceStore:
             self.logs[slot] = log
             self.counts[slot] = 0
             self.backends[slot] = backend
+            self.timers[slot] = None
         else:
             slot = len(self.key_of)
             self.key_of.append(key)
@@ -179,6 +187,7 @@ class InstanceStore:
             self.logs.append(log)
             self.counts.append(0)
             self.backends.append(backend)
+            self.timers.append(None)
         self.slot_of[key] = slot
         self.shards[shard_id].keys[key] = None
         return slot
@@ -198,6 +207,7 @@ class InstanceStore:
         self.logs[slot] = None
         self.counts[slot] = 0
         self.backends[slot] = None
+        self.timers[slot] = None
         del self.shards[self.shard_ids[slot]].keys[key]
         self.free_slots.append(slot)
         return slot
@@ -215,6 +225,7 @@ class InstanceStore:
         self.logs = []
         self.counts = array("q")
         self.backends = []
+        self.timers = []
         self.free_slots = []
         for shard in self.shards:
             shard.keys.clear()

@@ -70,6 +70,81 @@ def encode_schedule(fleet, schedule) -> list[tuple[int, int]]:
     return fleet.encode(schedule)
 
 
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Parameters of a generated timed scenario (see ``generate_scenario``)."""
+
+    #: Topology shape: ``groups`` disjoint groups of ``group_size`` members.
+    groups: int = 4
+    group_size: int = 4
+    seed: int = 0
+    #: Kick arrival window: each kick lands on an integer tick in
+    #: ``[0, spread)`` — several events share an instant, so the wheel
+    #: batches them.
+    spread: float = 40.0
+    #: Extra arbitrary-message events, as a fraction of the kick count
+    #: (exercises the ignored-event path under timed delivery).
+    noise: float = 0.0
+    #: Virtual time the scenario runs to (must cover routing cascades
+    #: and timer fires seeded inside the arrival window).
+    until: float = 400.0
+    snapshot_every: float | None = None
+
+
+def generate_scenario(machine: StateMachine, profile, spec: ScenarioSpec, faults=None):
+    """Produce a :class:`~repro.serve.scenario.Scenario` for ``machine``.
+
+    The timed analogue of :func:`generate_workload`: a regular group
+    topology, ``profile.kicks_per_member`` kick messages per member at
+    seeded integer ticks inside the arrival window, plus a seeded
+    fraction of arbitrary-message noise.  Everything downstream (timer
+    fires, routed fan-out, fault draws) is derived deterministically by
+    the scenario engine from the returned schedule and ``spec.seed``.
+    """
+    # Imported here, not at module top: the fleet engine imports this
+    # module, and the scenario plane sits above the fleet.
+    from repro.serve.scenario import GroupTopology, Scenario, TimedEvent
+
+    if spec.groups < 1 or spec.group_size < 1:
+        raise SimulationError("scenario needs >= 1 group of >= 1 member")
+    if spec.spread < 1:
+        raise SimulationError("scenario spread must be >= 1 tick")
+    if not 0.0 <= spec.noise <= 1.0:
+        raise SimulationError("noise must be in [0, 1]")
+    if not profile.kicks:
+        raise SimulationError(
+            "profile declares no kick messages; generate_scenario needs some"
+        )
+    topology = GroupTopology.regular(spec.groups, spec.group_size)
+    rng = random.Random(spec.seed)
+    ticks = int(spec.spread)
+    events = [
+        TimedEvent(float(rng.randrange(ticks)), key, kick)
+        for key in topology.keys
+        for _ in range(profile.kicks_per_member)
+        for kick in profile.kicks
+    ]
+    messages = machine.dispatch_table().messages
+    for _ in range(int(spec.noise * len(events))):
+        events.append(
+            TimedEvent(
+                float(rng.randrange(ticks)),
+                topology.keys[rng.randrange(len(topology.keys))],
+                messages[rng.randrange(len(messages))],
+            )
+        )
+    events.sort(key=lambda event: event.time)
+    return Scenario(
+        profile=profile,
+        topology=topology,
+        events=tuple(events),
+        faults=faults,
+        seed=spec.seed,
+        until=spec.until,
+        snapshot_every=spec.snapshot_every,
+    )
+
+
 def generate_workload(
     machine: StateMachine, spec: WorkloadSpec
 ) -> list[tuple[str, str]]:

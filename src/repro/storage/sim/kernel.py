@@ -165,6 +165,51 @@ class Simulator:
             return float("inf")
         return self._queue[0].time
 
+    def next_time(self) -> float:
+        """Virtual time of the next pending event (``inf`` when idle).
+
+        Cancelled entries at the head of the heap are discarded on the
+        way, so peeking is also a partial cleanup.
+        """
+        return self._next_time()
+
     def pending_events(self) -> int:
         """Number of scheduled, uncancelled events."""
         return sum(1 for entry in self._queue if not entry.cancelled)
+
+    # ------------------------------------------------------------------
+    # reuse
+    # ------------------------------------------------------------------
+
+    def drain(self) -> int:
+        """Compact the heap by dropping cancelled tombstones; returns count.
+
+        ``Timer.cancel`` only marks an entry — the ``_Scheduled`` record
+        stays in the heap until its time is popped.  A long-lived caller
+        that arms and cancels timers at a high rate (the fleet scenario
+        plane cancels one timer per observed state change) would
+        otherwise accumulate tombstones without bound.  Draining
+        preserves the live entries and their (time, seq) order.
+        """
+        before = len(self._queue)
+        if before == 0:
+            return 0
+        self._queue = [entry for entry in self._queue if not entry.cancelled]
+        heapq.heapify(self._queue)
+        return before - len(self._queue)
+
+    def reset(self) -> None:
+        """Return to virtual time zero with an empty queue.
+
+        Every scheduled entry — live or cancelled — is discarded, the
+        clock and the processed-event counter rewind, and the primary
+        random stream is re-seeded, so a reset simulator replays exactly
+        like a freshly constructed one with the same seed.  Streams
+        already handed out by :meth:`new_rng` are unaffected (they are
+        derived from the seed, not from this object).
+        """
+        self._queue.clear()
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._rng = random.Random(self._seed)
+        self.events_processed = 0

@@ -1,0 +1,80 @@
+"""Shared fixtures for the serve test suite.
+
+Every serve test used to hand-roll the same three lines: build a model,
+generate its machine, construct a ``FleetEngine``.  The fixtures here
+centralise that: ``machines`` resolves a bundled model name to a
+session-cached generated machine (generation is the expensive step), and
+``make_fleet`` builds a fleet on top of it with one call.
+"""
+
+import pytest
+
+from repro.models.chandra_toueg import CoordinatorRoundModel
+from repro.models.commit import CommitModel
+from repro.models.termination import TerminationModel
+from repro.models.threshold_sig import ThresholdSignatureModel
+from repro.serve import FleetEngine
+
+#: Bundled model factories by short name, as used by ``make_fleet(model=...)``.
+MODEL_FACTORIES = {
+    "commit": lambda: CommitModel(replication_factor=4),
+    "chandra-toueg": lambda: CoordinatorRoundModel(processes=5),
+    "termination": lambda: TerminationModel(max_tasks=3),
+    "threshold-sig": lambda: ThresholdSignatureModel(signers=4, threshold=3),
+}
+
+#: Parametrisation list covering every bundled model.
+BUNDLED_MODELS = [
+    pytest.param("commit", id="commit-r4"),
+    pytest.param("chandra-toueg", id="chandra-toueg-n5"),
+    pytest.param("termination", id="termination-t3"),
+    pytest.param("threshold-sig", id="threshold-sig-4of3"),
+]
+
+_MACHINES: dict = {}
+
+
+def machine_for(model: str = "commit", engine: str = "eager"):
+    """Session-cached generated machine per (model name, generation engine)."""
+    key = (model, engine)
+    if key not in _MACHINES:
+        _MACHINES[key] = MODEL_FACTORIES[model]().generate_state_machine(
+            engine=engine
+        )
+    return _MACHINES[key]
+
+
+@pytest.fixture(scope="session")
+def machines():
+    """Callable ``machines(model, engine)`` -> session-cached machine."""
+    return machine_for
+
+
+@pytest.fixture(scope="session")
+def make_fleet():
+    """Factory: ``make_fleet(model, dispatch, backend, log_policy, **kw)``.
+
+    ``model`` is a bundled model name (see ``MODEL_FACTORIES``) or an
+    already-generated machine; remaining keyword arguments pass through
+    to ``FleetEngine``.
+    """
+
+    def factory(
+        model="commit",
+        dispatch: str = "batched",
+        backend: str = "interp",
+        log_policy: str = "full",
+        *,
+        engine: str = "eager",
+        **kwargs,
+    ) -> FleetEngine:
+        machine = model if not isinstance(model, str) else machine_for(model, engine)
+        return FleetEngine(
+            machine,
+            mode=dispatch,
+            backend=backend,
+            log_policy=log_policy,
+            **kwargs,
+        )
+
+    return factory

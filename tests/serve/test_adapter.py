@@ -6,15 +6,11 @@ from repro.core.errors import DeploymentError
 from repro.models.commit import CommitModel
 from repro.runtime.cache import GeneratedCodeCache
 from repro.serve import make_backend
-
-_MACHINE = None
+from tests.serve.conftest import machine_for
 
 
 def commit_machine():
-    global _MACHINE
-    if _MACHINE is None:
-        _MACHINE = CommitModel(4).generate_state_machine()
-    return _MACHINE
+    return machine_for("commit")
 
 
 class TestBackendAdapter:

@@ -3,12 +3,7 @@
 import pytest
 
 from repro.core.errors import DeploymentError
-from repro.models.chandra_toueg import CoordinatorRoundModel
-from repro.models.commit import CommitModel
-from repro.models.termination import TerminationModel
-from repro.models.threshold_sig import ThresholdSignatureModel
 from repro.serve import (
-    FleetEngine,
     FleetMetrics,
     OverflowPolicy,
     WorkloadSpec,
@@ -17,90 +12,70 @@ from repro.serve import (
     generate_workload,
     shard_of,
 )
-
-BUNDLED_MODELS = [
-    pytest.param(lambda: CommitModel(replication_factor=4), id="commit-r4"),
-    pytest.param(lambda: CoordinatorRoundModel(processes=5), id="chandra-toueg-n5"),
-    pytest.param(lambda: TerminationModel(max_tasks=3), id="termination-t3"),
-    pytest.param(
-        lambda: ThresholdSignatureModel(signers=4, threshold=3), id="threshold-sig-4of3"
-    ),
-]
-
-_MACHINES: dict = {}
-
-
-def machine_for(model_factory, engine):
-    """Session-cached generated machine per (model, engine)."""
-    model = model_factory()
-    key = (model.machine_name(), engine)
-    if key not in _MACHINES:
-        _MACHINES[key] = model.generate_state_machine(engine=engine)
-    return _MACHINES[key]
+from tests.serve.conftest import BUNDLED_MODELS, machine_for
 
 
 class TestDifferential:
     """A fleet run equals a standalone interpreter replay, per instance."""
 
-    @pytest.mark.parametrize("model_factory", BUNDLED_MODELS)
+    @pytest.mark.parametrize("model", BUNDLED_MODELS)
     @pytest.mark.parametrize("engine", ["eager", "lazy"])
     @pytest.mark.parametrize("backend", ["interp", "compiled"])
     @pytest.mark.parametrize("mode", ["naive", "batched"])
-    def test_fleet_equals_standalone(self, model_factory, engine, backend, mode):
-        machine = machine_for(model_factory, engine)
+    def test_fleet_equals_standalone(self, make_fleet, model, engine, backend, mode):
+        machine = machine_for(model, engine)
         events = generate_workload(
             machine, WorkloadSpec(instances=23, events=1_500, seed=11)
         )
-        fleet = FleetEngine(
-            machine, shards=5, backend=backend, mode=mode, auto_recycle=True
+        fleet = make_fleet(
+            machine, dispatch=mode, backend=backend, shards=5, auto_recycle=True
         )
         keys = fleet.spawn_many(23)
         fleet.run(events)
         assert diff_against_standalone(fleet, keys, events) == []
         assert fleet.metrics.events_dispatched == len(events)
 
-    @pytest.mark.parametrize("model_factory", BUNDLED_MODELS)
+    @pytest.mark.parametrize("model", BUNDLED_MODELS)
     @pytest.mark.parametrize("mode", ["encoded", "grouped"])
-    def test_encoded_fleet_equals_standalone(self, model_factory, mode):
+    def test_encoded_fleet_equals_standalone(self, make_fleet, model, mode):
         """The slot-indexed planes are observationally string-identical."""
-        machine = machine_for(model_factory, "eager")
+        machine = machine_for(model)
         events = generate_workload(
             machine, WorkloadSpec(instances=23, events=1_500, seed=11)
         )
-        fleet = FleetEngine(machine, shards=5, mode=mode, auto_recycle=True)
+        fleet = make_fleet(machine, dispatch=mode, shards=5, auto_recycle=True)
         keys = fleet.spawn_many(23)
         fleet.run(events)
         assert diff_against_standalone(fleet, keys, events) == []
         assert fleet.metrics.events_dispatched == len(events)
 
-    @pytest.mark.parametrize("model_factory", BUNDLED_MODELS)
+    @pytest.mark.parametrize("model", BUNDLED_MODELS)
     @pytest.mark.parametrize("mode", ["encoded", "grouped"])
-    def test_pre_encoded_schedule_equals_standalone(self, model_factory, mode):
+    def test_pre_encoded_schedule_equals_standalone(self, make_fleet, model, mode):
         """run_encoded on a once-interned schedule matches the replay."""
-        machine = machine_for(model_factory, "eager")
+        machine = machine_for(model)
         events = generate_workload(
             machine, WorkloadSpec(instances=17, events=1_200, seed=29)
         )
-        fleet = FleetEngine(machine, shards=3, mode=mode, auto_recycle=True)
+        fleet = make_fleet(machine, dispatch=mode, shards=3, auto_recycle=True)
         keys = fleet.spawn_many(17)
         fleet.run_encoded(encode_schedule(fleet, events))
         assert diff_against_standalone(fleet, keys, events) == []
 
     @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
-    def test_without_auto_recycle(self, mode):
-        machine = machine_for(lambda: CommitModel(4), "eager")
+    def test_without_auto_recycle(self, make_fleet, mode):
+        machine = machine_for("commit")
         events = generate_workload(
             machine, WorkloadSpec(instances=10, events=400, seed=2)
         )
-        fleet = FleetEngine(machine, shards=3, mode=mode, auto_recycle=False)
+        fleet = make_fleet(dispatch=mode, shards=3, auto_recycle=False)
         keys = fleet.spawn_many(10)
         fleet.run(events)
         assert diff_against_standalone(fleet, keys, events) == []
 
     @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
-    def test_posted_events_dispatch_before_bulk_run(self, mode):
-        machine = machine_for(lambda: CommitModel(4), "eager")
-        fleet = FleetEngine(machine, shards=2, mode=mode)
+    def test_posted_events_dispatch_before_bulk_run(self, make_fleet, mode):
+        fleet = make_fleet(dispatch=mode, shards=2)
         fleet.spawn("s")
         fleet.post("s", "free")
         fleet.run([("s", "update")])
@@ -111,11 +86,13 @@ class TestDifferential:
 
 
 class TestLifecycle:
-    def setup_method(self):
-        self.machine = machine_for(lambda: CommitModel(4), "eager")
+    @pytest.fixture(autouse=True)
+    def _setup(self, make_fleet):
+        self.make_fleet = make_fleet
+        self.machine = machine_for("commit")
 
     def test_spawn_duplicate_rejected(self):
-        fleet = FleetEngine(self.machine)
+        fleet = self.make_fleet()
         fleet.spawn("a")
         with pytest.raises(DeploymentError):
             fleet.spawn("a")
@@ -123,7 +100,7 @@ class TestLifecycle:
     @pytest.mark.parametrize("mode", ["naive", "batched"])
     def test_spawn_duplicate_preserves_existing_instance(self, mode):
         """A rejected duplicate must not clobber the live instance's state."""
-        fleet = FleetEngine(self.machine, mode=mode)
+        fleet = self.make_fleet(dispatch=mode)
         fleet.spawn("a")
         fleet.deliver("a", "update")
         before = fleet.trace("a")
@@ -133,7 +110,7 @@ class TestLifecycle:
         assert len(fleet) == 1
 
     def test_spawn_duplicate_does_not_inflate_metrics(self):
-        fleet = FleetEngine(self.machine)
+        fleet = self.make_fleet()
         fleet.spawn("a")
         spawned = fleet.metrics.instances_spawned
         with pytest.raises(DeploymentError):
@@ -141,7 +118,7 @@ class TestLifecycle:
         assert fleet.metrics.instances_spawned == spawned
 
     def test_spawn_duplicate_leaves_shard_membership_intact(self):
-        fleet = FleetEngine(self.machine, shards=4)
+        fleet = self.make_fleet(shards=4)
         fleet.spawn("a")
         sizes = fleet.shard_sizes()
         with pytest.raises(DeploymentError):
@@ -152,7 +129,7 @@ class TestLifecycle:
         assert len(fleet.snapshot().instances) == 1
 
     def test_unknown_instance_rejected(self):
-        fleet = FleetEngine(self.machine)
+        fleet = self.make_fleet()
         with pytest.raises(DeploymentError):
             fleet.trace("ghost")
         with pytest.raises(DeploymentError):
@@ -161,7 +138,7 @@ class TestLifecycle:
     @pytest.mark.parametrize("backend", ["interp", "compiled"])
     @pytest.mark.parametrize("mode", ["naive", "batched"])
     def test_unknown_message_rejected(self, mode, backend):
-        fleet = FleetEngine(self.machine, mode=mode, backend=backend)
+        fleet = self.make_fleet(dispatch=mode, backend=backend)
         fleet.spawn("a")
         with pytest.raises(DeploymentError):
             fleet.deliver("a", "bogus")
@@ -172,7 +149,7 @@ class TestLifecycle:
     @pytest.mark.parametrize("backend", ["interp", "compiled"])
     @pytest.mark.parametrize("mode", ["naive", "batched"])
     def test_bad_event_does_not_poison_batch(self, mode, backend):
-        fleet = FleetEngine(self.machine, shards=1, mode=mode, backend=backend)
+        fleet = self.make_fleet(dispatch=mode, backend=backend, shards=1)
         fleet.spawn("a")
         fleet.post("a", "bogus")
         fleet.post("ghost", "free")
@@ -188,7 +165,7 @@ class TestLifecycle:
 
     @pytest.mark.parametrize("mode", ["naive", "batched"])
     def test_run_skips_bad_events_and_reports(self, mode):
-        fleet = FleetEngine(self.machine, mode=mode)
+        fleet = self.make_fleet(dispatch=mode)
         fleet.spawn("a")
         with pytest.raises(DeploymentError):
             fleet.run([("a", "bogus"), ("a", "free"), ("a", "update")])
@@ -198,17 +175,16 @@ class TestLifecycle:
 
     @pytest.mark.parametrize("mode", ["naive", "batched"])
     def test_empty_run_counts_no_batch(self, mode):
-        fleet = FleetEngine(self.machine, mode=mode)
+        fleet = self.make_fleet(dispatch=mode)
         fleet.run([])
         assert fleet.metrics.batches_drained == 0
         assert fleet.metrics.events_dispatched == 0
 
     @pytest.mark.parametrize("mode", ["naive", "batched"])
     def test_bounded_run_collects_block_drain_errors(self, mode):
-        fleet = FleetEngine(
-            self.machine,
+        fleet = self.make_fleet(
+            dispatch=mode,
             shards=1,
-            mode=mode,
             mailbox_capacity=2,
             overflow=OverflowPolicy.BLOCK,
         )
@@ -225,10 +201,9 @@ class TestLifecycle:
     def test_bounded_shed_identical_across_modes(self):
         results = []
         for mode in ("naive", "batched"):
-            fleet = FleetEngine(
-                self.machine,
+            fleet = self.make_fleet(
+                dispatch=mode,
                 shards=1,
-                mode=mode,
                 mailbox_capacity=2,
                 overflow=OverflowPolicy.SHED,
             )
@@ -240,10 +215,8 @@ class TestLifecycle:
         assert results[0] == results[1]
 
     def test_block_policy_keeps_incoming_event_when_drain_raises(self):
-        fleet = FleetEngine(
-            self.machine,
+        fleet = self.make_fleet(
             shards=1,
-            mode="batched",
             mailbox_capacity=2,
             overflow=OverflowPolicy.BLOCK,
         )
@@ -259,7 +232,7 @@ class TestLifecycle:
         assert fleet.trace("a").actions == ("vote", "not_free")
 
     def test_failing_shard_does_not_strand_other_shards(self):
-        fleet = FleetEngine(self.machine, shards=4, mode="batched")
+        fleet = self.make_fleet(shards=4)
         keys = fleet.spawn_many(8)
         bad = keys[0]
         good = next(k for k in keys if fleet.shard_id(k) != fleet.shard_id(bad))
@@ -274,7 +247,7 @@ class TestLifecycle:
 
     @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
     def test_recycle_returns_to_start(self, mode):
-        fleet = FleetEngine(self.machine, mode=mode)
+        fleet = self.make_fleet(dispatch=mode)
         fleet.spawn("a")
         fleet.deliver("a", "free")
         fleet.deliver("a", "update")
@@ -287,7 +260,7 @@ class TestLifecycle:
 
     @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
     def test_auto_recycle_counts_completions(self, mode):
-        fleet = FleetEngine(self.machine, mode=mode, auto_recycle=True)
+        fleet = self.make_fleet(dispatch=mode, auto_recycle=True)
         fleet.spawn("a")
         for message in ["free", "update", "vote", "vote", "commit", "commit"]:
             fleet.deliver("a", message)
@@ -299,27 +272,29 @@ class TestLifecycle:
 
     def test_bad_mode_and_backend_rejected(self):
         with pytest.raises(DeploymentError):
-            FleetEngine(self.machine, mode="warp")
+            self.make_fleet(dispatch="warp")
         with pytest.raises(DeploymentError):
-            FleetEngine(self.machine, backend="quantum")
+            self.make_fleet(backend="quantum")
         with pytest.raises(DeploymentError):
-            FleetEngine(self.machine, log_policy="verbose")
+            self.make_fleet(log_policy="verbose")
         # Naive backends always log; reduced policies need table dispatch.
         with pytest.raises(DeploymentError):
-            FleetEngine(self.machine, mode="naive", log_policy="off")
+            self.make_fleet(dispatch="naive", log_policy="off")
 
 
 class TestDeliverNormalisation:
     """Unknown instance and unknown message raise the same API error type
     on every mode x backend combination — never a bare KeyError/ValueError."""
 
-    def setup_method(self):
-        self.machine = machine_for(lambda: CommitModel(4), "eager")
+    @pytest.fixture(autouse=True)
+    def _setup(self, make_fleet):
+        self.make_fleet = make_fleet
+        self.machine = machine_for("commit")
 
     @pytest.mark.parametrize("backend", ["interp", "compiled"])
     @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
     def test_deliver_unknown_instance(self, mode, backend):
-        fleet = FleetEngine(self.machine, mode=mode, backend=backend)
+        fleet = self.make_fleet(dispatch=mode, backend=backend)
         fleet.spawn("a")
         with pytest.raises(DeploymentError, match="unknown instance"):
             fleet.deliver("ghost", "free")
@@ -327,7 +302,7 @@ class TestDeliverNormalisation:
     @pytest.mark.parametrize("backend", ["interp", "compiled"])
     @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
     def test_deliver_unknown_message(self, mode, backend):
-        fleet = FleetEngine(self.machine, mode=mode, backend=backend)
+        fleet = self.make_fleet(dispatch=mode, backend=backend)
         fleet.spawn("a")
         with pytest.raises(DeploymentError, match="unknown message"):
             fleet.deliver("a", "bogus")
@@ -340,12 +315,14 @@ class TestEncodedIntake:
     """The encoded modes intern events at intake: mailboxes carry
     (slot, column) int pairs and unknown keys/messages fail fast."""
 
-    def setup_method(self):
-        self.machine = machine_for(lambda: CommitModel(4), "eager")
+    @pytest.fixture(autouse=True)
+    def _setup(self, make_fleet):
+        self.make_fleet = make_fleet
+        self.machine = machine_for("commit")
 
     @pytest.mark.parametrize("mode", ["encoded", "grouped"])
     def test_post_rejects_unknown_at_intake(self, mode):
-        fleet = FleetEngine(self.machine, shards=2, mode=mode)
+        fleet = self.make_fleet(dispatch=mode, shards=2)
         fleet.spawn("a")
         with pytest.raises(DeploymentError, match="unknown instance"):
             fleet.post("ghost", "free")
@@ -354,7 +331,7 @@ class TestEncodedIntake:
         assert fleet.depths() == [0, 0]
 
     def test_mailboxes_carry_int_pairs(self):
-        fleet = FleetEngine(self.machine, shards=2, mode="encoded")
+        fleet = self.make_fleet(dispatch="encoded", shards=2)
         slot = fleet.spawn("a")
         fleet.post("a", "free")
         box = fleet._mailboxes[fleet.shard_id("a")]
@@ -365,7 +342,7 @@ class TestEncodedIntake:
 
     @pytest.mark.parametrize("mode", ["encoded", "grouped"])
     def test_run_skips_bad_events_and_reports(self, mode):
-        fleet = FleetEngine(self.machine, mode=mode)
+        fleet = self.make_fleet(dispatch=mode)
         fleet.spawn("a")
         with pytest.raises(DeploymentError, match="2 event"):
             fleet.run(
@@ -375,13 +352,13 @@ class TestEncodedIntake:
         assert fleet.metrics.events_dispatched == 2
 
     def test_encode_names_bad_events(self):
-        fleet = FleetEngine(self.machine, mode="encoded")
+        fleet = self.make_fleet(dispatch="encoded")
         fleet.spawn("a")
         with pytest.raises(DeploymentError, match="'ghost'"):
             fleet.encode([("a", "free"), ("ghost", "free")])
 
     def test_encode_matches_schedule_order(self):
-        fleet = FleetEngine(self.machine, mode="encoded")
+        fleet = self.make_fleet(dispatch="encoded")
         fleet.spawn("a")
         fleet.spawn("b")
         columns = fleet.indexed_machine.message_index()
@@ -393,17 +370,65 @@ class TestEncodedIntake:
         ]
 
     def test_run_encoded_needs_encoded_mode(self):
-        fleet = FleetEngine(self.machine, mode="batched")
+        fleet = self.make_fleet(dispatch="batched")
         fleet.spawn("a")
         with pytest.raises(DeploymentError, match="run_encoded"):
             fleet.run_encoded([(0, 0)])
 
+    def test_encode_flat_is_the_pairwise_flattening(self):
+        fleet = self.make_fleet(dispatch="encoded")
+        fleet.spawn("a")
+        fleet.spawn("b")
+        events = [("a", "free"), ("b", "update"), ("a", "update")]
+        pairs = fleet.encode(events)
+        assert list(fleet.encode_flat(events)) == [v for pair in pairs for v in pair]
+
+    def test_encode_flat_names_bad_events(self):
+        fleet = self.make_fleet(dispatch="encoded")
+        fleet.spawn("a")
+        with pytest.raises(DeploymentError, match="'ghost'"):
+            fleet.encode_flat([("a", "free"), ("ghost", "free")])
+
+    @pytest.mark.parametrize("mode", ["encoded", "grouped"])
+    def test_run_encoded_flat_matches_run_encoded(self, mode):
+        events = []
+        for i in range(20):
+            events.append((f"k{i}", "free"))
+            events.append((f"k{i}", "update"))
+        reference = self.make_fleet(dispatch=mode)
+        flatted = self.make_fleet(dispatch=mode)
+        for fleet in (reference, flatted):
+            for i in range(20):
+                fleet.spawn(f"k{i}")
+        reference.run_encoded(reference.encode(events))
+        flatted.run_encoded_flat(flatted.encode_flat(events))
+        assert [flatted.trace(f"k{i}") for i in range(20)] == [
+            reference.trace(f"k{i}") for i in range(20)
+        ]
+        assert flatted.metrics == reference.metrics
+
+    def test_run_encoded_flat_needs_encoded_mode(self):
+        fleet = self.make_fleet(dispatch="batched")
+        fleet.spawn("a")
+        with pytest.raises(DeploymentError, match="run_encoded_flat"):
+            fleet.run_encoded_flat([0, 0])
+
+    def test_bounded_run_encoded_flat_applies_policy(self):
+        fleet = self.make_fleet(
+            dispatch="encoded",
+            shards=1,
+            mailbox_capacity=3,
+            overflow=OverflowPolicy.BLOCK,
+        )
+        fleet.spawn("a")
+        fleet.run_encoded_flat(fleet.encode_flat([("a", "free")] * 10))
+        assert fleet.metrics.events_dispatched == 10
+
     @pytest.mark.parametrize("mode", ["encoded", "grouped"])
     def test_bounded_run_encoded_applies_policy(self, mode):
-        fleet = FleetEngine(
-            self.machine,
+        fleet = self.make_fleet(
+            dispatch=mode,
             shards=1,
-            mode=mode,
             mailbox_capacity=3,
             overflow=OverflowPolicy.BLOCK,
         )
@@ -415,10 +440,9 @@ class TestEncodedIntake:
     def test_bounded_shed_identical_to_batched(self):
         results = []
         for mode in ("batched", "encoded"):
-            fleet = FleetEngine(
-                self.machine,
+            fleet = self.make_fleet(
+                dispatch=mode,
                 shards=1,
-                mode=mode,
                 mailbox_capacity=2,
                 overflow=OverflowPolicy.SHED,
             )
@@ -429,7 +453,7 @@ class TestEncodedIntake:
 
     def test_grouped_preserves_per_instance_order(self):
         """Column sorting must never reorder one instance's events."""
-        fleet = FleetEngine(self.machine, shards=1, mode="grouped")
+        fleet = self.make_fleet(dispatch="grouped", shards=1)
         fleet.spawn("a")
         fleet.spawn("b")
         # 'update' sorts before/after 'free' by column id; per-key order
@@ -440,8 +464,10 @@ class TestEncodedIntake:
 
 
 class TestLogPolicies:
-    def setup_method(self):
-        self.machine = machine_for(lambda: CommitModel(4), "eager")
+    @pytest.fixture(autouse=True)
+    def _setup(self, make_fleet):
+        self.make_fleet = make_fleet
+        self.machine = machine_for("commit")
         self.events = generate_workload(
             self.machine, WorkloadSpec(instances=15, events=900, seed=21)
         )
@@ -449,9 +475,9 @@ class TestLogPolicies:
 
     @pytest.mark.parametrize("mode", ["batched", "encoded", "grouped"])
     def test_count_policy_counts_exactly(self, mode):
-        full = FleetEngine(self.machine, shards=3, mode=mode, auto_recycle=True)
-        counted = FleetEngine(
-            self.machine, shards=3, mode=mode, auto_recycle=True, log_policy="count"
+        full = self.make_fleet(dispatch=mode, shards=3, auto_recycle=True)
+        counted = self.make_fleet(
+            dispatch=mode, shards=3, auto_recycle=True, log_policy="count"
         )
         full.spawn_many(15)
         counted.spawn_many(15)
@@ -465,9 +491,9 @@ class TestLogPolicies:
 
     @pytest.mark.parametrize("mode", ["batched", "encoded", "grouped"])
     def test_off_policy_tracks_states_only(self, mode):
-        full = FleetEngine(self.machine, shards=3, mode=mode, auto_recycle=True)
-        off = FleetEngine(
-            self.machine, shards=3, mode=mode, auto_recycle=True, log_policy="off"
+        full = self.make_fleet(dispatch=mode, shards=3, auto_recycle=True)
+        off = self.make_fleet(
+            dispatch=mode, shards=3, auto_recycle=True, log_policy="off"
         )
         full.spawn_many(15)
         off.spawn_many(15)
@@ -480,7 +506,7 @@ class TestLogPolicies:
             off.action_count(self.keys[0])
 
     def test_reduced_policies_reject_traces_and_snapshots(self):
-        fleet = FleetEngine(self.machine, mode="encoded", log_policy="count")
+        fleet = self.make_fleet(dispatch="encoded", log_policy="count")
         fleet.spawn("a")
         with pytest.raises(DeploymentError, match="log_policy"):
             fleet.trace("a")
@@ -490,7 +516,7 @@ class TestLogPolicies:
             diff_against_standalone(fleet, ["a"], [])
 
     def test_deliver_honours_count_policy(self):
-        fleet = FleetEngine(self.machine, mode="encoded", log_policy="count")
+        fleet = self.make_fleet(dispatch="encoded", log_policy="count")
         fleet.spawn("a")
         fleet.deliver("a", "free")
         fleet.deliver("a", "update")
@@ -498,7 +524,7 @@ class TestLogPolicies:
         assert fleet.state_name("a") != self.machine.start_state.name
 
     def test_recycle_resets_count(self):
-        fleet = FleetEngine(self.machine, mode="encoded", log_policy="count")
+        fleet = self.make_fleet(dispatch="encoded", log_policy="count")
         fleet.spawn("a")
         fleet.deliver("a", "free")
         fleet.recycle("a")
@@ -507,12 +533,14 @@ class TestLogPolicies:
 
 
 class TestSlotRecycling:
-    def setup_method(self):
-        self.machine = machine_for(lambda: CommitModel(4), "eager")
+    @pytest.fixture(autouse=True)
+    def _setup(self, make_fleet):
+        self.make_fleet = make_fleet
+        self.machine = machine_for("commit")
 
     @pytest.mark.parametrize("mode", ["naive", "batched", "encoded"])
     def test_despawn_frees_and_reuses_slot_without_leaking(self, mode):
-        fleet = FleetEngine(self.machine, shards=4, mode=mode)
+        fleet = self.make_fleet(dispatch=mode, shards=4)
         slot = fleet.spawn("a")
         fleet.deliver("a", "free")
         fleet.deliver("a", "update")
@@ -530,7 +558,7 @@ class TestSlotRecycling:
     def test_routing_is_stable_across_spawn_and_recycle(self):
         """The memoized shard id always equals the CRC-32 contract, even
         after despawn churn hands slots to differently-hashing keys."""
-        fleet = FleetEngine(self.machine, shards=8, mode="encoded")
+        fleet = self.make_fleet(dispatch="encoded", shards=8)
         keys = fleet.spawn_many(64)
         for key in keys[::3]:
             fleet.despawn(key)
@@ -553,12 +581,12 @@ class TestSlotRecycling:
 
 
 class TestBackpressure:
-    def setup_method(self):
-        self.machine = machine_for(lambda: CommitModel(4), "eager")
+    @pytest.fixture(autouse=True)
+    def _setup(self, make_fleet):
+        self.make_fleet = make_fleet
 
     def test_shed_drops_and_counts(self):
-        fleet = FleetEngine(
-            self.machine,
+        fleet = self.make_fleet(
             shards=1,
             mailbox_capacity=4,
             overflow=OverflowPolicy.SHED,
@@ -573,8 +601,7 @@ class TestBackpressure:
         assert fleet.metrics.events_dispatched == 4
 
     def test_block_drains_inline(self):
-        fleet = FleetEngine(
-            self.machine,
+        fleet = self.make_fleet(
             shards=1,
             mailbox_capacity=2,
             overflow=OverflowPolicy.BLOCK,
@@ -589,8 +616,7 @@ class TestBackpressure:
 
     def test_bounded_run_applies_policy(self):
         events = [("a", "free")] * 10
-        fleet = FleetEngine(
-            self.machine,
+        fleet = self.make_fleet(
             shards=1,
             mailbox_capacity=3,
             overflow=OverflowPolicy.BLOCK,
@@ -601,8 +627,10 @@ class TestBackpressure:
 
 
 class TestSnapshotRestore:
-    def setup_method(self):
-        self.machine = machine_for(lambda: CommitModel(4), "eager")
+    @pytest.fixture(autouse=True)
+    def _setup(self, make_fleet):
+        self.make_fleet = make_fleet
+        self.machine = machine_for("commit")
         self.events = generate_workload(
             self.machine, WorkloadSpec(instances=12, events=600, seed=5)
         )
@@ -610,7 +638,7 @@ class TestSnapshotRestore:
     @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
     def test_round_trip_resumes_identically(self, mode):
         midpoint = len(self.events) // 2
-        fleet = FleetEngine(self.machine, shards=3, mode=mode, auto_recycle=True)
+        fleet = self.make_fleet(dispatch=mode, shards=3, auto_recycle=True)
         keys = fleet.spawn_many(12)
         fleet.run(self.events[:midpoint])
         snapshot = fleet.snapshot()
@@ -623,30 +651,27 @@ class TestSnapshotRestore:
         assert {key: fleet.trace(key) for key in keys} == expected
 
     def test_restore_across_modes_and_backends(self):
-        fleet = FleetEngine(self.machine, shards=3, mode="batched")
+        fleet = self.make_fleet(shards=3)
         keys = fleet.spawn_many(12)
         fleet.run(self.events[:300])
         snapshot = fleet.snapshot()
 
-        other = FleetEngine(
-            self.machine, shards=5, mode="naive", backend="compiled"
-        )
+        other = self.make_fleet(dispatch="naive", backend="compiled", shards=5)
         other.restore(snapshot)
         assert {k: other.trace(k) for k in keys} == {
             k: fleet.trace(k) for k in keys
         }
 
     def test_restore_rejects_foreign_machine(self):
-        fleet = FleetEngine(self.machine)
+        fleet = self.make_fleet()
         fleet.spawn_many(3)
         snapshot = fleet.snapshot()
-        other_machine = machine_for(lambda: TerminationModel(max_tasks=3), "eager")
-        other = FleetEngine(other_machine)
+        other = self.make_fleet(model="termination")
         with pytest.raises(DeploymentError):
             other.restore(snapshot)
 
     def test_snapshot_drains_pending_events(self):
-        fleet = FleetEngine(self.machine, mode="batched")
+        fleet = self.make_fleet()
         fleet.spawn("a")
         fleet.post("a", "free")
         snapshot = fleet.snapshot()
@@ -659,12 +684,12 @@ class TestSnapshotRestore:
         table grew in a different order (and through despawn churn, so
         reused slots shuffle the layout further) must restore every
         per-key trace exactly."""
-        fleet = FleetEngine(self.machine, shards=3, mode="encoded")
+        fleet = self.make_fleet(dispatch="encoded", shards=3)
         keys = fleet.spawn_many(12)
         fleet.run(self.events[:300])
         snapshot = fleet.snapshot()
 
-        other = FleetEngine(self.machine, shards=5, mode="encoded")
+        other = self.make_fleet(dispatch="encoded", shards=5)
         for key in reversed(keys):
             other.spawn(key)
         for key in keys[::4]:
@@ -685,14 +710,14 @@ class TestSnapshotRestore:
         """A restored population re-interns from slot zero; logs of the
         pre-restore occupants (including recycled slots) must not bleed
         into the restored instances."""
-        fleet = FleetEngine(self.machine, shards=2, mode="encoded")
+        fleet = self.make_fleet(dispatch="encoded", shards=2)
         fleet.spawn("old-a")
         fleet.spawn("old-b")
         fleet.deliver("old-a", "free")
         fleet.deliver("old-b", "free")
         fleet.despawn("old-b")
 
-        pristine = FleetEngine(self.machine, shards=2, mode="encoded")
+        pristine = self.make_fleet(dispatch="encoded", shards=2)
         pristine.spawn("new-a")
         pristine.spawn("new-b")
         snapshot = pristine.snapshot()
@@ -706,12 +731,12 @@ class TestSnapshotRestore:
         assert len(fleet) == 2
 
     def test_restore_across_encoded_and_string_planes(self):
-        fleet = FleetEngine(self.machine, shards=3, mode="encoded")
+        fleet = self.make_fleet(dispatch="encoded", shards=3)
         keys = fleet.spawn_many(12)
         fleet.run(self.events[:300])
         snapshot = fleet.snapshot()
         for mode, backend in (("naive", "compiled"), ("batched", "interp")):
-            other = FleetEngine(self.machine, shards=4, mode=mode, backend=backend)
+            other = self.make_fleet(dispatch=mode, backend=backend, shards=4)
             other.restore(snapshot)
             assert {k: other.trace(k) for k in keys} == {
                 k: fleet.trace(k) for k in keys
@@ -721,7 +746,7 @@ class TestSnapshotRestore:
     def test_restore_after_recycle_rewinds_recycled_instances(self, mode):
         """Restoring a snapshot whose keys were recycled *after* the
         capture must rewind them to their snapshotted state and log."""
-        fleet = FleetEngine(self.machine, shards=3, mode=mode)
+        fleet = self.make_fleet(dispatch=mode, shards=3)
         keys = fleet.spawn_many(12)
         fleet.run(self.events[:300])
         snapshot = fleet.snapshot()
@@ -746,7 +771,7 @@ class TestSnapshotRestore:
             assert trace.actions == expected[key].actions
         # Restored instances keep executing correctly from the rewound state.
         fleet.run(self.events[300:])
-        replacement = FleetEngine(self.machine, shards=3, mode=mode)
+        replacement = self.make_fleet(dispatch=mode, shards=3)
         replacement.restore(snapshot)
         replacement.run(self.events[300:])
         assert {k: fleet.trace(k) for k in keys} == {
@@ -755,12 +780,12 @@ class TestSnapshotRestore:
 
 
 class TestMetricsSurface:
-    def test_counters_and_dict(self):
-        machine = machine_for(lambda: CommitModel(4), "eager")
+    def test_counters_and_dict(self, make_fleet):
+        machine = machine_for("commit")
         events = generate_workload(
             machine, WorkloadSpec(instances=20, events=500, seed=9, noise=0.5)
         )
-        fleet = FleetEngine(machine, shards=4, mode="batched", auto_recycle=True)
+        fleet = make_fleet(shards=4, auto_recycle=True)
         fleet.spawn_many(20)
         fleet.run(events)
         metrics = fleet.metrics

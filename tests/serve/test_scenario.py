@@ -1,0 +1,508 @@
+"""Scenario plane unit tests: wheel, timers, routing, faults, recovery."""
+
+import pytest
+
+from repro.core.errors import DeploymentError, SimulationError
+from repro.models.chandra_toueg import scenario_profile as ct_profile
+from repro.models.commit import scenario_profile as commit_profile
+from repro.serve import (
+    GroupTopology,
+    RouteRule,
+    Scenario,
+    ScenarioEngine,
+    ScenarioFaultPlan,
+    ScenarioMetrics,
+    ScenarioProfile,
+    ScenarioSpec,
+    TimedEvent,
+    TimerRule,
+    generate_scenario,
+    run_scenario,
+    scenario_traces,
+)
+from repro.serve.scenario import EXTERNAL, ROUTED, TIMER
+from tests.serve.conftest import machine_for
+
+
+def _events(*triples):
+    return tuple(TimedEvent(t, k, m) for t, k, m in triples)
+
+
+class TestRuleValidation:
+    def test_timer_delay_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            TimerRule(delay=0.0, message="free")
+        with pytest.raises(SimulationError):
+            TimerRule(delay=-1.0, message="free")
+
+    def test_route_delay_must_be_non_negative(self):
+        with pytest.raises(SimulationError):
+            RouteRule("vote", "vote", delay=-0.5)
+        RouteRule("vote", "vote", delay=0.0)  # zero is legal: same-instant
+
+    def test_fault_rates_validated(self):
+        with pytest.raises(SimulationError):
+            ScenarioFaultPlan(drop=1.5)
+        with pytest.raises(SimulationError):
+            ScenarioFaultPlan(drop=0.6, duplicate=0.6)
+        with pytest.raises(SimulationError):
+            ScenarioFaultPlan(delay=0.1, delay_by=-1.0)
+
+    def test_fault_plan_activity_flags(self):
+        assert not ScenarioFaultPlan().active
+        assert ScenarioFaultPlan.kill(at=10.0).active
+        assert ScenarioFaultPlan.lossy(drop=0.1).message_faults
+        assert not ScenarioFaultPlan.kill(at=10.0).message_faults
+
+    def test_profile_observing_flag(self):
+        assert not ScenarioProfile().observing
+        assert ScenarioProfile(timers=(TimerRule(1.0, "free"),)).observing
+        assert ScenarioProfile(routes=(RouteRule("vote", "vote"),)).observing
+
+
+class TestGroupTopology:
+    def test_regular_generates_disjoint_groups(self):
+        topo = GroupTopology.regular(3, 4)
+        assert len(topo) == 12
+        assert len(topo.groups) == 3
+        assert topo.peers("g0001-m2") == ("g0001-m0", "g0001-m1", "g0001-m3")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(DeploymentError, match="more than one"):
+            GroupTopology([["a", "b"], ["b", "c"]])
+
+    def test_unknown_key_has_no_peers(self):
+        assert GroupTopology.regular(1, 2).peers("ghost") == ()
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(DeploymentError):
+            GroupTopology.regular(0, 4)
+        with pytest.raises(DeploymentError):
+            GroupTopology.regular(4, 0)
+
+
+class TestEngineValidation:
+    def test_observing_scenario_needs_full_logs(self, make_fleet):
+        fleet = make_fleet(dispatch="encoded", log_policy="count")
+        profile = ScenarioProfile(timers=(TimerRule(5.0, "free"),))
+        with pytest.raises(DeploymentError, match="observable"):
+            ScenarioEngine(fleet, profile, GroupTopology.regular(1, 2))
+
+    def test_observing_scenario_rejects_auto_recycle(self, make_fleet):
+        fleet = make_fleet(auto_recycle=True)
+        profile = ScenarioProfile(routes=(RouteRule("vote", "vote"),))
+        with pytest.raises(DeploymentError, match="auto_recycle"):
+            ScenarioEngine(fleet, profile, GroupTopology.regular(1, 2))
+
+    def test_passthrough_allows_reduced_logs(self, make_fleet):
+        fleet = make_fleet(dispatch="encoded", log_policy="count")
+        engine = ScenarioEngine(fleet, topology=GroupTopology.regular(1, 2))
+        engine.spawn_topology()
+        engine.schedule_event(1.0, "g0000-m0", "update")
+        engine.run(until=10.0)
+        assert engine.metrics.external_delivered == 1
+
+    def test_kill_without_snapshot_raises(self, make_fleet):
+        # Constructing the engine directly (not via run_scenario) and
+        # forcing a kill with no snapshot on file must fail loudly.
+        fleet = make_fleet()
+        engine = ScenarioEngine(fleet, topology=GroupTopology.regular(1, 2))
+        engine.spawn_topology()
+        with pytest.raises(DeploymentError, match="no scenario snapshot"):
+            engine._kill(0)
+
+
+class TestPassthrough:
+    """No timers, no routes, no faults: the wheel is a thin timed front."""
+
+    @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
+    def test_matches_untimed_fleet_run(self, make_fleet, mode):
+        machine = machine_for("commit")
+        events = _events(
+            (0.0, "g0000-m0", "free"),
+            (0.0, "g0000-m1", "free"),
+            (1.0, "g0000-m0", "update"),
+            (2.0, "g0000-m1", "update"),
+        )
+        scenario = Scenario(
+            profile=ScenarioProfile(),
+            topology=GroupTopology.regular(1, 2),
+            events=events,
+            until=10.0,
+        )
+        fleet = make_fleet(machine, dispatch=mode)
+        traces = scenario_traces(fleet, scenario)
+
+        plain = make_fleet(machine, dispatch=mode)
+        plain.spawn("g0000-m0")
+        plain.spawn("g0000-m1")
+        plain.run([(e.key, e.message) for e in events])
+        assert traces == {k: plain.trace(k) for k in ("g0000-m0", "g0000-m1")}
+
+    def test_same_instant_events_share_a_wheel_record(self, make_fleet):
+        fleet = make_fleet(dispatch="encoded")
+        engine = ScenarioEngine(fleet, topology=GroupTopology.regular(1, 3))
+        engine.spawn_topology()
+        engine.schedule_events(
+            _events(
+                (5.0, "g0000-m0", "free"),
+                (5.0, "g0000-m1", "free"),
+                (5.0, "g0000-m2", "free"),
+                (9.0, "g0000-m0", "update"),
+            )
+        )
+        assert engine.pending_records == 2  # two distinct instants
+        engine.run(until=10.0)
+        assert engine.metrics.instants == 2
+        assert engine.metrics.external_delivered == 4
+        assert engine.now == 10.0
+
+    def test_run_advances_clock_even_when_idle(self, make_fleet):
+        engine = ScenarioEngine(make_fleet(), topology=GroupTopology.regular(1, 1))
+        engine.spawn_topology()
+        engine.run(until=123.0)
+        assert engine.now == 123.0
+        assert engine.metrics.instants == 0
+
+
+class TestTimers:
+    def test_timer_fires_after_delay_in_place(self, make_fleet):
+        fleet = make_fleet()
+        profile = ScenarioProfile(timers=(TimerRule(5.0, "free"),))
+        engine = ScenarioEngine(fleet, profile, GroupTopology.regular(1, 1))
+        engine.spawn_topology()
+        engine.schedule_event(1.0, "g0000-m0", "update")
+        engine.run(until=4.0)
+        # Armed at priming, cancelled and re-armed when 'update' moved
+        # the state at t=1; the re-armed timer is due at t=6.
+        assert engine.metrics.timers_armed == 2
+        assert engine.metrics.timers_cancelled == 1
+        assert engine.metrics.timers_fired == 0
+        engine.run(until=6.0)
+        # Sat in the post-update state for 5 units: 'free' landed and
+        # completed the update+free pair, firing the vote.
+        assert engine.metrics.timers_fired == 1
+        assert fleet.trace("g0000-m0").actions == ("vote", "not_free")
+
+    def test_timer_cancelled_on_state_exit(self, make_fleet):
+        fleet = make_fleet()
+        profile = ScenarioProfile(timers=(TimerRule(50.0, "free"),))
+        engine = ScenarioEngine(fleet, profile, GroupTopology.regular(1, 1))
+        engine.spawn_topology()
+        engine.schedule_event(10.0, "g0000-m0", "update")
+        engine.run(until=100.0)
+        # The 'update' at t=10 left the armed state: the original timer
+        # was cancelled and a fresh one armed for the new state.
+        assert engine.metrics.timers_cancelled >= 1
+        assert engine.metrics.timers_armed >= 2
+
+    def test_state_scoped_timer_only_arms_in_that_state(self, make_fleet):
+        fleet = make_fleet()
+        start = machine_for("commit").start_state.name
+        profile = ScenarioProfile(timers=(TimerRule(5.0, "free", state=start),))
+        engine = ScenarioEngine(fleet, profile, GroupTopology.regular(1, 1))
+        engine.spawn_topology()
+        engine.schedule_event(1.0, "g0000-m0", "update")  # leaves start state
+        engine.run(until=100.0)
+        # Armed at priming, cancelled at t=1, never re-armed: no fire.
+        assert engine.metrics.timers_armed == 1
+        assert engine.metrics.timers_cancelled == 1
+        assert engine.metrics.timers_fired == 0
+
+    def test_fired_timer_rearms_for_periodic_behaviour(self, make_fleet):
+        fleet = make_fleet()
+        # 'vote' in the start state is ignored (no transition): the
+        # instance never moves, so the any-state timer re-arms each fire.
+        profile = ScenarioProfile(timers=(TimerRule(10.0, "vote"),))
+        engine = ScenarioEngine(fleet, profile, GroupTopology.regular(1, 1))
+        engine.spawn_topology()
+        engine.run(until=45.0)
+        assert engine.metrics.timers_fired == 4  # t=10, 20, 30, 40
+
+    def test_timer_identity_is_the_key_not_the_slot(self, make_fleet):
+        """A timer that outlives its instance must raise, never deliver
+        to the slot's next occupant."""
+        fleet = make_fleet()
+        profile = ScenarioProfile(timers=(TimerRule(20.0, "free"),))
+        engine = ScenarioEngine(fleet, profile, GroupTopology.regular(1, 2))
+        engine.spawn_topology()
+        engine.run(until=1.0)  # primes: both instances arm timers
+        victim_slot = fleet.store.slot("g0000-m0")
+        # Despawn behind the engine's back: its TIMER record stays live.
+        fleet.despawn("g0000-m0")
+        assert fleet.spawn("intruder") == victim_slot  # LIFO slot reuse
+        with pytest.raises(DeploymentError):
+            engine.run(until=30.0)
+        # The reused slot was never touched: the intruder is pristine.
+        assert fleet.trace("intruder").state == machine_for("commit").start_state.name
+        assert fleet.trace("intruder").actions == ()
+
+    def test_engine_despawn_cancels_pending_traffic(self, make_fleet):
+        """The engine-level despawn is the safe form: the dead key's
+        timer is cancelled with it, so nothing fires later."""
+        fleet = make_fleet()
+        profile = ScenarioProfile(timers=(TimerRule(20.0, "free"),))
+        engine = ScenarioEngine(fleet, profile, GroupTopology.regular(1, 2))
+        engine.spawn_topology()
+        engine.run(until=1.0)
+        engine.despawn("g0000-m0")
+        engine.run(until=25.0)  # must not raise
+        assert engine.metrics.timers_fired == 1  # only the survivor's
+
+
+class TestRouting:
+    def test_action_fans_out_to_group_peers(self, make_fleet):
+        fleet = make_fleet()
+        # One member's 'vote' action becomes 'vote' messages to peers.
+        profile = ScenarioProfile(routes=(RouteRule("vote", "vote", delay=1.0),))
+        engine = ScenarioEngine(fleet, profile, GroupTopology.regular(1, 4))
+        engine.spawn_topology()
+        # update+free completes the pair: m0 fires 'vote' (and
+        # 'not_free', which no rule routes).
+        engine.schedule_event(1.0, "g0000-m0", "update")
+        engine.schedule_event(2.0, "g0000-m0", "free")
+        engine.run(until=10.0)
+        assert engine.metrics.messages_routed == 3
+        assert engine.metrics.routed_delivered == 3
+
+    def test_routing_respects_topology_boundaries(self, make_fleet):
+        fleet = make_fleet()
+        profile = ScenarioProfile(routes=(RouteRule("vote", "vote", delay=1.0),))
+        engine = ScenarioEngine(fleet, profile, GroupTopology.regular(2, 3))
+        engine.spawn_topology()
+        engine.schedule_event(1.0, "g0000-m0", "update")
+        engine.schedule_event(2.0, "g0000-m0", "free")
+        engine.run(until=10.0)
+        # Only the two same-group peers heard about it.
+        assert engine.metrics.messages_routed == 2
+        for key in ("g0001-m0", "g0001-m1", "g0001-m2"):
+            assert fleet.trace(key).actions == ()
+
+    def test_commit_group_completes_from_kicks_alone(self, make_fleet):
+        """The headline behaviour: one update+free kick per member and
+        the whole commit peer set runs machine-to-machine to COMMITTED."""
+        machine = machine_for("commit")
+        scenario = generate_scenario(
+            machine, commit_profile(), ScenarioSpec(groups=3, group_size=4, seed=0)
+        )
+        fleet = make_fleet(machine)
+        engine = run_scenario(fleet, scenario)
+        assert all(fleet.is_finished(k) for k in scenario.topology.keys)
+        assert engine.metrics.messages_routed > 0
+
+    def test_ct_rounds_complete_via_estimate_acks(self, make_fleet):
+        machine = machine_for("chandra-toueg")
+        scenario = generate_scenario(
+            machine, ct_profile(), ScenarioSpec(groups=3, group_size=5, seed=1)
+        )
+        fleet = make_fleet(machine)
+        run_scenario(fleet, scenario)
+        assert all(fleet.is_finished(k) for k in scenario.topology.keys)
+
+    def test_mailboxes_tally_provenance(self, make_fleet):
+        machine = machine_for("commit")
+        profile = commit_profile(retry_after=30.0)
+        scenario = generate_scenario(
+            machine, profile, ScenarioSpec(groups=2, group_size=4, seed=3)
+        )
+        fleet = make_fleet(machine, shards=4)
+        engine = run_scenario(fleet, scenario)
+        tally: dict = {}
+        for box in fleet._mailboxes:
+            for source, count in box.by_source.items():
+                tally[source] = tally.get(source, 0) + count
+        assert tally.get(EXTERNAL, 0) == engine.metrics.external_delivered
+        assert tally.get(ROUTED, 0) == engine.metrics.routed_delivered
+        assert tally.get(TIMER, 0) == engine.metrics.timers_fired
+
+
+class TestMessageFaults:
+    def _run(self, make_fleet, faults, seed=5):
+        machine = machine_for("commit")
+        scenario = generate_scenario(
+            machine,
+            commit_profile(),
+            ScenarioSpec(groups=4, group_size=4, seed=seed),
+            faults=faults,
+        )
+        fleet = make_fleet(machine)
+        return run_scenario(fleet, scenario), scenario
+
+    def test_drop_loses_copies(self, make_fleet):
+        engine, _ = self._run(make_fleet, ScenarioFaultPlan.lossy(drop=0.3))
+        assert engine.metrics.messages_dropped > 0
+        assert (
+            engine.metrics.routed_delivered
+            < engine.metrics.messages_routed + engine.metrics.messages_duplicated
+        )
+
+    def test_duplicate_adds_copies(self, make_fleet):
+        engine, _ = self._run(
+            make_fleet, ScenarioFaultPlan.lossy(drop=0.0, duplicate=0.3)
+        )
+        assert engine.metrics.messages_duplicated > 0
+        assert engine.metrics.routed_delivered == (
+            engine.metrics.messages_routed + engine.metrics.messages_duplicated
+        )
+
+    def test_delay_defers_but_delivers(self, make_fleet):
+        engine, _ = self._run(
+            make_fleet, ScenarioFaultPlan.lossy(drop=0.0, delay=0.3)
+        )
+        assert engine.metrics.messages_delayed > 0
+        assert engine.metrics.routed_delivered == engine.metrics.messages_routed
+
+    def test_fault_draws_are_seeded(self, make_fleet):
+        faults = ScenarioFaultPlan.lossy(drop=0.2, duplicate=0.1, delay=0.1)
+        a, _ = self._run(make_fleet, faults)
+        b, _ = self._run(make_fleet, faults)
+        assert a.metrics.as_dict() == b.metrics.as_dict()
+
+    def test_modest_loss_still_converges(self, make_fleet):
+        """The liveness claim: under modest loss every group still
+        commits, with the retry timer re-kicking stuck members."""
+        engine, scenario = self._run(
+            make_fleet, ScenarioFaultPlan.lossy(drop=0.1), seed=0
+        )
+        fleet = engine.fleet
+        assert engine.metrics.messages_dropped > 0
+        assert engine.metrics.timers_fired > 0
+        assert all(fleet.is_finished(k) for k in scenario.topology.keys)
+
+
+class TestSnapshotRestore:
+    def test_snapshot_restore_mid_scenario_is_exact(self, make_fleet):
+        machine = machine_for("commit")
+        scenario = generate_scenario(
+            machine, commit_profile(), ScenarioSpec(groups=3, group_size=4, seed=7)
+        )
+        fleet = make_fleet(machine)
+        engine = ScenarioEngine(
+            fleet, scenario.profile, scenario.topology, seed=scenario.seed
+        )
+        engine.spawn_topology()
+        engine.schedule_events(scenario.events)
+        engine.run(until=20.0)
+        snap = engine.snapshot()
+        engine.run(until=scenario.until)
+        expected = {k: fleet.trace(k) for k in scenario.topology.keys}
+
+        engine.restore(snap)
+        assert engine.now == snap.now
+        engine.run(until=scenario.until)
+        assert {k: fleet.trace(k) for k in scenario.topology.keys} == expected
+
+    @pytest.mark.parametrize("mode", ["encoded", "grouped"])
+    def test_restore_with_inflight_encoded_batches(self, make_fleet, mode):
+        """Snapshot while pre-encoded external batches are still pending:
+        the restore must rebuild the (slot, column) pairs so the replay
+        still runs the fast path — and still matches exactly."""
+        machine = machine_for("commit")
+        events = _events(
+            *[(float(t), f"g{g:04d}-m{m}", msg)
+              for t in (5, 30, 40)
+              for g in range(2)
+              for m in range(4)
+              for msg in ("free", "update")]
+        )
+        scenario = Scenario(
+            profile=ScenarioProfile(),
+            topology=GroupTopology.regular(2, 4),
+            events=events,
+            until=60.0,
+        )
+        fleet = make_fleet(machine, dispatch=mode)
+        engine = ScenarioEngine(fleet, scenario.profile, scenario.topology)
+        engine.spawn_topology()
+        engine.schedule_events(scenario.events)
+        engine.run(until=10.0)  # t=5 batch delivered; t=30, t=40 in flight
+        snap = engine.snapshot()
+        assert any(record[2] == EXTERNAL for record in snap.pending)
+        engine.run(until=60.0)
+        expected = {k: fleet.trace(k) for k in scenario.topology.keys}
+
+        engine.restore(snap)
+        assert engine._pairs  # pre-encoding was rebuilt, not dropped
+        engine.run(until=60.0)
+        assert {k: fleet.trace(k) for k in scenario.topology.keys} == expected
+
+    def test_periodic_snapshots_fire(self, make_fleet):
+        machine = machine_for("commit")
+        scenario = generate_scenario(
+            machine,
+            commit_profile(),
+            ScenarioSpec(groups=2, group_size=4, seed=2, snapshot_every=50.0),
+        )
+        fleet = make_fleet(machine)
+        engine = run_scenario(fleet, scenario)
+        # until=400 with a 50-unit cadence: several captures happened.
+        assert engine.metrics.snapshots_taken >= 4
+
+
+class TestKillRestore:
+    @pytest.mark.parametrize("model", ["commit", "chandra-toueg"])
+    def test_kill_shard_converges_to_undisturbed_run(self, make_fleet, model):
+        machine = machine_for(model)
+        profile = commit_profile() if model == "commit" else ct_profile()
+        size = 4 if model == "commit" else 5
+        spec = ScenarioSpec(groups=4, group_size=size, seed=13)
+        baseline = generate_scenario(machine, profile, spec)
+        faulted = generate_scenario(
+            machine, profile, spec, faults=ScenarioFaultPlan.kill(at=25.0)
+        )
+
+        clean = scenario_traces(make_fleet(machine), baseline)
+        fleet = make_fleet(machine)
+        engine = run_scenario(fleet, faulted)
+        assert engine.metrics.shards_killed == 1
+        assert engine.metrics.snapshots_restored >= 1
+        assert {k: fleet.trace(k) for k in faulted.topology.keys} == clean
+
+    def test_kill_fires_once_across_restore(self, make_fleet):
+        """The kill record precedes the snapshot it restores to only by
+        identity: after the rollback it must not fire again."""
+        machine = machine_for("commit")
+        scenario = generate_scenario(
+            machine,
+            commit_profile(),
+            ScenarioSpec(groups=3, group_size=4, seed=4),
+            faults=ScenarioFaultPlan.kill(at=15.0, shard=1),
+        )
+        fleet = make_fleet(machine, shards=4)
+        engine = run_scenario(fleet, scenario)
+        assert engine.metrics.shards_killed == 1
+        assert engine.metrics.snapshots_restored == 1
+
+
+class TestMetricsAndGeneration:
+    def test_metrics_dict_includes_derived_total(self):
+        metrics = ScenarioMetrics(external_delivered=3, routed_delivered=2)
+        as_dict = metrics.as_dict()
+        assert as_dict["events_delivered"] == 5
+        assert as_dict["external_delivered"] == 3
+
+    def test_generate_scenario_is_deterministic(self):
+        machine = machine_for("commit")
+        spec = ScenarioSpec(groups=3, group_size=4, seed=21, noise=0.2)
+        a = generate_scenario(machine, commit_profile(), spec)
+        b = generate_scenario(machine, commit_profile(), spec)
+        assert a.events == b.events
+
+    def test_generate_scenario_validates_spec(self):
+        machine = machine_for("commit")
+        with pytest.raises(SimulationError):
+            generate_scenario(machine, commit_profile(), ScenarioSpec(groups=0))
+        with pytest.raises(SimulationError):
+            generate_scenario(machine, commit_profile(), ScenarioSpec(spread=0.5))
+        with pytest.raises(SimulationError):
+            generate_scenario(machine, commit_profile(), ScenarioSpec(noise=1.5))
+        with pytest.raises(SimulationError, match="kick"):
+            generate_scenario(machine, ScenarioProfile(), ScenarioSpec())
+
+    def test_events_sorted_and_within_window(self):
+        machine = machine_for("commit")
+        spec = ScenarioSpec(groups=2, group_size=4, seed=8, spread=30.0)
+        scenario = generate_scenario(machine, commit_profile(), spec)
+        times = [e.time for e in scenario.events]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 30.0 for t in times)

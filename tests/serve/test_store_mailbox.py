@@ -3,17 +3,12 @@
 import pytest
 
 from repro.core.errors import DeploymentError
-from repro.models.commit import CommitModel
 from repro.serve import InstanceStore, Mailbox, OverflowPolicy, shard_of
-
-_MACHINE = None
+from tests.serve.conftest import machine_for
 
 
 def commit_table():
-    global _MACHINE
-    if _MACHINE is None:
-        _MACHINE = CommitModel(4).generate_state_machine()
-    return _MACHINE.dispatch_table()
+    return machine_for("commit").dispatch_table()
 
 
 class TestShardRouting:

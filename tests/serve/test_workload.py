@@ -5,17 +5,12 @@ from collections import Counter
 import pytest
 
 from repro.core.errors import SimulationError
-from repro.models.commit import CommitModel
 from repro.serve import WorkloadSpec, generate_workload, session_keys
-
-_MACHINE = None
+from tests.serve.conftest import machine_for
 
 
 def commit_machine():
-    global _MACHINE
-    if _MACHINE is None:
-        _MACHINE = CommitModel(4).generate_state_machine()
-    return _MACHINE
+    return machine_for("commit")
 
 
 class TestWorkload:
@@ -40,15 +35,13 @@ class TestWorkload:
             assert key in keys
             assert message in machine.messages
 
-    def test_mostly_enabled_messages(self):
+    def test_mostly_enabled_messages(self, make_fleet):
         # With 10% noise, the overwhelming majority of events fire.
         machine = commit_machine()
         events = generate_workload(
             machine, WorkloadSpec(instances=20, events=3_000, seed=7)
         )
-        from repro.serve import FleetEngine
-
-        fleet = FleetEngine(machine, auto_recycle=True)
+        fleet = make_fleet(machine, auto_recycle=True)
         fleet.spawn_many(20)
         fleet.run(events)
         assert fleet.metrics.transitions_fired > 0.8 * len(events)

@@ -69,6 +69,75 @@ class TestTimers:
         assert sim.pending_events() == 1
 
 
+class TestHeapMaintenance:
+    """``drain`` and ``reset`` must clear cancelled-timer tombstones —
+    long-lived wheels (the scenario plane re-arms a timer per observed
+    state change) would otherwise grow the heap without bound."""
+
+    def test_drain_compacts_ten_thousand_cancelled_timers(self):
+        sim = Simulator()
+        timers = [sim.schedule(float(i + 1), lambda: None) for i in range(10_000)]
+        keeper = sim.schedule(20_000.0, lambda: None)
+        for timer in timers:
+            timer.cancel()
+        # Tombstones linger in the heap until compaction...
+        assert len(sim._queue) == 10_001
+        assert sim.drain() == 10_000
+        # ...then only the live entry remains, and it still fires.
+        assert len(sim._queue) == 1
+        assert sim.pending_events() == 1
+        assert keeper.active
+        assert sim.next_time() == 20_000.0
+        sim.run()
+        assert sim.now == 20_000.0
+
+    def test_drain_on_empty_heap_is_a_noop(self):
+        sim = Simulator()
+        assert sim.drain() == 0
+        assert sim.drain() == 0
+
+    def test_drain_preserves_firing_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("b"))
+        doomed = [sim.schedule(1.5, lambda: log.append("x")) for _ in range(100)]
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(3.0, lambda: log.append("c"))
+        for timer in doomed:
+            timer.cancel()
+        sim.drain()
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_reset_discards_everything_and_rewinds(self):
+        sim = Simulator(seed=9)
+        first_draw = sim.rng.random()
+        log = []
+        for i in range(10_000):
+            timer = sim.schedule(float(i + 1), lambda: log.append("cancelled"))
+            timer.cancel()
+        sim.schedule(1.0, lambda: log.append("live"))
+        sim.run(until=0.5)
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending_events() == 0
+        assert len(sim._queue) == 0
+        assert sim.events_processed == 0
+        # The seeded stream restarts from the beginning.
+        assert sim.rng.random() == first_draw
+        sim.run()
+        assert log == []
+
+    def test_reset_then_reuse_fires_fresh_schedule(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.reset()
+        log = []
+        sim.schedule(2.0, lambda: log.append(sim.now))
+        sim.run()
+        assert log == [2.0]
+
+
 class TestRunControl:
     def test_run_until_time_bound(self):
         sim = Simulator()
