@@ -39,6 +39,7 @@ if __name__ == "__main__":  # allow running without PYTHONPATH=src
 
 from repro.models.commit import CommitModel
 from repro.models.commit import scenario_profile as commit_profile
+from repro.obs import FleetTelemetry, telemetry_sample
 from repro.serve import (
     FleetEngine,
     GroupTopology,
@@ -157,6 +158,25 @@ def _timed_active(machine, groups, group_size, runs=3, seed=0):
         "deliveries": delivered,
         "active_eps": delivered / best,
     }
+
+
+def metrics_sample(groups=10, group_size=4, seed=0):
+    """A telemetry snapshot for the artifact's ``metrics`` section.
+
+    Runs a small *separate* telemetered scenario (timers + routing +
+    tracing all on); the timed sweeps above stay untelemetered.
+    """
+    machine = CommitModel(4).generate_state_machine()
+    scenario = generate_scenario(
+        machine,
+        commit_profile(),
+        ScenarioSpec(groups=groups, group_size=group_size, seed=seed),
+    )
+    fleet = FleetEngine(
+        machine, shards=4, mode="encoded", telemetry=FleetTelemetry()
+    )
+    run_scenario(fleet, scenario)
+    return telemetry_sample(fleet)
 
 
 def sweep(points=SWEEP, active_points=ACTIVE, runs=3, seed=0):
@@ -288,7 +308,12 @@ def main() -> int:
         rows, active = sweep()
     print(format_rows(rows, active))
 
-    result = {"rows": rows, "active": active, "acceptance": None}
+    result = {
+        "rows": rows,
+        "active": active,
+        "acceptance": None,
+        "metrics": metrics_sample(),
+    }
     ok = True
     if not args.fast:
         accept = acceptance()

@@ -52,12 +52,38 @@ if __name__ == "__main__":  # allow running without PYTHONPATH=src
     sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.models.commit import CommitModel
+from repro.obs import FleetTelemetry, telemetry_sample
 from repro.serve import (
     FleetEngine,
     WorkloadSpec,
     diff_against_standalone,
     generate_workload,
 )
+
+
+def metrics_sample(instances=500, events=10_000, shards=4, seed=0):
+    """A telemetry snapshot for the artifact's ``metrics`` section.
+
+    Runs a small *separate* telemetered fleet over the mailbox path so
+    the queue-latency and batch histograms engage; the timed sweeps
+    above stay untelemetered and unperturbed.
+    """
+    machine = CommitModel(4).generate_state_machine()
+    schedule = generate_workload(
+        machine, WorkloadSpec(instances=instances, events=events, seed=seed)
+    )
+    fleet = FleetEngine(
+        machine,
+        shards=shards,
+        mode="encoded",
+        auto_recycle=True,
+        telemetry=FleetTelemetry(),
+    )
+    fleet.spawn_many(instances)
+    for key, message in schedule:
+        fleet.post(key, message)
+    fleet.drain_all()
+    return telemetry_sample(fleet)
 
 #: (scenario, instances, events, shards) sweep points.
 SWEEP = (
@@ -369,7 +395,12 @@ def main() -> int:
         rows = sweep()
     print(format_rows(rows))
 
-    result = {"rows": rows, "acceptance": None, "encoded_acceptance": None}
+    result = {
+        "rows": rows,
+        "acceptance": None,
+        "encoded_acceptance": None,
+        "metrics": metrics_sample(),
+    }
     ok = True
     if not args.fast:
         speedup = acceptance_speedup()

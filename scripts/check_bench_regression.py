@@ -1,8 +1,8 @@
 """Compare a fresh benchmark artifact against its committed baseline.
 
 CI runs the ``--fast --json`` sweeps of ``bench_serve.py``,
-``bench_flatten.py``, ``bench_opt.py`` and ``bench_scenario.py`` on
-every push; this script
+``bench_flatten.py``, ``bench_opt.py``, ``bench_scenario.py`` and
+``bench_load.py`` on every push; this script
 fails (exit 1) when any sweep configuration's throughput drops more than
 ``--threshold`` (default 30%) below the committed baseline of the same
 name under ``benchmarks/baselines/``.  It is wired into CI as a
@@ -20,12 +20,15 @@ Usage::
 Artifacts may be a bare row list, a ``{"rows": [...]}`` object
 (``BENCH_serve``), or an object holding several named row lists
 (``BENCH_flatten``'s ``flatten``/``serve``, ``BENCH_opt``'s
-``passes``/``serve``, ``BENCH_scenario``'s ``rows``/``active``); named
+``passes``/``serve``, ``BENCH_scenario``'s ``rows``/``active``,
+``BENCH_load``'s ``rows``/``closed``); named
 sections become part of each row's configuration key.  The default
 baseline is the committed artifact with the same file name.  Rows are matched on their configuration fields
 (everything except the measured floats); configurations present in only
 one file are reported but do not fail the check — sweeps are allowed to
-evolve.  Only throughput metrics (higher-is-better) are compared.
+evolve.  Throughput metrics regress when they *drop* past the
+threshold; latency percentiles (``LOWER_IS_BETTER``) regress when they
+*rise* by more than two histogram bucket steps above the jitter floor.
 """
 
 from __future__ import annotations
@@ -50,6 +53,10 @@ MEASURED = frozenset(
         "opt_eps",
         "scenario_eps",
         "active_eps",
+        "offered_eps",
+        "achieved_eps",
+        "capacity_eps",
+        "utilization",
         "speedup",
         "encoded_speedup",
         "ratio",
@@ -57,10 +64,28 @@ MEASURED = frozenset(
         "deliveries",
         "flatten_ms",
         "pass_ms",
+        "p50_s",
+        "p95_s",
+        "p99_s",
+        "mean_latency_s",
+        "wall_seconds",
     }
 )
 
-#: Metrics compared when --metric is not given (all higher-is-better).
+#: Measured fields where *smaller* is better (latency percentiles).
+#: These come out of log-scaled factor-2 histograms, so any value is
+#: quantized to a power-of-two bucket edge and a one-bucket move already
+#: reads as 2x: a latency only regresses when it rises by more than two
+#: bucket steps (> 4x) *and* sits above the scheduler-jitter floor.
+#: Above saturation (utilization > 1) the queue never drains, so the
+#: percentiles scale with offered-minus-capacity — pure capacity-probe
+#: jitter — and are not compared at all.
+LOWER_IS_BETTER = frozenset({"p50_s", "p95_s", "p99_s", "mean_latency_s"})
+LATENCY_RATIO = 4.0
+LATENCY_FLOOR_S = 1e-4
+SATURATED_UTILIZATION = 1.0
+
+#: Metrics compared when --metric is not given.
 DEFAULT_METRICS = (
     "batched_eps",
     "naive_eps",
@@ -71,6 +96,8 @@ DEFAULT_METRICS = (
     "opt_eps",
     "scenario_eps",
     "active_eps",
+    "achieved_eps",
+    "p99_s",
 )
 
 BASELINE_DIR = (
@@ -130,20 +157,34 @@ def check(
         if fresh_row is None:
             print(f"  [skip] baseline-only configuration: {config}")
             continue
+        saturated = (
+            base_row.get("utilization", 0.0) > SATURATED_UTILIZATION
+            or fresh_row.get("utilization", 0.0) > SATURATED_UTILIZATION
+        )
         for metric in metrics:
             if metric not in base_row or metric not in fresh_row:
+                continue
+            if metric in LOWER_IS_BETTER and saturated:
+                print(f"  [skip] saturated configuration ({metric}): {config}")
                 continue
             compared += 1
             base_value = base_row[metric]
             fresh_value = fresh_row[metric]
-            ratio = fresh_value / base_value if base_value else float("inf")
+            if base_value:
+                ratio = fresh_value / base_value
+            else:
+                ratio = float("inf") if fresh_value else 1.0
             verdict = "ok"
-            if ratio < 1.0 - threshold:
+            if metric in LOWER_IS_BETTER:
+                regressed = fresh_value > LATENCY_FLOOR_S and ratio > LATENCY_RATIO
+            else:
+                regressed = ratio < 1.0 - threshold
+            if regressed:
                 verdict = "REGRESSION"
                 regressions.append((config, metric, base_value, fresh_value))
             print(
                 f"  [{verdict:>10}] {config} {metric}: "
-                f"baseline {base_value:,.0f} -> fresh {fresh_value:,.0f} "
+                f"baseline {base_value:,.6g} -> fresh {fresh_value:,.6g} "
                 f"({ratio:.2f}x)"
             )
     for key in fresh.keys() - baseline.keys():
@@ -159,7 +200,7 @@ def check(
             f"{threshold:.0%} below baseline:"
         )
         for config, metric, base_value, fresh_value in regressions:
-            print(f"  {config}: {metric} {base_value:,.0f} -> {fresh_value:,.0f}")
+            print(f"  {config}: {metric} {base_value:,.6g} -> {fresh_value:,.6g}")
         return 1
     print(f"\nall {compared} compared metric(s) within {threshold:.0%} of baseline")
     return 0

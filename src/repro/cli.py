@@ -23,6 +23,9 @@ Mirrors the paper's Fig 6 usage from a shell::
                                              # fleet on an optimized machine
     repro-fsm serve-scenario --model commit --faults kill-shard --seed 7
                                              # interacting fleet under faults
+    repro-fsm serve-scenario --metrics prom  # merged fleet+scenario metrics
+    repro-fsm serve-watch --events 50000 --interval 10000
+                                             # live telemetry over a workload
 """
 
 from __future__ import annotations
@@ -42,6 +45,13 @@ from repro.models import HIERARCHICAL_MODELS, build_hierarchical_model
 from repro.models.chandra_toueg import CoordinatorRoundModel
 from repro.models.chandra_toueg import scenario_profile as ct_scenario_profile
 from repro.models.commit import CommitModel, fault_tolerance
+from repro.obs import (
+    FleetTelemetry,
+    fleet_registry,
+    render_json,
+    render_prometheus,
+    scenario_registry,
+)
 from repro.models.commit import scenario_profile as commit_scenario_profile
 from repro.opt import PASSES, format_pass_table, parse_opt_spec, standard_pipeline
 from repro.render.dot import DotRenderer
@@ -221,6 +231,16 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_flag(optimize)
     add_opt_flag(optimize, default="3")
 
+    def add_metrics_flag(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--metrics",
+            choices=("prom", "json"),
+            default=None,
+            help="attach the telemetry plane (queue-latency and batch "
+            "histograms, event tracing) and print the metrics registry "
+            "after the run, in Prometheus text or JSON exposition",
+        )
+
     serve_bench = commands.add_parser(
         "serve-bench",
         help="benchmark the fleet execution plane: naive per-event dispatch "
@@ -264,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
         "full; 'count'/'off' trade the trace away for throughput, so the "
         "differential check is skipped for them)",
     )
+    add_metrics_flag(serve_bench)
     add_engine_flag(serve_bench)
     add_opt_flag(serve_bench)
 
@@ -338,7 +359,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the differential check against a naive fleet",
     )
+    add_metrics_flag(serve_scenario)
     add_engine_flag(serve_scenario)
+
+    serve_watch = commands.add_parser(
+        "serve-watch",
+        help="run a workload through a telemetered fleet in intervals, "
+        "printing a live status line per interval and the full metrics "
+        "registry at the end",
+    )
+    serve_watch.add_argument("-r", "--replication-factor", type=int, default=4)
+    serve_watch.add_argument("--shards", type=int, default=8)
+    serve_watch.add_argument(
+        "--instances", type=int, default=1_000, help="machine instances hosted"
+    )
+    serve_watch.add_argument(
+        "--events", type=int, default=50_000, help="events in the workload"
+    )
+    serve_watch.add_argument(
+        "--interval",
+        type=int,
+        default=10_000,
+        help="events posted per observation interval (default: 10000)",
+    )
+    serve_watch.add_argument(
+        "--workload",
+        choices=SERVE_SCENARIOS,
+        default="uniform",
+        help="arrival pattern (default: uniform)",
+    )
+    serve_watch.add_argument("--seed", type=int, default=0)
+    serve_watch.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        dest="fmt",
+        help="final exposition format (default: prom)",
+    )
+    add_engine_flag(serve_watch)
 
     return parser
 
@@ -422,6 +480,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve-scenario":
         return _serve_scenario(args)
+
+    if args.command == "serve-watch":
+        return _serve_watch(args)
 
     if args.command == "modelcheck":
         if args.contention is not None:
@@ -571,6 +632,7 @@ def _serve_bench(args) -> int:
             auto_recycle=True,
             optimize=args.opt,
             log_policy=policy,
+            telemetry=FleetTelemetry() if args.metrics else None,
         )
         keys = fleet.spawn_many(args.instances)
         if mode in ("encoded", "grouped"):
@@ -605,7 +667,17 @@ def _serve_bench(args) -> int:
             f"  encoded  {elapsed['batched'] / elapsed['encoded']:.2f}x batched, "
             f"grouped {elapsed['batched'] / elapsed['grouped']:.2f}x batched"
         )
+    if args.metrics:
+        # The registry of the last measured fleet (metrics are per-fleet).
+        print(_render_registry(fleet_registry(fleet), args.metrics), end="")
     return 0
+
+
+def _render_registry(registry, fmt: str) -> str:
+    """One metrics registry in the requested exposition format."""
+    if fmt == "prom":
+        return render_prometheus(registry)
+    return render_json(registry) + "\n"
 
 
 #: Per-copy disturbance rate used for each requested message-fault kind.
@@ -668,7 +740,11 @@ def _serve_scenario(args) -> int:
         f"faults {args.faults or 'none'}"
     )
     fleet = FleetEngine(
-        machine, mode=args.mode, backend=args.backend, shards=args.shards
+        machine,
+        mode=args.mode,
+        backend=args.backend,
+        shards=args.shards,
+        telemetry=FleetTelemetry() if args.metrics else None,
     )
     started = time.perf_counter()
     engine = run_scenario(fleet, scenario)
@@ -694,6 +770,10 @@ def _serve_scenario(args) -> int:
             f"{m.snapshots_restored} snapshot restore(s)"
         )
     print(f"  finished: {finished}/{len(scenario.topology)} instances")
+    if args.metrics:
+        # One merged blob: fleet counters and histograms plus the
+        # scenario engine's timer/routing/fault counters.
+        print(_render_registry(scenario_registry(engine), args.metrics), end="")
     if args.no_verify:
         return 0
     oracle = FleetEngine(machine, mode="naive", shards=args.shards)
@@ -707,6 +787,58 @@ def _serve_scenario(args) -> int:
         )
         return 1
     print(f"  differential vs naive fleet: ok ({len(scenario.topology)} traces)")
+    return 0
+
+
+def _serve_watch(args) -> int:
+    """Post a workload in intervals, watching the telemetry registry fill.
+
+    Every interval's events go through the mailbox path (``post`` then
+    ``drain_all``), so the queue-latency histograms, batch timings and
+    shard-depth gauges all engage; one status line summarises each
+    interval and the full registry is rendered at the end.
+    """
+    import time
+
+    machine = CommitModel(args.replication_factor).generate_state_machine(
+        engine=args.engine
+    )
+    spec = WorkloadSpec(
+        scenario=args.workload,
+        instances=args.instances,
+        events=args.events,
+        seed=args.seed,
+    )
+    events = generate_workload(machine, spec)
+    telemetry = FleetTelemetry()
+    fleet = FleetEngine(
+        machine,
+        shards=args.shards,
+        mode="encoded",
+        auto_recycle=True,
+        telemetry=telemetry,
+    )
+    fleet.spawn_many(args.instances)
+    print(
+        f"machine {machine.name} [{args.engine}]: {len(machine)} states; "
+        f"watching {len(events)} events over intervals of {args.interval} "
+        f"({args.instances} instances, {args.shards} shards)"
+    )
+    queue = telemetry.queue_latency
+    for start in range(0, len(events), args.interval):
+        part = events[start : start + args.interval]
+        started = time.perf_counter()
+        for key, message in part:
+            fleet.post(key, message)
+        fleet.drain_all()
+        elapsed = time.perf_counter() - started
+        print(
+            f"  t+{start + len(part):>8d}  {len(part) / elapsed:>12,.0f} ev/s  "
+            f"queue p50 {queue.quantile(0.5):.2e}s  "
+            f"p99 {queue.quantile(0.99):.2e}s  "
+            f"peak depth {fleet.metrics.peak_shard_depth}"
+        )
+    print(_render_registry(fleet_registry(fleet), args.fmt), end="")
     return 0
 
 

@@ -1,0 +1,35 @@
+"""Telemetry plane: metrics, tracing and exposition for the serve stack.
+
+The observability counterpart to the fleet/scenario planes — see
+:mod:`repro.obs.metrics` (counters, gauges, mergeable log-scaled latency
+histograms), :mod:`repro.obs.trace` (per-event trace ids, ring-buffer
+trace log, causal reconstruction), :mod:`repro.obs.telemetry` (the
+per-engine bundle ``FleetEngine(telemetry=...)`` feeds) and
+:mod:`repro.obs.expo` (Prometheus-text and JSON renderers).
+"""
+
+from repro.obs.expo import (
+    fleet_registry,
+    render_json,
+    render_prometheus,
+    scenario_registry,
+    telemetry_sample,
+)
+from repro.obs.metrics import Counter, Gauge, LatencyHistogram, MetricsRegistry
+from repro.obs.telemetry import FleetTelemetry
+from repro.obs.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "FleetTelemetry",
+    "TraceLog",
+    "TraceRecord",
+    "fleet_registry",
+    "render_json",
+    "render_prometheus",
+    "scenario_registry",
+    "telemetry_sample",
+]

@@ -1,0 +1,181 @@
+"""Structured event tracing: trace ids, a ring buffer, and reconstruction.
+
+Aggregate metrics answer "how fast"; they cannot answer "what happened
+to *this* message".  An event posted into the fleet may be delayed on a
+scenario wheel, duplicated by a fault plan, fanned out to routed peers,
+or dropped — and each of those decisions happens in a different module.
+The tracing layer stitches them back together:
+
+* a **trace id** is minted when an event enters the system
+  (``FleetEngine.post`` / ``encode`` / ``ScenarioEngine.schedule_events``)
+  and carried alongside the event through every hand-off;
+* derived events (a routed copy, a fault duplicate, a timer fired by a
+  state entered via some delivery) record the originating event's id as
+  their ``parent_id``, forming a causal tree;
+* every decision appends a :class:`TraceRecord` to a bounded
+  :class:`TraceLog` ring buffer — old records fall off the front, so a
+  long soak run keeps a fixed memory footprint and ``dropped`` counts
+  what aged out;
+* :meth:`TraceLog.trace_event` reconstructs one event's full causal
+  path: the connected component of parent/child links reachable from a
+  trace id, in arrival order.
+
+Records are deliberately flat (no nesting, interned strings only) so the
+ring buffer costs one small tuple-like object per decision and the whole
+log serialises straight into a bench artifact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = ["TraceRecord", "TraceLog"]
+
+#: Default ring capacity: enough for a full scenario run at CI scale
+#: while keeping a soak run's footprint bounded (~a few MB).
+DEFAULT_CAPACITY = 65_536
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced decision about one event.
+
+    ``kind`` is a small vocabulary shared by the fleet and scenario
+    planes — e.g. ``post``, ``deliver``, ``schedule``, ``route``,
+    ``timer_arm``, ``timer_fire``, ``fault_drop``, ``fault_dup``,
+    ``fault_delay``, ``kill``, ``restore``, ``encode``.
+    """
+
+    seq: int  #: global append order, monotone even across ring eviction
+    trace_id: int  #: the event this record is about
+    parent_id: Optional[int]  #: causal parent event, if derived
+    time: float  #: clock value at the decision (virtual or wall)
+    kind: str  #: decision vocabulary, see class docstring
+    key: Optional[str] = None  #: instance key involved, when known
+    message: Optional[str] = None  #: message name involved, when known
+    detail: Optional[str] = None  #: free-form qualifier (rule, shard, ...)
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "time": self.time,
+            "kind": self.kind,
+            "key": self.key,
+            "message": self.message,
+            "detail": self.detail,
+        }
+
+
+class TraceLog:
+    """A bounded ring buffer of :class:`TraceRecord`\\ s plus the id mint.
+
+    The log owns trace-id allocation (:meth:`mint` / :meth:`mint_range`)
+    so ids are unique per telemetry context and replayable: restoring a
+    snapshot restores ``next_id`` and the replay mints the same ids.
+    """
+
+    __slots__ = ("capacity", "next_id", "dropped", "_records", "_seq")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"trace log capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.next_id = 1
+        self.dropped = 0
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def mint(self) -> int:
+        """Allocate one fresh trace id."""
+        tid = self.next_id
+        self.next_id += 1
+        return tid
+
+    def mint_range(self, n: int) -> range:
+        """Allocate ``n`` consecutive trace ids in O(1).
+
+        The bulk form ``FleetEngine.encode`` uses: a pre-encoded
+        schedule gets one contiguous id block instead of one mint call
+        per event, keeping the encoded path's telemetry cost constant.
+        """
+        start = self.next_id
+        self.next_id += n
+        return range(start, start + n)
+
+    def record(
+        self,
+        trace_id: int,
+        time: float,
+        kind: str,
+        *,
+        parent_id: Optional[int] = None,
+        key: Optional[str] = None,
+        message: Optional[str] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        """Append one decision record (evicting the oldest when full)."""
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._seq += 1
+        self._records.append(
+            TraceRecord(self._seq, trace_id, parent_id, time, kind, key, message, detail)
+        )
+
+    def records(self) -> tuple[TraceRecord, ...]:
+        """All retained records, oldest first."""
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def trace_event(self, trace_id: int) -> tuple[TraceRecord, ...]:
+        """One event's full causal path, in append order.
+
+        Returns every retained record belonging to the connected
+        component of parent/child links containing ``trace_id`` — the
+        original post, any routed or duplicated copies, timers it
+        caused, and fault decisions about any of them.  Records that
+        already aged out of the ring are simply absent.
+        """
+        # Union the component iteratively: parent links may be seen in
+        # either direction depending on eviction, so alternate sweeps
+        # until the member set stops growing (component diameters are
+        # tiny — one original plus its derived copies).
+        members = {trace_id}
+        grew = True
+        while grew:
+            grew = False
+            for rec in self._records:
+                if rec.trace_id in members:
+                    if rec.parent_id is not None and rec.parent_id not in members:
+                        members.add(rec.parent_id)
+                        grew = True
+                elif rec.parent_id is not None and rec.parent_id in members:
+                    members.add(rec.trace_id)
+                    grew = True
+        return tuple(rec for rec in self._records if rec.trace_id in members)
+
+    def kinds(self, trace_id: int) -> tuple[str, ...]:
+        """The ``kind`` sequence of one event's causal path (test helper)."""
+        return tuple(rec.kind for rec in self.trace_event(trace_id))
+
+    def clear(self) -> None:
+        """Drop all records (id allocation continues monotonically)."""
+        self._records.clear()
+        self.dropped = 0
+
+    def as_dicts(self) -> list[dict]:
+        """All retained records as JSON-safe dicts (artifact form)."""
+        return [rec.as_dict() for rec in self._records]
+
+    @staticmethod
+    def merge_components(logs: Iterable["TraceLog"], trace_id: int) -> tuple:
+        """One event's path across several logs, in (time, seq) order."""
+        merged: list[TraceRecord] = []
+        for log in logs:
+            merged.extend(log.trace_event(trace_id))
+        return tuple(sorted(merged, key=lambda rec: (rec.time, rec.seq)))

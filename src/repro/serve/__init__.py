@@ -13,6 +13,10 @@ compiled generated class — plug in through :mod:`repro.serve.adapter`;
 single-instance runs.  :mod:`repro.serve.scenario` layers virtual time on
 top: per-model timers, machine-driven routing between instances, and
 fault injection with snapshot-replay recovery.
+:mod:`repro.serve.loadgen` offers open/closed-loop load with
+measured-service latency replay, feeding the telemetry plane
+(:mod:`repro.obs`) that any engine accepts via
+``FleetEngine(telemetry=...)``.
 """
 
 from repro.serve.adapter import BACKENDS, BackendAdapter, make_backend
@@ -23,7 +27,17 @@ from repro.serve.differential import (
     hierarchical_traces,
     standalone_traces,
 )
+from repro.obs.telemetry import FleetTelemetry
 from repro.serve.fleet import DISPATCH_MODES, FleetEngine, FleetSnapshot
+from repro.serve.loadgen import (
+    Arrival,
+    ClosedLoopSpec,
+    LoadReport,
+    OpenLoopSpec,
+    generate_open_loop,
+    run_closed_loop,
+    run_open_loop,
+)
 from repro.serve.mailbox import Mailbox, OverflowPolicy
 from repro.serve.metrics import FleetMetrics
 from repro.serve.scenario import (
@@ -49,6 +63,7 @@ from repro.serve.store import (
 from repro.serve.workload import (
     SCENARIOS,
     ScenarioSpec,
+    SessionSimulator,
     WorkloadSpec,
     encode_schedule,
     generate_scenario,
@@ -57,12 +72,17 @@ from repro.serve.workload import (
 )
 
 __all__ = [
+    "Arrival",
     "BACKENDS",
     "BackendAdapter",
+    "ClosedLoopSpec",
     "DISPATCH_MODES",
     "FleetEngine",
     "FleetMetrics",
     "FleetSnapshot",
+    "FleetTelemetry",
+    "LoadReport",
+    "OpenLoopSpec",
     "GroupTopology",
     "InstanceSnapshot",
     "InstanceStore",
@@ -78,6 +98,7 @@ __all__ = [
     "ScenarioProfile",
     "ScenarioSnapshot",
     "ScenarioSpec",
+    "SessionSimulator",
     "TimedEvent",
     "TimerRule",
     "WorkloadSpec",
@@ -85,10 +106,13 @@ __all__ = [
     "diff_against_standalone",
     "diff_fleets",
     "encode_schedule",
+    "generate_open_loop",
     "generate_scenario",
     "generate_workload",
     "hierarchical_traces",
     "make_backend",
+    "run_closed_loop",
+    "run_open_loop",
     "run_scenario",
     "scenario_traces",
     "session_keys",

@@ -54,6 +54,22 @@ Snapshot/restore captures every instance's ``(key, state, action log)``
 for recycling and failover; recycling itself rides the ``reset()``
 protocol both backends implement, and :meth:`FleetEngine.despawn` returns
 an instance's slot to the store's free list for reuse.
+
+Telemetry is opt-in and engine-external:
+``FleetEngine(telemetry=FleetTelemetry())`` attaches a
+:mod:`repro.obs` context and the engine feeds it — per-event mailbox
+wait (post to drain) into ``fleet_queue_latency_seconds``, per-batch
+dispatch wall time and size into ``fleet_batch_*``, and (when the
+context carries a trace log) a trace id minted at :meth:`post` /
+:meth:`encode` and recorded through shed and dispatch decisions.  The
+cost model is deliberate: the encoded hot loop is untouched — batches
+pay two clock reads and two histogram observations *per batch* — while
+per-event stamping exists only on the mailbox path, which is already
+the slower intake tier.  The default ``telemetry=None`` leaves every
+path exactly as before.  Shard mailbox depths, by contrast, are always
+observed: every drain records the drained batch's depth into
+:class:`~repro.serve.metrics.FleetMetrics`, so ``shard_depths`` /
+``peak_shard_depth`` are live without caller polling.
 """
 
 from __future__ import annotations
@@ -61,10 +77,12 @@ from __future__ import annotations
 from array import array
 from dataclasses import dataclass
 from operator import itemgetter
+from time import perf_counter
 from typing import Optional
 
 from repro.core.errors import DeploymentError
 from repro.core.machine import StateMachine
+from repro.obs.telemetry import FleetTelemetry
 from repro.opt import IndexedMachine, as_pipeline
 from repro.runtime.cache import GeneratedCodeCache
 from repro.serve.adapter import BACKENDS, make_backend
@@ -116,6 +134,7 @@ class FleetEngine:
         cache: Optional[GeneratedCodeCache] = None,
         optimize=None,
         log_policy: str = "full",
+        telemetry: Optional[FleetTelemetry] = None,
     ):
         if mode not in DISPATCH_MODES:
             raise DeploymentError(
@@ -180,6 +199,10 @@ class FleetEngine:
         ]
         self._bounded = mailbox_capacity is not None
         self.metrics = FleetMetrics()
+        self._telemetry = telemetry
+        #: Per-shard post() timestamps, parallel to the mailbox contents;
+        #: only stamped when telemetry is attached, consumed at drain.
+        self._post_times: list[list[float]] = [[] for _ in range(shards)]
 
     # ------------------------------------------------------------------
     # introspection
@@ -232,6 +255,11 @@ class FleetEngine:
     @property
     def log_policy(self) -> str:
         return self._log_policy
+
+    @property
+    def telemetry(self) -> Optional[FleetTelemetry]:
+        """The attached telemetry context (``None`` when uninstrumented)."""
+        return self._telemetry
 
     @property
     def shard_count(self) -> int:
@@ -412,10 +440,25 @@ class FleetEngine:
         string.  Slot ids are fleet-specific — encode against the fleet
         that will run the schedule.  Unknown keys or messages raise one
         :class:`~repro.core.errors.DeploymentError` naming them.
+
+        With tracing attached, the whole schedule is minted one
+        contiguous trace-id block (event *i* owns ``start + i``) and a
+        single ``encode`` record marks the block — O(1) telemetry for
+        an arbitrarily large schedule, which is what keeps the encoded
+        path inside its overhead budget.
         """
         pairs, rejected = self._encode_batch(events)
         if rejected:
             self._raise_rejected(rejected)
+        telemetry = self._telemetry
+        if telemetry is not None and telemetry.trace is not None and pairs:
+            ids = telemetry.trace.mint_range(len(pairs))
+            telemetry.trace.record(
+                ids.start,
+                perf_counter(),
+                "encode",
+                detail=f"events={len(pairs)} ids={ids.start}..{ids.stop - 1}",
+            )
         return pairs
 
     def encode_flat(self, events) -> array:
@@ -465,6 +508,8 @@ class FleetEngine:
         mailbox = self._mailboxes[shard_id]
         if mailbox.offer(event, source):
             self.metrics.events_offered += 1
+            if self._telemetry is not None:
+                self._post_times[shard_id].append(perf_counter())
             return True
         if mailbox.policy is OverflowPolicy.BLOCK:
             # The incoming event is enqueued even when the inline drain
@@ -475,11 +520,19 @@ class FleetEngine:
             finally:
                 mailbox.offer(event, source)
                 self.metrics.events_offered += 1
+                if self._telemetry is not None:
+                    self._post_times[shard_id].append(perf_counter())
             return True
         self.metrics.events_dropped += 1
         return False
 
-    def post(self, key: str, message: str, source: Optional[str] = None) -> bool:
+    def post(
+        self,
+        key: str,
+        message: str,
+        source: Optional[str] = None,
+        trace_id: Optional[int] = None,
+    ) -> bool:
         """Queue one event for batched dispatch; returns acceptance.
 
         Routing never re-hashes an interned key: the slot lookup yields
@@ -492,6 +545,12 @@ class FleetEngine:
         synchronous form of blocking the producer) and the event is then
         accepted.  ``source`` tags the enqueue's provenance in the shard
         mailbox (the scenario plane marks timed and routed traffic).
+
+        With tracing attached, the event gets a trace id — minted here,
+        or the caller-propagated ``trace_id`` when the event already has
+        one (the scenario plane mints at schedule time) — and a ``post``
+        record; an event refused under the ``shed`` policy additionally
+        records ``shed``, so dropped traffic stays traceable.
         """
         store = self._store
         slot = store.slot_of.get(key)
@@ -502,13 +561,29 @@ class FleetEngine:
                 event = (slot, self._columns[message])
             except KeyError:
                 raise DeploymentError(f"unknown message {message!r}") from None
-            return self._offer(store.shard_ids[slot], event, source)
-        shard_id = (
-            store.shard_ids[slot]
-            if slot is not None
-            else shard_of(key, len(self._mailboxes))
+            shard_id = store.shard_ids[slot]
+        else:
+            event = (key, message)
+            shard_id = (
+                store.shard_ids[slot]
+                if slot is not None
+                else shard_of(key, len(self._mailboxes))
+            )
+        telemetry = self._telemetry
+        if telemetry is None or telemetry.trace is None:
+            return self._offer(shard_id, event, source)
+        trace = telemetry.trace
+        if trace_id is None:
+            trace_id = trace.mint()
+        trace.record(
+            trace_id, perf_counter(), "post", key=key, message=message, detail=source
         )
-        return self._offer(shard_id, (key, message), source)
+        accepted = self._offer(shard_id, event, source)
+        if not accepted:
+            trace.record(
+                trace_id, perf_counter(), "shed", key=key, message=message
+            )
+        return accepted
 
     def deliver(self, key: str, message: str) -> bool:
         """Dispatch one event immediately, bypassing the mailboxes.
@@ -754,17 +829,41 @@ class FleetEngine:
         metrics.instances_recycled += recycled
 
     def drain_shard(self, shard_id: int) -> int:
-        """Dispatch every queued event of one shard in a single pass."""
+        """Dispatch every queued event of one shard in a single pass.
+
+        The drained batch's depth is recorded into :attr:`metrics`
+        automatically, so ``shard_depths``/``peak_shard_depth`` are
+        live without caller polling.  With telemetry attached the pass
+        is wall-clocked (two clock reads per batch) and every drained
+        event's mailbox wait lands in ``fleet_queue_latency_seconds``.
+        """
         batch = self._mailboxes[shard_id].drain()
         if not batch:
             return 0
         # The batch is drained at this point, so it counts even when
         # _dispatch raises for bad events after processing the rest.
         self.metrics.batches_drained += 1
-        if self._encoded_intake:
-            self._dispatch_pairs(batch)
-        else:
-            self._dispatch(batch)
+        self.metrics.observe_depth(shard_id, len(batch))
+        telemetry = self._telemetry
+        if telemetry is None:
+            if self._encoded_intake:
+                self._dispatch_pairs(batch)
+            else:
+                self._dispatch(batch)
+            return len(batch)
+        times = self._post_times[shard_id]
+        self._post_times[shard_id] = []
+        started = perf_counter()
+        try:
+            if self._encoded_intake:
+                self._dispatch_pairs(batch)
+            else:
+                self._dispatch(batch)
+        finally:
+            telemetry.observe_batch(len(batch), perf_counter() - started)
+            observe = telemetry.queue_latency.observe
+            for stamp in times:
+                observe(started - stamp)
         return len(batch)
 
     def drain_all(self) -> int:
@@ -808,13 +907,20 @@ class FleetEngine:
             if batch:
                 self.metrics.events_offered += len(batch)
                 self.metrics.batches_drained += 1
-                if self._encoded_intake:
-                    pairs, rejected = self._encode_batch(batch)
-                    self._dispatch_pairs(pairs)
-                    if rejected:
-                        self._raise_rejected(rejected)
-                else:
-                    self._dispatch(batch)
+                started = perf_counter()
+                try:
+                    if self._encoded_intake:
+                        pairs, rejected = self._encode_batch(batch)
+                        self._dispatch_pairs(pairs)
+                        if rejected:
+                            self._raise_rejected(rejected)
+                    else:
+                        self._dispatch(batch)
+                finally:
+                    if self._telemetry is not None:
+                        self._telemetry.observe_batch(
+                            len(batch), perf_counter() - started
+                        )
             return self.metrics
         # Bounded: identical intake for every mode — capacity and overflow
         # policy apply the same way, so bounded fleets shed/block
@@ -858,7 +964,12 @@ class FleetEngine:
             if batch:
                 self.metrics.events_offered += len(batch)
                 self.metrics.batches_drained += 1
+                started = perf_counter()
                 self._dispatch_pairs(batch)
+                if self._telemetry is not None:
+                    self._telemetry.observe_batch(
+                        len(batch), perf_counter() - started
+                    )
             return self.metrics
         shard_ids = self._store.shard_ids
         offer = self._offer
@@ -890,8 +1001,11 @@ class FleetEngine:
         if count:
             self.metrics.events_offered += count
             self.metrics.batches_drained += 1
+            started = perf_counter()
             it = iter(flat)
             self._run_pairs(zip(it, it), count)
+            if self._telemetry is not None:
+                self._telemetry.observe_batch(count, perf_counter() - started)
         return self.metrics
 
     # ------------------------------------------------------------------
@@ -939,6 +1053,7 @@ class FleetEngine:
             resolved[inst.key] = name
         for mailbox in self._mailboxes:
             mailbox.drain()
+        self._post_times = [[] for _ in self._mailboxes]
         store = self._store
         store.clear()
         policy = self._log_policy

@@ -42,12 +42,29 @@ class FleetMetrics:
     #: Fleet-wide snapshots taken / restored.
     snapshots_taken: int = 0
     snapshots_restored: int = 0
-    #: Mailbox depth per shard at the last :meth:`observe_depths` call.
+    #: Mailbox depth per shard at its most recent observation.  The
+    #: engine records each shard's depth automatically at every drain
+    #: (the depth *being* drained), so these are live without any caller
+    #: involvement; :meth:`observe_depths` remains for explicit polls.
     shard_depths: list[int] = field(default_factory=list)
+    #: Deepest single-shard mailbox ever observed (high-water mark).
+    peak_shard_depth: int = 0
+
+    def observe_depth(self, shard_id: int, depth: int) -> None:
+        """Record one shard's mailbox depth (called by the engine per drain)."""
+        depths = self.shard_depths
+        if shard_id >= len(depths):
+            depths.extend([0] * (shard_id + 1 - len(depths)))
+        depths[shard_id] = depth
+        if depth > self.peak_shard_depth:
+            self.peak_shard_depth = depth
 
     def observe_depths(self, depths: list[int]) -> None:
         """Record the current per-shard mailbox depths (a gauge, not a sum)."""
         self.shard_depths = list(depths)
+        deepest = max(depths, default=0)
+        if deepest > self.peak_shard_depth:
+            self.peak_shard_depth = deepest
 
     @property
     def max_shard_depth(self) -> int:

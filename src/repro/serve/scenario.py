@@ -309,6 +309,13 @@ class ScenarioSnapshot:
     pending: tuple[tuple, ...]
     seen: tuple[tuple[str, int], ...]
     rng_state: object
+    #: Tracing state, captured when the fleet carries a trace log: the
+    #: pending records' trace ids, each key's last-delivery id (causal
+    #: parent links), and the mint position — restoring them makes a
+    #: replay mint the *same* ids an undisturbed run would.
+    tids: tuple = ()
+    last_tids: tuple = ()
+    next_trace_id: Optional[int] = None
 
 
 class ScenarioEngine:
@@ -388,6 +395,16 @@ class ScenarioEngine:
         self._last_snapshot: Optional[ScenarioSnapshot] = None
         self._delivered = 0
         self._max_events = max_events
+        telemetry = fleet.telemetry
+        #: The fleet's trace log, when one is attached: scenario records
+        #: (schedule/timer/route/fault decisions, at virtual time) land
+        #: in the same ring as the fleet's post/dispatch records.
+        self._trace = telemetry.trace if telemetry is not None else None
+        #: rid -> trace ids of the record's payload events (pending only).
+        self._tids: dict[int, tuple[int, ...]] = {}
+        #: key -> trace id of the last event delivered to the key: the
+        #: causal parent for timers armed on and actions routed from it.
+        self._last_tid: dict[str, int] = {}
         self.metrics = ScenarioMetrics()
 
     # ------------------------------------------------------------------
@@ -420,7 +437,12 @@ class ScenarioEngine:
 
     def schedule_event(self, time: float, key: str, message: str) -> None:
         """Schedule one external delivery at absolute virtual time."""
-        self._schedule_at(time, EXTERNAL, ((key, message),))
+        rid = self._schedule_at(time, EXTERNAL, ((key, message),))
+        trace = self._trace
+        if trace is not None:
+            tid = trace.mint()
+            trace.record(tid, time, "schedule", key=key, message=message)
+            self._tids[rid] = (tid,)
 
     def schedule_events(self, events) -> None:
         """Schedule a recorded timed workload.
@@ -438,11 +460,17 @@ class ScenarioEngine:
             item = (event.key, event.message)
             item = interned.setdefault(item, item)
             batches.setdefault(event.time, []).append(item)
+        trace = self._trace
         for time in sorted(batches):
             batch = tuple(batches[time])
             rid = self._schedule_at(time, EXTERNAL, batch)
             if self._pre_encode:
                 self._pairs[rid] = self._fleet.encode_flat(batch)
+            if trace is not None:
+                ids = trace.mint_range(len(batch))
+                for tid, (key, message) in zip(ids, batch):
+                    trace.record(tid, time, "schedule", key=key, message=message)
+                self._tids[rid] = tuple(ids)
 
     def despawn(self, key: str) -> None:
         """Remove one instance *and* its pending timed/routed traffic.
@@ -490,6 +518,22 @@ class ScenarioEngine:
         if entry is None:
             return
         entry[1].cancel()
+        if self._trace is not None:
+            tids = self._tids.pop(rid, None)
+            if tids:
+                record = entry[0]
+                payload = record[3]
+                key = message = None
+                if record[2] in (ROUTED, TIMER):
+                    key, message = payload
+                self._trace.record(
+                    tids[0],
+                    self._sim.now,
+                    "cancel",
+                    key=key,
+                    message=message,
+                    detail=record[2],
+                )
         self._cancels += 1
         if self._cancels >= 4096:
             # Cancelled entries are tombstones until popped; compact the
@@ -528,27 +572,39 @@ class ScenarioEngine:
         metrics = self.metrics
         metrics.instants += 1
         observing = self._observing
-        deliveries: list[tuple] = []  # (kind, key, message) — observing only
+        trace = self._trace
+        #: (kind, key, message, trace_id) — observing only.
+        deliveries: list[tuple] = []
         batches: list[tuple] = []  # raw (key, message) payloads — passthrough
         pair_lists: list = []
         timer_payloads: list[tuple] = []
         kills: list[tuple] = []
         snaps = 0
         delivered = 0
-        for rid, _time, kind, payload in due:
+        for rid, rtime, kind, payload in due:
+            tids = self._tids.pop(rid, None) if trace is not None else None
             if kind == EXTERNAL:
                 delivered += len(payload)
                 metrics.external_delivered += len(payload)
                 if observing:
-                    deliveries.extend((EXTERNAL, k, m) for k, m in payload)
+                    if tids is None:
+                        deliveries.extend(
+                            (EXTERNAL, k, m, None) for k, m in payload
+                        )
+                    else:
+                        deliveries.extend(
+                            (EXTERNAL, k, m, t)
+                            for (k, m), t in zip(payload, tids)
+                        )
                 else:
                     batches.append(payload)
                     pair_lists.append(self._pairs.pop(rid, None))
             elif kind == ROUTED:
                 delivered += 1
                 metrics.routed_delivered += 1
+                tid = tids[0] if tids else None
                 if observing:
-                    deliveries.append((ROUTED, payload[0], payload[1]))
+                    deliveries.append((ROUTED, payload[0], payload[1], tid))
                 else:
                     batches.append((payload,))
                     pair_lists.append(None)
@@ -556,8 +612,13 @@ class ScenarioEngine:
                 delivered += 1
                 metrics.timers_fired += 1
                 timer_payloads.append(payload)
+                tid = tids[0] if tids else None
+                if tid is not None:
+                    trace.record(
+                        tid, rtime, "timer_fire", key=payload[0], message=payload[1]
+                    )
                 if observing:
-                    deliveries.append((TIMER, payload[0], payload[1]))
+                    deliveries.append((TIMER, payload[0], payload[1], tid))
                 else:
                     batches.append((payload,))
                     pair_lists.append(None)
@@ -607,8 +668,15 @@ class ScenarioEngine:
     def _dispatch(self, deliveries, timer_payloads) -> None:
         fleet = self._fleet
         post = fleet.post
-        for kind, key, message in deliveries:
-            post(key, message, source=kind)
+        if self._trace is None:
+            for kind, key, message, _tid in deliveries:
+                post(key, message, source=kind)
+        else:
+            last = self._last_tid
+            for kind, key, message, tid in deliveries:
+                post(key, message, source=kind, trace_id=tid)
+                if tid is not None:
+                    last[key] = tid
         fleet.drain_all()
         # A fired timer is no longer armed: clear its column mark before
         # observation (which may immediately re-arm it — periodic timers).
@@ -617,7 +685,7 @@ class ScenarioEngine:
             slot = store.slot_of.get(key)
             if slot is not None and store.timers[slot] is not None:
                 store.timers[slot] = None
-        self._observe(dict.fromkeys(key for _, key, _m in deliveries))
+        self._observe(dict.fromkeys(key for _, key, _m, _t in deliveries))
 
     # ------------------------------------------------------------------
     # observation: timers armed/cancelled, actions routed
@@ -641,6 +709,7 @@ class ScenarioEngine:
         has_timers = bool(self._profile.timers)
         routes = self._routes
         seen = self._seen
+        trace = self._trace
         for key in keys:
             slot = slot_of.get(key)
             if slot is None:
@@ -658,6 +727,18 @@ class ScenarioEngine:
                     rid = self._schedule(rule.delay, TIMER, (key, rule.message))
                     timers_col[slot] = (rid, state)
                     metrics.timers_armed += 1
+                    if trace is not None:
+                        tid = trace.mint()
+                        trace.record(
+                            tid,
+                            self._sim.now,
+                            "timer_arm",
+                            parent_id=self._last_tid.get(key),
+                            key=key,
+                            message=rule.message,
+                            detail=f"delay={rule.delay}",
+                        )
+                        self._tids[rid] = (tid,)
             if routes:
                 total = fleet.action_count(key)
                 done = seen.get(key, 0)
@@ -670,15 +751,28 @@ class ScenarioEngine:
     def _route(self, key: str, rule: RouteRule) -> None:
         metrics = self.metrics
         faults = self._faults
+        trace = self._trace
+        parent = self._last_tid.get(key) if trace is not None else None
         lossy = faults is not None and faults.message_faults
         for peer in self._topology.peers(key):
             metrics.messages_routed += 1
             delay = rule.delay
             copies = 1
+            delayed = False
             if lossy:
                 draw = self._rng.random()
                 if draw < faults.drop:
                     metrics.messages_dropped += 1
+                    if trace is not None:
+                        trace.record(
+                            trace.mint(),
+                            self._sim.now,
+                            "fault_drop",
+                            parent_id=parent,
+                            key=peer,
+                            message=rule.message,
+                            detail=rule.action,
+                        )
                     continue
                 if draw < faults.drop + faults.duplicate:
                     metrics.messages_duplicated += 1
@@ -686,8 +780,26 @@ class ScenarioEngine:
                 elif draw < faults.drop + faults.duplicate + faults.delay:
                     metrics.messages_delayed += 1
                     delay += faults.delay_by
-            for _ in range(copies):
-                self._schedule(delay, ROUTED, (peer, rule.message))
+                    delayed = True
+            for copy in range(copies):
+                rid = self._schedule(delay, ROUTED, (peer, rule.message))
+                if trace is not None:
+                    tid = trace.mint()
+                    kind = (
+                        "fault_dup"
+                        if copy
+                        else ("fault_delay" if delayed else "route")
+                    )
+                    trace.record(
+                        tid,
+                        self._sim.now,
+                        kind,
+                        parent_id=parent,
+                        key=peer,
+                        message=rule.message,
+                        detail=rule.action,
+                    )
+                    self._tids[rid] = (tid,)
 
     # ------------------------------------------------------------------
     # faults & recovery
@@ -701,6 +813,15 @@ class ScenarioEngine:
         victims = list(store.shards[shard].keys)
         metrics.shards_killed += 1
         metrics.instances_lost += len(victims)
+        if self._trace is not None:
+            # Engine-level records use the reserved id 0 (mint starts at
+            # 1), so a kill never perturbs the replayable id stream.
+            self._trace.record(
+                0,
+                self._sim.now,
+                "kill",
+                detail=f"shard={shard} victims={len(victims)}",
+            )
         # Fail-stop: the shard's instances vanish mid-burst, taking their
         # armed timers and addressed traffic down with them.
         for key in victims:
@@ -726,6 +847,11 @@ class ScenarioEngine:
             pending=pending,
             seen=tuple(sorted(self._seen.items())),
             rng_state=self._rng.getstate(),
+            tids=tuple(sorted(self._tids.items())),
+            last_tids=tuple(sorted(self._last_tid.items())),
+            next_trace_id=(
+                self._trace.next_id if self._trace is not None else None
+            ),
         )
         self._last_snapshot = snap
         self.metrics.snapshots_taken += 1
@@ -749,6 +875,15 @@ class ScenarioEngine:
                 self._pairs[rid] = fleet.encode_flat(payload)
         self._seen = dict(snap.seen)
         self._rng.setstate(snap.rng_state)
+        self._tids = {rid: tuple(tids) for rid, tids in snap.tids}
+        self._last_tid = dict(snap.last_tids)
+        if self._trace is not None and snap.next_trace_id is not None:
+            # Rewind the mint so the replay allocates the same ids the
+            # undisturbed run would have (the replay-exact trace claim).
+            self._trace.next_id = snap.next_trace_id
+            self._trace.record(
+                0, self._sim.now, "restore", detail=f"now={snap.now}"
+            )
         # Re-mark armed timers: every pending TIMER record corresponds to
         # a slot-level arm in the restored population.
         store = fleet.store

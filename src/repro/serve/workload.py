@@ -145,6 +145,60 @@ def generate_scenario(machine: StateMachine, profile, spec: ScenarioSpec, faults
     )
 
 
+class SessionSimulator:
+    """Per-session protocol positions over a machine's dispatch table.
+
+    The message-choosing core shared by :func:`generate_workload` and the
+    load generators (:mod:`repro.serve.loadgen`): each session tracks its
+    simulated state; :meth:`next_message` mostly draws a message enabled
+    in that state (so transitions actually fire), mixed with a ``noise``
+    fraction of arbitrary messages, and advances the position — mirroring
+    a fleet run with ``auto_recycle=True`` (completed sessions restart).
+
+    Draws come from the caller's ``rng`` in a fixed order (one draw for
+    the noise coin unless the state has no enabled messages, then one for
+    the message pick), so schedules are reproducible per seed.
+    """
+
+    __slots__ = ("_table", "_enabled", "_rng", "_noise", "_state")
+
+    def __init__(self, machine: StateMachine, keys, rng, noise: float = 0.1):
+        if not 0.0 <= noise <= 1.0:
+            raise SimulationError("noise must be in [0, 1]")
+        table = machine.dispatch_table()
+        self._table = table
+        # Enabled messages per state, precomputed once.
+        self._enabled: list[tuple[str, ...]] = [
+            tuple(
+                table.messages[col]
+                for col in range(table.width)
+                if table.entries[row * table.width + col] is not None
+            )
+            for row in range(len(table.state_names))
+        ]
+        self._rng = rng
+        self._noise = noise
+        self._state = {key: table.start_index for key in keys}
+
+    def next_message(self, key: str) -> str:
+        """Draw the session's next message and advance its position."""
+        table = self._table
+        rng = self._rng
+        state = self._state[key]
+        options = self._enabled[state]
+        if not options or rng.random() < self._noise:
+            message = table.messages[rng.randrange(table.width)]
+        else:
+            message = options[rng.randrange(len(options))]
+        entry = table.entries[state * table.width + table.message_index[message]]
+        if entry is not None:
+            # Mirror auto-recycling: completed sessions restart.
+            self._state[key] = (
+                table.start_index if table.final[entry[0]] else entry[0]
+            )
+        return message
+
+
 def generate_workload(
     machine: StateMachine, spec: WorkloadSpec
 ) -> list[tuple[str, str]]:
@@ -161,28 +215,10 @@ def generate_workload(
         )
     if spec.burst_length < 1:
         raise SimulationError("burst_length must be >= 1")
-    if not 0.0 <= spec.noise <= 1.0:
-        raise SimulationError("noise must be in [0, 1]")
-
-    table = machine.dispatch_table()
-    width = table.width
-    messages = table.messages
-    entries = table.entries
-    final = table.final
-    start = table.start_index
-    # Enabled messages per state, precomputed once.
-    enabled: list[tuple[str, ...]] = [
-        tuple(
-            messages[col]
-            for col in range(width)
-            if entries[row * width + col] is not None
-        )
-        for row in range(len(table.state_names))
-    ]
 
     rng = random.Random(spec.seed)
     keys = session_keys(spec.instances)
-    sim_state = {key: start for key in keys}
+    sessions = SessionSimulator(machine, keys, rng, spec.noise)
 
     hot_count = max(1, int(spec.instances * spec.hot_fraction))
     burst_key: str | None = None
@@ -206,15 +242,5 @@ def generate_workload(
     schedule: list[tuple[str, str]] = []
     for _ in range(spec.events):
         key = next_key()
-        state = sim_state[key]
-        options = enabled[state]
-        if not options or rng.random() < spec.noise:
-            message = messages[rng.randrange(width)]
-        else:
-            message = options[rng.randrange(len(options))]
-        schedule.append((key, message))
-        entry = entries[state * width + table.message_index[message]]
-        if entry is not None:
-            # Mirror auto-recycling: completed sessions restart.
-            sim_state[key] = start if final[entry[0]] else entry[0]
+        schedule.append((key, sessions.next_message(key)))
     return schedule

@@ -1,0 +1,207 @@
+"""Metrics primitives: histogram edge cases, registry merge, exposition."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    LatencyHistogram,
+    MetricsRegistry,
+    render_json,
+    render_prometheus,
+)
+
+
+def hist(**kwargs) -> LatencyHistogram:
+    return LatencyHistogram("t_seconds", "test histogram", **kwargs)
+
+
+class TestHistogramBuckets:
+    def test_geometric_layout(self):
+        h = hist(lo=1.0, hi=8.0, factor=2.0)
+        assert h.bounds == (1.0, 2.0, 4.0, 8.0)
+        assert len(h.counts) == len(h.bounds) + 1  # + overflow
+
+    def test_value_on_bound_lands_in_that_bucket(self):
+        h = hist(lo=1.0, hi=8.0, factor=2.0)
+        h.observe(2.0)  # bucket i counts v <= bounds[i]
+        assert h.counts[1] == 1
+
+    def test_value_just_above_bound_lands_in_next_bucket(self):
+        h = hist(lo=1.0, hi=8.0, factor=2.0)
+        h.observe(2.0000001)
+        assert h.counts[2] == 1
+
+    def test_below_lo_lands_in_first_bucket(self):
+        h = hist(lo=1.0, hi=8.0, factor=2.0)
+        h.observe(0.0)
+        h.observe(-1.0)  # negative clamps rather than raising
+        assert h.counts[0] == 2
+
+    def test_above_hi_lands_in_overflow(self):
+        h = hist(lo=1.0, hi=8.0, factor=2.0)
+        h.observe(9.0)
+        assert h.counts[-1] == 1
+        assert h.quantile(1.0) == math.inf
+
+    def test_bucket_bounds_width(self):
+        h = hist(lo=1.0, hi=8.0, factor=2.0)
+        assert h.bucket_bounds(3.0) == (2.0, 4.0)
+        assert h.bucket_bounds(0.5) == (0.0, 1.0)
+        assert h.bucket_bounds(100.0) == (8.0, math.inf)
+
+    def test_observe_count_matches_repeated_observe(self):
+        bulk, loop = hist(), hist()
+        bulk.observe_count(0.003, 7)
+        for _ in range(7):
+            loop.observe(0.003)
+        assert bulk.counts == loop.counts
+        assert bulk.count == loop.count == 7
+        assert bulk.total == pytest.approx(loop.total)
+
+    def test_invalid_layouts_raise(self):
+        with pytest.raises(ValueError):
+            hist(lo=0.0, hi=1.0)
+        with pytest.raises(ValueError):
+            hist(lo=2.0, hi=1.0)
+        with pytest.raises(ValueError):
+            hist(factor=1.0)
+
+
+class TestHistogramQuantiles:
+    def test_zero_samples(self):
+        h = hist()
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(0.99) == 0.0
+        assert h.mean == 0.0
+        assert h.as_dict()["buckets"] == []
+
+    def test_quantile_range_validated(self):
+        with pytest.raises(ValueError):
+            hist().quantile(1.5)
+
+    def test_single_sample_all_quantiles_equal(self):
+        h = hist()
+        h.observe(0.004)
+        upper = h.bucket_bounds(0.004)[1]
+        assert h.quantile(0.0) == h.quantile(0.5) == h.quantile(1.0) == upper
+
+    def test_quantile_monotone_in_q(self):
+        h = hist()
+        for i in range(1, 500):
+            h.observe(1e-6 * i * i)
+        grid = [i / 100 for i in range(101)]
+        values = [h.quantile(q) for q in grid]
+        assert values == sorted(values)
+
+    def test_quantile_within_one_bucket_of_exact(self):
+        h = hist()
+        samples = sorted(1e-5 * (1 + i % 37) for i in range(1000))
+        for value in samples:
+            h.observe(value)
+        for q in (0.5, 0.95, 0.99):
+            exact = samples[min(len(samples) - 1, int(q * len(samples)))]
+            lower, upper = h.bucket_bounds(exact)
+            assert h.quantile(q) - exact <= upper - lower
+
+
+class TestHistogramMerge:
+    def test_merge_adds_bucketwise(self):
+        a, b = hist(), hist()
+        a.observe(0.001)
+        b.observe(0.001)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.quantile(1.0) == a.bucket_bounds(5.0)[1]
+
+    def test_merge_rejects_different_layout(self):
+        a = hist(lo=1.0, hi=8.0, factor=2.0)
+        b = hist(lo=1.0, hi=8.0, factor=4.0)
+        with pytest.raises(ValueError, match="layouts differ"):
+            a.merge(b)
+
+    def test_copy_is_independent(self):
+        a = hist()
+        a.observe(0.5)
+        b = a.copy()
+        b.observe(0.5)
+        assert a.count == 1 and b.count == 2
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="different type"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="different type"):
+            reg.histogram("x")
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").add(-1)
+
+    def test_merge_disjoint_registries_is_union(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("only_a").add(2)
+        b.counter("only_b").add(3)
+        b.gauge("g").set(7.0)
+        b.histogram("h").observe(0.01)
+        a.merge(b)
+        assert a.counters["only_a"].value == 2
+        assert a.counters["only_b"].value == 3
+        assert a.gauges["g"].value == 7.0
+        assert a.histograms["h"].count == 1
+        # Merged histograms are copies: mutating the source is invisible.
+        b.histograms["h"].observe(0.01)
+        assert a.histograms["h"].count == 1
+
+    def test_merge_shared_names_combine(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").add(1)
+        b.counter("c").add(2)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.histogram("h").observe(0.01)
+        b.histogram("h").observe(0.02)
+        a.merge(b)
+        assert a.counters["c"].value == 3
+        assert a.gauges["g"].value == 9.0  # last writer wins
+        assert a.histograms["h"].count == 2
+
+
+class TestExposition:
+    def registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("events_total", "events seen").add(5)
+        reg.gauge("depth").set(3.0)
+        h = reg.histogram("lat_seconds", lo=1.0, hi=4.0, factor=2.0)
+        h.observe(1.5)
+        h.observe(100.0)
+        return reg
+
+    def test_prometheus_text_shape(self):
+        text = render_prometheus(self.registry())
+        assert "# TYPE events_total counter" in text
+        assert "events_total 5" in text
+        assert "# HELP events_total events seen" in text
+        assert "# TYPE depth gauge" in text
+        assert "# TYPE lat_seconds histogram" in text
+        # Buckets are cumulative and end with +Inf == count.
+        assert 'lat_seconds_bucket{le="2"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+
+    def test_json_roundtrips(self):
+        import json
+
+        data = json.loads(render_json(self.registry()))
+        assert data["counters"]["events_total"] == 5
+        assert data["histograms"]["lat_seconds"]["count"] == 2

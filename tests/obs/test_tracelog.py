@@ -1,0 +1,103 @@
+"""Trace log tests: id minting, ring eviction, causal reconstruction."""
+
+import pytest
+
+from repro.obs import TraceLog
+
+
+class TestMinting:
+    def test_ids_start_at_one_and_are_contiguous(self):
+        log = TraceLog()
+        assert [log.mint(), log.mint(), log.mint()] == [1, 2, 3]
+
+    def test_mint_range_is_contiguous_with_mint(self):
+        log = TraceLog()
+        first = log.mint()
+        block = log.mint_range(4)
+        assert list(block) == [2, 3, 4, 5]
+        assert log.mint() == 6
+        assert first == 1
+
+    def test_rewinding_next_id_replays_the_same_stream(self):
+        log = TraceLog()
+        log.mint_range(10)
+        mark = log.next_id
+        first = [log.mint() for _ in range(5)]
+        log.next_id = mark
+        assert [log.mint() for _ in range(5)] == first
+
+
+class TestRing:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceLog(0)
+
+    def test_eviction_counts_dropped_and_keeps_seq_monotone(self):
+        log = TraceLog(capacity=4)
+        for i in range(6):
+            log.record(log.mint(), float(i), "post")
+        assert len(log) == 4
+        assert log.dropped == 2
+        seqs = [rec.seq for rec in log.records()]
+        assert seqs == [3, 4, 5, 6]  # oldest fell off, order preserved
+
+    def test_clear_keeps_id_allocation(self):
+        log = TraceLog()
+        log.record(log.mint(), 0.0, "post")
+        log.clear()
+        assert len(log) == 0 and log.dropped == 0
+        assert log.mint() == 2
+
+    def test_as_dicts_is_json_safe(self):
+        log = TraceLog()
+        log.record(log.mint(), 1.0, "post", key="k", message="m", detail="d")
+        (rec,) = log.as_dicts()
+        assert rec["kind"] == "post" and rec["key"] == "k"
+
+
+class TestReconstruction:
+    def chain(self, log: TraceLog):
+        """post(1) -> route copies 2 and 3; 3 also arms timer 4."""
+        a = log.mint()
+        log.record(a, 0.0, "post", key="k0")
+        b, c = log.mint(), log.mint()
+        log.record(b, 1.0, "route", parent_id=a, key="k1")
+        log.record(c, 1.0, "route", parent_id=a, key="k2")
+        d = log.mint()
+        log.record(d, 2.0, "timer_arm", parent_id=c, key="k2")
+        return a, b, c, d
+
+    def test_component_found_from_any_member(self):
+        log = TraceLog()
+        a, b, c, d = self.chain(log)
+        expected = {a, b, c, d}
+        for tid in (a, b, c, d):
+            assert {r.trace_id for r in log.trace_event(tid)} == expected
+
+    def test_unrelated_events_stay_separate(self):
+        log = TraceLog()
+        a, *_ = self.chain(log)
+        other = log.mint()
+        log.record(other, 5.0, "post", key="kx")
+        assert {r.trace_id for r in log.trace_event(other)} == {other}
+        assert other not in {r.trace_id for r in log.trace_event(a)}
+
+    def test_kinds_helper_in_append_order(self):
+        log = TraceLog()
+        a, *_ = self.chain(log)
+        assert log.kinds(a) == ("post", "route", "route", "timer_arm")
+
+    def test_component_survives_partial_eviction(self):
+        log = TraceLog(capacity=3)
+        a, b, c, d = self.chain(log)  # 4 records: the "post" aged out
+        got = {r.trace_id for r in log.trace_event(d)}
+        # The retained route records still link b/c/d through parent a.
+        assert {b, c, d} <= got
+
+    def test_merge_components_across_logs(self):
+        fleet_log, scenario_log = TraceLog(), TraceLog()
+        tid = scenario_log.mint()
+        scenario_log.record(tid, 1.0, "schedule", key="k")
+        fleet_log.record(tid, 2.0, "post", key="k")
+        merged = TraceLog.merge_components([fleet_log, scenario_log], tid)
+        assert [rec.kind for rec in merged] == ["schedule", "post"]

@@ -1,0 +1,232 @@
+"""Load harness tests: arrival generation, queueing replay, closed loop."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.obs import LatencyHistogram
+from repro.serve import (
+    ClosedLoopSpec,
+    FleetEngine,
+    OpenLoopSpec,
+    SessionSimulator,
+    generate_open_loop,
+    run_closed_loop,
+    run_open_loop,
+)
+from tests.serve.conftest import machine_for
+
+
+def commit_machine():
+    return machine_for("commit")
+
+
+class TestSessionSimulator:
+    def test_messages_are_valid_and_deterministic(self):
+        machine = commit_machine()
+        table = machine.dispatch_table()
+        keys = ["a", "b"]
+        first = SessionSimulator(machine, keys, random.Random(7), noise=0.2)
+        second = SessionSimulator(machine, keys, random.Random(7), noise=0.2)
+        for _ in range(200):
+            key = "a" if _ % 2 else "b"
+            m1, m2 = first.next_message(key), second.next_message(key)
+            assert m1 == m2
+            assert m1 in table.messages
+
+    def test_noise_validated(self):
+        with pytest.raises(SimulationError):
+            SessionSimulator(commit_machine(), ["a"], random.Random(0), noise=2.0)
+
+
+class TestOpenLoopGeneration:
+    def test_deterministic_per_seed(self):
+        spec = OpenLoopSpec(rate=100.0, events=500, instances=20, seed=3)
+        assert generate_open_loop(commit_machine(), spec) == generate_open_loop(
+            commit_machine(), spec
+        )
+
+    def test_seeds_differ(self):
+        a = OpenLoopSpec(rate=100.0, events=500, instances=20, seed=1)
+        b = OpenLoopSpec(rate=100.0, events=500, instances=20, seed=2)
+        assert generate_open_loop(commit_machine(), a) != generate_open_loop(
+            commit_machine(), b
+        )
+
+    def test_arrival_times_increase_and_match_rate(self):
+        spec = OpenLoopSpec(rate=1000.0, events=4000, instances=20, seed=0)
+        arrivals = generate_open_loop(commit_machine(), spec)
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        # Mean interarrival of a Poisson process ~ 1/rate.
+        assert times[-1] / len(times) == pytest.approx(1 / 1000.0, rel=0.1)
+
+    def test_uniform_process_has_constant_gap(self):
+        spec = OpenLoopSpec(
+            rate=500.0, events=100, instances=10, process="uniform"
+        )
+        arrivals = generate_open_loop(commit_machine(), spec)
+        gaps = {
+            round(b.time - a.time, 9)
+            for a, b in zip(arrivals, arrivals[1:])
+        }
+        assert gaps == {round(1 / 500.0, 9)}
+
+    def test_content_decoupled_from_rate(self):
+        # The seeded stream split: changing the offered rate must not
+        # change which messages the sessions see.
+        slow = OpenLoopSpec(rate=10.0, events=300, instances=20, seed=5)
+        fast = OpenLoopSpec(rate=1e6, events=300, instances=20, seed=5)
+        slow_content = [
+            (a.key, a.message) for a in generate_open_loop(commit_machine(), slow)
+        ]
+        fast_content = [
+            (a.key, a.message) for a in generate_open_loop(commit_machine(), fast)
+        ]
+        assert slow_content == fast_content
+
+    def test_spec_validation(self):
+        with pytest.raises(SimulationError):
+            OpenLoopSpec(rate=0.0, events=10)
+        with pytest.raises(SimulationError):
+            OpenLoopSpec(rate=1.0, events=0)
+        with pytest.raises(SimulationError):
+            OpenLoopSpec(rate=1.0, events=10, process="bursty")
+
+
+class TestOpenLoopReplay:
+    def test_needs_exactly_one_service_source(self):
+        spec = OpenLoopSpec(rate=10.0, events=10, instances=5)
+        with pytest.raises(SimulationError):
+            run_open_loop(commit_machine(), spec)
+        with pytest.raises(SimulationError):
+            run_open_loop(
+                commit_machine(),
+                spec,
+                fleet=object(),
+                service_time=0.01,
+            )
+        with pytest.raises(SimulationError):
+            run_open_loop(commit_machine(), spec, service_time=0.0)
+
+    def test_virtual_below_saturation_latency_equals_service(self):
+        # D/D/1 at util 0.5: every event finds the server idle, so the
+        # true latency is exactly the service time; the histogram may
+        # round it up by at most one bucket width.
+        service = 0.004
+        spec = OpenLoopSpec(
+            rate=0.5 / service, events=5000, instances=50, process="uniform"
+        )
+        report = run_open_loop(commit_machine(), spec, service_time=service)
+        lower, upper = report.latency.bucket_bounds(service)
+        for q in (0.5, 0.95, 0.99):
+            assert abs(report.latency.quantile(q) - service) <= upper - lower
+        assert report.utilization == pytest.approx(0.5)
+        assert report.capacity_eps == pytest.approx(1 / service)
+
+    def test_virtual_above_saturation_queue_grows(self):
+        service = 0.004
+        below = run_open_loop(
+            commit_machine(),
+            OpenLoopSpec(
+                rate=0.5 / service, events=5000, instances=50, process="uniform"
+            ),
+            service_time=service,
+        )
+        above = run_open_loop(
+            commit_machine(),
+            OpenLoopSpec(
+                rate=2.0 / service, events=5000, instances=50, process="uniform"
+            ),
+            service_time=service,
+        )
+        assert above.utilization > 1.0
+        assert above.p99_s > below.p99_s
+        # Achieved throughput saturates at capacity, not at offered.
+        assert above.achieved_eps < above.offered_eps
+        assert above.achieved_eps == pytest.approx(above.capacity_eps, rel=0.05)
+
+    def test_measured_replay_on_real_fleet(self):
+        machine = commit_machine()
+        fleet = FleetEngine(machine, shards=4, mode="encoded", auto_recycle=True)
+        fleet.spawn_many(50)
+        spec = OpenLoopSpec(rate=1000.0, events=2000, instances=50, seed=1)
+        report = run_open_loop(machine, spec, fleet=fleet, chunk=256)
+        assert report.events == 2000
+        assert report.capacity_eps > 0
+        assert report.wall_seconds > 0
+        assert report.latency.count == 2000
+        data = report.as_dict()
+        assert {"p50_s", "p95_s", "p99_s", "latency"} <= set(data)
+
+    def test_histogram_injection_merges_runs(self):
+        shared = LatencyHistogram("shared", "")
+        spec = OpenLoopSpec(rate=100.0, events=500, instances=20)
+        run_open_loop(commit_machine(), spec, service_time=0.001, histogram=shared)
+        run_open_loop(commit_machine(), spec, service_time=0.001, histogram=shared)
+        assert shared.count == 1000
+
+
+class TestClosedLoop:
+    def test_deterministic_per_seed(self):
+        spec = ClosedLoopSpec(users=16, events=2000, think_time=0.001, seed=4)
+        a = run_closed_loop(commit_machine(), spec, service_time=1e-4)
+        b = run_closed_loop(commit_machine(), spec, service_time=1e-4)
+        assert a.as_dict() == b.as_dict()
+
+    def test_interactive_law_virtual(self):
+        # X = N / (R + Z): users=8, service 1ms, think 9ms -> ~800 ev/s.
+        spec = ClosedLoopSpec(users=8, events=20_000, think_time=0.009, seed=0)
+        report = run_closed_loop(commit_machine(), spec, service_time=0.001)
+        expected = 8 / (0.001 + 0.009)
+        assert report.achieved_eps == pytest.approx(expected, rel=0.15)
+        assert report.offered_eps == report.achieved_eps  # self-throttled
+
+    def test_more_users_more_throughput_until_saturation(self):
+        small = run_closed_loop(
+            commit_machine(),
+            ClosedLoopSpec(users=2, events=5000, think_time=0.001),
+            service_time=1e-4,
+        )
+        large = run_closed_loop(
+            commit_machine(),
+            ClosedLoopSpec(users=64, events=5000, think_time=0.001),
+            service_time=1e-4,
+        )
+        assert large.achieved_eps > small.achieved_eps
+        # 64 users saturate the 10k ev/s server: utilization near 1.
+        assert large.utilization > 0.9
+
+    def test_measured_closed_loop_on_real_fleet(self):
+        machine = commit_machine()
+        fleet = FleetEngine(machine, shards=4, mode="encoded", auto_recycle=True)
+        fleet.spawn_many(16, prefix="user")
+        spec = ClosedLoopSpec(users=16, events=2000, think_time=0.0, seed=2)
+        report = run_closed_loop(machine, spec, fleet=fleet, chunk=256)
+        assert report.kind == "closed"
+        assert report.latency.count == 2000
+        assert report.achieved_eps > 0
+
+    def test_spec_validation(self):
+        with pytest.raises(SimulationError):
+            ClosedLoopSpec(users=0)
+        with pytest.raises(SimulationError):
+            ClosedLoopSpec(think_time=-1.0)
+        with pytest.raises(SimulationError):
+            run_closed_loop(
+                commit_machine(), ClosedLoopSpec(), service_time=None, fleet=None
+            )
+
+
+class TestLoadReport:
+    def test_quantile_properties_and_dict(self):
+        spec = OpenLoopSpec(rate=100.0, events=200, instances=10)
+        report = run_open_loop(commit_machine(), spec, service_time=0.002)
+        assert report.p50_s <= report.p95_s <= report.p99_s
+        data = report.as_dict()
+        assert data["kind"] == "open"
+        assert data["events"] == 200
+        assert not math.isinf(data["utilization"])
+        assert data["latency"]["count"] == 200

@@ -1,0 +1,275 @@
+"""Telemetry plane integration: fleet instruments, tracing, exposition.
+
+Covers the observability contract end to end: queue-latency histograms
+fed by the mailbox path, O(1) per-batch timing on the encoded path,
+automatic shard-depth observation at every drain, trace records for
+post/shed/encode and the scenario wheel's timer/route/fault decisions,
+and — the replay guarantee — trace ids minted identically when a
+snapshot is restored and the run replayed.
+"""
+
+import pytest
+
+from repro.models.commit import scenario_profile
+from repro.obs import FleetTelemetry, fleet_registry, scenario_registry
+from repro.serve import (
+    OverflowPolicy,
+    ScenarioEngine,
+    ScenarioSpec,
+    WorkloadSpec,
+    generate_scenario,
+    generate_workload,
+)
+from tests.serve.conftest import machine_for
+
+
+@pytest.fixture
+def telemetered_fleet(make_fleet):
+    telemetry = FleetTelemetry()
+    fleet = make_fleet("commit", dispatch="encoded", telemetry=telemetry)
+    fleet.spawn_many(50)
+    return fleet, telemetry
+
+
+class TestFleetInstruments:
+    def test_queue_latency_counts_posted_events(self, telemetered_fleet):
+        fleet, telemetry = telemetered_fleet
+        events = generate_workload(
+            fleet.machine, WorkloadSpec(instances=50, events=200, seed=1)
+        )
+        for key, message in events:
+            fleet.post(key, message)
+        fleet.drain_all()
+        assert telemetry.queue_latency.count == 200
+        assert telemetry.queue_latency.total > 0.0
+
+    def test_batch_histograms_on_encoded_run(self, telemetered_fleet):
+        fleet, telemetry = telemetered_fleet
+        events = generate_workload(
+            fleet.machine, WorkloadSpec(instances=50, events=300, seed=2)
+        )
+        fleet.run_encoded(fleet.encode(events))
+        assert telemetry.batches.value == 1
+        assert telemetry.events.value == 300
+        assert telemetry.batch_seconds.count == 1
+        # Direct batches never queued, so no queue latency is invented.
+        assert telemetry.queue_latency.count == 0
+
+    def test_depths_observed_automatically_at_drain(self, make_fleet):
+        # Satellite check: no telemetry attached, no caller polls —
+        # drain_shard itself records the drained depth and the peak.
+        fleet = make_fleet("commit", dispatch="encoded")
+        fleet.spawn_many(20)
+        events = generate_workload(
+            fleet.machine, WorkloadSpec(instances=20, events=100, seed=3)
+        )
+        for key, message in events:
+            fleet.post(key, message)
+        fleet.drain_all()
+        assert fleet.metrics.peak_shard_depth > 0
+        assert max(fleet.metrics.shard_depths) == fleet.metrics.peak_shard_depth
+        assert sum(fleet.metrics.shard_depths) == 100
+
+    def test_restore_clears_pending_post_stamps(self, telemetered_fleet):
+        fleet, telemetry = telemetered_fleet
+        snap = fleet.snapshot()
+        events = generate_workload(
+            fleet.machine, WorkloadSpec(instances=50, events=40, seed=4)
+        )
+        for key, message in events:
+            fleet.post(key, message)
+        fleet.restore(snap)  # drops mailboxes and their timestamps
+        for key, message in events:
+            fleet.post(key, message)
+        fleet.drain_all()
+        assert telemetry.queue_latency.count == 40
+
+    def test_log_policy_off_still_observes(self, make_fleet):
+        telemetry = FleetTelemetry()
+        fleet = make_fleet(
+            "commit", dispatch="encoded", log_policy="off", telemetry=telemetry
+        )
+        fleet.spawn_many(20)
+        events = generate_workload(
+            fleet.machine, WorkloadSpec(instances=20, events=100, seed=5)
+        )
+        fleet.run_encoded(fleet.encode(events))
+        assert telemetry.events.value == 100
+
+
+class TestFleetTracing:
+    def test_post_records_and_mints(self, telemetered_fleet):
+        fleet, telemetry = telemetered_fleet
+        fleet.post("session-0000001", "update")
+        (rec,) = telemetry.trace.records()
+        assert rec.kind == "post"
+        assert rec.key == "session-0000001"
+        assert rec.trace_id == 1
+
+    def test_caller_supplied_trace_id_not_reminted(self, telemetered_fleet):
+        fleet, telemetry = telemetered_fleet
+        tid = telemetry.trace.mint()
+        fleet.post("session-0000001", "update", trace_id=tid)
+        (rec,) = telemetry.trace.records()
+        assert rec.trace_id == tid
+        assert telemetry.trace.next_id == tid + 1
+
+    def test_shed_recorded_on_overflow(self, make_fleet):
+        telemetry = FleetTelemetry()
+        fleet = make_fleet(
+            "commit",
+            dispatch="encoded",
+            telemetry=telemetry,
+            mailbox_capacity=2,
+            overflow=OverflowPolicy.SHED,
+        )
+        fleet.spawn_many(8)
+        for _ in range(5):
+            fleet.post("session-0000000", "update")
+        kinds = [rec.kind for rec in telemetry.trace.records()]
+        assert kinds.count("post") == 5
+        assert kinds.count("shed") == 3
+
+    def test_encode_mints_contiguous_block(self, telemetered_fleet):
+        fleet, telemetry = telemetered_fleet
+        events = generate_workload(
+            fleet.machine, WorkloadSpec(instances=50, events=25, seed=6)
+        )
+        before = telemetry.trace.next_id
+        fleet.encode(events)
+        assert telemetry.trace.next_id == before + 25
+        rec = telemetry.trace.records()[-1]
+        assert rec.kind == "encode" and "events=25" in rec.detail
+
+
+def scenario_fixture(shards=4, groups=4, seed=2):
+    machine = machine_for("commit")
+    scenario = generate_scenario(
+        machine,
+        scenario_profile(),
+        ScenarioSpec(groups=groups, group_size=4, seed=seed),
+    )
+    return machine, scenario
+
+
+def run_traced_scenario(make_fleet, scenario, until=None):
+    telemetry = FleetTelemetry()
+    fleet = make_fleet(
+        "commit", dispatch="encoded", shards=4, telemetry=telemetry
+    )
+    engine = ScenarioEngine(
+        fleet, scenario.profile, scenario.topology, seed=scenario.seed
+    )
+    engine.spawn_topology()
+    engine.schedule_events(scenario.events)
+    engine.run(until if until is not None else scenario.until)
+    return fleet, engine, telemetry
+
+
+class TestScenarioTracing:
+    def test_wheel_decisions_all_traced(self, make_fleet):
+        _machine, scenario = scenario_fixture()
+        _fleet, _engine, telemetry = run_traced_scenario(make_fleet, scenario)
+        kinds = {rec.kind for rec in telemetry.trace.records()}
+        assert {"schedule", "post", "timer_arm", "route"} <= kinds
+
+    def test_route_links_back_to_originating_post(self, make_fleet):
+        _machine, scenario = scenario_fixture()
+        _fleet, _engine, telemetry = run_traced_scenario(make_fleet, scenario)
+        routes = [r for r in telemetry.trace.records() if r.kind == "route"]
+        assert routes
+        path_kinds = set(telemetry.trace.kinds(routes[0].trace_id))
+        # The causal component reaches back through the delivery chain.
+        assert "schedule" in path_kinds or "post" in path_kinds
+
+    def test_trace_ids_replay_exactly_across_snapshot_restore(self, make_fleet):
+        _machine, scenario = scenario_fixture()
+        telemetry = FleetTelemetry()
+        fleet = make_fleet(
+            "commit", dispatch="encoded", shards=4, telemetry=telemetry
+        )
+        engine = ScenarioEngine(
+            fleet, scenario.profile, scenario.topology, seed=scenario.seed
+        )
+        engine.spawn_topology()
+        engine.schedule_events(scenario.events)
+        engine.run(20.0)
+        snap = engine.snapshot()
+        engine.run(scenario.until)
+        first_next = telemetry.trace.next_id
+        first_traces = {k: fleet.trace(k) for k in scenario.topology.keys}
+
+        engine.restore(snap)
+        engine.run(scenario.until)
+        # Satellite check: the replay mints the identical id stream and
+        # reproduces the identical instance traces.
+        assert telemetry.trace.next_id == first_next
+        assert {k: fleet.trace(k) for k in scenario.topology.keys} == first_traces
+
+    def test_snapshot_restore_records_marker(self, make_fleet):
+        _machine, scenario = scenario_fixture()
+        telemetry = FleetTelemetry()
+        fleet = make_fleet(
+            "commit", dispatch="encoded", shards=4, telemetry=telemetry
+        )
+        engine = ScenarioEngine(
+            fleet, scenario.profile, scenario.topology, seed=scenario.seed
+        )
+        engine.spawn_topology()
+        engine.schedule_events(scenario.events)
+        engine.run(20.0)
+        snap = engine.snapshot()
+        engine.restore(snap)
+        kinds = [rec.kind for rec in telemetry.trace.records()]
+        assert "restore" in kinds
+
+    def test_untelemetered_scenario_unaffected(self, make_fleet):
+        # The whole plane is behind one is-not-None check: a plain fleet
+        # runs the same scenario to the same traces.
+        _machine, scenario = scenario_fixture()
+        traced_fleet, _engine, _telemetry = run_traced_scenario(
+            make_fleet, scenario
+        )
+        plain = make_fleet("commit", dispatch="encoded", shards=4)
+        engine = ScenarioEngine(
+            plain, scenario.profile, scenario.topology, seed=scenario.seed
+        )
+        engine.spawn_topology()
+        engine.schedule_events(scenario.events)
+        engine.run(scenario.until)
+        for key in scenario.topology.keys:
+            assert plain.trace(key) == traced_fleet.trace(key)
+
+
+class TestExpositionBuilders:
+    def test_fleet_registry_merges_both_surfaces(self, telemetered_fleet):
+        fleet, _telemetry = telemetered_fleet
+        events = generate_workload(
+            fleet.machine, WorkloadSpec(instances=50, events=100, seed=7)
+        )
+        for key, message in events:
+            fleet.post(key, message)
+        fleet.drain_all()
+        registry = fleet_registry(fleet)
+        assert registry.counters["fleet_events_dispatched_total"].value == 100
+        assert registry.histograms["fleet_queue_latency_seconds"].count == 100
+        assert registry.gauges["fleet_shard_depth_peak"].value > 0
+
+    def test_scenario_registry_is_one_merged_blob(self, make_fleet):
+        # Satellite check: fleet counters, telemetry histograms and
+        # scenario counters all land in a single registry.
+        _machine, scenario = scenario_fixture()
+        _fleet, engine, _telemetry = run_traced_scenario(make_fleet, scenario)
+        registry = scenario_registry(engine)
+        names = set(registry.counters)
+        assert "fleet_events_dispatched_total" in names
+        assert "scenario_events_delivered_total" in names
+        assert "scenario_timers_fired_total" in names
+        assert "fleet_queue_latency_seconds" in registry.histograms
+
+    def test_scenario_metrics_as_dict_matches_fields(self, make_fleet):
+        _machine, scenario = scenario_fixture()
+        _fleet, engine, _telemetry = run_traced_scenario(make_fleet, scenario)
+        snapshot = engine.metrics.as_dict()
+        assert snapshot["events_delivered"] == engine.metrics.events_delivered
+        assert snapshot["timers_armed"] == engine.metrics.timers_armed
