@@ -207,7 +207,7 @@ def acceptance(runs=3, seed=0):
             fleet.spawn_many(instances)
             pairs = fleet.encode(schedule)
             started = time.perf_counter()
-            fleet.run_encoded(pairs)
+            fleet.run(pairs, encoding="pairs")
             best = min(best, time.perf_counter() - started)
         return len(schedule) / best
 

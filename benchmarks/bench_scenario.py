@@ -5,10 +5,10 @@ deterministic scheduled-event wheel.  When a scenario declares no
 timers, no routes and no faults, the engine runs *passthrough*: external
 batches are grouped per virtual instant at schedule time and — on
 encoded fleets — pre-interned to ``(slot, column)`` pairs, so the wheel
-adds one heap pop and one ``run_encoded`` call per distinct timestamp.
+adds one heap pop and one encoded ``run`` call per distinct timestamp.
 
 This sweep measures that overhead directly: the same recorded workload
-is pushed through a raw encoded fleet (``run_encoded`` on the whole
+is pushed through a raw encoded fleet (one encoded ``run`` on the whole
 pre-interned schedule — the bench_serve fast path) and through a
 passthrough scenario spread over hundreds of distinct virtual instants.
 The acceptance claim is **passthrough scenario dispatch sustains at
@@ -97,7 +97,7 @@ def _passthrough_scenario(machine, instances, events_n, instants, seed=0):
 
 
 def _timed_raw(machine, schedule, instances, shards, runs=3):
-    """Raw encoded plane: events/sec of ``run_encoded`` on the schedule."""
+    """Raw encoded plane: events/sec of encoded ``run`` on the schedule."""
     best = float("inf")
     fleet = None
     for _ in range(runs):
@@ -107,7 +107,7 @@ def _timed_raw(machine, schedule, instances, shards, runs=3):
         candidate.spawn_many(instances)
         pairs = candidate.encode(schedule)
         started = time.perf_counter()
-        candidate.run_encoded(pairs)
+        candidate.run(pairs, encoding="pairs")
         elapsed = time.perf_counter() - started
         if elapsed < best:
             best = elapsed

@@ -126,7 +126,7 @@ def _timed_run(
 
     The encoded modes are timed on their pre-encoded ``(slot, column)``
     schedule — interning happens once per workload, outside the timed
-    region, exactly as a generator feeding ``run_encoded`` would do it.
+    region, exactly as a generator feeding an encoded ``run`` would do it.
     Throughput comes from the fleet's ``events_per_second`` helper.
     """
     best = float("inf")
@@ -144,7 +144,7 @@ def _timed_run(
         if mode in ("encoded", "grouped"):
             pairs = fleet.encode(events)
             started = time.perf_counter()
-            fleet.run_encoded(pairs)
+            fleet.run(pairs, encoding="pairs")
         else:
             started = time.perf_counter()
             fleet.run(events)
@@ -359,7 +359,7 @@ def test_bench_encoded_10k(benchmark):
     def run():
         fleet = FleetEngine(machine, shards=16, mode="encoded", auto_recycle=True)
         fleet.spawn_many(10_000)
-        fleet.run_encoded(fleet.encode(events))
+        fleet.run(fleet.encode(events), encoding="pairs")
         return fleet
 
     fleet = benchmark.pedantic(run, rounds=3, iterations=1)

@@ -64,7 +64,7 @@ from repro.opt import (
     PassReport,
     standard_pipeline,
 )
-from repro.serve import FleetEngine
+from repro.serve import Fleet, FleetEngine, MultiprocessFleet, make_fleet
 
 __version__ = "1.0.0"
 
@@ -74,7 +74,10 @@ __all__ = [
     "CompositeState",
     "ENGINES",
     "EnumComponent",
+    "Fleet",
     "FleetEngine",
+    "MultiprocessFleet",
+    "make_fleet",
     "FlattenReport",
     "GenerationReport",
     "HierarchicalModel",

@@ -26,6 +26,9 @@ Mirrors the paper's Fig 6 usage from a shell::
     repro-fsm serve-scenario --metrics prom  # merged fleet+scenario metrics
     repro-fsm serve-watch --events 50000 --interval 10000
                                              # live telemetry over a workload
+    repro-fsm serve --workers 4 --instances 100 --port 8080
+                                             # HTTP/WebSocket gateway over a
+                                             # process-parallel fleet
 """
 
 from __future__ import annotations
@@ -66,7 +69,6 @@ from repro.runtime.export import export_machine_module
 from repro.serve import (
     DISPATCH_MODES,
     LOG_POLICIES,
-    FleetEngine,
     ScenarioFaultPlan,
     ScenarioSpec,
     WorkloadSpec,
@@ -75,6 +77,7 @@ from repro.serve import (
     encode_schedule,
     generate_scenario,
     generate_workload,
+    make_fleet,
     run_scenario,
 )
 from repro.serve.adapter import BACKENDS as SERVE_BACKENDS
@@ -251,6 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=8, help="instance partitions (default: 8)"
     )
     serve_bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run each mode on a process-parallel fleet with this many "
+        "worker processes instead of the in-process engine",
+    )
+    serve_bench.add_argument(
         "--instances", type=int, default=10_000, help="machine instances hosted"
     )
     serve_bench.add_argument(
@@ -398,6 +408,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine_flag(serve_watch)
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve a fleet over HTTP/WebSocket: spawn, deliver, snapshot "
+        "and scrape /metrics against an in-process or process-parallel "
+        "fleet (see docs/architecture.md for the endpoint list)",
+    )
+    serve.add_argument(
+        "--model",
+        choices=("commit", "chandra-toueg", "termination", "threshold-sig"),
+        default="commit",
+        help="bundled model to host (default: commit)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes; omit for the in-process engine",
+    )
+    serve.add_argument("--shards", type=int, default=None)
+    serve.add_argument("--mode", choices=DISPATCH_MODES, default="batched")
+    serve.add_argument(
+        "--backend", choices=SERVE_BACKENDS, default="interp"
+    )
+    serve.add_argument(
+        "--log-policy", choices=LOG_POLICIES, default="full", dest="log_policy"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listening port; 0 binds an ephemeral port (default: 8080)",
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        dest="port_file",
+        help="write the bound port to this file once listening (the "
+        "reliable way to discover a --port 0 binding)",
+    )
+    serve.add_argument(
+        "--instances",
+        type=int,
+        default=0,
+        help="pre-spawn this many instances before serving (default: 0)",
+    )
+    serve.add_argument(
+        "--allow-remote-shutdown",
+        action="store_true",
+        dest="allow_remote_shutdown",
+        help="enable POST /shutdown (off by default: anyone who can reach "
+        "the port could stop the gateway)",
+    )
+    serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        dest="no_telemetry",
+        help="skip the per-worker telemetry instruments (slightly faster; "
+        "/metrics then carries only the FleetMetrics counters)",
+    )
+    serve.add_argument("-r", "--replication-factor", type=int, default=4)
+    add_engine_flag(serve)
+
     return parser
 
 
@@ -481,6 +554,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "serve-scenario":
         return _serve_scenario(args)
 
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "serve-watch":
         return _serve_watch(args)
 
@@ -624,9 +699,10 @@ def _serve_bench(args) -> int:
     elapsed: dict[str, float] = {}
     for mode in modes:
         policy = "full" if mode == "naive" else args.log_policy
-        fleet = FleetEngine(
+        fleet = make_fleet(
             machine,
             shards=args.shards,
+            workers=args.workers,
             backend=args.backend,
             mode=mode,
             auto_recycle=True,
@@ -638,7 +714,7 @@ def _serve_bench(args) -> int:
         if mode in ("encoded", "grouped"):
             pairs = encode_schedule(fleet, events)
             started = time.perf_counter()
-            fleet.run_encoded(pairs)
+            fleet.run(pairs, encoding="pairs")
         else:
             started = time.perf_counter()
             fleet.run(events)
@@ -660,7 +736,12 @@ def _serve_bench(args) -> int:
         )
         if mismatched:
             print(f"  {len(mismatched)} mismatched traces", file=sys.stderr)
+            fleet.close()
             return 1
+        # Harvest the registry before close (a multiprocess fleet's
+        # worker registries are only reachable while workers live).
+        registry = fleet_registry(fleet) if args.metrics else None
+        fleet.close()
     print(f"  speedup  {elapsed['naive'] / elapsed['batched']:.2f}x (batched/naive)")
     if args.encoded:
         print(
@@ -669,7 +750,7 @@ def _serve_bench(args) -> int:
         )
     if args.metrics:
         # The registry of the last measured fleet (metrics are per-fleet).
-        print(_render_registry(fleet_registry(fleet), args.metrics), end="")
+        print(_render_registry(registry, args.metrics), end="")
     return 0
 
 
@@ -739,7 +820,7 @@ def _serve_scenario(args) -> int:
         f"until t={args.until:g}, seed {args.seed}, "
         f"faults {args.faults or 'none'}"
     )
-    fleet = FleetEngine(
+    fleet = make_fleet(
         machine,
         mode=args.mode,
         backend=args.backend,
@@ -776,7 +857,7 @@ def _serve_scenario(args) -> int:
         print(_render_registry(scenario_registry(engine), args.metrics), end="")
     if args.no_verify:
         return 0
-    oracle = FleetEngine(machine, mode="naive", shards=args.shards)
+    oracle = make_fleet(machine, mode="naive", shards=args.shards)
     run_scenario(oracle, scenario)
     mismatched = diff_fleets(fleet, oracle, scenario.topology.keys)
     if mismatched:
@@ -811,7 +892,7 @@ def _serve_watch(args) -> int:
     )
     events = generate_workload(machine, spec)
     telemetry = FleetTelemetry()
-    fleet = FleetEngine(
+    fleet = make_fleet(
         machine,
         shards=args.shards,
         mode="encoded",
@@ -839,6 +920,55 @@ def _serve_watch(args) -> int:
             f"peak depth {fleet.metrics.peak_shard_depth}"
         )
     print(_render_registry(fleet_registry(fleet), args.fmt), end="")
+    return 0
+
+
+def _serve(args) -> int:
+    """Serve one fleet behind the HTTP/WebSocket gateway until shutdown."""
+    from repro.serve.gateway import FleetGateway
+
+    if args.model == "commit":
+        model = CommitModel(args.replication_factor)
+    else:
+        model = args.model
+    fleet = make_fleet(
+        model,
+        mode=args.mode,
+        backend=args.backend,
+        workers=args.workers,
+        shards=args.shards,
+        log_policy=args.log_policy,
+        telemetry=None if args.no_telemetry else True,
+        engine=args.engine,
+    )
+    try:
+        if args.instances:
+            fleet.spawn_many(args.instances)
+        where = (
+            f"{args.workers} worker process(es)"
+            if args.workers
+            else "in-process engine"
+        )
+        gateway = FleetGateway(
+            fleet,
+            host=args.host,
+            port=args.port,
+            allow_remote_shutdown=args.allow_remote_shutdown,
+        )
+
+        def announce(url: str) -> None:
+            print(
+                f"serving {fleet.machine.name} [{args.mode}/{args.backend}] "
+                f"on {where}: {len(fleet)} instance(s) at {url}",
+                flush=True,
+            )
+
+        try:
+            gateway.run_blocking(announce=announce, port_file=args.port_file)
+        except KeyboardInterrupt:
+            pass
+    finally:
+        fleet.close()
     return 0
 
 

@@ -82,13 +82,22 @@ def fleet_registry(fleet) -> MetricsRegistry:
 
     The fleet's dataclass counters become ``fleet_*_total`` counters
     (and its depth observations ``fleet_shard_depth_*`` gauges); when
-    the fleet carries a :class:`~repro.obs.telemetry.FleetTelemetry`,
-    its histograms and counters are merged in unchanged.
+    the fleet is instrumented, its telemetry histograms and counters are
+    merged in unchanged — preferring the protocol-level
+    ``telemetry_registry()`` accessor (a multiprocess fleet folds every
+    worker's registry there), falling back to a ``telemetry`` attribute
+    for duck-typed callers.
     """
     registry = MetricsRegistry()
-    telemetry = getattr(fleet, "telemetry", None)
-    if telemetry is not None:
-        registry.merge(telemetry.registry)
+    getter = getattr(fleet, "telemetry_registry", None)
+    if callable(getter):
+        worker_registry = getter()
+        if worker_registry is not None:
+            registry.merge(worker_registry)
+    else:
+        telemetry = getattr(fleet, "telemetry", None)
+        if telemetry is not None:
+            registry.merge(telemetry.registry)
     snapshot = fleet.metrics.as_dict()
     depths = snapshot.pop("shard_depths", [])
     peak = snapshot.pop("peak_shard_depth", 0)

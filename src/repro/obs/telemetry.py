@@ -14,7 +14,7 @@ The standard instruments:
 ``fleet_queue_latency_seconds``
     Per-event time from :meth:`~repro.serve.fleet.FleetEngine.post` to
     the drain that dispatched the event (mailbox wait).  Only posted
-    traffic has a queue; direct arrival batches (``run``/``run_encoded``
+    traffic has a queue; direct arrival batches (``run``
     on unbounded fleets) never wait and are not observed here.
 ``fleet_batch_seconds`` / ``fleet_batch_events``
     Per-batch dispatch wall time and batch size — two clock reads and

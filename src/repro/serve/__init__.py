@@ -20,6 +20,13 @@ measured-service latency replay, feeding the telemetry plane
 """
 
 from repro.serve.adapter import BACKENDS, BackendAdapter, make_backend
+from repro.serve.api import (
+    ENCODINGS,
+    Fleet,
+    MODEL_FACTORIES,
+    fleet_machine,
+    make_fleet,
+)
 from repro.serve.differential import (
     diff_against_hierarchical,
     diff_against_standalone,
@@ -29,6 +36,7 @@ from repro.serve.differential import (
 )
 from repro.obs.telemetry import FleetTelemetry
 from repro.serve.fleet import DISPATCH_MODES, FleetEngine, FleetSnapshot
+from repro.serve.mpfleet import EncodedFleetSchedule, MultiprocessFleet
 from repro.serve.loadgen import (
     Arrival,
     ClosedLoopSpec,
@@ -77,10 +85,15 @@ __all__ = [
     "BackendAdapter",
     "ClosedLoopSpec",
     "DISPATCH_MODES",
+    "ENCODINGS",
+    "EncodedFleetSchedule",
+    "Fleet",
     "FleetEngine",
     "FleetMetrics",
     "FleetSnapshot",
     "FleetTelemetry",
+    "MODEL_FACTORIES",
+    "MultiprocessFleet",
     "LoadReport",
     "OpenLoopSpec",
     "GroupTopology",
@@ -106,11 +119,13 @@ __all__ = [
     "diff_against_standalone",
     "diff_fleets",
     "encode_schedule",
+    "fleet_machine",
     "generate_open_loop",
     "generate_scenario",
     "generate_workload",
     "hierarchical_traces",
     "make_backend",
+    "make_fleet",
     "run_closed_loop",
     "run_open_loop",
     "run_scenario",

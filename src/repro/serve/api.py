@@ -1,0 +1,258 @@
+"""The unified fleet surface: one protocol, one factory, two engines.
+
+PRs 2–7 grew the serve plane around one concrete class —
+:class:`~repro.serve.fleet.FleetEngine` — and its accreted method
+surface (``run``/``run_encoded``/``run_encoded_flat``, ad-hoc snapshot
+types).  A second engine cannot sanely implement that surface, so this
+module is the redesign that makes the process-parallel fleet
+(:mod:`repro.serve.mpfleet`) possible:
+
+* :class:`Fleet` — the structural protocol both engines satisfy.
+  Everything layered on the serve plane (the differential harness, the
+  scenario engine, the load generators, the gateway, the CLI) targets
+  this protocol, never a concrete class.
+* :func:`make_fleet` — the one keyword surface that builds either
+  implementation: ``workers=None`` (default) yields the in-process
+  :class:`~repro.serve.fleet.FleetEngine`; ``workers=N`` yields a
+  :class:`~repro.serve.mpfleet.MultiprocessFleet` with ``N`` worker
+  processes.
+
+The protocol's guarantees (what a caller may rely on from *any* fleet):
+
+* **One dispatch entry point.**  ``run(events, encoding=...)`` accepts
+  ``(key, message)`` string batches (``"events"``), pre-interned
+  schedules from ``encode`` (``"pairs"``), flat int buffers from
+  ``encode_flat`` (``"flat"``), or sniffs the batch (``"auto"``).
+  Encoded schedules are fleet-specific — encode against the fleet that
+  will run the schedule.
+* **One error shape.**  Unknown instances and messages raise
+  :class:`~repro.core.errors.DeploymentError` with the same message
+  text whichever implementation — and whichever side of a process
+  boundary — rejected them.
+* **Portable snapshots.**  ``snapshot()`` returns a
+  :class:`~repro.serve.fleet.FleetSnapshot` that any fleet of the same
+  machine can ``restore()``, whatever its worker/shard layout.
+* **Mergeable observability.**  ``metrics`` is a single
+  :class:`~repro.serve.metrics.FleetMetrics` view of the whole fleet;
+  ``telemetry_registry()`` returns one merged
+  :class:`~repro.obs.metrics.MetricsRegistry` (or ``None`` when
+  uninstrumented).
+* **Explicit shutdown.**  ``close()`` releases whatever the fleet owns
+  (worker processes, pipes); every fleet is also a context manager.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.core.machine import StateMachine
+from repro.serve.fleet import ENCODINGS, FleetEngine, FleetSnapshot
+from repro.serve.metrics import FleetMetrics
+from repro.serve.store import InstanceSnapshot
+
+__all__ = ["ENCODINGS", "Fleet", "MODEL_FACTORIES", "fleet_machine", "make_fleet"]
+
+
+@runtime_checkable
+class Fleet(Protocol):
+    """Structural protocol every fleet implementation satisfies.
+
+    See the module docstring for the behavioural guarantees.  The
+    protocol is ``runtime_checkable`` so conformance tests can assert
+    ``isinstance(fleet, Fleet)``; static checkers verify the full
+    signatures.
+    """
+
+    # -- identity / configuration --------------------------------------
+    @property
+    def machine(self) -> StateMachine: ...
+
+    @property
+    def mode(self) -> str: ...
+
+    @property
+    def backend(self) -> str: ...
+
+    @property
+    def log_policy(self) -> str: ...
+
+    @property
+    def auto_recycle(self) -> bool: ...
+
+    @property
+    def state_map(self) -> Optional[dict]: ...
+
+    # -- instance lifecycle --------------------------------------------
+    def spawn(self, key: str) -> int: ...
+
+    def spawn_many(self, count: int, prefix: str = "session") -> list[str]: ...
+
+    def despawn(self, key: str) -> None: ...
+
+    def recycle(self, key: str) -> None: ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, key: str) -> bool: ...
+
+    # -- per-instance observation --------------------------------------
+    def state_name(self, key: str) -> str: ...
+
+    def action_count(self, key: str) -> int: ...
+
+    def actions_since(self, key: str, start: int = 0) -> tuple[str, ...]: ...
+
+    def trace(self, key: str) -> InstanceSnapshot: ...
+
+    def is_finished(self, key: str) -> bool: ...
+
+    # -- event intake and dispatch -------------------------------------
+    def encode(self, events): ...
+
+    def encode_flat(self, events): ...
+
+    def post(
+        self,
+        key: str,
+        message: str,
+        source: Optional[str] = None,
+        trace_id: Optional[int] = None,
+    ) -> bool: ...
+
+    def deliver(self, key: str, message: str) -> bool: ...
+
+    def drain_all(self) -> int: ...
+
+    def run(self, events, encoding: str = "auto") -> FleetMetrics: ...
+
+    # -- snapshot / restore --------------------------------------------
+    def snapshot(self) -> FleetSnapshot: ...
+
+    def restore(self, snapshot: FleetSnapshot) -> None: ...
+
+    # -- observability / shutdown --------------------------------------
+    @property
+    def metrics(self) -> FleetMetrics: ...
+
+    def telemetry_registry(self): ...
+
+    def close(self) -> None: ...
+
+
+def _model_factories() -> dict:
+    """Bundled model factories by short name (imported lazily: the serve
+    plane must not pay for the model zoo unless a name is actually
+    resolved)."""
+    from repro.models.chandra_toueg import CoordinatorRoundModel
+    from repro.models.commit import CommitModel
+    from repro.models.termination import TerminationModel
+    from repro.models.threshold_sig import ThresholdSignatureModel
+
+    return {
+        "commit": lambda: CommitModel(replication_factor=4),
+        "chandra-toueg": lambda: CoordinatorRoundModel(processes=5),
+        "termination": lambda: TerminationModel(max_tasks=3),
+        "threshold-sig": lambda: ThresholdSignatureModel(signers=4, threshold=3),
+    }
+
+
+#: Short model names :func:`make_fleet` resolves (canonical parameters).
+MODEL_FACTORIES = ("commit", "chandra-toueg", "termination", "threshold-sig")
+
+_MACHINE_CACHE: dict = {}
+
+
+def fleet_machine(model: str, engine: str = "eager") -> StateMachine:
+    """A cached generated machine for a bundled model name.
+
+    Generation is the expensive step; callers building many fleets over
+    the same model (tests, benchmarks, the CLI) share one machine per
+    ``(model, engine)``.
+    """
+    factories = _model_factories()
+    if model not in factories:
+        from repro.core.errors import DeploymentError
+
+        raise DeploymentError(
+            f"unknown bundled model {model!r}; "
+            f"choose from {MODEL_FACTORIES}"
+        )
+    cache_key = (model, engine)
+    if cache_key not in _MACHINE_CACHE:
+        _MACHINE_CACHE[cache_key] = factories[model]().generate_state_machine(
+            engine=engine
+        )
+    return _MACHINE_CACHE[cache_key]
+
+
+def make_fleet(
+    model="commit",
+    *,
+    mode: str = "batched",
+    backend: str = "interp",
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    log_policy: str = "full",
+    optimize=None,
+    telemetry=None,
+    auto_recycle: bool = False,
+    engine: str = "eager",
+    **kwargs,
+) -> Fleet:
+    """Build any :class:`Fleet` implementation from one keyword surface.
+
+    ``model`` is a bundled model name (one of :data:`MODEL_FACTORIES`),
+    an already-generated :class:`~repro.core.machine.StateMachine`, or a
+    model object with a ``generate_state_machine`` method; ``engine``
+    selects the generation engine when generation happens here.
+
+    ``workers=None`` (the default) builds the in-process
+    :class:`~repro.serve.fleet.FleetEngine`.  ``workers=N`` builds a
+    :class:`~repro.serve.mpfleet.MultiprocessFleet` with ``N`` worker
+    processes — including ``N=1``, which pays the full IPC path and is
+    the honest single-worker baseline for scaling measurements.
+
+    ``telemetry=True`` is the portable "instrument this fleet" spelling:
+    in-process it becomes a fresh
+    :class:`~repro.obs.telemetry.FleetTelemetry`, multiprocess it
+    enables the per-worker instruments.  Passing an instance still works
+    for the in-process engine.
+
+    Remaining keyword arguments pass through to the chosen constructor
+    (``mailbox_capacity=``/``overflow=``/``cache=`` are in-process
+    only; ``start_method=`` is multiprocess only).
+    """
+    if isinstance(model, str):
+        machine = fleet_machine(model, engine)
+    elif isinstance(model, StateMachine):
+        machine = model
+    else:
+        machine = model.generate_state_machine(engine=engine)
+    if telemetry is True and workers is None:
+        from repro.obs.telemetry import FleetTelemetry
+
+        telemetry = FleetTelemetry()
+    common = dict(
+        mode=mode,
+        backend=backend,
+        log_policy=log_policy,
+        optimize=optimize,
+        auto_recycle=auto_recycle,
+        **kwargs,
+    )
+    if workers is None:
+        return FleetEngine(
+            machine,
+            telemetry=telemetry,
+            **({"shards": shards} if shards is not None else {}),
+            **common,
+        )
+    from repro.serve.mpfleet import MultiprocessFleet
+
+    return MultiprocessFleet(
+        machine,
+        workers=workers,
+        telemetry=telemetry,
+        **({"shards": shards} if shards is not None else {}),
+        **common,
+    )

@@ -74,6 +74,7 @@ observed: every drain records the drained batch's depth into
 
 from __future__ import annotations
 
+import warnings
 from array import array
 from dataclasses import dataclass
 from operator import itemgetter
@@ -99,10 +100,32 @@ from repro.serve.workload import session_keys
 #: Event dispatch modes.
 DISPATCH_MODES = ("naive", "batched", "encoded", "grouped")
 
+#: Schedule encodings :meth:`FleetEngine.run` accepts.  ``auto`` sniffs
+#: the batch (a flat int ``array`` dispatches as ``flat``, int-pair
+#: batches as ``pairs``, everything else as ``events``); the explicit
+#: names skip the sniff for callers that already know.
+ENCODINGS = ("auto", "events", "pairs", "flat")
+
 #: Modes whose mailboxes and arrival batches carry ``(slot, column)`` pairs.
 _ENCODED_MODES = frozenset({"encoded", "grouped"})
 
 _BY_COLUMN = itemgetter(1)
+
+
+def raise_rejected(rejected: list[tuple[str, str]]) -> None:
+    """Raise the canonical unknown instance/message dispatch error.
+
+    One message shape for every fleet implementation — the in-process
+    engine and the multiprocess fleet both reject through here, so a
+    caller sees identical errors whichever side of the process boundary
+    the validation ran on.
+    """
+    shown = ", ".join(f"({k!r}, {m!r})" for k, m in rejected[:3])
+    suffix = f" (+{len(rejected) - 3} more)" if len(rejected) > 3 else ""
+    raise DeploymentError(
+        f"dispatch rejected {len(rejected)} event(s) with unknown "
+        f"instance or message: {shown}{suffix}"
+    )
 
 
 @dataclass(frozen=True)
@@ -260,6 +283,29 @@ class FleetEngine:
     def telemetry(self) -> Optional[FleetTelemetry]:
         """The attached telemetry context (``None`` when uninstrumented)."""
         return self._telemetry
+
+    def telemetry_registry(self):
+        """The telemetry metrics registry (``None`` when uninstrumented).
+
+        The protocol-level accessor: multiprocess fleets merge their
+        workers' registries here, so exposition code asks any fleet the
+        same question instead of reaching for ``.telemetry.registry``.
+        """
+        return None if self._telemetry is None else self._telemetry.registry
+
+    def close(self) -> None:
+        """Release resources; a no-op for the in-process engine.
+
+        Part of the :class:`~repro.serve.api.Fleet` protocol so callers
+        can manage any fleet with one shutdown path (the multiprocess
+        fleet tears down worker processes here).
+        """
+
+    def __enter__(self) -> "FleetEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def shard_count(self) -> int:
@@ -647,12 +693,7 @@ class FleetEngine:
     # ------------------------------------------------------------------
 
     def _raise_rejected(self, rejected: list[tuple[str, str]]) -> None:
-        shown = ", ".join(f"({k!r}, {m!r})" for k, m in rejected[:3])
-        suffix = f" (+{len(rejected) - 3} more)" if len(rejected) > 3 else ""
-        raise DeploymentError(
-            f"dispatch rejected {len(rejected)} event(s) with unknown "
-            f"instance or message: {shown}{suffix}"
-        )
+        raise_rejected(rejected)
 
     def _dispatch(self, batch) -> None:
         """Dispatch a batch of ``(key, message)`` events in one pass.
@@ -889,18 +930,50 @@ class FleetEngine:
             raise DeploymentError("; ".join(errors))
         return total
 
-    def run(self, events) -> FleetMetrics:
-        """Feed a whole ``(key, message)`` workload through the engine.
+    def run(self, events, encoding: str = "auto") -> FleetMetrics:
+        """Feed a whole workload through the engine — the one entry point.
 
-        Every mode first drains anything already queued (FIFO with
+        ``encoding`` names what ``events`` carries:
+
+        * ``"events"`` — ``(key, message)`` string pairs (any mode).
+        * ``"pairs"`` — pre-interned ``(slot, column)`` int pairs from
+          :meth:`encode` (encoded modes only; pairs are trusted).
+        * ``"flat"`` — a flat ``[slot, col, slot, col, ...]`` int array
+          from :meth:`encode_flat` (encoded modes only).
+        * ``"auto"`` (default) — sniff the batch: a flat int ``array``
+          dispatches as ``flat``, a batch whose first element is an int
+          pair as ``pairs``, everything else as ``events``.
+
+        Every path first drains anything already queued (FIFO with
         previously posted traffic), then dispatches ``events`` as one
-        arrival batch when the mailboxes are unbounded — encoded once
-        for the encoded modes, with bad events collected and raised
-        after the valid traffic dispatched — or routes them through
-        :meth:`post`/:meth:`drain_all` when a capacity bound (and its
-        overflow policy) is in force: intake is mode-independent, so
-        bounded fleets shed/block identically in every mode.
+        arrival batch when the mailboxes are unbounded — with bad events
+        collected and raised after the valid traffic dispatched — or
+        routes them through :meth:`post`/:meth:`drain_all` when a
+        capacity bound (and its overflow policy) is in force.
         """
+        if encoding not in ENCODINGS:
+            raise DeploymentError(
+                f"unknown encoding {encoding!r}; choose from {ENCODINGS}"
+            )
+        if encoding == "auto":
+            if isinstance(events, array):
+                encoding = "flat"
+            else:
+                events = events if isinstance(events, list) else list(events)
+                first = events[0] if events else None
+                encoding = (
+                    "pairs"
+                    if first is not None and not isinstance(first[0], str)
+                    else "events"
+                )
+        if encoding == "flat":
+            return self._run_flat(events)
+        if encoding == "pairs":
+            return self._run_pairs_schedule(events)
+        return self._run_events(events)
+
+    def _run_events(self, events) -> FleetMetrics:
+        """:meth:`run` body for ``(key, message)`` string batches."""
         self.drain_all()
         if not self._bounded:
             batch = events if isinstance(events, list) else list(events)
@@ -944,7 +1017,17 @@ class FleetEngine:
         return self.metrics
 
     def run_encoded(self, pairs) -> FleetMetrics:
-        """Feed a pre-encoded ``(slot, column)`` schedule through the engine.
+        """Deprecated alias for :meth:`run` with ``encoding="pairs"``."""
+        warnings.warn(
+            "FleetEngine.run_encoded is deprecated; "
+            'use run(pairs, encoding="pairs")',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run_pairs_schedule(pairs)
+
+    def _run_pairs_schedule(self, pairs) -> FleetMetrics:
+        """:meth:`run` body for pre-encoded ``(slot, column)`` schedules.
 
         The zero-string serve path: the schedule comes from
         :meth:`encode` (or
@@ -955,8 +1038,8 @@ class FleetEngine:
         """
         if not self._encoded_intake:
             raise DeploymentError(
-                f"run_encoded needs an encoded dispatch mode ('encoded' or "
-                f"'grouped'); this fleet dispatches {self._mode!r}"
+                f"a pre-encoded pair schedule needs an encoded dispatch mode "
+                f"('encoded' or 'grouped'); this fleet dispatches {self._mode!r}"
             )
         self.drain_all()
         if not self._bounded:
@@ -979,23 +1062,33 @@ class FleetEngine:
         return self.metrics
 
     def run_encoded_flat(self, flat) -> FleetMetrics:
-        """Dispatch a flat ``[slot, col, ...]`` schedule (:meth:`encode_flat`).
+        """Deprecated alias for :meth:`run` with ``encoding="flat"``."""
+        warnings.warn(
+            "FleetEngine.run_encoded_flat is deprecated; "
+            'use run(flat, encoding="flat")',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run_flat(flat)
 
-        The :meth:`run_encoded` contract, minus per-event objects: pairs
-        are formed inside ``zip``, whose result tuple the interpreter
+    def _run_flat(self, flat) -> FleetMetrics:
+        """:meth:`run` body for flat ``[slot, col, ...]`` schedules.
+
+        The ``pairs`` contract, minus per-event objects: pairs are
+        formed inside ``zip``, whose result tuple the interpreter
         recycles, so the hot loop neither allocates nor frees anything
         per event.  Bounded and grouped fleets need real pair objects (to
-        queue, to sort into rounds) and take the :meth:`run_encoded`
+        queue, to sort into rounds) and take the ``pairs``
         path; ``zip`` hands them freshly materialized pairs.
         """
         if not self._encoded_intake:
             raise DeploymentError(
-                f"run_encoded_flat needs an encoded dispatch mode ('encoded' "
-                f"or 'grouped'); this fleet dispatches {self._mode!r}"
+                f"a flat encoded schedule needs an encoded dispatch mode "
+                f"('encoded' or 'grouped'); this fleet dispatches {self._mode!r}"
             )
         if self._bounded or self._mode == "grouped":
             it = iter(flat)
-            return self.run_encoded(list(zip(it, it)))
+            return self._run_pairs_schedule(list(zip(it, it)))
         self.drain_all()
         count = len(flat) // 2
         if count:

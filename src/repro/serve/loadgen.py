@@ -189,18 +189,24 @@ def _measure_services(fleet, schedule, chunk: int):
     interned once up front so the timed region matches ``bench_serve``'s.
     """
     encoded = fleet.mode in ("encoded", "grouped")
-    batch = fleet.encode(schedule) if encoded else list(schedule)
-    runner = fleet.run_encoded if encoded else fleet.run
+    encoding = "pairs" if encoded else "events"
+    schedule = list(schedule)
+    # Chunk the string schedule, then intern each chunk up front: the
+    # timed region stays interning-free whatever Fleet implementation
+    # (and whatever schedule type its encode() returns) is measured.
+    parts = []
+    for i in range(0, len(schedule), chunk):
+        piece = schedule[i : i + chunk]
+        parts.append((fleet.encode(piece) if encoded else piece, len(piece)))
     services: list[float] = []
     wall = 0.0
-    for i in range(0, len(batch), chunk):
-        part = batch[i : i + chunk]
+    for part, size in parts:
         started = perf_counter()
-        runner(part)
+        fleet.run(part, encoding=encoding)
         elapsed = perf_counter() - started
         wall += elapsed
-        services.extend([elapsed / len(part)] * len(part))
-    capacity = len(batch) / wall if wall > 0 else 0.0
+        services.extend([elapsed / size] * size)
+    capacity = len(schedule) / wall if wall > 0 else 0.0
     return services, capacity, wall
 
 

@@ -71,6 +71,30 @@ class FleetMetrics:
         """Deepest mailbox at the last observation (0 when never observed)."""
         return max(self.shard_depths, default=0)
 
+    def merge(self, other: "FleetMetrics") -> "FleetMetrics":
+        """Fold another engine's counters into this one; returns ``self``.
+
+        The multiprocess fleet aggregates its workers through here:
+        counters add, ``shard_depths`` concatenates (each worker owns a
+        disjoint shard range, so the merged list is the fleet-wide gauge
+        vector) and ``peak_shard_depth`` takes the maximum.
+        """
+        self.events_offered += other.events_offered
+        self.events_dropped += other.events_dropped
+        self.events_dispatched += other.events_dispatched
+        self.transitions_fired += other.transitions_fired
+        self.events_ignored += other.events_ignored
+        self.batches_drained += other.batches_drained
+        self.instances_spawned += other.instances_spawned
+        self.instances_recycled += other.instances_recycled
+        self.instances_released += other.instances_released
+        self.snapshots_taken += other.snapshots_taken
+        self.snapshots_restored += other.snapshots_restored
+        self.shard_depths = self.shard_depths + list(other.shard_depths)
+        if other.peak_shard_depth > self.peak_shard_depth:
+            self.peak_shard_depth = other.peak_shard_depth
+        return self
+
     def events_per_second(self, elapsed_seconds: float) -> float:
         """Dispatch throughput over a caller-measured interval.
 

@@ -1,0 +1,821 @@
+"""Process-parallel fleet: shards pinned to worker processes.
+
+Every dispatch plane built so far runs on one CPU core; this module is
+the scale-out step.  A :class:`MultiprocessFleet` partitions the session
+key space across ``N`` worker processes with the same stable CRC-32
+routing the in-process engine uses for shards
+(:func:`~repro.serve.store.shard_of` over the worker count), so one key
+always lives in exactly one worker and per-key event order is preserved
+end to end.  Each worker owns a full private
+:class:`~repro.serve.fleet.FleetEngine` — the columnar
+:class:`~repro.serve.store.InstanceStore` columns are already
+shard-independent state, so nothing is shared between processes.
+
+The wire protocol is deliberately small.  Parent and worker speak over
+one duplex :func:`multiprocessing.Pipe` with request tuples
+``(op, *operands)`` and reply envelopes
+``(status, payload, FleetMetrics)``: every reply piggybacks the worker's
+current counters, so the parent's merged :attr:`MultiprocessFleet.metrics`
+view (via :meth:`~repro.serve.metrics.FleetMetrics.merge`) is always
+current without extra round trips.  Bulk dispatch fans out *flat*
+``array('q')`` schedules — an ``array`` pickles as one memcpy, so the
+per-event IPC cost is two machine ints, not two Python objects — and the
+parent interns keys and messages itself (it builds the same
+:class:`~repro.opt.IndexedMachine` the workers do), which keeps the
+canonical unknown instance/message :class:`DeploymentError` shape
+identical on both sides of the process boundary.
+
+Telemetry follows the sharding design the obs plane documents: each
+worker feeds its own :class:`~repro.obs.telemetry.FleetTelemetry`
+(tracing off — trace logs do not cross processes) and
+:meth:`MultiprocessFleet.telemetry_registry` folds the worker registries
+together with the bucketwise
+:meth:`~repro.obs.metrics.MetricsRegistry.merge`, so latency histograms
+aggregate exactly.
+
+Failure semantics: a worker that dies mid-batch (pipe hits
+``EOFError``/``BrokenPipeError``) is marked dead and the operation
+raises a :class:`DeploymentError` naming it; traffic already fanned out
+to the surviving workers is dispatched in full first, so the surviving
+shard partitions stay internally consistent and keep serving.  The dead
+worker's partition is lost — restore a snapshot to recover it.
+
+Unsupported relative to the in-process engine: bounded mailboxes and
+overflow policies (:meth:`MultiprocessFleet.post` buffers parent-side
+and :meth:`MultiprocessFleet.drain_all` flushes), and live trace logs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import weakref
+from array import array
+from itertools import chain
+from typing import Optional
+
+from repro.core.errors import DeploymentError
+from repro.core.machine import StateMachine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import FleetTelemetry
+from repro.opt import IndexedMachine, as_pipeline
+from repro.serve.adapter import BACKENDS
+from repro.serve.fleet import (
+    DISPATCH_MODES,
+    ENCODINGS,
+    FleetEngine,
+    FleetSnapshot,
+    _ENCODED_MODES,
+    raise_rejected,
+)
+from repro.serve.metrics import FleetMetrics
+from repro.serve.store import LOG_POLICIES, InstanceSnapshot, shard_of
+from repro.serve.workload import session_keys
+
+__all__ = ["EncodedFleetSchedule", "MultiprocessFleet"]
+
+
+class EncodedFleetSchedule:
+    """A pre-encoded schedule partitioned by worker.
+
+    The multiprocess counterpart of the engine's ``(slot, column)``
+    schedules: :meth:`MultiprocessFleet.encode` interns every event to
+    its owning worker's flat ``[slot, col, ...]`` buffer once, so a
+    repeated :meth:`MultiprocessFleet.run` pays only the fan-out.
+    Schedules are fleet-specific (slot ids live in worker stores);
+    encode against the fleet that will run the schedule.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: tuple):
+        self.parts = parts
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self.parts) // 2
+
+    def __bool__(self) -> bool:
+        return any(self.parts)
+
+    def __add__(self, other: "EncodedFleetSchedule") -> "EncodedFleetSchedule":
+        if len(self.parts) != len(other.parts):
+            raise DeploymentError(
+                "cannot concatenate schedules encoded for different fleets"
+            )
+        return EncodedFleetSchedule(
+            tuple(mine + theirs for mine, theirs in zip(self.parts, other.parts))
+        )
+
+
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    __slots__ = ("process", "conn", "alive", "metrics")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.alive = True
+        self.metrics = FleetMetrics()
+
+
+def _worker_main(conn, machine, options) -> None:
+    """Worker process body: one private engine, one request loop."""
+    try:
+        telemetry = (
+            FleetTelemetry(tracing=False) if options["telemetry"] else None
+        )
+        engine = FleetEngine(
+            machine,
+            shards=options["shards"],
+            backend=options["backend"],
+            mode=options["mode"],
+            log_policy=options["log_policy"],
+            optimize=options["optimize"],
+            auto_recycle=options["auto_recycle"],
+            telemetry=telemetry,
+        )
+    except Exception as exc:  # construction failed: report, then exit
+        _reply(conn, "fail", f"{type(exc).__name__}: {exc}", None)
+        conn.close()
+        return
+    _reply(conn, "ok", "ready", engine)
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = request[0]
+        if op == "stop":
+            _reply(conn, "ok", None, engine)
+            break
+        try:
+            payload = _handle(engine, request)
+        except DeploymentError as exc:
+            _reply(conn, "err", str(exc), engine)
+        except Exception as exc:
+            _reply(conn, "fail", f"{type(exc).__name__}: {exc}", engine)
+        else:
+            _reply(conn, "ok", payload, engine)
+    conn.close()
+
+
+def _reply(conn, status: str, payload, engine) -> None:
+    metrics = engine.metrics if engine is not None else None
+    try:
+        conn.send((status, payload, metrics))
+    except (BrokenPipeError, OSError):
+        pass
+
+
+def _handle(engine: FleetEngine, request: tuple):
+    """Execute one parent request against the worker's engine."""
+    op = request[0]
+    if op == "run_flat":
+        engine.run(request[1], encoding="flat")
+        return None
+    if op == "run_events":
+        engine.run(request[1], encoding="events")
+        return None
+    if op == "spawn":
+        return engine.spawn(request[1])
+    if op == "spawn_keys":
+        return [engine.spawn(key) for key in request[1]]
+    if op == "despawn":
+        engine.despawn(request[1])
+        return None
+    if op == "recycle":
+        engine.recycle(request[1])
+        return None
+    if op == "deliver":
+        return engine.deliver(request[1], request[2])
+    if op == "state":
+        return engine.state_name(request[1])
+    if op == "action_count":
+        return engine.action_count(request[1])
+    if op == "actions_since":
+        return engine.actions_since(request[1], request[2])
+    if op == "trace":
+        return engine.trace(request[1])
+    if op == "finished":
+        return engine.is_finished(request[1])
+    if op == "snapshot":
+        return engine.snapshot()
+    if op == "restore":
+        engine.restore(request[1])
+        return dict(engine.store.slot_of)
+    if op == "registry":
+        return engine.telemetry_registry()
+    raise DeploymentError(f"unknown worker op {op!r}")
+
+
+class MultiprocessFleet:
+    """Host one machine's instances across worker processes.
+
+    Satisfies the :class:`~repro.serve.api.Fleet` protocol; see the
+    module docstring for routing, wire protocol and failure semantics.
+    """
+
+    def __init__(
+        self,
+        machine: StateMachine,
+        *,
+        workers: int = 2,
+        shards: int = 4,
+        backend: str = "interp",
+        mode: str = "encoded",
+        log_policy: str = "full",
+        optimize=None,
+        auto_recycle: bool = False,
+        telemetry=None,
+        start_method: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise DeploymentError(f"workers must be >= 1, got {workers}")
+        if mode not in DISPATCH_MODES:
+            raise DeploymentError(
+                f"unknown dispatch mode {mode!r}; choose from {DISPATCH_MODES}"
+            )
+        if backend not in BACKENDS:
+            raise DeploymentError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}"
+            )
+        if log_policy not in LOG_POLICIES:
+            raise DeploymentError(
+                f"unknown log policy {log_policy!r}; choose from {LOG_POLICIES}"
+            )
+        if mode == "naive" and log_policy != "full":
+            raise DeploymentError(
+                "naive-mode backends always retain their action logs; "
+                f"log_policy {log_policy!r} needs a table-dispatch mode"
+            )
+        self._machine = machine
+        self._mode = mode
+        self._encoded_intake = mode in _ENCODED_MODES
+        self._backend_kind = backend
+        self._log_policy = log_policy
+        self._auto_recycle = auto_recycle
+        self._telemetry_enabled = telemetry is not None and telemetry is not False
+        # The parent interns keys/messages itself, so it builds the same
+        # (optimized) IR the workers will — column ids and state names
+        # are deterministic functions of (machine, optimize).
+        self._indexed = IndexedMachine.from_machine(machine)
+        pipeline = as_pipeline(optimize)
+        if pipeline is not None:
+            self._indexed, self.opt_report = pipeline.run(self._indexed)
+        else:
+            self.opt_report = None
+        self._columns = self._indexed.dispatch_table().message_index
+        #: key -> (worker id, worker-local slot); the authoritative
+        #: population map — workers never report membership back.
+        self._slots: dict[str, tuple[int, int]] = {}
+        self._closed = False
+
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        ctx = multiprocessing.get_context(start_method)
+        options = {
+            "shards": shards,
+            "backend": backend,
+            "mode": mode,
+            "log_policy": log_policy,
+            "optimize": optimize,
+            "auto_recycle": auto_recycle,
+            "telemetry": self._telemetry_enabled,
+        }
+        self._workers: list[_Worker] = []
+        for _ in range(workers):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, machine, options),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(_Worker(process, parent_conn))
+        self._finalizer = weakref.finalize(
+            self, _terminate_workers, [w.process for w in self._workers]
+        )
+        # Startup handshake: surfaces worker-side construction errors
+        # here instead of as an EOF on the first real request.
+        for wid in range(workers):
+            self._recv(wid)
+        #: Parent-side pending buffers, one per worker (post() -> drain).
+        self._pending = [self._new_buffer() for _ in range(workers)]
+        self._pending_counts = [0] * workers
+
+    # ------------------------------------------------------------------
+    # wire helpers
+    # ------------------------------------------------------------------
+
+    def _new_buffer(self):
+        return array("q") if self._encoded_intake else []
+
+    def _mark_dead(self, wid: int) -> None:
+        worker = self._workers[wid]
+        worker.alive = False
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def _send(self, wid: int, request: tuple) -> None:
+        worker = self._workers[wid]
+        if self._closed:
+            raise DeploymentError("fleet is closed")
+        if not worker.alive:
+            raise DeploymentError(
+                f"fleet worker {wid} is not available (process terminated); "
+                "its shard partition is lost"
+            )
+        try:
+            worker.conn.send(request)
+        except (BrokenPipeError, OSError):
+            self._mark_dead(wid)
+            raise DeploymentError(
+                f"fleet worker {wid} died mid-request; "
+                "its shard partition is lost"
+            ) from None
+
+    def _recv(self, wid: int):
+        worker = self._workers[wid]
+        try:
+            status, payload, metrics = worker.conn.recv()
+        except (EOFError, OSError):
+            self._mark_dead(wid)
+            raise DeploymentError(
+                f"fleet worker {wid} died mid-request; "
+                "its shard partition is lost"
+            ) from None
+        if metrics is not None:
+            worker.metrics = metrics
+        if status == "ok":
+            return payload
+        if status == "err":
+            # A DeploymentError crossing the boundary keeps its exact
+            # message: the caller sees the same error shape in-process
+            # and out.
+            raise DeploymentError(payload)
+        self._mark_dead(wid)
+        raise DeploymentError(f"fleet worker {wid} failed: {payload}")
+
+    def _request(self, wid: int, *request):
+        self._send(wid, request)
+        return self._recv(wid)
+
+    def _fan_out(self, requests: dict[int, tuple]) -> list:
+        """Send to every addressed worker first, then collect replies.
+
+        The send/collect split is where the parallelism comes from: all
+        workers chew their partitions concurrently.  Errors (worker
+        death, worker-side rejections) are collected so one failing
+        worker never strands traffic already fanned out to the others,
+        then re-raised as one :class:`DeploymentError`.
+        """
+        sent: list[int] = []
+        errors: list[str] = []
+        payloads: list = []
+        for wid, request in requests.items():
+            try:
+                self._send(wid, request)
+            except DeploymentError as exc:
+                errors.append(str(exc))
+            else:
+                sent.append(wid)
+        for wid in sent:
+            try:
+                payloads.append(self._recv(wid))
+            except DeploymentError as exc:
+                errors.append(str(exc))
+        if errors:
+            raise DeploymentError("; ".join(errors))
+        return payloads
+
+    def _locate(self, key: str) -> tuple[int, int]:
+        entry = self._slots.get(key)
+        if entry is None:
+            raise DeploymentError(f"unknown instance {key!r}")
+        return entry
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def machine(self) -> StateMachine:
+        return self._machine
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def backend(self) -> str:
+        return self._backend_kind
+
+    @property
+    def log_policy(self) -> str:
+        return self._log_policy
+
+    @property
+    def auto_recycle(self) -> bool:
+        return self._auto_recycle
+
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def live_workers(self) -> int:
+        return sum(1 for worker in self._workers if worker.alive)
+
+    @property
+    def state_map(self) -> Optional[dict]:
+        if self.opt_report is None or self.opt_report.identity:
+            return None
+        return self.opt_report.state_map
+
+    @property
+    def metrics(self) -> FleetMetrics:
+        """Merged counters of every worker (dead workers keep their last
+        reported values)."""
+        merged = FleetMetrics()
+        for worker in self._workers:
+            merged.merge(worker.metrics)
+        return merged
+
+    def telemetry_registry(self) -> Optional[MetricsRegistry]:
+        """One registry folding every live worker's histograms together."""
+        if not self._telemetry_enabled:
+            return None
+        merged = MetricsRegistry()
+        for wid, worker in enumerate(self._workers):
+            if not worker.alive:
+                continue
+            registry = self._request(wid, "registry")
+            if registry is not None:
+                merged.merge(registry)
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._slots
+
+    def worker_of(self, key: str) -> int:
+        """The worker a session key routes to (stable across fleets)."""
+        return shard_of(key, len(self._workers))
+
+    # ------------------------------------------------------------------
+    # instance lifecycle
+    # ------------------------------------------------------------------
+
+    def spawn(self, key: str) -> int:
+        """Create one instance on its owning worker; returns the
+        worker-local slot (slots are not fleet-unique — address
+        instances by key)."""
+        if key in self._slots:
+            raise DeploymentError(f"instance {key!r} already exists")
+        wid = self.worker_of(key)
+        slot = self._request(wid, "spawn", key)
+        self._slots[key] = (wid, slot)
+        return slot
+
+    def spawn_many(self, count: int, prefix: str = "session") -> list[str]:
+        """Create ``count`` instances with generated session keys, batched
+        per worker (one round trip per worker, not per key)."""
+        keys = session_keys(count, prefix)
+        per_worker: dict[int, list[str]] = {}
+        for key in keys:
+            per_worker.setdefault(self.worker_of(key), []).append(key)
+        requests = {
+            wid: ("spawn_keys", worker_keys)
+            for wid, worker_keys in per_worker.items()
+        }
+        sent = list(requests)
+        payloads = self._fan_out(requests)
+        for wid, slots in zip(sent, payloads):
+            for key, slot in zip(per_worker[wid], slots):
+                self._slots[key] = (wid, slot)
+        return keys
+
+    def despawn(self, key: str) -> None:
+        wid, _slot = self._locate(key)
+        self._request(wid, "despawn", key)
+        del self._slots[key]
+
+    def recycle(self, key: str) -> None:
+        wid, _slot = self._locate(key)
+        self._request(wid, "recycle", key)
+
+    # ------------------------------------------------------------------
+    # per-instance observation
+    # ------------------------------------------------------------------
+
+    def state_name(self, key: str) -> str:
+        return self._request(self._locate(key)[0], "state", key)
+
+    def action_count(self, key: str) -> int:
+        return self._request(self._locate(key)[0], "action_count", key)
+
+    def actions_since(self, key: str, start: int = 0) -> tuple[str, ...]:
+        return self._request(self._locate(key)[0], "actions_since", key, start)
+
+    def trace(self, key: str) -> InstanceSnapshot:
+        return self._request(self._locate(key)[0], "trace", key)
+
+    def is_finished(self, key: str) -> bool:
+        return self._request(self._locate(key)[0], "finished", key)
+
+    # ------------------------------------------------------------------
+    # event intake and dispatch
+    # ------------------------------------------------------------------
+
+    def encode(self, events) -> EncodedFleetSchedule:
+        """Intern ``(key, message)`` events into per-worker flat buffers.
+
+        Same validation contract as the engine's ``encode``: unknown
+        keys or messages raise one canonical :class:`DeploymentError`
+        naming them.
+        """
+        parts = [array("q") for _ in self._workers]
+        slots = self._slots
+        columns = self._columns
+        rejected: list[tuple[str, str]] = []
+        for key, message in events:
+            entry = slots.get(key)
+            col = columns.get(message)
+            if entry is None or col is None:
+                rejected.append((key, message))
+                continue
+            wid, slot = entry
+            part = parts[wid]
+            part.append(slot)
+            part.append(col)
+        if rejected:
+            raise_rejected(rejected)
+        return EncodedFleetSchedule(tuple(parts))
+
+    def encode_flat(self, events) -> EncodedFleetSchedule:
+        """Alias of :meth:`encode` — the partitioned schedule is already
+        flat ``array('q')`` buffers."""
+        return self.encode(events)
+
+    def post(
+        self,
+        key: str,
+        message: str,
+        source: Optional[str] = None,
+        trace_id: Optional[int] = None,
+    ) -> bool:
+        """Buffer one event parent-side for its owning worker.
+
+        Validation timing mirrors the in-process engine: encoded intake
+        interns here, so unknown instances/messages raise the canonical
+        errors at post time; naive/batched intake accepts anything and
+        lets the drain's dispatch pass reject bad events (same message
+        shape, one drain later).  The buffered traffic flushes on the
+        next :meth:`drain_all` / :meth:`run`.  Mailboxes are unbounded —
+        ``source``/``trace_id`` are accepted for protocol compatibility
+        but not traced across the process boundary.
+        """
+        if self._encoded_intake:
+            wid, slot = self._locate(key)
+            col = self._columns.get(message)
+            if col is None:
+                raise DeploymentError(f"unknown message {message!r}")
+            buffer = self._pending[wid]
+            buffer.append(slot)
+            buffer.append(col)
+        else:
+            wid = self.worker_of(key)
+            self._pending[wid].append((key, message))
+        self._pending_counts[wid] += 1
+        return True
+
+    def deliver(self, key: str, message: str) -> bool:
+        """Dispatch one event immediately on its owning worker."""
+        wid, _slot = self._locate(key)
+        return self._request(wid, "deliver", key, message)
+
+    def drain_all(self) -> int:
+        """Flush every worker's pending buffer; returns events flushed."""
+        requests: dict[int, tuple] = {}
+        total = 0
+        for wid, buffer in enumerate(self._pending):
+            if not buffer:
+                continue
+            op = "run_flat" if self._encoded_intake else "run_events"
+            requests[wid] = (op, buffer)
+            total += self._pending_counts[wid]
+            self._pending[wid] = self._new_buffer()
+            self._pending_counts[wid] = 0
+        if requests:
+            self._fan_out(requests)
+        return total
+
+    def run(self, events, encoding: str = "auto") -> FleetMetrics:
+        """Fan a workload out to the workers; returns merged metrics.
+
+        Accepts ``(key, message)`` batches (``"events"``/``"auto"``) or
+        an :class:`EncodedFleetSchedule` from :meth:`encode` /
+        :meth:`encode_flat` (``"pairs"``/``"flat"``/``"auto"``).  Raw
+        ``(slot, column)`` schedules are meaningless across fleets and
+        are rejected.  Pending posted traffic flushes first (FIFO), and
+        per-key order is preserved — a key maps to one worker.
+        """
+        if encoding not in ENCODINGS:
+            raise DeploymentError(
+                f"unknown encoding {encoding!r}; choose from {ENCODINGS}"
+            )
+        self.drain_all()
+        if isinstance(events, EncodedFleetSchedule):
+            if len(events.parts) != len(self._workers):
+                raise DeploymentError(
+                    "schedule was encoded for a fleet with "
+                    f"{len(events.parts)} worker(s); this fleet has "
+                    f"{len(self._workers)}"
+                )
+            requests = {
+                wid: ("run_flat", part)
+                for wid, part in enumerate(events.parts)
+                if part
+            }
+            if requests:
+                self._fan_out(requests)
+            return self.metrics
+        if encoding in ("pairs", "flat"):
+            raise DeploymentError(
+                f"encoding {encoding!r} on a multiprocess fleet needs an "
+                "EncodedFleetSchedule from this fleet's encode()/"
+                "encode_flat(); raw slot schedules are worker-local"
+            )
+        # String events: validate parent-side (canonical error shape),
+        # partition by owning worker, fan out, then raise for rejects —
+        # valid traffic is never stranded behind bad events.
+        if self._encoded_intake:
+            parts: list = [None] * len(self._workers)
+            slots = self._slots
+            columns = self._columns
+            rejected: list[tuple[str, str]] = []
+            for key, message in events:
+                entry = slots.get(key)
+                col = columns.get(message)
+                if entry is None or col is None:
+                    rejected.append((key, message))
+                    continue
+                wid, slot = entry
+                part = parts[wid]
+                if part is None:
+                    part = parts[wid] = array("q")
+                part.append(slot)
+                part.append(col)
+            requests = {
+                wid: ("run_flat", part)
+                for wid, part in enumerate(parts)
+                if part
+            }
+        else:
+            batches: list = [None] * len(self._workers)
+            slots = self._slots
+            columns = self._columns
+            rejected = []
+            for key, message in events:
+                entry = slots.get(key)
+                if entry is None or message not in columns:
+                    rejected.append((key, message))
+                    continue
+                batch = batches[entry[0]]
+                if batch is None:
+                    batch = batches[entry[0]] = []
+                batch.append((key, message))
+            requests = {
+                wid: ("run_events", batch)
+                for wid, batch in enumerate(batches)
+                if batch
+            }
+        if requests:
+            self._fan_out(requests)
+        if rejected:
+            raise_rejected(rejected)
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> FleetSnapshot:
+        """One portable snapshot of the whole population.
+
+        Pending parent-side traffic flushes first, then every worker
+        snapshots its partition; the merged
+        :class:`~repro.serve.fleet.FleetSnapshot` restores into any
+        fleet of the same machine — including a single-process
+        :class:`~repro.serve.fleet.FleetEngine`.
+        """
+        self.drain_all()
+        dead = [
+            wid for wid, worker in enumerate(self._workers) if not worker.alive
+        ]
+        if dead:
+            raise DeploymentError(
+                f"cannot snapshot: worker(s) {dead} are not available; "
+                "their shard partitions are lost"
+            )
+        requests = {
+            wid: ("snapshot",) for wid in range(len(self._workers))
+        }
+        payloads = self._fan_out(requests)
+        instances = tuple(
+            chain.from_iterable(snap.instances for snap in payloads)
+        )
+        return FleetSnapshot(
+            machine_name=self._machine.name, instances=instances
+        )
+
+    def restore(self, snapshot: FleetSnapshot) -> None:
+        """Rebuild the population from a snapshot, partitioned by routing.
+
+        The current population and any pending parent-side traffic are
+        discarded; each worker restores the partition its keys route to,
+        so a snapshot taken under any worker/shard layout lands
+        correctly here.
+        """
+        if snapshot.machine_name != self._machine.name:
+            raise DeploymentError(
+                f"snapshot is for machine {snapshot.machine_name!r}, "
+                f"this fleet serves {self._machine.name!r}"
+            )
+        per_worker: list[list[InstanceSnapshot]] = [
+            [] for _ in self._workers
+        ]
+        for inst in snapshot.instances:
+            per_worker[self.worker_of(inst.key)].append(inst)
+        requests = {
+            wid: (
+                "restore",
+                FleetSnapshot(
+                    machine_name=snapshot.machine_name,
+                    instances=tuple(instances),
+                ),
+            )
+            for wid, instances in enumerate(per_worker)
+        }
+        self._pending = [self._new_buffer() for _ in self._workers]
+        self._pending_counts = [0] * len(self._workers)
+        sent = list(requests)
+        payloads = self._fan_out(requests)
+        self._slots = {}
+        for wid, slot_of in zip(sent, payloads):
+            for key, slot in slot_of.items():
+                self._slots[key] = (wid, slot)
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker process and release the pipes (idempotent)."""
+        if self._closed:
+            return
+        stopping = []
+        for worker in self._workers:
+            if not worker.alive:
+                continue
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                worker.alive = False
+                continue
+            stopping.append(worker)
+        for worker in stopping:
+            try:
+                status, payload, metrics = worker.conn.recv()
+                if metrics is not None:
+                    worker.metrics = metrics
+            except (EOFError, OSError):
+                pass
+        self._closed = True
+        for worker in self._workers:
+            worker.conn.close()
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+            worker.alive = False
+        self._finalizer.detach()
+
+    def __enter__(self) -> "MultiprocessFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _terminate_workers(processes) -> None:
+    """GC fallback: never leave orphaned worker processes behind."""
+    for process in processes:
+        if process.is_alive():
+            process.terminate()

@@ -6,7 +6,7 @@ another, nothing fails.  This module closes that gap, the paper's actual
 deployment conditions (§4-5): generated machines ran *protocols*, with
 timeouts, peers messaging each other, and nodes crashing mid-run.
 
-Three mechanisms compose over an unmodified :class:`FleetEngine`, all
+Three mechanisms compose over any unmodified :class:`~repro.serve.api.Fleet`, all
 driven by one deterministic scheduled-event wheel (the virtual clock
 lifted from :class:`repro.storage.sim.kernel.Simulator`):
 
@@ -64,7 +64,8 @@ from dataclasses import dataclass, fields
 from typing import Optional
 
 from repro.core.errors import DeploymentError, SimulationError
-from repro.serve.fleet import FleetEngine, FleetSnapshot
+from repro.serve.api import Fleet
+from repro.serve.fleet import FleetSnapshot
 from repro.serve.store import InstanceSnapshot
 from repro.storage.sim.kernel import Simulator
 
@@ -332,7 +333,7 @@ class ScenarioEngine:
 
     def __init__(
         self,
-        fleet: FleetEngine,
+        fleet: Fleet,
         profile: Optional[ScenarioProfile] = None,
         topology: Optional[GroupTopology] = None,
         faults: Optional[ScenarioFaultPlan] = None,
@@ -360,6 +361,13 @@ class ScenarioEngine:
                 "scenarios with timers, routes or kill-shard faults cannot "
                 "run on an auto_recycle fleet: recycling clears action logs "
                 "mid-run, breaking action observation and replay"
+            )
+        if needs_trace and getattr(fleet, "store", None) is None:
+            raise DeploymentError(
+                "scenarios with timers, routes or kill-shard faults need an "
+                "in-process fleet exposing its instance store (timer marks "
+                "live in store columns); this fleet has none — passthrough "
+                "scenarios (no observation) run on any Fleet"
             )
         self._routes: dict[str, tuple[RouteRule, ...]] = {}
         for rule in self._profile.routes:
@@ -412,7 +420,7 @@ class ScenarioEngine:
     # ------------------------------------------------------------------
 
     @property
-    def fleet(self) -> FleetEngine:
+    def fleet(self) -> Fleet:
         return self._fleet
 
     @property
@@ -475,18 +483,18 @@ class ScenarioEngine:
     def despawn(self, key: str) -> None:
         """Remove one instance *and* its pending timed/routed traffic.
 
-        The safe form of :meth:`FleetEngine.despawn` under a scenario:
+        The safe form of the fleet's ``despawn`` under a scenario:
         wheel records addressed to the key are cancelled so a timer
         expiring after the despawn cannot be delivered to the slot's
         next occupant.  (Despawning behind the engine's back leaves
         those records live — their delivery then raises
         :class:`DeploymentError`, never corrupting a reused slot.)
         """
-        store = self._fleet.store
-        slot = store.slot(key)
-        armed = store.timers[slot]
-        if armed is not None:
-            self._cancel(armed[0])
+        store = getattr(self._fleet, "store", None)
+        if store is not None:
+            armed = store.timers[store.slot(key)]
+            if armed is not None:
+                self._cancel(armed[0])
         for rid, (record, _) in list(self._pending.items()):
             kind, payload = record[2], record[3]
             if kind in (ROUTED, TIMER) and payload[0] == key:
@@ -650,7 +658,7 @@ class ScenarioEngine:
 
         When the whole instant was pre-encoded at schedule time its flat
         slot/column array goes straight to
-        :meth:`FleetEngine.run_encoded_flat` — the usual one-record
+        ``fleet.run(flat, encoding="flat")`` — the usual one-record
         instant without even a copy — so passthrough pays the raw encoded
         per-event cost plus one heap pop per distinct timestamp.
         Anything not interned (naive/batched fleets, records added via
@@ -661,7 +669,7 @@ class ScenarioEngine:
             flat = pair_lists[0]
             for extra in pair_lists[1:]:
                 flat = flat + extra
-            fleet.run_encoded_flat(flat)
+            fleet.run(flat, encoding="flat")
         else:
             fleet.run([pair for batch in batches for pair in batch])
 
@@ -680,11 +688,13 @@ class ScenarioEngine:
         fleet.drain_all()
         # A fired timer is no longer armed: clear its column mark before
         # observation (which may immediately re-arm it — periodic timers).
-        store = fleet.store
-        for key, _message in timer_payloads:
-            slot = store.slot_of.get(key)
-            if slot is not None and store.timers[slot] is not None:
-                store.timers[slot] = None
+        # Timers only ever arm on store-backed fleets.
+        store = getattr(fleet, "store", None)
+        if store is not None:
+            for key, _message in timer_payloads:
+                slot = store.slot_of.get(key)
+                if slot is not None and store.timers[slot] is not None:
+                    store.timers[slot] = None
         self._observe(dict.fromkeys(key for _, key, _m, _t in deliveries))
 
     # ------------------------------------------------------------------
@@ -885,18 +895,20 @@ class ScenarioEngine:
                 0, self._sim.now, "restore", detail=f"now={snap.now}"
             )
         # Re-mark armed timers: every pending TIMER record corresponds to
-        # a slot-level arm in the restored population.
-        store = fleet.store
-        for rid, _time, kind, payload in snap.pending:
-            if kind == TIMER:
-                slot = store.slot_of.get(payload[0])
-                if slot is not None:
-                    store.timers[slot] = (rid, fleet.state_name(payload[0]))
+        # a slot-level arm in the restored population (timers only ever
+        # arm on store-backed fleets).
+        store = getattr(fleet, "store", None)
+        if store is not None:
+            for rid, _time, kind, payload in snap.pending:
+                if kind == TIMER:
+                    slot = store.slot_of.get(payload[0])
+                    if slot is not None:
+                        store.timers[slot] = (rid, fleet.state_name(payload[0]))
         self._last_snapshot = snap
         self.metrics.snapshots_restored += 1
 
 
-def run_scenario(fleet: FleetEngine, scenario: Scenario) -> ScenarioEngine:
+def run_scenario(fleet: Fleet, scenario: Scenario) -> ScenarioEngine:
     """Spawn, schedule and run one :class:`Scenario` on a fresh fleet."""
     engine = ScenarioEngine(
         fleet,
@@ -913,7 +925,7 @@ def run_scenario(fleet: FleetEngine, scenario: Scenario) -> ScenarioEngine:
 
 
 def scenario_traces(
-    fleet: FleetEngine, scenario: Scenario
+    fleet: Fleet, scenario: Scenario
 ) -> dict[str, InstanceSnapshot]:
     """Run a scenario and return every topology key's final trace."""
     run_scenario(fleet, scenario)

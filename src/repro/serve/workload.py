@@ -62,7 +62,7 @@ def encode_schedule(fleet, schedule) -> list[tuple[int, int]]:
     The encoded serve path's generator half: session keys resolve to
     their dense store slots and messages to their column ids *once per
     schedule*, producing the ``(slot, column)`` int pairs that
-    ``FleetEngine.run_encoded`` dispatches without touching a string.
+    ``fleet.run(pairs, encoding="pairs")`` dispatches without touching a string.
     Slot ids are fleet-specific — the returned pairs are only meaningful
     for ``fleet`` (with its current population); re-encode after a
     restore or despawn churn.

