@@ -18,7 +18,13 @@ workload through the dispatch-mode spectrum:
 * ``grouped`` — the encoded loop with batches split into column-sorted
   rounds (sequential ``jump``-row access); reported for the access-pattern
   comparison — in pure Python the regrouping overhead outweighs the
-  locality win.
+  locality win;
+* ``vector``  — the numpy gather/scatter kernel over the columnar store
+  (:mod:`repro.serve.vector`), timed on its pre-split
+  :class:`~repro.serve.vector.VectorSchedule` with ``log_policy="off"``
+  for the headline ``vector_eps`` column.  numpy is a soft dependency:
+  without it the column is *omitted* from the rows (with a printed
+  reason), and the regression gate skips it.
 
 Every ``full``-policy configuration is differentially verified first: per
 instance, the fleet's final state/action trace must equal a standalone
@@ -54,6 +60,8 @@ if __name__ == "__main__":  # allow running without PYTHONPATH=src
 from repro.models.commit import CommitModel
 from repro.obs import FleetTelemetry, telemetry_sample
 from repro.serve import (
+    HAS_NUMPY,
+    NUMPY_UNAVAILABLE_REASON,
     FleetEngine,
     WorkloadSpec,
     diff_against_standalone,
@@ -111,6 +119,11 @@ ACCEPT_SPEEDUP = 5.0
 ENCODED_ACCEPT_SCENARIO = ("uniform", 10_000, 300_000, 16)
 ENCODED_ACCEPT_SPEEDUP = 2.0
 
+#: Vector-vs-encoded acceptance: the same uniform 10k point, both sides
+#: with ``log_policy="off"`` — the ratio is purely bytecode loop vs
+#: gather/scatter kernel on the identical jump table.
+VECTOR_ACCEPT_SPEEDUP = 5.0
+
 
 def _timed_run(
     machine,
@@ -141,7 +154,14 @@ def _timed_run(
             log_policy=log_policy,
         )
         keys = fleet.spawn_many(instances)
-        if mode in ("encoded", "grouped"):
+        if mode == "vector":
+            # The vector plane's pre-encoded form: the schedule's rounds
+            # are split at encode time, so the timed region is pure
+            # gather/scatter — the vector analogue of the pairs contract.
+            schedule = fleet.encode_flat(events)
+            started = time.perf_counter()
+            fleet.run(schedule, encoding="flat")
+        elif mode in ("encoded", "grouped"):
             pairs = fleet.encode(events)
             started = time.perf_counter()
             fleet.run(pairs, encoding="pairs")
@@ -166,13 +186,19 @@ def _timed_run(
 def sweep(points=SWEEP, runs=3, seed=0):
     """Run the dispatch-mode comparison over ``points``; return rows.
 
-    Each row carries the configuration, per-mode events/sec and the two
+    Each row carries the configuration, per-mode events/sec and the
     headline ratios.  Every ``full``-policy mode is differentially
-    verified once per configuration; the ``encoded_off`` column runs
-    ``log_policy="off"`` (no trace retained, nothing to verify — its
-    state progression is the verified encoded loop minus log writes).
+    verified once per configuration; the ``encoded_off`` and ``vector``
+    columns run ``log_policy="off"`` (no trace retained, nothing to
+    verify — the vector kernel's trace equality is verified by its own
+    ``full``-policy run and the serve test suite).  Without numpy the
+    ``vector_eps``/``vector_speedup`` keys are omitted — not ``None`` —
+    so the regression gate skips them cleanly.
     """
     machine = CommitModel(4).generate_state_machine()
+    modes = ("naive", "batched", "encoded", "grouped") + (
+        ("vector",) if HAS_NUMPY else ()
+    )
     rows = []
     for scenario, instances, events_n, shards in points:
         spec = WorkloadSpec(
@@ -183,7 +209,7 @@ def sweep(points=SWEEP, runs=3, seed=0):
             mode: _timed_run(
                 machine, events, instances, shards, mode, runs=runs, verify=True
             )
-            for mode in ("naive", "batched", "encoded", "grouped")
+            for mode in modes
         }
         encoded_off = _timed_run(
             machine,
@@ -194,21 +220,32 @@ def sweep(points=SWEEP, runs=3, seed=0):
             runs=runs,
             log_policy="off",
         )
-        rows.append(
-            {
-                "scenario": scenario,
-                "instances": instances,
-                "events": len(events),
-                "shards": shards,
-                "naive_eps": eps["naive"],
-                "batched_eps": eps["batched"],
-                "encoded_eps": eps["encoded"],
-                "grouped_eps": eps["grouped"],
-                "encoded_off_eps": encoded_off,
-                "speedup": eps["batched"] / eps["naive"],
-                "encoded_speedup": encoded_off / eps["batched"],
-            }
-        )
+        row = {
+            "scenario": scenario,
+            "instances": instances,
+            "events": len(events),
+            "shards": shards,
+            "naive_eps": eps["naive"],
+            "batched_eps": eps["batched"],
+            "encoded_eps": eps["encoded"],
+            "grouped_eps": eps["grouped"],
+            "encoded_off_eps": encoded_off,
+            "speedup": eps["batched"] / eps["naive"],
+            "encoded_speedup": encoded_off / eps["batched"],
+        }
+        if HAS_NUMPY:
+            vector_off = _timed_run(
+                machine,
+                events,
+                instances,
+                shards,
+                "vector",
+                runs=runs,
+                log_policy="off",
+            )
+            row["vector_eps"] = vector_off
+            row["vector_speedup"] = vector_off / encoded_off
+        rows.append(row)
     return rows
 
 
@@ -216,17 +253,29 @@ def format_rows(rows) -> str:
     """Render sweep rows as an aligned table."""
     lines = [
         "scenario  instances  events   shards  naive ev/s   batched ev/s  "
-        "encoded ev/s  grouped ev/s  enc-off ev/s  batch/naive  enc-off/batch",
+        "encoded ev/s  grouped ev/s  enc-off ev/s  vector ev/s   "
+        "batch/naive  enc-off/batch  vec/enc-off",
         "--------  ---------  -------  ------  -----------  ------------  "
-        "------------  ------------  ------------  -----------  -------------",
+        "------------  ------------  ------------  ------------  "
+        "-----------  -------------  -----------",
     ]
     for row in rows:
+        vector_eps = (
+            f"{row['vector_eps']:>12,.0f}" if "vector_eps" in row else f"{'-':>12}"
+        )
+        vector_speedup = (
+            f"{row['vector_speedup']:>10.2f}x"
+            if "vector_speedup" in row
+            else f"{'-':>11}"
+        )
         lines.append(
             f"{row['scenario']:<9} {row['instances']:<10d} {row['events']:<8d} "
             f"{row['shards']:<7d} {row['naive_eps']:>11,.0f}  "
             f"{row['batched_eps']:>12,.0f}  {row['encoded_eps']:>12,.0f}  "
             f"{row['grouped_eps']:>12,.0f}  {row['encoded_off_eps']:>12,.0f}  "
-            f"{row['speedup']:>10.2f}x  {row['encoded_speedup']:>12.2f}x"
+            f"{vector_eps}  "
+            f"{row['speedup']:>10.2f}x  {row['encoded_speedup']:>12.2f}x  "
+            f"{vector_speedup}"
         )
     return "\n".join(lines)
 
@@ -280,6 +329,44 @@ def encoded_acceptance(runs: int = 3) -> dict:
     }
 
 
+def vector_acceptance(runs: int = 3) -> dict:
+    """Vector-vs-encoded(off) throughput at the uniform 10k point.
+
+    Both planes run ``log_policy="off"`` over the same workload, so the
+    ratio isolates the kernel itself.  The vector side is additionally
+    differentially verified once under ``full`` (against a standalone
+    replay) before the timed ``off`` runs — the throughput claim only
+    counts if the kernel is trace-identical.  Without numpy the claim is
+    reported skipped, with the reason, instead of failing.
+    """
+    if not HAS_NUMPY:
+        return {"skipped": True, "reason": NUMPY_UNAVAILABLE_REASON}
+    scenario, instances, events_n, shards = ENCODED_ACCEPT_SCENARIO
+    machine = CommitModel(4).generate_state_machine()
+    events = generate_workload(
+        machine,
+        WorkloadSpec(scenario=scenario, instances=instances, events=events_n, seed=0),
+    )
+    _timed_run(
+        machine, events, instances, shards, "vector", runs=1, verify=True
+    )
+    encoded = _timed_run(
+        machine, events, instances, shards, "encoded", runs=runs, log_policy="off"
+    )
+    vector = _timed_run(
+        machine, events, instances, shards, "vector", runs=runs, log_policy="off"
+    )
+    return {
+        "scenario": scenario,
+        "instances": instances,
+        "encoded_off_eps": encoded,
+        "vector_eps": vector,
+        "speedup": vector / encoded,
+        "required": VECTOR_ACCEPT_SPEEDUP,
+        "pass": vector / encoded >= VECTOR_ACCEPT_SPEEDUP,
+    }
+
+
 # ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
@@ -288,12 +375,15 @@ def encoded_acceptance(runs: int = 3) -> dict:
 def test_differential_all_scenarios():
     """Fleet == standalone for every scenario (the timing-free guarantee)."""
     machine = CommitModel(4).generate_state_machine()
+    modes = ("naive", "batched", "encoded", "grouped") + (
+        ("vector",) if HAS_NUMPY else ()
+    )
     for scenario in ("uniform", "hotkey", "burst"):
         events = generate_workload(
             machine,
             WorkloadSpec(scenario=scenario, instances=200, events=5_000, seed=3),
         )
-        for mode in ("naive", "batched", "encoded", "grouped"):
+        for mode in modes:
             fleet = FleetEngine(machine, shards=4, mode=mode, auto_recycle=True)
             keys = fleet.spawn_many(200)
             fleet.run(events)
@@ -315,6 +405,19 @@ def test_encoded_beats_batched_2x_at_10k_instances():
     assert result["pass"], (
         f"encoded dispatch is only {result['speedup']:.2f}x the batched "
         f"throughput (needs >= {ENCODED_ACCEPT_SPEEDUP}x)"
+    )
+
+
+def test_vector_beats_encoded_5x_at_10k_instances():
+    """The vector acceptance criterion, at the uniform 10k point."""
+    import pytest
+
+    if not HAS_NUMPY:
+        pytest.skip(f"vector kernel unavailable: {NUMPY_UNAVAILABLE_REASON}")
+    result = vector_acceptance()
+    assert result["pass"], (
+        f"vector dispatch is only {result['speedup']:.2f}x the encoded "
+        f"(log off) throughput (needs >= {VECTOR_ACCEPT_SPEEDUP}x)"
     )
 
 
@@ -395,10 +498,14 @@ def main() -> int:
         rows = sweep()
     print(format_rows(rows))
 
+    if not HAS_NUMPY:
+        print(f"vector column skipped: {NUMPY_UNAVAILABLE_REASON}")
+
     result = {
         "rows": rows,
         "acceptance": None,
         "encoded_acceptance": None,
+        "vector_acceptance": None,
         "metrics": metrics_sample(),
     }
     ok = True
@@ -425,7 +532,21 @@ def main() -> int:
             f"{'PASS' if encoded['pass'] else 'FAIL'} "
             f"(needs >= {ENCODED_ACCEPT_SPEEDUP}x)"
         )
-        ok = batched_ok and encoded["pass"]
+        vector = vector_acceptance()
+        result["vector_acceptance"] = vector
+        if vector.get("skipped"):
+            print(f"acceptance: vector skipped ({vector['reason']})")
+            vector_ok = True
+        else:
+            vector_ok = vector["pass"]
+            print(
+                f"acceptance: vector (log off) {vector['speedup']:.2f}x "
+                f"encoded (log off) at {vector['instances']} instances "
+                f"({vector['scenario']}) -> "
+                f"{'PASS' if vector_ok else 'FAIL'} "
+                f"(needs >= {VECTOR_ACCEPT_SPEEDUP}x)"
+            )
+        ok = batched_ok and encoded["pass"] and vector_ok
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:

@@ -49,6 +49,8 @@ MEASURED = frozenset(
         "encoded_eps",
         "grouped_eps",
         "encoded_off_eps",
+        "vector_eps",
+        "vector_speedup",
         "raw_eps",
         "opt_eps",
         "scenario_eps",
@@ -92,6 +94,7 @@ DEFAULT_METRICS = (
     "encoded_eps",
     "grouped_eps",
     "encoded_off_eps",
+    "vector_eps",
     "raw_eps",
     "opt_eps",
     "scenario_eps",

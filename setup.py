@@ -1,10 +1,25 @@
-"""Legacy setuptools shim.
+"""Setuptools entry point.
 
-The project metadata lives in pyproject.toml; this file exists only so that
-``pip install -e .`` works in offline environments whose setuptools cannot
-perform PEP 660 editable installs (no ``wheel`` package available).
+Keeps ``pip install -e .`` working in offline environments whose
+setuptools cannot perform PEP 660 editable installs (no ``wheel``
+package available).  The project has no hard runtime dependencies; the
+``vector`` extra pulls in numpy for the vectorized fleet dispatch
+kernel (``repro.serve.vector``) — without it the pure-Python encoded
+path serves as the always-on fallback::
+
+    pip install '.[vector]'
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    install_requires=[],
+    extras_require={
+        # Soft dependency of the vectorized dispatch kernel; the import
+        # guard lives in one place (src/repro/serve/vector.py).
+        "vector": ["numpy"],
+    },
+)

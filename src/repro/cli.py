@@ -68,7 +68,9 @@ from repro.render.xml import XmlRenderer
 from repro.runtime.export import export_machine_module
 from repro.serve import (
     DISPATCH_MODES,
+    HAS_NUMPY,
     LOG_POLICIES,
+    NUMPY_UNAVAILABLE_REASON,
     ScenarioFaultPlan,
     ScenarioSpec,
     WorkloadSpec,
@@ -284,6 +286,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also measure the encoded and grouped slot-indexed dispatch "
         "modes (events pre-interned to (slot, column) int pairs)",
+    )
+    serve_bench.add_argument(
+        "--dispatch",
+        action="append",
+        choices=DISPATCH_MODES,
+        metavar="MODE",
+        help="measure an additional dispatch mode (repeatable); "
+        "'--dispatch vector' adds the numpy gather/scatter kernel, "
+        "skipped with a note when numpy is unavailable",
     )
     serve_bench.add_argument(
         "--log-policy",
@@ -669,9 +680,12 @@ def _serve_bench(args) -> int:
 
     ``naive`` and ``batched`` are always measured; ``--encoded`` adds the
     ``encoded`` and ``grouped`` slot-indexed modes, whose schedules are
-    interned to ``(slot, column)`` pairs once, outside the timed region.
-    ``--log-policy`` applies to every table-dispatch mode; reduced
-    policies retain no trace, so their rows skip the differential check.
+    interned to ``(slot, column)`` pairs once, outside the timed region;
+    ``--dispatch`` appends further modes (``vector`` measures the numpy
+    gather/scatter kernel on a pre-split schedule, and is skipped with a
+    note when numpy is unavailable).  ``--log-policy`` applies to every
+    table-dispatch mode; reduced policies retain no trace, so their rows
+    skip the differential check.
     """
     import time
 
@@ -696,6 +710,12 @@ def _serve_bench(args) -> int:
     modes = ["naive", "batched"]
     if args.encoded:
         modes += ["encoded", "grouped"]
+    for extra in args.dispatch or []:
+        if extra not in modes:
+            modes.append(extra)
+    if "vector" in modes and not HAS_NUMPY:
+        modes.remove("vector")
+        print(f"  vector   skipped: {NUMPY_UNAVAILABLE_REASON}")
     elapsed: dict[str, float] = {}
     for mode in modes:
         policy = "full" if mode == "naive" else args.log_policy
@@ -711,7 +731,13 @@ def _serve_bench(args) -> int:
             telemetry=FleetTelemetry() if args.metrics else None,
         )
         keys = fleet.spawn_many(args.instances)
-        if mode in ("encoded", "grouped"):
+        if mode == "vector" and args.workers is None:
+            # The vector plane's pre-encoded form: rounds are split at
+            # encode time, so the timed region is pure gather/scatter.
+            schedule = fleet.encode_flat(events)
+            started = time.perf_counter()
+            fleet.run(schedule, encoding="flat")
+        elif mode in ("encoded", "grouped", "vector"):
             pairs = encode_schedule(fleet, events)
             started = time.perf_counter()
             fleet.run(pairs, encoding="pairs")
@@ -747,6 +773,16 @@ def _serve_bench(args) -> int:
         print(
             f"  encoded  {elapsed['batched'] / elapsed['encoded']:.2f}x batched, "
             f"grouped {elapsed['batched'] / elapsed['grouped']:.2f}x batched"
+        )
+    if "vector" in elapsed:
+        vector_note = (
+            f", {elapsed['encoded'] / elapsed['vector']:.2f}x encoded"
+            if "encoded" in elapsed
+            else ""
+        )
+        print(
+            f"  vector   {elapsed['batched'] / elapsed['vector']:.2f}x "
+            f"batched{vector_note}"
         )
     if args.metrics:
         # The registry of the last measured fleet (metrics are per-fleet).

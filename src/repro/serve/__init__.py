@@ -16,7 +16,10 @@ fault injection with snapshot-replay recovery.
 :mod:`repro.serve.loadgen` offers open/closed-loop load with
 measured-service latency replay, feeding the telemetry plane
 (:mod:`repro.obs`) that any engine accepts via
-``FleetEngine(telemetry=...)``.
+``FleetEngine(telemetry=...)``.  :mod:`repro.serve.vector` adds the
+optional numpy-backed gather/scatter dispatch kernel
+(``make_fleet(mode="vector")``); ``HAS_NUMPY`` reports whether it can
+run here.
 """
 
 from repro.serve.adapter import BACKENDS, BackendAdapter, make_backend
@@ -68,6 +71,13 @@ from repro.serve.store import (
     InstanceStore,
     shard_of,
 )
+from repro.serve.vector import (
+    HAS_NUMPY,
+    NUMPY_UNAVAILABLE_REASON,
+    VectorKernel,
+    VectorSchedule,
+    require_numpy,
+)
 from repro.serve.workload import (
     SCENARIOS,
     ScenarioSpec,
@@ -92,6 +102,8 @@ __all__ = [
     "FleetMetrics",
     "FleetSnapshot",
     "FleetTelemetry",
+    "HAS_NUMPY",
+    "NUMPY_UNAVAILABLE_REASON",
     "MODEL_FACTORIES",
     "MultiprocessFleet",
     "LoadReport",
@@ -114,6 +126,8 @@ __all__ = [
     "SessionSimulator",
     "TimedEvent",
     "TimerRule",
+    "VectorKernel",
+    "VectorSchedule",
     "WorkloadSpec",
     "diff_against_hierarchical",
     "diff_against_standalone",
@@ -126,6 +140,7 @@ __all__ = [
     "hierarchical_traces",
     "make_backend",
     "make_fleet",
+    "require_numpy",
     "run_closed_loop",
     "run_open_loop",
     "run_scenario",

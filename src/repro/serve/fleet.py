@@ -5,7 +5,7 @@ state machine; this module is the production-scale counterpart: it hosts
 thousands-to-millions of instances of one generated machine, partitioned
 by session key across shards, and dispatches events in batches.
 
-Four dispatch modes expose the architectural spectrum the benchmarks
+Five dispatch modes expose the architectural spectrum the benchmarks
 measure — each step removes one more layer of per-event work:
 
 * ``naive`` — every event is delivered individually to a per-instance
@@ -27,6 +27,12 @@ measure — each step removes one more layer of per-event work:
   *rounds* (round *r* holds every slot's *r*-th event, preserving
   per-instance order exactly) and each round sorted by column, so the
   ``jump`` rows are walked in sequential column order.
+* ``vector`` — the encoded plane with the Python bytecode loop removed:
+  the states column is a flat numpy array and each grouped round
+  executes as one gather/scatter over the jump table
+  (:mod:`repro.serve.vector`).  Requires numpy (a soft dependency —
+  construction raises the canonical error without it); the encoded
+  path remains the always-on fallback and differential oracle.
 
 All modes produce identical per-instance state/action traces (the
 differential tests assert this against standalone interpreter replays), so
@@ -95,10 +101,11 @@ from repro.serve.store import (
     InstanceStore,
     shard_of,
 )
+from repro.serve.vector import VectorKernel, VectorSchedule, require_numpy
 from repro.serve.workload import session_keys
 
 #: Event dispatch modes.
-DISPATCH_MODES = ("naive", "batched", "encoded", "grouped")
+DISPATCH_MODES = ("naive", "batched", "encoded", "grouped", "vector")
 
 #: Schedule encodings :meth:`FleetEngine.run` accepts.  ``auto`` sniffs
 #: the batch (a flat int ``array`` dispatches as ``flat``, int-pair
@@ -107,7 +114,7 @@ DISPATCH_MODES = ("naive", "batched", "encoded", "grouped")
 ENCODINGS = ("auto", "events", "pairs", "flat")
 
 #: Modes whose mailboxes and arrival batches carry ``(slot, column)`` pairs.
-_ENCODED_MODES = frozenset({"encoded", "grouped"})
+_ENCODED_MODES = frozenset({"encoded", "grouped", "vector"})
 
 _BY_COLUMN = itemgetter(1)
 
@@ -176,6 +183,10 @@ class FleetEngine:
                 "naive-mode backends always retain their action logs; "
                 f"log_policy {log_policy!r} needs a table-dispatch mode"
             )
+        if mode == "vector":
+            # Fail here, not at first dispatch: numpy is a soft
+            # dependency and a deployment can still pick a scalar mode.
+            require_numpy("dispatch mode 'vector'")
         self._machine = machine
         self._mode = mode
         self._encoded_intake = mode in _ENCODED_MODES
@@ -215,7 +226,20 @@ class FleetEngine:
             if mode == "naive"
             else None
         )
-        self._store = InstanceStore(self._table, shards=shards, log_policy=log_policy)
+        self._store = InstanceStore(
+            self._table,
+            shards=shards,
+            log_policy=log_policy,
+            vector=(mode == "vector"),
+        )
+        # The vector kernel shares the scalar jump/acts tables.
+        self._kernel = (
+            VectorKernel(
+                self._store, self._jump, self._acts, self._width, log_policy
+            )
+            if mode == "vector"
+            else None
+        )
         self._mailboxes = [
             Mailbox(capacity=mailbox_capacity, policy=overflow)
             for _ in range(shards)
@@ -515,7 +539,15 @@ class FleetEngine:
         encoded batches — the scenario wheel keeps one per future instant
         — pays O(1) objects, not O(events), to build, keep and discard
         each.  Same validation contract as :meth:`encode`; dispatch with
-        :meth:`run_encoded_flat`.
+        ``run(flat, encoding="flat")``.
+
+        A ``vector`` fleet returns a
+        :class:`~repro.serve.vector.VectorSchedule` instead of the raw
+        buffer: the batch's per-instance ordering rounds are computed
+        here, at encode time, so repeated runs of the schedule pay only
+        the gather/scatter.  The schedule carries the flat buffer as
+        ``.flat``, supports ``+`` concatenation, and ``run`` accepts it
+        anywhere a flat array is accepted.
         """
         slot_of = self._store.slot_of
         columns = self._columns
@@ -533,6 +565,8 @@ class FleetEngine:
                 append(col)
         if rejected:
             self._raise_rejected(rejected)
+        if self._kernel is not None:
+            return self._kernel.schedule_flat(flat)
         return flat
 
     def _encode_batch(self, events):
@@ -799,7 +833,9 @@ class FleetEngine:
 
     def _dispatch_pairs(self, pairs) -> None:
         """Dispatch a batch of pre-encoded ``(slot, column)`` pairs."""
-        if self._mode == "grouped":
+        if self._kernel is not None:
+            self._kernel.dispatch(self._kernel.schedule_pairs(pairs), self.metrics)
+        elif self._mode == "grouped":
             for rnd in self._group_rounds(pairs):
                 self._run_pairs(rnd)
         else:
@@ -956,7 +992,7 @@ class FleetEngine:
                 f"unknown encoding {encoding!r}; choose from {ENCODINGS}"
             )
         if encoding == "auto":
-            if isinstance(events, array):
+            if isinstance(events, (array, VectorSchedule)):
                 encoding = "flat"
             else:
                 events = events if isinstance(events, list) else list(events)
@@ -1024,7 +1060,7 @@ class FleetEngine:
             DeprecationWarning,
             stacklevel=2,
         )
-        return self._run_pairs_schedule(pairs)
+        return self.run(pairs, encoding="pairs")
 
     def _run_pairs_schedule(self, pairs) -> FleetMetrics:
         """:meth:`run` body for pre-encoded ``(slot, column)`` schedules.
@@ -1039,7 +1075,8 @@ class FleetEngine:
         if not self._encoded_intake:
             raise DeploymentError(
                 f"a pre-encoded pair schedule needs an encoded dispatch mode "
-                f"('encoded' or 'grouped'); this fleet dispatches {self._mode!r}"
+                f"('encoded', 'grouped' or 'vector'); this fleet "
+                f"dispatches {self._mode!r}"
             )
         self.drain_all()
         if not self._bounded:
@@ -1069,7 +1106,7 @@ class FleetEngine:
             DeprecationWarning,
             stacklevel=2,
         )
-        return self._run_flat(flat)
+        return self.run(flat, encoding="flat")
 
     def _run_flat(self, flat) -> FleetMetrics:
         """:meth:`run` body for flat ``[slot, col, ...]`` schedules.
@@ -1084,8 +1121,25 @@ class FleetEngine:
         if not self._encoded_intake:
             raise DeploymentError(
                 f"a flat encoded schedule needs an encoded dispatch mode "
-                f"('encoded' or 'grouped'); this fleet dispatches {self._mode!r}"
+                f"('encoded', 'grouped' or 'vector'); this fleet "
+                f"dispatches {self._mode!r}"
             )
+        if self._kernel is not None:
+            schedule = self._kernel.schedule_flat(flat)
+            if self._bounded:
+                it = iter(schedule.flat)
+                return self._run_pairs_schedule(list(zip(it, it)))
+            self.drain_all()
+            if schedule.count:
+                self.metrics.events_offered += schedule.count
+                self.metrics.batches_drained += 1
+                started = perf_counter()
+                self._kernel.dispatch(schedule, self.metrics)
+                if self._telemetry is not None:
+                    self._telemetry.observe_batch(
+                        schedule.count, perf_counter() - started
+                    )
+            return self.metrics
         if self._bounded or self._mode == "grouped":
             it = iter(flat)
             return self._run_pairs_schedule(list(zip(it, it)))

@@ -69,6 +69,7 @@ from repro.serve.fleet import (
 )
 from repro.serve.metrics import FleetMetrics
 from repro.serve.store import LOG_POLICIES, InstanceSnapshot, shard_of
+from repro.serve.vector import require_numpy
 from repro.serve.workload import session_keys
 
 __all__ = ["EncodedFleetSchedule", "MultiprocessFleet"]
@@ -248,6 +249,11 @@ class MultiprocessFleet:
                 "naive-mode backends always retain their action logs; "
                 f"log_policy {log_policy!r} needs a table-dispatch mode"
             )
+        if mode == "vector":
+            # Workers inherit this interpreter's environment, so checking
+            # the soft numpy dependency here surfaces the canonical error
+            # before any worker process is forked.
+            require_numpy("dispatch mode 'vector'")
         self._machine = machine
         self._mode = mode
         self._encoded_intake = mode in _ENCODED_MODES

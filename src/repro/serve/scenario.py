@@ -382,7 +382,7 @@ class ScenarioEngine:
         self._pre_encode = (
             not self._observing
             and self._faults is None
-            and fleet.mode in ("encoded", "grouped")
+            and fleet.mode in ("encoded", "grouped", "vector")
         )
         self._due: list[tuple] = []
         #: Intern table for scheduled (key, message) tuples — engine-lived

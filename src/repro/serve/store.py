@@ -102,6 +102,7 @@ class InstanceStore:
         table: FlatDispatchTable,
         shards: int = 8,
         log_policy: str = "full",
+        vector: bool = False,
     ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -112,12 +113,17 @@ class InstanceStore:
         self._table = table
         self._start = table.start_index * table.width
         self.log_policy = log_policy
+        #: Whether ``states`` is a numpy-backed :class:`StateColumn` (the
+        #: vector kernel gathers/scatters against its flat buffer) rather
+        #: than a plain list.  Scalar access semantics are identical.
+        self.vector = vector
         #: key -> slot intern table (consulted at spawn/route time only).
         self.slot_of: dict[str, int] = {}
         #: slot -> key (``None`` while the slot is on the free list).
         self.key_of: list[Optional[str]] = []
-        #: Premultiplied state per slot (dense list — see module docstring).
-        self.states: list[int] = []
+        #: Premultiplied state per slot (dense list — see module docstring
+        #: — or a :class:`StateColumn` for vector fleets).
+        self.states = self._new_states()
         #: Memoized CRC-32 shard per slot (cold column: intake-time reads
         #: only, so the compact array representation costs nothing).
         self.shard_ids = array("i")
@@ -131,6 +137,14 @@ class InstanceStore:
         #: Released slots awaiting reuse (LIFO keeps the columns dense).
         self.free_slots: list[int] = []
         self.shards: list[Shard] = [Shard() for _ in range(shards)]
+
+    def _new_states(self):
+        """A fresh, empty states column in this store's representation."""
+        if self.vector:
+            from repro.serve.vector import StateColumn
+
+            return StateColumn()
+        return []
 
     @property
     def shard_count(self) -> int:
@@ -220,7 +234,7 @@ class InstanceStore:
         """Drop every instance and every recycled slot (used by restore)."""
         self.slot_of.clear()
         self.key_of = []
-        self.states = []
+        self.states = self._new_states()
         self.shard_ids = array("i")
         self.logs = []
         self.counts = array("q")

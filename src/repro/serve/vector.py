@@ -1,0 +1,375 @@
+"""Vectorized batch dispatch kernel over the columnar fleet store.
+
+The encoded hot path is pure int arithmetic (``offset = states[slot] +
+col; next = jump[offset]``) but still executes one Python bytecode
+iteration per event; this module executes a whole dispatch round as
+numpy gather/scatter over the same jump table the scalar loop walks:
+
+* **gather** — ``offsets = states[slots] + cols`` and
+  ``next = jump[offsets]`` pull every event's transition in two array
+  reads;
+* **scatter** — ``states[slots] = next`` writes every fired transition
+  back in one pass.
+
+A gather/scatter round is only race-free when each slot appears at most
+once, so a batch is first split into *occurrence rounds* — round *r*
+holds every slot's *r*-th event, exactly the per-instance ordering rounds
+``grouped`` dispatch established — and the rounds execute sequentially.
+Round splitting is itself vectorized (a stable radix argsort of the slot
+column; slot ids below 2**16 sort as ``uint16``, where numpy's stable
+sort is an O(n) radix pass) and happens once per schedule at *encode*
+time: :class:`VectorSchedule` carries the pre-split per-round arrays, so
+a repeated ``run`` pays only the gathers — the same "intern once per
+workload" contract the encoded plane already has.
+
+The non-vectorizable edges are masked out and post-processed scalar-side:
+
+* **inapplicable messages** never branch: the kernel's jump variant maps
+  a ``-1`` (message inapplicable) entry to the *current* premultiplied
+  state, so the scatter is unconditional; the ignored count comes from
+  one boolean gather.
+* **action logging** (``log_policy='full'``/``'count'``) gathers an
+  actions-present mask and walks only the matching events in Python,
+  appending the identical action tuples the scalar loop appends — traces
+  stay byte-identical.
+* **finish-state auto-recycle** gathers the recycle mask (transitions
+  whose ``acts`` sentinel is ``None``) and clears those slots' logs
+  scalar-side, mirroring the encoded loop exactly.
+* **unknown instances/messages** never reach the kernel: interning at
+  intake (``encode``/``encode_flat``/``post``) rejects them with the
+  canonical :class:`~repro.core.errors.DeploymentError`, exactly as on
+  every other encoded path.
+
+numpy is a *soft* dependency and this module is the single import guard:
+everything else asks :data:`HAS_NUMPY` / :func:`require_numpy`.  Without
+numpy (or with ``REPRO_NO_NUMPY`` set, which CI uses to exercise the
+fallback) a ``mode='vector'`` fleet raises the canonical
+:class:`~repro.core.errors.DeploymentError` at construction and the pure
+-Python encoded path — which stays the differential oracle for the
+kernel — serves unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+
+from repro.core.errors import DeploymentError
+
+__all__ = [
+    "HAS_NUMPY",
+    "NUMPY_UNAVAILABLE_REASON",
+    "StateColumn",
+    "VectorKernel",
+    "VectorSchedule",
+    "require_numpy",
+]
+
+if os.environ.get("REPRO_NO_NUMPY"):
+    _np = None
+    NUMPY_UNAVAILABLE_REASON: str | None = (
+        "numpy disabled via REPRO_NO_NUMPY (fallback-path testing)"
+    )
+else:
+    try:
+        import numpy as _np
+    except ImportError:  # pragma: no cover - exercised via REPRO_NO_NUMPY
+        _np = None
+        NUMPY_UNAVAILABLE_REASON = (
+            "numpy is not installed (pip install 'repro[vector]')"
+        )
+    else:
+        NUMPY_UNAVAILABLE_REASON = None
+
+#: Whether the vectorized kernel can run in this environment.
+HAS_NUMPY = _np is not None
+
+#: Slot/column ids sort as uint16 (numpy's O(n) stable radix path) below
+#: this; larger populations fall back to the comparison argsort.
+_RADIX_LIMIT = 1 << 16
+
+
+def require_numpy(feature: str = "vector dispatch") -> None:
+    """Raise the canonical error when the soft numpy dependency is absent."""
+    if not HAS_NUMPY:
+        raise DeploymentError(f"{feature} needs numpy: {NUMPY_UNAVAILABLE_REASON}")
+
+
+class StateColumn:
+    """The store's ``states`` column as a growable flat numpy array.
+
+    Scalar accesses (``deliver``, ``state_name``, restore) keep the exact
+    list semantics — ``__getitem__`` returns a plain ``int`` so snapshots
+    stay bit-identical with list-backed fleets — while the kernel gathers
+    and scatters against the raw :attr:`data` buffer directly.  Growth is
+    amortized doubling; only indices below ``len(self)`` are ever live,
+    exactly like the list column.
+    """
+
+    __slots__ = ("data", "size")
+
+    def __init__(self) -> None:
+        require_numpy("the vectorized states column")
+        self.data = _np.zeros(64, dtype=_np.int64)
+        self.size = 0
+
+    def append(self, value: int) -> None:
+        if self.size == len(self.data):
+            grown = _np.empty(2 * len(self.data), dtype=_np.int64)
+            grown[: self.size] = self.data
+            self.data = grown
+        self.data[self.size] = value
+        self.size += 1
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, slot: int) -> int:
+        return int(self.data[slot])
+
+    def __setitem__(self, slot: int, value: int) -> None:
+        self.data[slot] = value
+
+
+def _occurrence_rounds(slots, cols):
+    """Split a batch into per-instance occurrence rounds.
+
+    Returns ``[(slots_r, cols_r), ...]`` where round *r* holds every
+    slot's *r*-th event of the batch in original arrival order — the
+    exact round structure :meth:`FleetEngine._group_rounds` produces,
+    computed with array passes instead of a Python loop.  Within a round
+    every slot is unique, so gather/scatter execution is race-free.
+    """
+    n = len(slots)
+    if n == 0:
+        return []
+    top = int(slots.max()) + 1
+    counts = _np.bincount(slots, minlength=top)
+    if int(counts.max()) <= 1:
+        return [(slots, cols)]
+    # Occurrence index of each event among its slot's events: stable-sort
+    # by slot, then each event's rank inside its (contiguous) slot group
+    # is its position minus the group's start, scattered back to arrival
+    # order.  Group starts come from the exclusive prefix sum of the
+    # per-slot counts — no comparisons, no accumulate scan.
+    sort_key = slots.astype(_np.uint16) if top <= _RADIX_LIMIT else slots
+    order = _np.argsort(sort_key, kind="stable")
+    positions = _np.arange(n, dtype=_np.int64)
+    group_starts = _np.repeat(_np.cumsum(counts) - counts, counts)
+    occurrence = _np.empty(n, dtype=_np.int64)
+    occurrence[order] = positions - group_starts
+    # Regroup by occurrence round, preserving arrival order within each.
+    rounds_total = int(occurrence.max()) + 1
+    occ_key = (
+        occurrence.astype(_np.uint16)
+        if rounds_total <= _RADIX_LIMIT
+        else occurrence
+    )
+    by_round = _np.argsort(occ_key, kind="stable")
+    bounds = _np.cumsum(_np.bincount(occurrence, minlength=rounds_total))
+    rounds = []
+    start = 0
+    for end in bounds:
+        end = int(end)
+        picked = by_round[start:end]
+        rounds.append((slots[picked], cols[picked]))
+        start = end
+    return rounds
+
+
+class VectorSchedule:
+    """A pre-encoded schedule with its round structure already computed.
+
+    The vector twin of the flat ``array('q')`` schedule: built once at
+    encode time from interned ``(slot, column)`` ids, it carries the flat
+    buffer (for bounded-mailbox fallbacks and cross-checks) plus the
+    per-round numpy arrays the kernel gathers over, so dispatch never
+    pays the round split.  Schedules are fleet-specific — encode against
+    the fleet that will run the schedule.
+    """
+
+    __slots__ = ("flat", "rounds", "count")
+
+    def __init__(self, flat: array):
+        require_numpy("a vector schedule")
+        self.flat = flat
+        buffer = _np.frombuffer(flat, dtype=_np.int64) if len(flat) else None
+        if buffer is None:
+            self.rounds = []
+            self.count = 0
+        else:
+            slots = _np.ascontiguousarray(buffer[0::2])
+            cols = _np.ascontiguousarray(buffer[1::2])
+            self.rounds = _occurrence_rounds(slots, cols)
+            self.count = len(slots)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __add__(self, other: "VectorSchedule") -> "VectorSchedule":
+        merged = array("q", self.flat)
+        merged.extend(other.flat)
+        return VectorSchedule(merged)
+
+
+class VectorKernel:
+    """Execute encoded batches as gather/scatter over the jump table.
+
+    Built by a ``mode='vector'`` :class:`~repro.serve.fleet.FleetEngine`
+    from the same ``jump``/``acts`` arrays the scalar encoded loop uses;
+    the kernel precomputes three per-offset arrays so a dispatch round is
+    pure array arithmetic:
+
+    * ``jump`` — next premultiplied state, with ``-1`` (inapplicable)
+      entries remapped to the offset's *own* premultiplied state so the
+      scatter needs no mask;
+    * ``flags`` — ``int8``, 1 where the message is inapplicable, 2 where
+      the transition carries the auto-recycle sentinel (the two are
+      disjoint), so both counters come out of *one* gather per round;
+    * ``logged`` / ``recycles`` — booleans marking the offsets that need
+      scalar-side post-processing (action retention, auto-recycle).
+    """
+
+    __slots__ = (
+        "_store",
+        "_policy",
+        "_acts",
+        "_jump",
+        "_flags",
+        "_ignored",
+        "_logged",
+        "_recycles",
+        "_any_logged",
+        "_any_recycles",
+        "_any_flags",
+    )
+
+    def __init__(self, store, jump, acts, width: int, log_policy: str):
+        require_numpy()
+        self._store = store
+        self._policy = log_policy
+        self._acts = acts
+        offsets = _np.arange(len(jump), dtype=_np.int64)
+        raw = _np.asarray(jump, dtype=_np.int64)
+        inapplicable = raw < 0
+        # Remap inapplicable entries to the offset's own premultiplied
+        # state (offset // width * width) so the round scatter needs no
+        # mask: an ignored event rewrites the state it read.
+        self._jump = _np.where(inapplicable, offsets - (offsets % width), raw)
+        self._ignored = inapplicable
+        self._logged = _np.fromiter(
+            (entry is not None and len(entry) > 0 for entry in acts),
+            dtype=_np.bool_,
+            count=len(acts),
+        )
+        self._recycles = _np.fromiter(
+            (entry is None for entry in acts), dtype=_np.bool_, count=len(acts)
+        )
+        self._flags = (
+            self._ignored.astype(_np.int8) + 2 * self._recycles.astype(_np.int8)
+        )
+        self._any_logged = bool(self._logged.any()) and log_policy != "off"
+        self._any_recycles = bool(self._recycles.any())
+        self._any_flags = bool(inapplicable.any()) or self._any_recycles
+
+    # ------------------------------------------------------------------
+    # schedule construction
+    # ------------------------------------------------------------------
+
+    def schedule_flat(self, flat) -> VectorSchedule:
+        """Wrap a flat ``[slot, col, ...]`` buffer as a ready schedule."""
+        if isinstance(flat, VectorSchedule):
+            return flat
+        return VectorSchedule(flat if isinstance(flat, array) else array("q", flat))
+
+    def schedule_pairs(self, pairs) -> VectorSchedule:
+        """Wrap a ``(slot, column)`` pair batch as a ready schedule."""
+        flat = array("q")
+        for slot, col in pairs:
+            flat.append(slot)
+            flat.append(col)
+        return VectorSchedule(flat)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(self, schedule: VectorSchedule, metrics) -> None:
+        """Run every round of a schedule; update the fleet counters.
+
+        Counter semantics are identical to the scalar encoded loop:
+        ``events_dispatched`` counts the batch, ``transitions_fired``
+        excludes inapplicable messages, ``instances_recycled`` counts
+        protocol-completing transitions under auto-recycle.
+        """
+        states = self._store.states.data
+        jump = self._jump
+        flags = self._flags
+        ignored = 0
+        recycled = 0
+        # ``off`` never retains actions and a recycle only bumps the
+        # counter, so the pure-array flags path covers it; ``full``/
+        # ``count`` drop to the masked scalar walk per round.
+        scalar_edges = self._any_logged or (
+            self._any_recycles and self._policy != "off"
+        )
+        check_flags = self._any_flags and not scalar_edges
+        for slots, cols in schedule.rounds:
+            offsets = states[slots] + cols
+            states[slots] = jump[offsets]
+            if scalar_edges:
+                ignored += int(_np.count_nonzero(self._ignored[offsets]))
+                recycled += self._post_process(slots, offsets)
+            elif check_flags:
+                hit = flags[offsets]
+                total = int(hit.sum())
+                if total:
+                    dropped = int(_np.count_nonzero(hit & 1))
+                    ignored += dropped
+                    recycled += (total - dropped) >> 1
+        metrics.events_dispatched += schedule.count
+        metrics.transitions_fired += schedule.count - ignored
+        metrics.events_ignored += ignored
+        metrics.instances_recycled += recycled
+
+    def _post_process(self, slots, offsets) -> int:
+        """Scalar-side handling of the masked edges of one round.
+
+        Only the events whose offsets carry retained actions (under
+        ``full``/``count``) or the auto-recycle sentinel are touched;
+        everything else stayed inside the vector path.  Appends the
+        identical action tuples the scalar loop appends, in the identical
+        per-slot order (rounds run sequentially; a slot appears at most
+        once per round).
+        """
+        store = self._store
+        acts_table = self._acts
+        policy = self._policy
+        if self._any_logged:
+            mask = self._logged[offsets]
+            if mask.any():
+                picked_slots = slots[mask].tolist()
+                picked_offsets = offsets[mask].tolist()
+                if policy == "full":
+                    logs = store.logs
+                    for slot, offset in zip(picked_slots, picked_offsets):
+                        logs[slot].append(acts_table[offset])
+                else:  # "count"
+                    counts = store.counts
+                    for slot, offset in zip(picked_slots, picked_offsets):
+                        counts[slot] += len(acts_table[offset])
+        recycled = 0
+        if self._any_recycles:
+            mask = self._recycles[offsets]
+            if mask.any():
+                recycled_slots = slots[mask].tolist()
+                recycled = len(recycled_slots)
+                if policy == "full":
+                    logs = store.logs
+                    for slot in recycled_slots:
+                        logs[slot].clear()
+                elif policy == "count":
+                    counts = store.counts
+                    for slot in recycled_slots:
+                        counts[slot] = 0
+        return recycled

@@ -20,6 +20,7 @@ from repro.models import HIERARCHICAL_MODELS, build_hierarchical_model
 from repro.runtime.compile import compile_machine
 from repro.runtime.interp import MachineInterpreter
 from repro.serve import (
+    HAS_NUMPY,
     FleetEngine,
     WorkloadSpec,
     diff_against_hierarchical,
@@ -28,14 +29,15 @@ from repro.serve import (
 
 #: (fleet dispatch mode, execution backend) configurations under test.
 #: The encoded/grouped entries exercise the slot-indexed (slot, column)
-#: dispatch plane on flattened hierarchies (backend is naive-only).
+#: dispatch plane on flattened hierarchies (backend is naive-only);
+#: vector exercises the numpy gather/scatter kernel where available.
 FLEET_CONFIGS = (
     ("naive", "interp"),
     ("naive", "compiled"),
     ("batched", "interp"),
     ("encoded", "interp"),
     ("grouped", "interp"),
-)
+) + ((("vector", "interp"),) if HAS_NUMPY else ())
 
 
 def build(name):

@@ -26,6 +26,7 @@ from repro.opt import IndexedMachine, standard_pipeline
 from repro.runtime.compile import compile_machine
 from repro.runtime.interp import MachineInterpreter
 from repro.serve import (
+    HAS_NUMPY,
     FleetEngine,
     WorkloadSpec,
     diff_against_hierarchical,
@@ -140,7 +141,11 @@ class TestCompiledDifferential:
 
 
 @pytest.mark.parametrize("factory", BUNDLED_MACHINES)
-@pytest.mark.parametrize("mode", ["naive", "batched", "encoded", "grouped"])
+@pytest.mark.parametrize(
+    "mode",
+    ["naive", "batched", "encoded", "grouped"]
+    + (["vector"] if HAS_NUMPY else []),
+)
 class TestFleetDifferential:
     def test_optimized_fleet_matches_standalone(self, factory, mode, request):
         machine, _, _ = cached(request)

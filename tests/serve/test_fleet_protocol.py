@@ -14,6 +14,7 @@ import pytest
 from repro.core.errors import DeploymentError
 from repro.serve import (
     ENCODINGS,
+    HAS_NUMPY,
     Fleet,
     FleetEngine,
     MultiprocessFleet,
@@ -22,13 +23,29 @@ from repro.serve import (
 )
 from repro.serve.workload import WorkloadSpec, generate_workload
 
-IMPLEMENTATIONS = ("inproc", "mp")
+#: Implementation x dispatch plane matrix the whole suite runs over.
+#: The vector planes require numpy (a soft dependency) and are skipped,
+#: not silently dropped, where it is absent.
+IMPLEMENTATIONS = (
+    "inproc",
+    "mp",
+    pytest.param(
+        "inproc-vector",
+        marks=pytest.mark.skipif(not HAS_NUMPY, reason="numpy not available"),
+    ),
+    pytest.param(
+        "mp-vector",
+        marks=pytest.mark.skipif(not HAS_NUMPY, reason="numpy not available"),
+    ),
+)
 
 
 def build_fleet(impl: str, **overrides):
     """One fleet of the requested implementation, encoded mode by default."""
     kwargs = dict(mode="encoded", shards=4)
-    if impl == "mp":
+    if impl.endswith("-vector"):
+        kwargs["mode"] = "vector"
+    if impl.startswith("mp"):
         kwargs["workers"] = 2
     kwargs.update(overrides)
     return make_fleet("commit", **kwargs)
@@ -173,7 +190,8 @@ def test_metrics_counts_dispatches(any_fleet):
 
 
 def test_close_is_idempotent_and_context_managed(request):
-    for impl in IMPLEMENTATIONS:
+    impls = ["inproc", "mp"] + (["inproc-vector", "mp-vector"] if HAS_NUMPY else [])
+    for impl in impls:
         with build_fleet(impl) as fleet:
             fleet.spawn("x")
         fleet.close()  # second close is a no-op

@@ -17,6 +17,8 @@ import pytest
 from repro.core.errors import DeploymentError
 from repro.serve import (
     DISPATCH_MODES,
+    HAS_NUMPY,
+    NUMPY_UNAVAILABLE_REASON,
     MultiprocessFleet,
     diff_fleets,
     make_fleet,
@@ -39,6 +41,8 @@ def workload(machine, instances, events, seed=11):
 @pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("mode", DISPATCH_MODES)
 def test_error_shapes_match_inprocess(mode, backend):
+    if mode == "vector" and not HAS_NUMPY:
+        pytest.skip(NUMPY_UNAVAILABLE_REASON)
     inproc = make_fleet("commit", mode=mode, backend=backend, shards=2)
     mp = make_fleet("commit", mode=mode, backend=backend, workers=2, shards=2)
     try:

@@ -28,6 +28,7 @@ import pytest
 from repro.models.chandra_toueg import scenario_profile as ct_profile
 from repro.models.commit import scenario_profile as commit_profile
 from repro.serve import (
+    HAS_NUMPY,
     FleetEngine,
     ScenarioFaultPlan,
     ScenarioSpec,
@@ -41,6 +42,8 @@ MATRIX_SEEDS = [101, 202, 303]
 SCENARIOS_PER_SEED = 70
 
 #: Alternative (mode, backend) planes diffed against the naive reference.
+#: The vector planes join the draw pool only where numpy is available —
+#: the no-numpy CI job fuzzes the same seeds over the scalar planes.
 ALT_PLANES = [
     ("batched", "interp"),
     ("encoded", "interp"),
@@ -49,6 +52,11 @@ ALT_PLANES = [
     ("encoded", "compiled"),
     ("grouped", "compiled"),
 ]
+if HAS_NUMPY:
+    ALT_PLANES += [
+        ("vector", "interp"),
+        ("vector", "compiled"),
+    ]
 
 
 def _draw_scenario(rng):

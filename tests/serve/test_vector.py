@@ -1,0 +1,343 @@
+"""Acceptance suite for the vectorized dispatch kernel.
+
+Two families of checks:
+
+* **Differential** — a ``vector`` fleet must be trace-, metrics- and
+  snapshot-identical to its ``encoded``/``grouped`` scalar twins under
+  every log policy, including the masked edges the kernel post-processes
+  scalar-side (action logging, auto-recycle) and the bounded-mailbox
+  path.  The scalar encoded path is the oracle.
+* **Fallback** — without numpy (simulated via ``REPRO_NO_NUMPY``, the
+  switch the no-numpy CI job flips) a ``vector`` fleet must fail with
+  the canonical :class:`DeploymentError` at construction while every
+  scalar mode serves untouched.
+
+The scenario-plane differential for vector mode lives in the fuzz
+matrix (``test_scenario_fuzz.py``); the Fleet-protocol conformance runs
+in ``test_fleet_protocol.py``.
+"""
+
+import os
+import subprocess
+import sys
+from array import array
+
+import pytest
+
+from repro.core.errors import DeploymentError
+from repro.serve import (
+    HAS_NUMPY,
+    FleetEngine,
+    VectorSchedule,
+    WorkloadSpec,
+    diff_against_standalone,
+    generate_workload,
+)
+from tests.serve.conftest import BUNDLED_MODELS, machine_for
+
+pytestmark = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not available")
+
+if HAS_NUMPY:
+    import numpy as np
+
+    from repro.serve.vector import StateColumn, _occurrence_rounds
+
+
+def build(machine, mode, **kwargs):
+    kwargs.setdefault("shards", 4)
+    return FleetEngine(machine, mode=mode, **kwargs)
+
+
+def workload(machine, instances=150, events=4000, seed=7, scenario="uniform"):
+    return generate_workload(
+        machine,
+        WorkloadSpec(
+            scenario=scenario, instances=instances, events=events, seed=seed
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# building blocks
+# ----------------------------------------------------------------------
+
+
+class TestStateColumn:
+    def test_list_like_semantics(self):
+        col = StateColumn()
+        for value in range(200):  # crosses the initial 64-slot capacity
+            col.append(value * 3)
+        assert len(col) == 200
+        assert col[5] == 15 and isinstance(col[5], int)
+        col[5] = 42
+        assert col[5] == 42
+        assert col.data.dtype == np.int64
+
+    def test_growth_preserves_contents(self):
+        col = StateColumn()
+        values = list(range(1000))
+        for value in values:
+            col.append(value)
+        assert [col[i] for i in range(1000)] == values
+
+
+class TestOccurrenceRounds:
+    def _rounds(self, slot_list, col_list):
+        slots = np.asarray(slot_list, dtype=np.int64)
+        cols = np.asarray(col_list, dtype=np.int64)
+        return [
+            (list(s), list(c)) for s, c in _occurrence_rounds(slots, cols)
+        ]
+
+    def test_matches_scalar_grouping(self):
+        # Round r must hold every slot's r-th event in arrival order —
+        # the same structure FleetEngine._group_rounds produces (before
+        # its column sort, which the vector kernel does not need).
+        slots = [3, 1, 3, 2, 1, 3, 3]
+        cols = [0, 1, 2, 3, 4, 5, 6]
+        rounds = self._rounds(slots, cols)
+        assert rounds == [
+            ([3, 1, 2], [0, 1, 3]),
+            ([3, 1], [2, 4]),
+            ([3], [5]),
+            ([3], [6]),
+        ]
+
+    def test_unique_slots_single_round(self):
+        rounds = self._rounds([5, 2, 9, 0], [1, 1, 0, 2])
+        assert rounds == [([5, 2, 9, 0], [1, 1, 0, 2])]
+
+    def test_slot_unique_within_every_round(self):
+        rng = np.random.default_rng(13)
+        slots = rng.integers(0, 50, size=2000)
+        cols = rng.integers(0, 4, size=2000)
+        rounds = _occurrence_rounds(
+            slots.astype(np.int64), cols.astype(np.int64)
+        )
+        assert sum(len(s) for s, _ in rounds) == 2000
+        for round_slots, _ in rounds:
+            assert len(set(round_slots.tolist())) == len(round_slots)
+
+    def test_wide_slot_ids_take_the_comparison_sort_path(self):
+        # Slot ids >= 2**16 cannot use the uint16 radix key; the int64
+        # fallback must produce the identical round structure.
+        narrow = [3, 1, 3, 2, 1, 3]
+        wide = [s + 70_000 for s in narrow]
+        cols = [0, 1, 2, 3, 4, 5]
+        narrow_rounds = self._rounds(narrow, cols)
+        wide_rounds = self._rounds(wide, cols)
+        assert [
+            ([s - 70_000 for s in rs], rc) for rs, rc in wide_rounds
+        ] == narrow_rounds
+
+
+class TestVectorSchedule:
+    def _fleet(self):
+        machine = machine_for("commit")
+        fleet = build(machine, "vector")
+        fleet.spawn_many(20)
+        return machine, fleet
+
+    def test_encode_flat_returns_precomputed_schedule(self):
+        machine, fleet = self._fleet()
+        events = workload(machine, instances=20, events=300, seed=3)
+        schedule = fleet.encode_flat(events)
+        assert isinstance(schedule, VectorSchedule)
+        assert len(schedule) == len(events)
+        assert isinstance(schedule.flat, array)
+        assert len(schedule.flat) == 2 * len(events)
+        assert schedule.rounds, "non-empty schedule must have rounds"
+
+    def test_concatenation_preserves_flat_order(self):
+        machine, fleet = self._fleet()
+        events = workload(machine, instances=20, events=200, seed=4)
+        first = fleet.encode_flat(events[:80])
+        second = fleet.encode_flat(events[80:])
+        merged = first + second
+        assert list(merged.flat) == list(first.flat) + list(second.flat)
+        assert len(merged) == len(events)
+
+    def test_empty_schedule(self):
+        _, fleet = self._fleet()
+        schedule = fleet.encode_flat([])
+        assert len(schedule) == 0 and schedule.rounds == []
+        fleet.run(schedule, encoding="flat")
+        assert fleet.metrics.events_dispatched == 0
+
+
+# ----------------------------------------------------------------------
+# differential: vector == encoded, every policy, every model
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("model", BUNDLED_MODELS)
+@pytest.mark.parametrize("log_policy", ["full", "count", "off"])
+def test_vector_matches_encoded_metrics_and_states(model, log_policy):
+    machine = machine_for(model)
+    events = workload(machine)
+    fleets = {}
+    for mode in ("encoded", "vector"):
+        fleet = build(machine, mode, log_policy=log_policy, auto_recycle=True)
+        keys = fleet.spawn_many(150)
+        fleet.run(events)
+        fleets[mode] = fleet
+    enc, vec = fleets["encoded"], fleets["vector"]
+    assert enc.metrics.as_dict() == vec.metrics.as_dict()
+    for key in keys:
+        assert enc.state_name(key) == vec.state_name(key)
+        if log_policy != "off":
+            assert enc.action_count(key) == vec.action_count(key)
+
+
+@pytest.mark.parametrize("model", BUNDLED_MODELS)
+def test_vector_matches_standalone_replay(model):
+    machine = machine_for(model)
+    fleet = build(machine, "vector", auto_recycle=True)
+    keys = fleet.spawn_many(150)
+    events = workload(machine)
+    fleet.run(events)
+    assert diff_against_standalone(fleet, keys, events) == []
+
+
+@pytest.mark.parametrize("scenario", ["hotkey", "burst"])
+def test_vector_matches_encoded_on_skewed_arrivals(scenario):
+    # Skewed workloads produce deep multi-round schedules — the shapes
+    # that stress the occurrence-round splitter.
+    machine = machine_for("commit")
+    events = workload(machine, scenario=scenario, seed=21)
+    traces = {}
+    for mode in ("encoded", "vector"):
+        fleet = build(machine, mode, auto_recycle=True)
+        keys = fleet.spawn_many(150)
+        fleet.run(events)
+        traces[mode] = {key: fleet.trace(key) for key in keys}
+    assert traces["encoded"] == traces["vector"]
+
+
+def test_preencoded_schedule_reruns_match_event_runs():
+    machine = machine_for("commit")
+    baseline = build(machine, "vector")
+    baseline.spawn_many(50)
+    events = workload(machine, instances=50, events=1500, seed=9)
+    baseline.run(events)
+
+    replayed = build(machine, "vector")
+    keys = replayed.spawn_many(50)
+    schedule = replayed.encode_flat(events)
+    replayed.run(schedule, encoding="flat")
+    assert {k: replayed.trace(k) for k in keys} == {
+        k: baseline.trace(k) for k in keys
+    }
+    assert replayed.metrics.as_dict() == baseline.metrics.as_dict()
+
+
+def test_bounded_mailboxes_shed_identically():
+    machine = machine_for("commit")
+    events = workload(machine, instances=60, events=2000, seed=15)
+    snapshots = {}
+    for mode in ("encoded", "vector"):
+        fleet = build(machine, mode, mailbox_capacity=32)
+        fleet.spawn_many(60)
+        fleet.run(events)
+        assert fleet.metrics.events_dropped > 0  # capacity actually binds
+        snapshots[mode] = (fleet.metrics.as_dict(), fleet.snapshot())
+    assert snapshots["encoded"] == snapshots["vector"]
+
+
+# ----------------------------------------------------------------------
+# snapshots: bit-identical across vector <-> encoded restore
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("source,target", [("vector", "encoded"), ("encoded", "vector")])
+def test_snapshot_restores_bit_identically_across_modes(source, target):
+    machine = machine_for("commit")
+    events = workload(machine, instances=80, events=2500, seed=17)
+    src = build(machine, source, auto_recycle=True)
+    keys = src.spawn_many(80)
+    src.run(events)
+    snapshot = src.snapshot()
+
+    dst = build(machine, target, auto_recycle=True)
+    dst.restore(snapshot)
+    assert dst.snapshot().instances == snapshot.instances
+    # The restored fleet keeps serving identically to the source.
+    more = workload(machine, instances=80, events=1000, seed=18)
+    src.run(more)
+    dst.run(more)
+    assert {k: dst.trace(k) for k in keys} == {k: src.trace(k) for k in keys}
+
+
+# ----------------------------------------------------------------------
+# canonical errors
+# ----------------------------------------------------------------------
+
+
+def test_unknown_events_rejected_at_intake():
+    machine = machine_for("commit")
+    fleet = build(machine, "vector")
+    fleet.spawn("known")
+    with pytest.raises(DeploymentError, match="unknown instance 'ghost'"):
+        fleet.post("ghost", "update")
+    with pytest.raises(DeploymentError, match="dispatch rejected 1 event"):
+        fleet.run([("known", "update"), ("ghost", "update")])
+    with pytest.raises(DeploymentError, match="unknown message 'flarp'"):
+        fleet.deliver("known", "flarp")
+
+
+def test_scalar_modes_reject_vector_schedules_canonically():
+    machine = machine_for("commit")
+    vec = build(machine, "vector")
+    vec.spawn_many(10)
+    schedule = vec.encode_flat(workload(machine, instances=10, events=50, seed=2))
+    batched = build(machine, "batched")
+    batched.spawn_many(10)
+    with pytest.raises(DeploymentError, match="needs an encoded dispatch mode"):
+        batched.run(schedule, encoding="flat")
+
+
+# ----------------------------------------------------------------------
+# fallback: the guard is one place, the error canonical
+# ----------------------------------------------------------------------
+
+_NO_NUMPY_PROBE = """
+import os
+os.environ["REPRO_NO_NUMPY"] = "1"
+from repro.core.errors import DeploymentError
+from repro.serve import FleetEngine, HAS_NUMPY, make_fleet
+assert not HAS_NUMPY
+machine = make_fleet("commit", mode="encoded").machine  # scalar modes fine
+try:
+    FleetEngine(machine, mode="vector")
+except DeploymentError as exc:
+    assert "numpy" in str(exc), exc
+else:
+    raise SystemExit("vector construction must fail without numpy")
+try:
+    make_fleet("commit", mode="vector", workers=2)
+except DeploymentError as exc:
+    assert "numpy" in str(exc), exc
+else:
+    raise SystemExit("mp vector construction must fail without numpy")
+fleet = FleetEngine(machine, mode="encoded")
+fleet.spawn("a")
+fleet.run([("a", "update")])
+print("fallback-ok")
+"""
+
+
+def test_without_numpy_vector_raises_and_scalar_serves():
+    env = dict(os.environ, REPRO_NO_NUMPY="1")
+    src_root = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src_root) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", _NO_NUMPY_PROBE],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "fallback-ok" in result.stdout
