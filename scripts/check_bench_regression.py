@@ -1,8 +1,8 @@
 """Compare a fresh benchmark artifact against its committed baseline.
 
 CI runs the ``--fast --json`` sweeps of ``bench_serve.py``,
-``bench_flatten.py``, ``bench_opt.py``, ``bench_scenario.py`` and
-``bench_load.py`` on every push; this script
+``bench_flatten.py``, ``bench_opt.py``, ``bench_scenario.py``,
+``bench_load.py`` and ``bench_recovery.py`` on every push; this script
 fails (exit 1) when any sweep configuration's throughput drops more than
 ``--threshold`` (default 30%) below the committed baseline of the same
 name under ``benchmarks/baselines/``.  It is wired into CI as a
@@ -21,7 +21,8 @@ Artifacts may be a bare row list, a ``{"rows": [...]}`` object
 (``BENCH_serve``), or an object holding several named row lists
 (``BENCH_flatten``'s ``flatten``/``serve``, ``BENCH_opt``'s
 ``passes``/``serve``, ``BENCH_scenario``'s ``rows``/``active``,
-``BENCH_load``'s ``rows``/``closed``); named
+``BENCH_load``'s ``rows``/``closed``,
+``BENCH_recovery``'s ``rows``/``mttr``); named
 sections become part of each row's configuration key.  The default
 baseline is the committed artifact with the same file name.  Rows are matched on their configuration fields
 (everything except the measured floats); configurations present in only
@@ -53,6 +54,12 @@ MEASURED = frozenset(
         "vector_speedup",
         "raw_eps",
         "opt_eps",
+        "journal_on_eps",
+        "journal_off_eps",
+        "journal_ratio",
+        "mttr_s",
+        "events_replayed",
+        "restarts",
         "scenario_eps",
         "active_eps",
         "offered_eps",
@@ -82,7 +89,7 @@ MEASURED = frozenset(
 #: Above saturation (utilization > 1) the queue never drains, so the
 #: percentiles scale with offered-minus-capacity — pure capacity-probe
 #: jitter — and are not compared at all.
-LOWER_IS_BETTER = frozenset({"p50_s", "p95_s", "p99_s", "mean_latency_s"})
+LOWER_IS_BETTER = frozenset({"p50_s", "p95_s", "p99_s", "mean_latency_s", "mttr_s"})
 LATENCY_RATIO = 4.0
 LATENCY_FLOOR_S = 1e-4
 SATURATED_UTILIZATION = 1.0
@@ -97,10 +104,13 @@ DEFAULT_METRICS = (
     "vector_eps",
     "raw_eps",
     "opt_eps",
+    "journal_on_eps",
+    "journal_off_eps",
     "scenario_eps",
     "active_eps",
     "achieved_eps",
     "p99_s",
+    "mttr_s",
 )
 
 BASELINE_DIR = (

@@ -479,6 +479,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the per-worker telemetry instruments (slightly faster; "
         "/metrics then carries only the FleetMetrics counters)",
     )
+    serve.add_argument(
+        "--journal",
+        action="store_true",
+        help="enable the write-ahead journal and self-healing supervisor "
+        "(multiprocess only: requires --workers); a SIGKILLed worker is "
+        "respawned and its partition rehydrated from checkpoint + journal "
+        "replay while callers see 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=50_000,
+        dest="checkpoint_every",
+        help="journaled events between partition checkpoints when "
+        "--journal is on (default: 50000)",
+    )
+    serve.add_argument(
+        "--read-timeout",
+        type=float,
+        default=30.0,
+        dest="read_timeout",
+        help="seconds a connection may stall mid-request before the "
+        "gateway answers 408 and closes it (default: 30)",
+    )
+    serve.add_argument(
+        "--max-body",
+        type=int,
+        default=1 << 20,
+        dest="max_body",
+        help="largest accepted request body in bytes; beyond it the "
+        "gateway answers 413 without reading the body (default: 1MiB)",
+    )
     serve.add_argument("-r", "--replication-factor", type=int, default=4)
     add_engine_flag(serve)
 
@@ -963,10 +995,21 @@ def _serve(args) -> int:
     """Serve one fleet behind the HTTP/WebSocket gateway until shutdown."""
     from repro.serve.gateway import FleetGateway
 
+    if args.journal and not args.workers:
+        print(
+            "--journal needs a process-parallel fleet; pass --workers N",
+            file=sys.stderr,
+        )
+        return 2
     if args.model == "commit":
         model = CommitModel(args.replication_factor)
     else:
         model = args.model
+    supervision = (
+        {"journal": True, "checkpoint_every": args.checkpoint_every}
+        if args.journal
+        else {}
+    )
     fleet = make_fleet(
         model,
         mode=args.mode,
@@ -976,6 +1019,7 @@ def _serve(args) -> int:
         log_policy=args.log_policy,
         telemetry=None if args.no_telemetry else True,
         engine=args.engine,
+        **supervision,
     )
     try:
         if args.instances:
@@ -990,6 +1034,8 @@ def _serve(args) -> int:
             host=args.host,
             port=args.port,
             allow_remote_shutdown=args.allow_remote_shutdown,
+            read_timeout=args.read_timeout,
+            max_body=args.max_body,
         )
 
         def announce(url: str) -> None:

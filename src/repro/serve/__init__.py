@@ -40,6 +40,13 @@ from repro.serve.differential import (
 from repro.obs.telemetry import FleetTelemetry
 from repro.serve.fleet import DISPATCH_MODES, FleetEngine, FleetSnapshot
 from repro.serve.mpfleet import EncodedFleetSchedule, MultiprocessFleet
+from repro.serve.recovery import (
+    FleetRecoveringError,
+    PartitionCheckpoint,
+    RecoveryPolicy,
+    RecoveryTelemetry,
+    WorkerJournal,
+)
 from repro.serve.loadgen import (
     Arrival,
     ClosedLoopSpec,
@@ -100,6 +107,7 @@ __all__ = [
     "Fleet",
     "FleetEngine",
     "FleetMetrics",
+    "FleetRecoveringError",
     "FleetSnapshot",
     "FleetTelemetry",
     "HAS_NUMPY",
@@ -114,6 +122,9 @@ __all__ = [
     "LOG_POLICIES",
     "Mailbox",
     "OverflowPolicy",
+    "PartitionCheckpoint",
+    "RecoveryPolicy",
+    "RecoveryTelemetry",
     "RouteRule",
     "SCENARIOS",
     "Scenario",
@@ -128,6 +139,7 @@ __all__ = [
     "TimerRule",
     "VectorKernel",
     "VectorSchedule",
+    "WorkerJournal",
     "WorkloadSpec",
     "diff_against_hierarchical",
     "diff_against_standalone",

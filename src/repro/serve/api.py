@@ -126,9 +126,11 @@ class Fleet(Protocol):
     def run(self, events, encoding: str = "auto") -> FleetMetrics: ...
 
     # -- snapshot / restore --------------------------------------------
-    def snapshot(self) -> FleetSnapshot: ...
+    def snapshot(self, allow_partial: bool = False) -> FleetSnapshot: ...
 
-    def restore(self, snapshot: FleetSnapshot) -> None: ...
+    def restore(
+        self, snapshot: FleetSnapshot, allow_partial: bool = False
+    ) -> None: ...
 
     # -- observability / shutdown --------------------------------------
     @property
@@ -220,7 +222,9 @@ def make_fleet(
 
     Remaining keyword arguments pass through to the chosen constructor
     (``mailbox_capacity=``/``overflow=``/``cache=`` are in-process
-    only; ``start_method=`` is multiprocess only).
+    only; ``start_method=``, and the supervision knobs ``journal=``,
+    ``checkpoint_every=``, ``recovery=`` and ``join_timeout=``, are
+    multiprocess only).
     """
     if isinstance(model, str):
         machine = fleet_machine(model, engine)

@@ -142,10 +142,17 @@ class FleetSnapshot:
     Pending (queued, undelivered) events are *not* part of a snapshot:
     :meth:`FleetEngine.snapshot` drains all mailboxes first so the capture
     is consistent.
+
+    ``lost`` is the manifest of a *partial* snapshot: keys whose shard
+    partition was unavailable at capture time
+    (``MultiprocessFleet.snapshot(allow_partial=True)``).  A snapshot
+    with a non-empty manifest refuses to restore unless the caller
+    explicitly accepts the loss with ``restore(..., allow_partial=True)``.
     """
 
     machine_name: str
     instances: tuple[InstanceSnapshot, ...]
+    lost: tuple[str, ...] = ()
 
 
 class FleetEngine:
@@ -1159,14 +1166,21 @@ class FleetEngine:
     # snapshot / restore
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> FleetSnapshot:
-        """Capture every instance's state after draining all mailboxes."""
+    def snapshot(self, allow_partial: bool = False) -> FleetSnapshot:
+        """Capture every instance's state after draining all mailboxes.
+
+        ``allow_partial`` is accepted for protocol uniformity with the
+        multiprocess fleet; an in-process engine cannot lose a
+        partition, so its snapshots are always whole.
+        """
         self.drain_all()
         instances = tuple(self.trace(key) for key in self._store.keys())
         self.metrics.snapshots_taken += 1
         return FleetSnapshot(machine_name=self._machine.name, instances=instances)
 
-    def restore(self, snapshot: FleetSnapshot) -> None:
+    def restore(
+        self, snapshot: FleetSnapshot, allow_partial: bool = False
+    ) -> None:
         """Rebuild the instance population from a snapshot.
 
         The current population — including any free slots accumulated by
@@ -1184,6 +1198,12 @@ class FleetEngine:
             raise DeploymentError(
                 f"snapshot is for machine {snapshot.machine_name!r}, "
                 f"this fleet serves {self._machine.name!r}"
+            )
+        if getattr(snapshot, "lost", ()) and not allow_partial:
+            raise DeploymentError(
+                f"snapshot is partial: {len(snapshot.lost)} instance(s) "
+                "from lost partitions are missing; pass allow_partial=True "
+                "to restore the survivors"
             )
         state_index = self._table.state_index
         state_map = self.state_map

@@ -30,6 +30,17 @@ Unknown instances/messages surface as HTTP 400 with the fleet's
 canonical :class:`~repro.core.errors.DeploymentError` message — the
 error-shape guarantee of the Fleet protocol extends over the wire.
 
+The gateway degrades rather than wedges.  A connection that stalls
+mid-request (or idles past the keep-alive window) is answered with
+``408`` and closed after ``read_timeout`` seconds; a request whose
+``Content-Length`` exceeds ``max_body`` is refused with ``413`` before
+the body is read — a slow or hostile client can never hold a reader
+coroutine forever.  Requests that land on a supervised fleet's
+recovering partition return ``503`` with a ``Retry-After`` header (from
+:class:`~repro.serve.recovery.FleetRecoveringError`) instead of an
+error: the partition is healing, not gone, and ``/healthz`` reports the
+per-worker ``live``/``recovering``/``dead`` states while it does.
+
 Gateway-side instruments (``gateway_requests_total``,
 ``gateway_errors_total``, ``gateway_request_seconds``,
 ``gateway_ws_messages_total``) live in their own
@@ -43,6 +54,7 @@ import asyncio
 import base64
 import hashlib
 import json
+from math import ceil
 from time import perf_counter
 from typing import Optional
 from urllib.parse import parse_qs, urlsplit
@@ -51,6 +63,7 @@ from repro.core.errors import DeploymentError
 from repro.obs.expo import fleet_registry, render_prometheus
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.fleet import FleetSnapshot
+from repro.serve.recovery import FleetRecoveringError
 from repro.serve.store import InstanceSnapshot
 
 __all__ = ["FleetGateway", "snapshot_from_json", "snapshot_to_json"]
@@ -63,19 +76,30 @@ _STATUS_TEXT = {
     403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
 def snapshot_to_json(snapshot: FleetSnapshot) -> dict:
-    """A fleet snapshot as a JSON-safe dict (the wire form)."""
-    return {
+    """A fleet snapshot as a JSON-safe dict (the wire form).
+
+    Partial snapshots carry their ``lost`` manifest so the wire form
+    stays honest about missing partitions; whole snapshots omit the
+    field, keeping the wire form of PR 8 byte-identical.
+    """
+    wire = {
         "machine": snapshot.machine_name,
         "instances": [
             {"key": inst.key, "state": inst.state, "actions": list(inst.actions)}
             for inst in snapshot.instances
         ],
     }
+    if snapshot.lost:
+        wire["lost"] = list(snapshot.lost)
+    return wire
 
 
 def snapshot_from_json(payload: dict) -> FleetSnapshot:
@@ -89,6 +113,7 @@ def snapshot_from_json(payload: dict) -> FleetSnapshot:
                 )
                 for inst in payload["instances"]
             ),
+            lost=tuple(payload.get("lost", ())),
         )
     except (KeyError, TypeError) as exc:
         raise DeploymentError(f"malformed snapshot payload: {exc}") from exc
@@ -111,11 +136,15 @@ class FleetGateway:
         host: str = "127.0.0.1",
         port: int = 8080,
         allow_remote_shutdown: bool = False,
+        read_timeout: float = 30.0,
+        max_body: int = 1 << 20,
     ):
         self._fleet = fleet
         self.host = host
         self.port = port  # rebound to the actual port after start()
         self._allow_remote_shutdown = allow_remote_shutdown
+        self._read_timeout = read_timeout
+        self._max_body = max_body
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown: Optional[asyncio.Event] = None
         self.registry = MetricsRegistry()
@@ -190,7 +219,38 @@ class FleetGateway:
     async def _handle_connection(self, reader, writer) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader), timeout=self._read_timeout
+                    )
+                except asyncio.TimeoutError:
+                    # Stalled mid-request (or idle past the keep-alive
+                    # window): answer 408 and reclaim the coroutine.
+                    self._requests.add(1)
+                    self._errors.add(1)
+                    writer.write(
+                        self._response(
+                            408,
+                            b'{"error": "request read timed out"}\n',
+                            "application/json",
+                            True,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                except _HttpError as exc:
+                    # Oversized body: refused before it is read, so the
+                    # connection cannot be resynchronized — close it.
+                    self._requests.add(1)
+                    self._errors.add(1)
+                    status, payload, content_type = self._json(
+                        exc.status, {"error": exc.message}
+                    )
+                    writer.write(
+                        self._response(status, payload, content_type, True)
+                    )
+                    await writer.drain()
+                    break
                 if request is None:
                     break
                 method, target, headers, body = request
@@ -201,7 +261,7 @@ class FleetGateway:
                     await self._websocket(headers, reader, writer)
                     break
                 started = perf_counter()
-                status, payload, content_type = self._route(
+                status, payload, content_type, extra = self._route(
                     method, target, body
                 )
                 self._requests.add(1)
@@ -209,7 +269,7 @@ class FleetGateway:
                     self._errors.add(1)
                 close = headers.get("connection", "").lower() == "close"
                 writer.write(
-                    self._response(status, payload, content_type, close)
+                    self._response(status, payload, content_type, close, extra)
                 )
                 await writer.drain()
                 self._latency.observe(perf_counter() - started)
@@ -228,8 +288,7 @@ class FleetGateway:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    @staticmethod
-    async def _read_request(reader):
+    async def _read_request(self, reader):
         line = await reader.readline()
         if not line or line in (b"\r\n", b"\n"):
             return None
@@ -245,18 +304,32 @@ class FleetGateway:
             name, _, value = header.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or 0)
+        if length > self._max_body:
+            raise _HttpError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self._max_body}-byte limit",
+            )
         body = await reader.readexactly(length) if length else b""
         return method, target, headers, body
 
     @staticmethod
     def _response(
-        status: int, payload: bytes, content_type: str, close: bool
+        status: int,
+        payload: bytes,
+        content_type: str,
+        close: bool,
+        extra_headers: tuple = (),
     ) -> bytes:
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in extra_headers
+        )
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"{extra}"
             "\r\n"
         )
         return head.encode("latin-1") + payload
@@ -270,23 +343,35 @@ class FleetGateway:
         )
 
     def _route(self, method: str, target: str, body: bytes):
-        """Dispatch one request; returns ``(status, payload, type)``."""
+        """Dispatch one request; returns ``(status, payload, type, headers)``."""
         split = urlsplit(target)
         path = split.path
         query = {
             name: values[0] for name, values in parse_qs(split.query).items()
         }
         try:
-            return self._dispatch(method, path, query, body)
+            result = self._dispatch(method, path, query, body)
         except _HttpError as exc:
-            return self._json(exc.status, {"error": exc.message})
+            result = self._json(exc.status, {"error": exc.message})
+        except FleetRecoveringError as exc:
+            # Transient: the partition is healing, not gone.  Degrade to
+            # 503 with a Retry-After hint instead of an error.
+            retry_after = max(1, ceil(exc.retry_after))
+            status, payload, content_type = self._json(
+                503,
+                {"error": str(exc), "retry_after": exc.retry_after},
+            )
+            return status, payload, content_type, (
+                ("Retry-After", str(retry_after)),
+            )
         except DeploymentError as exc:
             # The fleet's canonical error shape, carried over the wire.
-            return self._json(400, {"error": str(exc)})
+            result = self._json(400, {"error": str(exc)})
         except Exception as exc:  # never let one request kill the loop
-            return self._json(
+            result = self._json(
                 500, {"error": f"{type(exc).__name__}: {exc}"}
             )
+        return (*result, ())
 
     @staticmethod
     def _body_json(body: bytes) -> dict:
@@ -312,9 +397,20 @@ class FleetGateway:
         if path == "/healthz":
             if method != "GET":
                 raise _HttpError(405, "use GET /healthz")
-            return self._json(
-                200, {"status": "ok", "instances": len(fleet)}
-            )
+            health = {"status": "ok", "instances": len(fleet)}
+            # Supervised fleets surface per-worker lifecycle state; the
+            # poll doubles as silent-death detection (a SIGKILLed worker
+            # starts recovering on the next health check at the latest).
+            check = getattr(fleet, "check_workers", None)
+            if check is not None:
+                states = check()
+                health["workers"] = states
+                health["pids"] = fleet.worker_pids()
+                if any(state == "recovering" for state in states):
+                    health["status"] = "recovering"
+                elif any(state == "dead" for state in states):
+                    health["status"] = "degraded"
+            return self._json(200, health)
         if path == "/spawn":
             if method != "POST":
                 raise _HttpError(405, "use POST /spawn")
@@ -380,12 +476,16 @@ class FleetGateway:
         if path == "/snapshot":
             if method != "GET":
                 raise _HttpError(405, "use GET /snapshot")
-            return self._json(200, snapshot_to_json(fleet.snapshot()))
+            partial = query.get("partial", "").lower() in ("1", "true", "yes")
+            return self._json(
+                200, snapshot_to_json(fleet.snapshot(allow_partial=partial))
+            )
         if path == "/restore":
             if method != "POST":
                 raise _HttpError(405, "use POST /restore")
+            partial = query.get("partial", "").lower() in ("1", "true", "yes")
             snapshot = snapshot_from_json(self._body_json(body))
-            fleet.restore(snapshot)
+            fleet.restore(snapshot, allow_partial=partial)
             return self._json(200, {"restored": len(snapshot.instances)})
         if path == "/metrics":
             registry = fleet_registry(fleet)

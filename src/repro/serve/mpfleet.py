@@ -33,12 +33,37 @@ together with the bucketwise
 :meth:`~repro.obs.metrics.MetricsRegistry.merge`, so latency histograms
 aggregate exactly.
 
-Failure semantics: a worker that dies mid-batch (pipe hits
-``EOFError``/``BrokenPipeError``) is marked dead and the operation
-raises a :class:`DeploymentError` naming it; traffic already fanned out
-to the surviving workers is dispatched in full first, so the surviving
-shard partitions stay internally consistent and keep serving.  The dead
-worker's partition is lost — restore a snapshot to recover it.
+Failure semantics come in two flavours.  *Unsupervised* (the default):
+a worker that dies mid-batch (pipe hits ``EOFError``/``BrokenPipeError``)
+is marked dead and the operation raises a :class:`DeploymentError`
+naming it; traffic already fanned out to the surviving workers is
+dispatched in full first, so the surviving shard partitions stay
+internally consistent and keep serving.  The dead worker's partition is
+lost — restore a snapshot to recover it (or take a *partial* snapshot of
+the survivors with ``snapshot(allow_partial=True)``).
+
+*Supervised* (``journal=True``): every mutating request is also written
+to a per-worker :class:`~repro.serve.recovery.WorkerJournal` — bulk
+dispatch journals the already-interned flat buffer *before* fan-out (one
+list append on the hot path), lifecycle operations journal after their
+acknowledgement — and each partition is checkpointed at its exact slot
+layout every ``checkpoint_every`` journaled events.  When a worker dies,
+a supervisor thread respawns it with bounded retry/backoff
+(:class:`~repro.serve.recovery.RecoveryPolicy`), rehydrates the
+partition from the last checkpoint, replays the journal verbatim (slot
+ids stay valid because the layout is exact — pre-encoded
+:class:`EncodedFleetSchedule` objects survive a recovery), and swaps the
+fresh worker in.  During the window callers see a *transient*
+:class:`~repro.serve.recovery.FleetRecoveringError` (a
+:class:`DeploymentError` subclass carrying ``retry_after``) for
+operations that need a round trip, while bulk dispatch and ``post`` are
+accepted and deferred through the journal; :meth:`await_recovery`
+blocks until the fleet is whole.  Merged metrics and telemetry stay
+monotonic across the respawn: the checkpoint carries the worker's
+effective counters, which become the next incarnation's restart
+baseline.  Recovery itself is observable through
+:meth:`recovery_registry` / :attr:`recovery_trace`
+(die→respawn→replay→resume causality, MTTR histogram).
 
 Unsupported relative to the in-process engine: bounded mailboxes and
 overflow policies (:meth:`MultiprocessFleet.post` buffers parent-side
@@ -48,9 +73,12 @@ and :meth:`MultiprocessFleet.drain_all` flushes), and live trace logs.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import weakref
 from array import array
+from dataclasses import replace
 from itertools import chain
+from time import perf_counter, sleep
 from typing import Optional
 
 from repro.core.errors import DeploymentError
@@ -68,11 +96,26 @@ from repro.serve.fleet import (
     raise_rejected,
 )
 from repro.serve.metrics import FleetMetrics
+from repro.serve.recovery import (
+    FleetRecoveringError,
+    RecoveryPolicy,
+    RecoveryTelemetry,
+    WorkerJournal,
+    combine_metrics,
+    combine_registries,
+    partition_checkpoint,
+    rehydrate,
+)
 from repro.serve.store import LOG_POLICIES, InstanceSnapshot, shard_of
 from repro.serve.vector import require_numpy
 from repro.serve.workload import session_keys
 
 __all__ = ["EncodedFleetSchedule", "MultiprocessFleet"]
+
+#: Worker lifecycle states (the recovery state machine's vocabulary).
+WORKER_LIVE = "live"
+WORKER_RECOVERING = "recovering"
+WORKER_DEAD = "dead"
 
 
 class EncodedFleetSchedule:
@@ -108,15 +151,26 @@ class EncodedFleetSchedule:
 
 
 class _Worker:
-    """Parent-side handle of one worker process."""
+    """Parent-side handle of one worker process (one incarnation)."""
 
-    __slots__ = ("process", "conn", "alive", "metrics")
+    __slots__ = ("process", "conn", "status", "metrics", "restart_base", "registry_base")
 
     def __init__(self, process, conn):
         self.process = process
         self.conn = conn
-        self.alive = True
+        self.status = WORKER_LIVE
+        #: Last counters reported by *this incarnation* (piggybacked on
+        #: every reply).
         self.metrics = FleetMetrics()
+        #: Counters accumulated by previous incarnations (the checkpoint
+        #: baseline installed at respawn) — the worker's effective view
+        #: is ``combine_metrics(restart_base, metrics)``.
+        self.restart_base = FleetMetrics()
+        self.registry_base: Optional[MetricsRegistry] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.status == WORKER_LIVE
 
 
 def _worker_main(conn, machine, options) -> None:
@@ -206,6 +260,11 @@ def _handle(engine: FleetEngine, request: tuple):
         return dict(engine.store.slot_of)
     if op == "registry":
         return engine.telemetry_registry()
+    if op == "checkpoint":
+        return partition_checkpoint(engine)
+    if op == "rehydrate":
+        rehydrate(engine, request[1])
+        return None
     raise DeploymentError(f"unknown worker op {op!r}")
 
 
@@ -214,6 +273,10 @@ class MultiprocessFleet:
 
     Satisfies the :class:`~repro.serve.api.Fleet` protocol; see the
     module docstring for routing, wire protocol and failure semantics.
+    ``journal=True`` enables the write-ahead journal, periodic partition
+    checkpoints (every ``checkpoint_every`` journaled events) and the
+    self-healing supervisor governed by ``recovery``
+    (a :class:`~repro.serve.recovery.RecoveryPolicy`).
     """
 
     def __init__(
@@ -229,6 +292,10 @@ class MultiprocessFleet:
         auto_recycle: bool = False,
         telemetry=None,
         start_method: Optional[str] = None,
+        journal: bool = False,
+        checkpoint_every: int = 50_000,
+        recovery: Optional[RecoveryPolicy] = None,
+        join_timeout: float = 5.0,
     ):
         if workers < 1:
             raise DeploymentError(f"workers must be >= 1, got {workers}")
@@ -248,6 +315,10 @@ class MultiprocessFleet:
             raise DeploymentError(
                 "naive-mode backends always retain their action logs; "
                 f"log_policy {log_policy!r} needs a table-dispatch mode"
+            )
+        if checkpoint_every < 1:
+            raise DeploymentError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
         if mode == "vector":
             # Workers inherit this interpreter's environment, so checking
@@ -275,12 +346,14 @@ class MultiprocessFleet:
         #: population map — workers never report membership back.
         self._slots: dict[str, tuple[int, int]] = {}
         self._closed = False
+        self._closing = False
+        self._join_timeout = join_timeout
 
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
-        ctx = multiprocessing.get_context(start_method)
-        options = {
+        self._ctx = multiprocessing.get_context(start_method)
+        self._options = {
             "shards": shards,
             "backend": backend,
             "mode": mode,
@@ -289,19 +362,29 @@ class MultiprocessFleet:
             "auto_recycle": auto_recycle,
             "telemetry": self._telemetry_enabled,
         }
-        self._workers: list[_Worker] = []
-        for _ in range(workers):
-            parent_conn, child_conn = ctx.Pipe()
-            process = ctx.Process(
-                target=_worker_main,
-                args=(child_conn, machine, options),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            self._workers.append(_Worker(process, parent_conn))
+        # Supervision plane (journal=True): write-ahead journals, the
+        # recovery policy/telemetry and the lock guarding journal state,
+        # worker status transitions and the worker-handle swap.  Built
+        # before the workers so a death during the startup handshake
+        # already has the full failure machinery available.
+        self._journal_enabled = journal
+        self._checkpoint_every = checkpoint_every
+        self._policy = recovery if recovery is not None else RecoveryPolicy()
+        self._lock = threading.RLock()
+        self._recovery_threads: dict[int, threading.Thread] = {}
+        self._journals = (
+            [WorkerJournal() for _ in range(workers)] if journal else []
+        )
+        self._recovery = RecoveryTelemetry() if journal else None
+
+        #: Every process this fleet ever started (respawns included) —
+        #: the GC finalizer sweeps this list so no incarnation leaks.
+        self._processes: list = []
+        self._workers: list[_Worker] = [
+            self._launch_worker() for _ in range(workers)
+        ]
         self._finalizer = weakref.finalize(
-            self, _terminate_workers, [w.process for w in self._workers]
+            self, _terminate_workers, self._processes
         )
         # Startup handshake: surfaces worker-side construction errors
         # here instead of as an EOF on the first real request.
@@ -310,50 +393,126 @@ class MultiprocessFleet:
         #: Parent-side pending buffers, one per worker (post() -> drain).
         self._pending = [self._new_buffer() for _ in range(workers)]
         self._pending_counts = [0] * workers
+        if journal:
+            # Initial checkpoints: the journal's replay base is the
+            # empty population each worker starts with.
+            for wid in range(workers):
+                self._take_checkpoint(wid)
 
     # ------------------------------------------------------------------
     # wire helpers
     # ------------------------------------------------------------------
+
+    def _launch_worker(self) -> _Worker:
+        """Start one worker process (no handshake — callers recv it)."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._machine, self._options),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._processes.append(process)
+        return _Worker(process, parent_conn)
 
     def _new_buffer(self):
         return array("q") if self._encoded_intake else []
 
     def _mark_dead(self, wid: int) -> None:
         worker = self._workers[wid]
-        worker.alive = False
+        worker.status = WORKER_DEAD
         try:
             worker.conn.close()
         except OSError:
             pass
+
+    def _worker_failed(self, wid: int) -> bool:
+        """A worker stopped responding: start recovery when supervised.
+
+        Returns ``True`` when a recovery is (already) underway — the
+        caller raises the transient :class:`FleetRecoveringError` —
+        ``False`` when the partition is permanently lost (unsupervised,
+        closing, or the restart policy was exhausted earlier).
+        """
+        with self._lock:
+            worker = self._workers[wid]
+            if worker.status == WORKER_RECOVERING:
+                return True
+            if worker.status == WORKER_DEAD:
+                return False
+            if not self._journal_enabled or self._closing:
+                self._mark_dead(wid)
+                return False
+            worker.status = WORKER_RECOVERING
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            # The dead incarnation's counters are discarded; the
+            # partition's effective view falls back to its checkpoint
+            # baseline until replay rebuilds the rest.
+            checkpoint = self._journals[wid].checkpoint
+            worker.metrics = FleetMetrics()
+            worker.restart_base = combine_metrics(
+                checkpoint.metrics, FleetMetrics()
+            )
+            worker.registry_base = checkpoint.registry
+            tid = self._recovery.worker_died(wid, self._recovering_count())
+            thread = threading.Thread(
+                target=self._recover_worker,
+                args=(wid, tid, perf_counter()),
+                daemon=True,
+                name=f"fleet-recovery-{wid}",
+            )
+            self._recovery_threads[wid] = thread
+            thread.start()
+            return True
+
+    def _recovering_count(self) -> int:
+        return sum(
+            1 for worker in self._workers
+            if worker.status == WORKER_RECOVERING
+        )
+
+    def _raise_unavailable(self, wid: int, died: bool):
+        """The canonical error for a worker that cannot serve right now."""
+        if self._workers[wid].status == WORKER_RECOVERING:
+            raise FleetRecoveringError(
+                f"fleet worker {wid} is recovering; its shard partition is "
+                "being rehydrated from checkpoint + journal — retry shortly",
+                worker_id=wid,
+                retry_after=self._policy.retry_after_s,
+            ) from None
+        if died:
+            raise DeploymentError(
+                f"fleet worker {wid} died mid-request; "
+                "its shard partition is lost"
+            ) from None
+        raise DeploymentError(
+            f"fleet worker {wid} is not available (process terminated); "
+            "its shard partition is lost"
+        )
 
     def _send(self, wid: int, request: tuple) -> None:
         worker = self._workers[wid]
         if self._closed:
             raise DeploymentError("fleet is closed")
         if not worker.alive:
-            raise DeploymentError(
-                f"fleet worker {wid} is not available (process terminated); "
-                "its shard partition is lost"
-            )
+            self._raise_unavailable(wid, died=False)
         try:
             worker.conn.send(request)
         except (BrokenPipeError, OSError):
-            self._mark_dead(wid)
-            raise DeploymentError(
-                f"fleet worker {wid} died mid-request; "
-                "its shard partition is lost"
-            ) from None
+            self._worker_failed(wid)
+            self._raise_unavailable(wid, died=True)
 
     def _recv(self, wid: int):
         worker = self._workers[wid]
         try:
             status, payload, metrics = worker.conn.recv()
         except (EOFError, OSError):
-            self._mark_dead(wid)
-            raise DeploymentError(
-                f"fleet worker {wid} died mid-request; "
-                "its shard partition is lost"
-            ) from None
+            self._worker_failed(wid)
+            self._raise_unavailable(wid, died=True)
         if metrics is not None:
             worker.metrics = metrics
         if status == "ok":
@@ -363,7 +522,7 @@ class MultiprocessFleet:
             # message: the caller sees the same error shape in-process
             # and out.
             raise DeploymentError(payload)
-        self._mark_dead(wid)
+        self._worker_failed(wid)
         raise DeploymentError(f"fleet worker {wid} failed: {payload}")
 
     def _request(self, wid: int, *request):
@@ -377,14 +536,20 @@ class MultiprocessFleet:
         workers chew their partitions concurrently.  Errors (worker
         death, worker-side rejections) are collected so one failing
         worker never strands traffic already fanned out to the others,
-        then re-raised as one :class:`DeploymentError`.
+        then re-raised as one :class:`DeploymentError` — or as the
+        transient :class:`FleetRecoveringError` when a recovery window
+        was the only failure.
         """
         sent: list[int] = []
         errors: list[str] = []
         payloads: list = []
+        recovering: Optional[FleetRecoveringError] = None
         for wid, request in requests.items():
             try:
                 self._send(wid, request)
+            except FleetRecoveringError as exc:
+                recovering = recovering or exc
+                errors.append(str(exc))
             except DeploymentError as exc:
                 errors.append(str(exc))
             else:
@@ -392,11 +557,261 @@ class MultiprocessFleet:
         for wid in sent:
             try:
                 payloads.append(self._recv(wid))
+            except FleetRecoveringError as exc:
+                recovering = recovering or exc
+                errors.append(str(exc))
+            except DeploymentError as exc:
+                errors.append(str(exc))
+        if errors:
+            if recovering is not None and len(errors) == 1:
+                raise recovering
+            raise DeploymentError("; ".join(errors))
+        return payloads
+
+    # -- journal plumbing ----------------------------------------------
+
+    def _journal_record(self, wid: int, request: tuple, events: int) -> None:
+        """Journal one *acknowledged* lifecycle operation (write-behind)."""
+        if not self._journal_enabled:
+            return
+        with self._lock:
+            self._journals[wid].append(request, events)
+        self._maybe_checkpoint((wid,))
+
+    def _dispatch_fan_out(
+        self, requests: dict[int, tuple], counts: dict[int, int]
+    ) -> None:
+        """Fan out bulk dispatch with write-ahead journaling.
+
+        Every share is journaled *before* it is sent, so a worker dying
+        mid-batch (or already recovering) costs the caller nothing: the
+        share is applied by journal replay instead, and the call returns
+        as accepted.  Unsupervised fleets keep the historical behaviour
+        (a :class:`DeploymentError` naming the dead worker, after the
+        surviving shares were dispatched in full).
+        """
+        if self._journal_enabled:
+            with self._lock:
+                for wid, request in requests.items():
+                    self._journals[wid].append(request, counts.get(wid, 0))
+        sent: list[int] = []
+        errors: list[str] = []
+        for wid, request in requests.items():
+            if self._workers[wid].status == WORKER_RECOVERING:
+                continue  # journaled: replay applies this share
+            try:
+                self._send(wid, request)
+            except FleetRecoveringError:
+                continue
+            except DeploymentError as exc:
+                errors.append(str(exc))
+            else:
+                sent.append(wid)
+        for wid in sent:
+            try:
+                self._recv(wid)
+            except FleetRecoveringError:
+                continue
             except DeploymentError as exc:
                 errors.append(str(exc))
         if errors:
             raise DeploymentError("; ".join(errors))
-        return payloads
+        self._maybe_checkpoint(requests)
+
+    def _maybe_checkpoint(self, wids) -> None:
+        """Checkpoint workers whose journal crossed the cadence.
+
+        Runs after the dispatch round trip (off the dispatch clock); a
+        worker that slipped into recovery meanwhile is skipped — the
+        recovery finalizer takes its own fresh checkpoint.
+        """
+        if not self._journal_enabled:
+            return
+        for wid in wids:
+            with self._lock:
+                due = (
+                    self._workers[wid].alive
+                    and self._journals[wid].events >= self._checkpoint_every
+                )
+            if due:
+                try:
+                    self._take_checkpoint(wid)
+                except DeploymentError:
+                    pass  # death/recovery mid-checkpoint; replay covers it
+
+    def _take_checkpoint(self, wid: int) -> None:
+        """Checkpoint one live worker's partition and truncate its journal."""
+        worker = self._workers[wid]
+        layout = self._request(wid, "checkpoint")
+        baseline = combine_metrics(worker.restart_base, worker.metrics)
+        registry = None
+        if self._telemetry_enabled:
+            registry = combine_registries(
+                worker.registry_base, self._request(wid, "registry")
+            )
+        checkpoint = replace(layout, metrics=baseline, registry=registry)
+        with self._lock:
+            self._journals[wid].truncate(checkpoint)
+        self._recovery.checkpointed(wid)
+
+    # -- the supervisor (runs on a background thread per incident) -----
+
+    def _recover_worker(self, wid: int, tid: int, died_at: float) -> None:
+        """Respawn → rehydrate → replay → swap, with bounded retry."""
+        policy = self._policy
+        delay = policy.backoff_s
+        # The old incarnation may still be running (a "fail" reply marks
+        # the worker failed without the process exiting) — remove it
+        # before its replacement arrives.
+        old = self._workers[wid].process
+        _reap(old, timeout=self._join_timeout)
+        last_error: Optional[Exception] = None
+        for attempt in range(1, policy.max_restarts + 1):
+            if self._closing:
+                last_error = DeploymentError("fleet is closing")
+                break
+            handle: Optional[_Worker] = None
+            try:
+                handle = self._launch_worker()
+                status, payload, metrics = handle.conn.recv()
+                if status != "ok":
+                    raise DeploymentError(
+                        f"respawned worker {wid} failed to start: {payload}"
+                    )
+                self._recovery.respawned(tid, wid, attempt)
+                self._rehydrate_and_replay(wid, handle, tid, died_at)
+            except (DeploymentError, EOFError, OSError) as exc:
+                last_error = exc
+                if handle is not None:
+                    try:
+                        handle.conn.close()
+                    except OSError:
+                        pass
+                    _reap(handle.process, timeout=self._join_timeout)
+                sleep(delay)
+                delay *= policy.backoff_factor
+                continue
+            return
+        with self._lock:
+            self._workers[wid].status = WORKER_DEAD
+            self._recovery_threads.pop(wid, None)
+        self._recovery.failed(
+            tid, wid, str(last_error), self._recovering_count()
+        )
+
+    def _rehydrate_and_replay(
+        self, wid: int, handle: _Worker, tid: int, died_at: float
+    ) -> None:
+        """Rebuild one partition on a fresh worker and swap it live.
+
+        The journal may keep growing while this runs (dispatch to a
+        recovering partition is journaled-and-deferred), so replay
+        chases a cursor; once the journal is drained the finalization —
+        fresh checkpoint, journal truncation, handle swap — happens
+        under the fleet lock so no entry can slip in between.
+        """
+        journal = self._journals[wid]
+        checkpoint = journal.checkpoint
+        handle.restart_base = combine_metrics(checkpoint.metrics, FleetMetrics())
+        handle.registry_base = checkpoint.registry
+        self._worker_roundtrip(
+            handle,
+            ("rehydrate", replace(checkpoint, metrics=FleetMetrics(), registry=None)),
+        )
+        replayed_ops = 0
+        replayed_events = 0
+        cursor = 0
+        while True:
+            with self._lock:
+                pending = journal.ops[cursor:]
+                if not pending:
+                    self._recovery.replayed(
+                        tid, wid, replayed_ops, replayed_events
+                    )
+                    self._finalize_recovery(wid, handle, tid, died_at)
+                    break
+            for request, events in pending:
+                payload = self._worker_roundtrip(
+                    handle, request, tolerate_err=True
+                )
+                self._verify_replay(wid, request, payload)
+                replayed_ops += 1
+                replayed_events += events
+            cursor += len(pending)
+
+    def _finalize_recovery(
+        self, wid: int, handle: _Worker, tid: int, died_at: float
+    ) -> None:
+        """Checkpoint the rebuilt partition and swap the handle in.
+
+        Caller holds the fleet lock with an empty replay backlog: the
+        round trips here are to the new worker only, and no caller can
+        append to the journal or observe a half-swapped worker while
+        they run.  The incident's resume record (and its MTTR
+        observation) is written *before* the swap, so a caller returning
+        from :meth:`await_recovery` always finds the full
+        die→respawn→replay→resume chain in the trace log.
+        """
+        layout = self._worker_roundtrip(handle, ("checkpoint",))
+        baseline = combine_metrics(handle.restart_base, handle.metrics)
+        registry = handle.registry_base
+        if self._telemetry_enabled:
+            registry = combine_registries(
+                handle.registry_base,
+                self._worker_roundtrip(handle, ("registry",)),
+            )
+        self._journals[wid].truncate(
+            replace(layout, metrics=baseline, registry=registry)
+        )
+        self._recovery.checkpointed(wid)
+        handle.status = WORKER_LIVE
+        self._recovery_threads.pop(wid, None)
+        self._recovery.resumed(
+            tid, wid, perf_counter() - died_at, self._recovering_count() - 1
+        )
+        self._workers[wid] = handle
+
+    def _worker_roundtrip(self, handle: _Worker, request: tuple, tolerate_err=False):
+        """One request/reply on a not-yet-swapped worker handle.
+
+        Replay tolerates ``err`` replies: a journaled batch that was
+        rejected the first time (unknown message on the deferred-
+        validation path) rejects identically on replay — that *is* the
+        original behaviour, not a recovery failure.
+        """
+        handle.conn.send(request)
+        status, payload, metrics = handle.conn.recv()
+        if metrics is not None:
+            handle.metrics = metrics
+        if status == "ok":
+            return payload
+        if status == "err" and tolerate_err:
+            return None
+        raise DeploymentError(
+            f"worker replay rejected {request[0]!r}: {payload}"
+        )
+
+    def _verify_replay(self, wid: int, request: tuple, payload) -> None:
+        """Replayed spawns must land on their original slots.
+
+        Slot assignment is a deterministic function of the rehydrated
+        layout and the journaled operation sequence; a mismatch means
+        the journal and the population map diverged, and the recovery
+        attempt must fail loudly rather than serve a scrambled
+        partition.
+        """
+        op = request[0]
+        if op == "spawn" and payload is not None:
+            if self._slots.get(request[1]) != (wid, payload):
+                raise DeploymentError(
+                    f"replay slot drift for instance {request[1]!r}"
+                )
+        elif op == "spawn_keys" and payload is not None:
+            for key, slot in zip(request[1], payload):
+                if self._slots.get(key) != (wid, slot):
+                    raise DeploymentError(
+                        f"replay slot drift for instance {key!r}"
+                    )
 
     def _locate(self, key: str) -> tuple[int, int]:
         entry = self._slots.get(key)
@@ -437,6 +852,14 @@ class MultiprocessFleet:
         return sum(1 for worker in self._workers if worker.alive)
 
     @property
+    def journal_enabled(self) -> bool:
+        return self._journal_enabled
+
+    @property
+    def recovery_policy(self) -> RecoveryPolicy:
+        return self._policy
+
+    @property
     def state_map(self) -> Optional[dict]:
         if self.opt_report is None or self.opt_report.identity:
             return None
@@ -444,25 +867,52 @@ class MultiprocessFleet:
 
     @property
     def metrics(self) -> FleetMetrics:
-        """Merged counters of every worker (dead workers keep their last
-        reported values)."""
+        """Merged counters of every worker.
+
+        Each worker contributes its *effective* view — restart baseline
+        plus current incarnation — so the fleet-wide counters are
+        monotonic across worker respawns.  A partition mid-recovery
+        reports its checkpoint baseline (journaled-but-unreplayed
+        traffic lands when replay completes); dead workers keep their
+        last effective values.
+        """
         merged = FleetMetrics()
         for worker in self._workers:
-            merged.merge(worker.metrics)
+            merged.merge(combine_metrics(worker.restart_base, worker.metrics))
         return merged
 
     def telemetry_registry(self) -> Optional[MetricsRegistry]:
-        """One registry folding every live worker's histograms together."""
-        if not self._telemetry_enabled:
+        """One registry folding every worker's histograms together.
+
+        Includes each worker's checkpoint baseline (so counters never
+        move backwards across a die→respawn cycle) and, on supervised
+        fleets, the recovery plane's own instruments.  Returns ``None``
+        only when the fleet is entirely uninstrumented (no telemetry,
+        no journal).
+        """
+        if not self._telemetry_enabled and self._recovery is None:
             return None
         merged = MetricsRegistry()
-        for wid, worker in enumerate(self._workers):
-            if not worker.alive:
-                continue
-            registry = self._request(wid, "registry")
-            if registry is not None:
-                merged.merge(registry)
+        if self._recovery is not None:
+            merged.merge(self._recovery.registry)
+        if self._telemetry_enabled:
+            for wid, worker in enumerate(self._workers):
+                if worker.registry_base is not None:
+                    merged.merge(worker.registry_base)
+                if worker.alive:
+                    registry = self._request(wid, "registry")
+                    if registry is not None:
+                        merged.merge(registry)
         return merged
+
+    def recovery_registry(self) -> Optional[MetricsRegistry]:
+        """The supervisor's instruments (``None`` when ``journal=False``)."""
+        return None if self._recovery is None else self._recovery.registry
+
+    @property
+    def recovery_trace(self):
+        """Die→respawn→replay→resume trace log (``None`` unsupervised)."""
+        return None if self._recovery is None else self._recovery.trace
 
     def __len__(self) -> int:
         return len(self._slots)
@@ -473,6 +923,50 @@ class MultiprocessFleet:
     def worker_of(self, key: str) -> int:
         """The worker a session key routes to (stable across fleets)."""
         return shard_of(key, len(self._workers))
+
+    def worker_pids(self) -> list[Optional[int]]:
+        """Current worker process ids (chaos harnesses aim signals here)."""
+        return [worker.process.pid for worker in self._workers]
+
+    def worker_states(self) -> list[str]:
+        """Each worker's lifecycle state: ``live``/``recovering``/``dead``."""
+        return [worker.status for worker in self._workers]
+
+    def check_workers(self) -> list[str]:
+        """Poll worker processes, starting recovery for silent deaths.
+
+        A worker that was SIGKILLed between requests never surfaces as a
+        pipe error until the next request touches it; health checks call
+        this to detect (and, supervised, heal) such deaths proactively.
+        Returns the post-check :meth:`worker_states`.
+        """
+        for wid, worker in enumerate(self._workers):
+            if worker.alive and not worker.process.is_alive():
+                self._worker_failed(wid)
+        return self.worker_states()
+
+    def is_recovering(self) -> bool:
+        """Whether any partition is currently rehydrating."""
+        with self._lock:
+            return self._recovering_count() > 0
+
+    def await_recovery(self, timeout: Optional[float] = None) -> bool:
+        """Block until no partition is recovering (or ``timeout`` runs out).
+
+        Returns ``True`` when the fleet is whole — every worker either
+        live or permanently dead — ``False`` on timeout.  The idiomatic
+        caller retry after a :class:`FleetRecoveringError`::
+
+            fleet.await_recovery(timeout=err.retry_after * 10)
+            fleet.deliver(key, message)
+        """
+        deadline = None if timeout is None else perf_counter() + timeout
+        while True:
+            if not self.is_recovering():
+                return True
+            if deadline is not None and perf_counter() >= deadline:
+                return False
+            sleep(0.002)
 
     # ------------------------------------------------------------------
     # instance lifecycle
@@ -487,34 +981,65 @@ class MultiprocessFleet:
         wid = self.worker_of(key)
         slot = self._request(wid, "spawn", key)
         self._slots[key] = (wid, slot)
+        self._journal_record(wid, ("spawn", key), 0)
         return slot
 
     def spawn_many(self, count: int, prefix: str = "session") -> list[str]:
         """Create ``count`` instances with generated session keys, batched
-        per worker (one round trip per worker, not per key)."""
+        per worker (one round trip per worker, not per key).
+
+        Keys that already exist are skipped rather than re-spawned: the
+        generated key sequence is deterministic, so this is the retry
+        path after a :class:`FleetRecoveringError` left a previous call
+        partially applied — the retry finishes the job exactly once.
+        """
         keys = session_keys(count, prefix)
         per_worker: dict[int, list[str]] = {}
         for key in keys:
+            if key in self._slots:
+                continue
             per_worker.setdefault(self.worker_of(key), []).append(key)
-        requests = {
-            wid: ("spawn_keys", worker_keys)
-            for wid, worker_keys in per_worker.items()
-        }
-        sent = list(requests)
-        payloads = self._fan_out(requests)
-        for wid, slots in zip(sent, payloads):
-            for key, slot in zip(per_worker[wid], slots):
-                self._slots[key] = (wid, slot)
+        sent: list[int] = []
+        errors: list[str] = []
+        recovering: Optional[FleetRecoveringError] = None
+        for wid, worker_keys in per_worker.items():
+            try:
+                self._send(wid, ("spawn_keys", worker_keys))
+            except FleetRecoveringError as exc:
+                recovering = recovering or exc
+                errors.append(str(exc))
+            except DeploymentError as exc:
+                errors.append(str(exc))
+            else:
+                sent.append(wid)
+        for wid in sent:
+            try:
+                slots = self._recv(wid)
+            except FleetRecoveringError as exc:
+                recovering = recovering or exc
+                errors.append(str(exc))
+            except DeploymentError as exc:
+                errors.append(str(exc))
+            else:
+                for key, slot in zip(per_worker[wid], slots):
+                    self._slots[key] = (wid, slot)
+                self._journal_record(wid, ("spawn_keys", per_worker[wid]), 0)
+        if errors:
+            if recovering is not None and len(errors) == 1:
+                raise recovering
+            raise DeploymentError("; ".join(errors))
         return keys
 
     def despawn(self, key: str) -> None:
         wid, _slot = self._locate(key)
         self._request(wid, "despawn", key)
         del self._slots[key]
+        self._journal_record(wid, ("despawn", key), 0)
 
     def recycle(self, key: str) -> None:
         wid, _slot = self._locate(key)
         self._request(wid, "recycle", key)
+        self._journal_record(wid, ("recycle", key), 0)
 
     # ------------------------------------------------------------------
     # per-instance observation
@@ -585,7 +1110,9 @@ class MultiprocessFleet:
         shape, one drain later).  The buffered traffic flushes on the
         next :meth:`drain_all` / :meth:`run`.  Mailboxes are unbounded —
         ``source``/``trace_id`` are accepted for protocol compatibility
-        but not traced across the process boundary.
+        but not traced across the process boundary.  Posting never
+        blocks on a recovering partition: the buffer is parent-side and
+        the flush defers through the journal.
         """
         if self._encoded_intake:
             wid, slot = self._locate(key)
@@ -604,22 +1131,32 @@ class MultiprocessFleet:
     def deliver(self, key: str, message: str) -> bool:
         """Dispatch one event immediately on its owning worker."""
         wid, _slot = self._locate(key)
-        return self._request(wid, "deliver", key, message)
+        result = self._request(wid, "deliver", key, message)
+        self._journal_record(wid, ("deliver", key, message), 1)
+        return result
 
     def drain_all(self) -> int:
-        """Flush every worker's pending buffer; returns events flushed."""
+        """Flush every worker's pending buffer; returns events flushed.
+
+        On a supervised fleet a recovering worker's share is journaled
+        and applied by replay instead of being dispatched directly — the
+        events still count as flushed (they have left the pending
+        buffer and are durably scheduled).
+        """
         requests: dict[int, tuple] = {}
+        counts: dict[int, int] = {}
         total = 0
         for wid, buffer in enumerate(self._pending):
             if not buffer:
                 continue
             op = "run_flat" if self._encoded_intake else "run_events"
             requests[wid] = (op, buffer)
+            counts[wid] = self._pending_counts[wid]
             total += self._pending_counts[wid]
             self._pending[wid] = self._new_buffer()
             self._pending_counts[wid] = 0
         if requests:
-            self._fan_out(requests)
+            self._dispatch_fan_out(requests, counts)
         return total
 
     def run(self, events, encoding: str = "auto") -> FleetMetrics:
@@ -650,7 +1187,10 @@ class MultiprocessFleet:
                 if part
             }
             if requests:
-                self._fan_out(requests)
+                self._dispatch_fan_out(
+                    requests,
+                    {wid: len(part) // 2 for wid, (_, part) in requests.items()},
+                )
             return self.metrics
         if encoding in ("pairs", "flat"):
             raise DeploymentError(
@@ -683,6 +1223,9 @@ class MultiprocessFleet:
                 for wid, part in enumerate(parts)
                 if part
             }
+            counts = {
+                wid: len(part) // 2 for wid, (_, part) in requests.items()
+            }
         else:
             batches: list = [None] * len(self._workers)
             slots = self._slots
@@ -702,8 +1245,9 @@ class MultiprocessFleet:
                 for wid, batch in enumerate(batches)
                 if batch
             }
+            counts = {wid: len(batch) for wid, (_, batch) in requests.items()}
         if requests:
-            self._fan_out(requests)
+            self._dispatch_fan_out(requests, counts)
         if rejected:
             raise_rejected(rejected)
         return self.metrics
@@ -712,7 +1256,7 @@ class MultiprocessFleet:
     # snapshot / restore
     # ------------------------------------------------------------------
 
-    def snapshot(self) -> FleetSnapshot:
+    def snapshot(self, allow_partial: bool = False) -> FleetSnapshot:
         """One portable snapshot of the whole population.
 
         Pending parent-side traffic flushes first, then every worker
@@ -720,40 +1264,72 @@ class MultiprocessFleet:
         :class:`~repro.serve.fleet.FleetSnapshot` restores into any
         fleet of the same machine — including a single-process
         :class:`~repro.serve.fleet.FleetEngine`.
+
+        With a dead worker the strict default refuses (a snapshot must
+        not silently lie about the population); ``allow_partial=True``
+        instead captures the surviving partitions and lists the lost
+        keys in the snapshot's ``lost`` manifest.  On a supervised fleet
+        the strict path first waits out any in-flight recovery, so a
+        snapshot taken moments after a worker death is still whole.
         """
         self.drain_all()
-        dead = [
+        # Detect silent deaths first: a SIGKILLed worker that has not
+        # been touched since would otherwise surface as a mid-request
+        # pipe error instead of the canonical refusal/manifest.
+        self.check_workers()
+        if self._journal_enabled and not allow_partial:
+            self.await_recovery()
+        unavailable = [
             wid for wid, worker in enumerate(self._workers) if not worker.alive
         ]
-        if dead:
+        if unavailable and not allow_partial:
             raise DeploymentError(
-                f"cannot snapshot: worker(s) {dead} are not available; "
-                "their shard partitions are lost"
+                f"cannot snapshot: worker(s) {unavailable} are not available; "
+                "their shard partitions are lost "
+                "(snapshot(allow_partial=True) captures the survivors)"
             )
         requests = {
-            wid: ("snapshot",) for wid in range(len(self._workers))
+            wid: ("snapshot",)
+            for wid in range(len(self._workers))
+            if self._workers[wid].alive
         }
         payloads = self._fan_out(requests)
         instances = tuple(
             chain.from_iterable(snap.instances for snap in payloads)
         )
+        lost = tuple(
+            key for key, (wid, _slot) in self._slots.items()
+            if wid in unavailable
+        )
         return FleetSnapshot(
-            machine_name=self._machine.name, instances=instances
+            machine_name=self._machine.name, instances=instances, lost=lost
         )
 
-    def restore(self, snapshot: FleetSnapshot) -> None:
+    def restore(
+        self, snapshot: FleetSnapshot, allow_partial: bool = False
+    ) -> None:
         """Rebuild the population from a snapshot, partitioned by routing.
 
         The current population and any pending parent-side traffic are
         discarded; each worker restores the partition its keys route to,
         so a snapshot taken under any worker/shard layout lands
-        correctly here.
+        correctly here.  A *partial* snapshot (non-empty ``lost``
+        manifest) is refused unless ``allow_partial=True`` — restoring
+        one silently drops the lost instances.
         """
         if snapshot.machine_name != self._machine.name:
             raise DeploymentError(
                 f"snapshot is for machine {snapshot.machine_name!r}, "
                 f"this fleet serves {self._machine.name!r}"
             )
+        if getattr(snapshot, "lost", ()) and not allow_partial:
+            raise DeploymentError(
+                f"snapshot is partial: {len(snapshot.lost)} instance(s) from "
+                "lost partitions are missing; pass allow_partial=True to "
+                "restore the survivors"
+            )
+        if self._journal_enabled:
+            self.await_recovery()
         per_worker: list[list[InstanceSnapshot]] = [
             [] for _ in self._workers
         ]
@@ -777,15 +1353,30 @@ class MultiprocessFleet:
         for wid, slot_of in zip(sent, payloads):
             for key, slot in slot_of.items():
                 self._slots[key] = (wid, slot)
+        # A restore rewrites every partition wholesale: journals recording
+        # the pre-restore history are obsolete, so re-baseline them.
+        if self._journal_enabled:
+            for wid in range(len(self._workers)):
+                if self._workers[wid].alive:
+                    self._take_checkpoint(wid)
 
     # ------------------------------------------------------------------
     # shutdown
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Stop every worker process and release the pipes (idempotent)."""
+        """Stop every worker process and release the pipes (idempotent).
+
+        Shutdown escalates rather than hangs: each process gets
+        ``join(join_timeout)``, then ``terminate()`` (SIGTERM), then
+        ``kill()`` (SIGKILL) — a worker wedged in uninterruptible user
+        code can delay ``close()`` but never deadlock it.
+        """
         if self._closed:
             return
+        self._closing = True
+        for thread in list(self._recovery_threads.values()):
+            thread.join(timeout=max(self._join_timeout, 1.0))
         stopping = []
         for worker in self._workers:
             if not worker.alive:
@@ -793,7 +1384,7 @@ class MultiprocessFleet:
             try:
                 worker.conn.send(("stop",))
             except (BrokenPipeError, OSError):
-                worker.alive = False
+                worker.status = WORKER_DEAD
                 continue
             stopping.append(worker)
         for worker in stopping:
@@ -805,19 +1396,33 @@ class MultiprocessFleet:
                 pass
         self._closed = True
         for worker in self._workers:
-            worker.conn.close()
-            worker.process.join(timeout=5)
-            if worker.process.is_alive():
-                worker.process.terminate()
-                worker.process.join(timeout=5)
-            worker.alive = False
-        self._finalizer.detach()
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            _reap(worker.process, timeout=self._join_timeout)
+            worker.status = WORKER_DEAD
+        # Invoke (not detach) the finalizer: it sweeps every process this
+        # fleet ever started, catching respawns an interrupted recovery
+        # left behind.
+        self._finalizer()
 
     def __enter__(self) -> "MultiprocessFleet":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def _reap(process, timeout: float = 5.0) -> None:
+    """Join a worker process, escalating terminate → kill, never hanging."""
+    process.join(timeout=timeout)
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=timeout)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=timeout)
 
 
 def _terminate_workers(processes) -> None:

@@ -272,3 +272,213 @@ def test_websocket_roundtrip():
             fleet.close()
 
     asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# gateway hardening: read timeout, body cap, graceful degradation
+# ---------------------------------------------------------------------------
+
+
+async def raw_http(reader, writer, request: bytes):
+    """Send raw bytes; return (status, headers, parsed JSON body)."""
+    writer.write(request)
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers.get("content-length", "0")))
+    return status, headers, json.loads(body)
+
+
+def test_stalled_request_times_out_with_408():
+    async def body(gateway, reader, writer):
+        # A request line with headers that never finish: the reader
+        # coroutine must not be held hostage.
+        writer.write(b"POST /deliver HTTP/1.1\r\nHost: test\r\n")
+        await writer.drain()
+        status, headers, out = await raw_http(reader, writer, b"")
+        assert status == 408
+        assert "timed out" in out["error"]
+        assert headers["connection"] == "close"
+
+    gateway_test(body, read_timeout=0.2)
+
+
+def test_unfinished_body_times_out_with_408():
+    async def body(gateway, reader, writer):
+        # Content-Length promises more bytes than the client ever sends.
+        writer.write(
+            b"POST /deliver HTTP/1.1\r\nHost: test\r\n"
+            b"Content-Length: 500\r\n\r\n{\"key\":"
+        )
+        await writer.drain()
+        status, _headers, out = await raw_http(reader, writer, b"")
+        assert status == 408
+        assert "timed out" in out["error"]
+
+    gateway_test(body, read_timeout=0.2)
+
+
+def test_oversized_body_refused_with_413():
+    async def body(gateway, reader, writer):
+        status, headers, out = await raw_http(
+            reader,
+            writer,
+            b"POST /restore HTTP/1.1\r\nHost: test\r\n"
+            b"Content-Length: 4096\r\n\r\n",  # body intentionally unsent
+        )
+        assert status == 413
+        assert "exceeds" in out["error"]
+        # Refused before the body was read: the connection closes.
+        assert headers["connection"] == "close"
+
+    gateway_test(body, max_body=1024)
+
+
+class _RecoveringFleet:
+    """Fleet stub pinned in a recovery window."""
+
+    def __init__(self):
+        from repro.serve import FleetRecoveringError
+
+        self._error = FleetRecoveringError(
+            "fleet worker 0 is recovering; retry shortly",
+            worker_id=0,
+            retry_after=1.5,
+        )
+
+    def __len__(self):
+        return 4
+
+    def deliver(self, key, message):
+        raise self._error
+
+    def state_name(self, key):
+        raise self._error
+
+    def check_workers(self):
+        return ["recovering", "live"]
+
+    def worker_pids(self):
+        return [1111, 2222]
+
+    def close(self):
+        pass
+
+
+def test_recovering_partition_degrades_to_503_with_retry_after():
+    async def main():
+        gateway = FleetGateway(_RecoveringFleet(), port=0)
+        await gateway.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", gateway.port
+            )
+            try:
+                payload = json.dumps(
+                    {"key": "session-0000000", "message": "update"}
+                ).encode()
+                status, headers, out = await raw_http(
+                    reader,
+                    writer,
+                    b"POST /deliver HTTP/1.1\r\nHost: test\r\n"
+                    + f"Content-Length: {len(payload)}\r\n\r\n".encode()
+                    + payload,
+                )
+                assert status == 503
+                assert headers["retry-after"] == "2"  # ceil(1.5)
+                assert out["retry_after"] == 1.5
+                assert "recovering" in out["error"]
+                # The connection survives a 503 (keep-alive, not close):
+                # /healthz reports the per-worker lifecycle states.
+                status, out = await http(reader, writer, "GET", "/healthz")
+                assert status == 200
+                assert out["status"] == "recovering"
+                assert out["workers"] == ["recovering", "live"]
+                assert out["pids"] == [1111, 2222]
+            finally:
+                writer.close()
+        finally:
+            await gateway.stop()
+
+    asyncio.run(main())
+
+
+def test_healthz_surfaces_worker_states_on_mp_fleet():
+    async def main():
+        fleet = make_fleet("commit", mode="encoded", workers=2, shards=2)
+        gateway = FleetGateway(fleet, port=0)
+        await gateway.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", gateway.port
+            )
+            try:
+                status, out = await http(reader, writer, "GET", "/healthz")
+                assert status == 200
+                assert out["status"] == "ok"
+                assert out["workers"] == ["live", "live"]
+                assert len(out["pids"]) == 2
+            finally:
+                writer.close()
+        finally:
+            await gateway.stop()
+            fleet.close()
+
+    asyncio.run(main())
+
+
+def test_partial_snapshot_carries_lost_manifest_over_the_wire():
+    async def main():
+        fleet = make_fleet("commit", mode="encoded", workers=2, shards=2)
+        gateway = FleetGateway(fleet, port=0)
+        await gateway.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", gateway.port
+            )
+            try:
+                status, out = await http(
+                    reader, writer, "POST", "/spawn", {"count": 8}
+                )
+                assert status == 200
+                keys = out["spawned"]
+                casualties = sorted(
+                    k for k in keys if fleet.worker_of(k) == 1
+                )
+                fleet._workers[1].process.kill()
+                fleet._workers[1].process.join()
+                # Strict snapshot refuses over the wire too.
+                status, out = await http(reader, writer, "GET", "/snapshot")
+                assert status == 400
+                assert "cannot snapshot" in out["error"]
+                status, wire = await http(
+                    reader, writer, "GET", "/snapshot?partial=1"
+                )
+                assert status == 200
+                assert sorted(wire["lost"]) == casualties
+                # The wire form round-trips the manifest, and restore
+                # enforces the same strictness.
+                snapshot = snapshot_from_json(wire)
+                assert sorted(snapshot.lost) == casualties
+                status, out = await http(
+                    reader, writer, "POST", "/restore", wire
+                )
+                assert status == 400
+                assert "snapshot is partial" in out["error"]
+                status, out = await http(
+                    reader, writer, "POST", "/restore?partial=1", wire
+                )
+                assert status == 400  # fleet has a dead worker
+            finally:
+                writer.close()
+        finally:
+            await gateway.stop()
+            fleet.close()
+
+    asyncio.run(main())

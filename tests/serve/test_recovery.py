@@ -1,0 +1,504 @@
+"""Self-healing fleet: journal, checkpoint, supervised recovery, chaos.
+
+The contract under test is the tentpole of the recovery subsystem: a
+supervised fleet (``journal=True``) that loses a worker to SIGKILL
+rebuilds the partition from checkpoint + journal replay and ends
+*indistinguishable* from an unkilled twin — traces via ``diff_fleets``
+AND the merged ``FleetMetrics`` counters — across bundled models and
+seeded kill schedules.  Around it: the transient
+:class:`FleetRecoveringError` window, kill-during-recovery retries,
+restart-policy exhaustion, partial snapshots of survivors, shutdown
+escalation with a wedged worker, and telemetry monotonicity across the
+die→respawn cycle.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.errors import DeploymentError
+from repro.serve import (
+    FleetRecoveringError,
+    RecoveryPolicy,
+    diff_fleets,
+    make_fleet,
+)
+from repro.serve.workload import WorkloadSpec, generate_workload
+
+
+def workload(machine, instances, events, seed=11):
+    spec = WorkloadSpec(instances=instances, events=events, seed=seed)
+    return generate_workload(machine, spec)
+
+
+def sigkill_worker(fleet, wid):
+    """SIGKILL one worker and wait until the process is truly gone."""
+    process = fleet._workers[wid].process
+    os.kill(process.pid, signal.SIGKILL)
+    process.join(timeout=10)
+    assert not process.is_alive()
+
+
+def supervised(model="commit", **kwargs):
+    kwargs.setdefault("mode", "encoded")
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("shards", 2)
+    return make_fleet(model, journal=True, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# journaling is a no-op when nothing dies
+# ---------------------------------------------------------------------------
+
+
+def test_journal_noop_parity_without_failures():
+    fleet = supervised(checkpoint_every=100)
+    twin = make_fleet("commit", mode="encoded", workers=2, shards=2)
+    try:
+        keys = fleet.spawn_many(12)
+        twin.spawn_many(12)
+        events = workload(fleet.machine, 12, 300)
+        fleet.run(events)
+        twin.run(events)
+        fleet.deliver(keys[0], "update")
+        twin.deliver(keys[0], "update")
+        assert diff_fleets(fleet, twin, keys) == []
+        assert fleet.metrics.as_dict() == twin.metrics.as_dict()
+    finally:
+        fleet.close()
+        twin.close()
+
+
+# ---------------------------------------------------------------------------
+# the acceptance criterion: SIGKILL mid-burst == unkilled twin
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("model", ["commit", "chandra-toueg"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_sigkill_mid_burst_recovers_to_twin_parity(model, seed):
+    fleet = supervised(model, checkpoint_every=120)
+    twin = make_fleet(model, mode="encoded", workers=2, shards=2)
+    try:
+        keys = fleet.spawn_many(16)
+        twin.spawn_many(16)
+        events = workload(fleet.machine, 16, 400, seed=seed)
+        cut = 100 + (seed * 67) % 150  # seeded kill point
+        fleet.run(events[:cut])
+        twin.run(events[:cut])
+        sigkill_worker(fleet, seed % fleet.workers)
+        # The burst continues straight through the death: the dead
+        # worker's share is journaled-and-deferred, the survivor's share
+        # dispatches live.
+        fleet.run(events[cut:])
+        twin.run(events[cut:])
+        assert fleet.await_recovery(timeout=30)
+        assert fleet.worker_states() == ["live", "live"]
+        assert diff_fleets(fleet, twin, keys) == []
+        assert fleet.metrics.as_dict() == twin.metrics.as_dict()
+        restarts = fleet.recovery_registry().counters[
+            "fleet_worker_restarts_total"
+        ]
+        assert restarts.value >= 1
+    finally:
+        fleet.close()
+        twin.close()
+
+
+def test_all_workers_killed_recover_to_twin_parity():
+    fleet = supervised(checkpoint_every=90)
+    twin = make_fleet("commit", mode="encoded", workers=2, shards=2)
+    try:
+        keys = fleet.spawn_many(16)
+        twin.spawn_many(16)
+        events = workload(fleet.machine, 16, 360, seed=13)
+        half = len(events) // 2
+        fleet.run(events[:half])
+        twin.run(events[:half])
+        for wid in range(fleet.workers):
+            sigkill_worker(fleet, wid)
+        fleet.run(events[half:])  # fully deferred through the journal
+        twin.run(events[half:])
+        assert fleet.await_recovery(timeout=30)
+        assert diff_fleets(fleet, twin, keys) == []
+        assert fleet.metrics.as_dict() == twin.metrics.as_dict()
+    finally:
+        fleet.close()
+        twin.close()
+
+
+def test_checkpoint_cadence_bounds_replay():
+    fleet = supervised(checkpoint_every=60)
+    try:
+        fleet.spawn_many(8)
+        events = workload(fleet.machine, 8, 400, seed=2)
+        fleet.run(events)
+        registry = fleet.recovery_registry()
+        # Initial checkpoints (one per worker) plus at least one cadence
+        # checkpoint: 400 journaled events with a 60-event cadence.
+        assert registry.counters["fleet_checkpoints_total"].value > 2
+        sigkill_worker(fleet, 0)
+        fleet.check_workers()
+        assert fleet.await_recovery(timeout=30)
+        replayed = registry.counters["fleet_events_replayed_total"].value
+        # The journal was truncated at every checkpoint, so replay covers
+        # only the post-checkpoint suffix, not the whole history.
+        assert replayed < len(events)
+    finally:
+        fleet.close()
+
+
+def test_lifecycle_ops_survive_recovery():
+    """Spawn/despawn/recycle/deliver journal after their ack and replay."""
+    fleet = supervised(checkpoint_every=10_000)
+    twin = make_fleet("commit", mode="encoded", workers=2, shards=2)
+    try:
+        keys = fleet.spawn_many(12)
+        twin.spawn_many(12)
+        fleet.despawn(keys[3])
+        twin.despawn(keys[3])
+        fleet.deliver(keys[0], "update")
+        twin.deliver(keys[0], "update")
+        fleet.recycle(keys[0])
+        twin.recycle(keys[0])
+        survivors = [k for k in keys if k != keys[3]]
+        events = [(k, "update") for k in survivors]
+        fleet.run(events)
+        twin.run(events)
+        sigkill_worker(fleet, 1)
+        fleet.check_workers()
+        assert fleet.await_recovery(timeout=30)
+        assert diff_fleets(fleet, twin, survivors) == []
+        assert fleet.metrics.as_dict() == twin.metrics.as_dict()
+        assert keys[3] not in fleet
+    finally:
+        fleet.close()
+        twin.close()
+
+
+# ---------------------------------------------------------------------------
+# the RECOVERING window
+# ---------------------------------------------------------------------------
+
+
+def slow_launch(fleet, delay=0.4):
+    """Make respawns slow so tests can observe the RECOVERING window."""
+    original = fleet._launch_worker
+
+    def launch():
+        time.sleep(delay)
+        return original()
+
+    fleet._launch_worker = launch
+
+
+def test_sync_ops_raise_transient_error_during_recovery():
+    fleet = supervised(recovery=RecoveryPolicy(retry_after_s=0.5))
+    twin = make_fleet("commit", mode="encoded", workers=2, shards=2)
+    try:
+        keys = fleet.spawn_many(8)
+        twin.spawn_many(8)
+        warmup = workload(fleet.machine, 8, 60, seed=3)
+        fleet.run(warmup)
+        twin.run(warmup)
+        slow_launch(fleet)
+        victim_wid = 0
+        victim_keys = [k for k in keys if fleet.worker_of(k) == victim_wid]
+        assert victim_keys
+        sigkill_worker(fleet, victim_wid)
+        fleet.check_workers()
+        assert fleet.worker_states()[victim_wid] == "recovering"
+        assert fleet.is_recovering()
+        with pytest.raises(FleetRecoveringError) as err:
+            fleet.deliver(victim_keys[0], "update")
+        assert err.value.worker_id == victim_wid
+        assert err.value.retry_after == 0.5
+        # The transient error is still a DeploymentError: existing
+        # handlers that catch the permanent flavour keep working.
+        assert isinstance(err.value, DeploymentError)
+        with pytest.raises(FleetRecoveringError):
+            fleet.state_name(victim_keys[0])
+        # Bulk dispatch is accepted and deferred, not refused.
+        fleet.run([(victim_keys[0], "update")])
+        twin.run([(victim_keys[0], "update")])
+        assert fleet.await_recovery(timeout=30)
+        # The deferred event landed during replay: the healed fleet
+        # matches a twin that dispatched the same event live.
+        assert diff_fleets(fleet, twin, keys) == []
+        assert fleet.metrics.as_dict() == twin.metrics.as_dict()
+    finally:
+        fleet.close()
+        twin.close()
+
+
+def test_kill_during_recovery_retries_and_heals():
+    fleet = supervised(
+        recovery=RecoveryPolicy(max_restarts=4, backoff_s=0.02)
+    )
+    twin = make_fleet("commit", mode="encoded", workers=2, shards=2)
+    try:
+        keys = fleet.spawn_many(12)
+        twin.spawn_many(12)
+        events = workload(fleet.machine, 12, 200, seed=9)
+        fleet.run(events)
+        twin.run(events)
+        original = fleet._launch_worker
+        sabotaged = []
+
+        def flaky_launch():
+            handle = original()
+            if not sabotaged:  # first respawn attempt dies immediately
+                sabotaged.append(True)
+                handle.process.kill()
+            return handle
+
+        fleet._launch_worker = flaky_launch
+        sigkill_worker(fleet, 1)
+        fleet.check_workers()
+        assert fleet.await_recovery(timeout=30)
+        assert sabotaged  # the sabotage actually fired
+        assert fleet.worker_states() == ["live", "live"]
+        assert diff_fleets(fleet, twin, keys) == []
+    finally:
+        fleet.close()
+        twin.close()
+
+
+def test_restart_policy_exhaustion_declares_partition_lost():
+    fleet = supervised(
+        recovery=RecoveryPolicy(max_restarts=2, backoff_s=0.01)
+    )
+    try:
+        keys = fleet.spawn_many(8)
+        original = fleet._launch_worker
+
+        def doomed_launch():
+            handle = original()
+            handle.process.kill()  # every respawn dies
+            return handle
+
+        fleet._launch_worker = doomed_launch
+        victim = [k for k in keys if fleet.worker_of(k) == 0][0]
+        sigkill_worker(fleet, 0)
+        fleet.check_workers()
+        assert fleet.await_recovery(timeout=30)
+        assert fleet.worker_states()[0] == "dead"
+        # Back to the permanent-loss contract of the unsupervised fleet.
+        with pytest.raises(DeploymentError, match="shard partition is lost"):
+            fleet.deliver(victim, "update")
+        registry = fleet.recovery_registry()
+        assert registry.counters["fleet_recovery_failures_total"].value == 1
+    finally:
+        fleet.close()
+
+
+# ---------------------------------------------------------------------------
+# recovery observability
+# ---------------------------------------------------------------------------
+
+
+def test_recovery_trace_chains_incident_causality():
+    fleet = supervised()
+    try:
+        fleet.spawn_many(8)
+        events = workload(fleet.machine, 8, 100)
+        fleet.run(events)
+        sigkill_worker(fleet, 1)
+        fleet.check_workers()
+        assert fleet.await_recovery(timeout=30)
+        trace = fleet.recovery_trace
+        tid = trace.records()[0].trace_id
+        assert trace.kinds(tid) == (
+            "worker_die",
+            "worker_respawn",
+            "worker_replay",
+            "worker_resume",
+        )
+        # A second incident mints a fresh trace id with its own chain —
+        # trace-id streams stay replay-exact across recoveries.
+        sigkill_worker(fleet, 1)
+        fleet.check_workers()
+        assert fleet.await_recovery(timeout=30)
+        incidents = {record.trace_id for record in trace.records()}
+        assert len(incidents) == 2
+        second = (incidents - {tid}).pop()
+        assert trace.kinds(second) == (
+            "worker_die",
+            "worker_respawn",
+            "worker_replay",
+            "worker_resume",
+        )
+        registry = fleet.recovery_registry()
+        assert registry.counters["fleet_worker_restarts_total"].value == 2
+        assert registry.histograms["fleet_recovery_seconds"].count == 2
+    finally:
+        fleet.close()
+
+
+def test_recovery_registry_exists_without_worker_telemetry():
+    fleet = supervised()
+    try:
+        # journal=True alone instruments the supervisor; the merged
+        # registry surfaces it even with per-worker telemetry off.
+        registry = fleet.telemetry_registry()
+        assert registry is not None
+        assert "fleet_worker_restarts_total" in registry.counters
+    finally:
+        fleet.close()
+
+
+def test_telemetry_merge_monotonic_across_recovery():
+    fleet = supervised(telemetry=True, checkpoint_every=80)
+    twin = make_fleet(
+        "commit", mode="encoded", workers=2, shards=2, telemetry=True
+    )
+    try:
+        fleet.spawn_many(12)
+        twin.spawn_many(12)
+        events = workload(fleet.machine, 12, 300, seed=4)
+        half = len(events) // 2
+        fleet.run(events[:half])
+        twin.run(events[:half])
+        before = fleet.telemetry_registry().counters["fleet_events_total"].value
+        sigkill_worker(fleet, 0)
+        fleet.run(events[half:])
+        twin.run(events[half:])
+        assert fleet.await_recovery(timeout=30)
+        merged = fleet.telemetry_registry()
+        after = merged.counters["fleet_events_total"].value
+        # No counter reset leaked into the merge: the respawned worker's
+        # registry rides on its checkpoint baseline.
+        assert after >= before
+        assert after == twin.telemetry_registry().counters[
+            "fleet_events_total"
+        ].value
+    finally:
+        fleet.close()
+        twin.close()
+
+
+# ---------------------------------------------------------------------------
+# partial snapshots of survivors
+# ---------------------------------------------------------------------------
+
+
+def test_partial_snapshot_survivors_and_manifest():
+    fleet = make_fleet("commit", mode="encoded", workers=2, shards=2)
+    try:
+        keys = fleet.spawn_many(16)
+        events = workload(fleet.machine, 16, 200)
+        fleet.run(events)
+        survivors = [k for k in keys if fleet.worker_of(k) == 0]
+        casualties = [k for k in keys if fleet.worker_of(k) == 1]
+        traces = {k: fleet.trace(k) for k in survivors}
+        sigkill_worker(fleet, 1)
+        with pytest.raises(DeploymentError, match="cannot snapshot"):
+            fleet.snapshot()
+        partial = fleet.snapshot(allow_partial=True)
+        assert sorted(partial.lost) == sorted(casualties)
+        captured = {inst.key for inst in partial.instances}
+        assert captured == set(survivors)
+
+        # Restore-side validation: a partial snapshot refuses to restore
+        # silently, then restores the survivors when the loss is
+        # explicitly accepted.
+        target = make_fleet("commit", mode="encoded", shards=2)
+        try:
+            with pytest.raises(DeploymentError, match="snapshot is partial"):
+                target.restore(partial)
+            target.restore(partial, allow_partial=True)
+            assert len(target) == len(survivors)
+            for key in survivors:
+                assert target.trace(key) == traces[key]
+        finally:
+            target.close()
+
+        mp_target = make_fleet("commit", mode="encoded", workers=2, shards=2)
+        try:
+            with pytest.raises(DeploymentError, match="snapshot is partial"):
+                mp_target.restore(partial)
+            mp_target.restore(partial, allow_partial=True)
+            assert len(mp_target) == len(survivors)
+        finally:
+            mp_target.close()
+    finally:
+        fleet.close()
+
+
+def test_whole_snapshot_has_empty_manifest():
+    fleet = make_fleet("commit", mode="encoded", workers=2, shards=2)
+    try:
+        fleet.spawn_many(8)
+        snapshot = fleet.snapshot(allow_partial=True)
+        assert snapshot.lost == ()
+    finally:
+        fleet.close()
+
+
+def test_supervised_snapshot_waits_out_recovery():
+    fleet = supervised()
+    twin = make_fleet("commit", mode="encoded", workers=2, shards=2)
+    try:
+        keys = fleet.spawn_many(12)
+        twin.spawn_many(12)
+        events = workload(fleet.machine, 12, 200, seed=6)
+        fleet.run(events)
+        twin.run(events)
+        sigkill_worker(fleet, 0)
+        fleet.check_workers()
+        # Strict snapshot right after a death: blocks until healed, then
+        # captures the whole population.
+        snapshot = fleet.snapshot()
+        assert snapshot.lost == ()
+        assert {inst.key for inst in snapshot.instances} == set(keys)
+        assert snapshot == twin.snapshot()
+    finally:
+        fleet.close()
+        twin.close()
+
+
+# ---------------------------------------------------------------------------
+# shutdown escalation (satellite: close() can never hang)
+# ---------------------------------------------------------------------------
+
+
+def _stubborn(ready):
+    """A worker stand-in that ignores SIGTERM and never exits."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    ready.set()
+    while True:
+        time.sleep(0.05)
+
+
+def test_close_escalates_past_wedged_worker():
+    import multiprocessing
+
+    fleet = make_fleet(
+        "commit", mode="encoded", workers=2, shards=2, join_timeout=0.2
+    )
+    ctx = multiprocessing.get_context(
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else None
+    )
+    ready = ctx.Event()
+    stuck = ctx.Process(target=_stubborn, args=(ready,), daemon=True)
+    stuck.start()
+    assert ready.wait(timeout=10)
+    # Swap the wedged process in for worker 0's and sever the handle so
+    # close() goes straight to the join/terminate/kill ladder.
+    real = fleet._workers[0].process
+    fleet._workers[0].process = stuck
+    fleet._workers[0].status = "dead"
+    fleet._workers[0].conn.close()
+    started = time.perf_counter()
+    fleet.close()
+    elapsed = time.perf_counter() - started
+    # join(0.2) fails, terminate() is ignored, kill() ends it — well
+    # under the multi-second hang a second blocking join would cost.
+    assert not stuck.is_alive()
+    assert elapsed < 5.0
+    real.join(timeout=10)  # the displaced real worker exits on conn EOF
+    assert not real.is_alive()
